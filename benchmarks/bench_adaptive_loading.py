@@ -1,0 +1,135 @@
+"""S5 — NoDB: querying raw files without loading ([8]'s headline figure).
+
+A sequence of queries over a wide CSV file, three systems:
+
+- full load: parse everything before query 1;
+- raw (NoDB): parse lazily with a positional map, cache parsed columns;
+- invisible loading: NoDB behaviour with parsed columns retained as
+  engine tables.
+
+Shape assertions: raw's first-query cost is far below the full load; its
+repeat queries are near-free; cumulative raw cost for a narrow workload
+stays below the one-off full-load cost.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import print_table
+
+from repro.engine import Database, write_csv
+from repro.loading import InvisibleLoader, full_load
+from repro.workloads import sales_table
+
+NUM_ROWS = 20_000
+
+
+def _make_csv(num_rows: int, directory: str) -> Path:
+    path = Path(directory) / "sales.csv"
+    write_csv(sales_table(num_rows, seed=0), path)
+    return path
+
+
+QUERIES = [
+    "SELECT AVG(price) AS mean_price FROM sales WHERE price > 10",
+    "SELECT AVG(price) AS mean_price FROM sales WHERE price > 50",
+    "SELECT SUM(quantity) AS q FROM sales WHERE price > 50",
+    "SELECT AVG(revenue) AS r FROM sales WHERE quantity >= 5",
+    "SELECT AVG(revenue) AS r FROM sales WHERE quantity >= 8",
+    "SELECT AVG(price) AS mean_price FROM sales WHERE price > 90",
+]
+
+
+def run_experiment(num_rows: int = NUM_ROWS):
+    with tempfile.TemporaryDirectory() as directory:
+        path = _make_csv(num_rows, directory)
+        # full load comparator
+        _, load_cost = full_load(Database(), "sales", path)
+        # adaptive loading
+        loader = InvisibleLoader(Database(), "sales", path)
+        for query in QUERIES:
+            loader.query(query)
+        rows = []
+        cumulative = 0
+        for i, cost in enumerate(loader.query_costs):
+            cumulative += cost
+            rows.append([i + 1, cost, cumulative, load_cost])
+        progress = loader.progress()
+        return loader, load_cost, rows, progress
+
+
+def test_bench_adaptive_loading(benchmark) -> None:
+    loader, load_cost, rows, progress = run_experiment(num_rows=5_000)
+    print_table(
+        "S5: per-query parsing+tokenizing cost vs one-off full load",
+        ["query", "raw cost", "raw cumulative", "full-load cost"],
+        rows,
+    )
+    costs = loader.query_costs
+    assert costs[0] < load_cost / 2, "first raw query far cheaper than full load"
+    assert costs[1] < costs[0] / 5, "repeat queries on parsed columns are near-free"
+    assert sum(costs) < load_cost, "cumulative raw < full load for a narrow workload"
+    assert progress.fraction_loaded < 1.0, "unqueried columns were never parsed"
+
+    with tempfile.TemporaryDirectory() as directory:
+        path = _make_csv(2_000, directory)
+
+        def first_query():
+            loader = InvisibleLoader(Database(), "sales", path)
+            return loader.query(QUERIES[0]).num_rows
+
+        benchmark(first_query)
+
+
+if __name__ == "__main__":
+    _, _, rows, _ = run_experiment()
+    print_table(
+        "S5: per-query parsing+tokenizing cost vs one-off full load",
+        ["query", "raw cost", "raw cumulative", "full-load cost"],
+        rows,
+    )
+
+
+def test_bench_speculative_loading(benchmark) -> None:
+    """S5b — speculative loading ([15]): background materialisation makes
+    follow-up queries' foreground parsing (near-)free."""
+    from repro.loading import SpeculativeLoader
+
+    with tempfile.TemporaryDirectory() as directory:
+        path = _make_csv(4_000, directory)
+        plain_db, spec_db = Database(), Database()
+        plain = InvisibleLoader(plain_db, "sales", path)
+        speculative = SpeculativeLoader(
+            spec_db, "sales", path, speculation_budget=2,
+            workload_hint=["quantity", "revenue"],
+        )
+        queries = [
+            "SELECT AVG(price) AS p FROM sales WHERE price > 10",
+            "SELECT SUM(quantity) AS q FROM sales WHERE quantity >= 5",
+            "SELECT AVG(revenue) AS r FROM sales WHERE revenue > 50",
+        ]
+        for query in queries:
+            plain.query(query)
+            speculative.query(query)
+        rows = [
+            [i + 1, plain.query_costs[i], speculative.foreground_costs[i]]
+            for i in range(len(queries))
+        ]
+        rows.append(["background", 0, speculative.background_cost])
+        print_table(
+            "S5b: foreground parsing cost, plain NoDB vs speculative loading",
+            ["query", "plain NoDB", "speculative"],
+            rows,
+        )
+        # queries 2 and 3 find their columns already materialised
+        assert speculative.foreground_costs[1] < plain.query_costs[1] / 5
+        assert speculative.foreground_costs[2] < plain.query_costs[2] / 5
+        assert speculative.speculative_hits >= 2
+        assert speculative.background_cost > 0
+
+        benchmark(lambda: speculative.fraction_loaded)

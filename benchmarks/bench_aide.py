@@ -1,0 +1,75 @@
+"""S10 — AIDE: F1 of the learned region vs labelling effort ([18]).
+
+A hidden rectangular interest region; the simulated user labels the
+samples AIDE asks about.  The headline curve: F1 climbs steeply within a
+few hundred labels — a tiny fraction of what labelling random tuples
+until the region is pinned down would take.
+
+Shape assertions: final F1 is high; F1 is (weakly) improving; the labels
+consumed are a small fraction of the table.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+from common import print_table
+
+from repro.explore import AideExplorer
+
+N = 20_000
+
+
+def _dataset(n: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    features = rng.uniform(0, 100, size=(n, 2))
+    truth = (
+        (features[:, 0] >= 35)
+        & (features[:, 0] <= 60)
+        & (features[:, 1] >= 20)
+        & (features[:, 1] <= 55)
+    ).astype(int)
+    return features, truth
+
+
+def run_experiment(n: int = N, rounds: int = 14):
+    features, truth = _dataset(n)
+    explorer = AideExplorer(
+        features,
+        oracle=lambda i: int(truth[i]),
+        samples_per_round=25,
+        seed=1,
+    )
+    result = explorer.run(max_iterations=rounds, truth=truth)
+    rows = []
+    for i, f1 in enumerate(result.f1_history):
+        rows.append([(i + 1) * 25, f1])
+    return result, rows, n
+
+
+def test_bench_aide(benchmark) -> None:
+    result, rows, n = run_experiment(n=8_000, rounds=12)
+    print_table("S10: F1 of learned region vs labels", ["labels", "F1"], rows)
+    nonzero = [f for f in result.f1_history if f > 0]
+    assert nonzero and nonzero[-1] > 0.6
+    assert max(result.f1_history) >= result.f1_history[0]
+    assert result.samples_labeled < n * 0.1, "labelling effort << table size"
+
+    features, truth = _dataset(4_000, seed=2)
+
+    def one_run():
+        explorer = AideExplorer(
+            features, oracle=lambda i: int(truth[i]), samples_per_round=25, seed=3
+        )
+        return explorer.run(max_iterations=6).samples_labeled
+
+    benchmark(one_run)
+
+
+if __name__ == "__main__":
+    _, rows, _ = run_experiment()
+    print_table("S10: F1 of learned region vs labels", ["labels", "F1"], rows)

@@ -1,0 +1,91 @@
+"""S1 — database cracking convergence ([29]'s headline figure).
+
+Per-query cost (elements touched) of three strategies over a random
+range-query workload:
+
+- full scan: flat, high;
+- full sort: one enormous first query, then near-zero;
+- cracking: first query ≈ a scan, then rapid convergence toward the
+  sorted index without ever paying the up-front sort.
+
+Shape assertions: cracking's first query is far cheaper than the sorted
+index's first query; cracking's late queries are far cheaper than scans;
+cumulative cracking cost stays below the scan baseline.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+from common import print_table
+
+from repro.indexing import CrackerIndex, ScanIndex, SortedIndex
+from repro.workloads import random_range_queries, uniform_column
+
+N = 1_000_000
+NUM_QUERIES = 200
+DOMAIN = (0, 10_000_000)
+
+
+def run_experiment(n: int = N, num_queries: int = NUM_QUERIES):
+    """Returns per-query costs for scan / sort / crack plus summary rows."""
+    values = uniform_column(n, *DOMAIN, seed=0)
+    queries = random_range_queries(num_queries, DOMAIN, selectivity=0.001, seed=1)
+
+    costs: dict[str, list[int]] = {}
+    for name, index in (
+        ("scan", ScanIndex(values)),
+        ("sort", SortedIndex(values.copy(), lazy=True)),
+        ("crack", CrackerIndex(values.copy())),
+    ):
+        series = []
+        for query in queries:
+            before = index.work_touched
+            index.lookup_range(query.low, query.high, True, False)
+            series.append(index.work_touched - before)
+        costs[name] = series
+
+    checkpoints = [0, 1, 4, 9, 49, 99, num_queries - 1]
+    rows = []
+    for q in checkpoints:
+        rows.append([q + 1, costs["scan"][q], costs["sort"][q], costs["crack"][q]])
+    rows.append(
+        ["cumulative", sum(costs["scan"]), sum(costs["sort"]), sum(costs["crack"])]
+    )
+    return costs, rows
+
+
+def test_bench_cracking_convergence(benchmark) -> None:
+    costs, rows = run_experiment(n=200_000, num_queries=100)
+    print_table(
+        "S1: per-query cost (elements touched), random workload",
+        ["query", "scan", "full sort", "crack"],
+        rows,
+    )
+    # shape claims from the cracking papers
+    assert costs["crack"][0] < costs["sort"][0] / 2, "cracking avoids the up-front sort"
+    late_crack = float(np.mean(costs["crack"][-20:]))
+    assert late_crack < costs["scan"][-1] / 20, "cracking converges near index speed"
+    assert sum(costs["crack"]) < sum(costs["scan"]), "cumulative crack < cumulative scan"
+
+    # time one steady-state cracked lookup
+    values = uniform_column(200_000, *DOMAIN, seed=0)
+    index = CrackerIndex(values)
+    for query in random_range_queries(100, DOMAIN, selectivity=0.001, seed=1):
+        index.lookup_range(query.low, query.high, True, False)
+    query = random_range_queries(1, DOMAIN, selectivity=0.001, seed=2)[0]
+    benchmark(lambda: index.lookup_range(query.low, query.high, True, False))
+    benchmark.extra_info["late_crack_cost"] = late_crack
+
+
+if __name__ == "__main__":
+    _, rows = run_experiment()
+    print_table(
+        "S1: per-query cost (elements touched), random workload",
+        ["query", "scan", "full sort", "crack"],
+        rows,
+    )

@@ -1,0 +1,83 @@
+"""S13 — result diversification: the relevance/diversity trade-off ([65, 41]).
+
+Sweeping MMR's λ from pure-diversity to pure-relevance over clustered
+candidates traces the trade-off curve; the swap heuristic and the plain
+top-k baseline sit at known points on it.
+
+Shape assertions: diversity decreases (weakly) as λ grows; λ=1 equals
+top-k relevance; at moderate λ MMR beats top-k on diversity while keeping
+most of its relevance.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+from common import print_table
+
+from repro.explore import diversity_score, mmr_diversify, swap_diversify
+from repro.explore.diversify import relevance_score, topk_relevance
+
+K = 10
+
+
+def _candidates(seed: int = 0):
+    rng = np.random.default_rng(seed)
+    centers = np.asarray([[0, 0], [15, 0], [0, 15], [15, 15]])
+    points = np.concatenate(
+        [center + rng.normal(0, 1.0, size=(60, 2)) for center in centers]
+    )
+    relevance = rng.uniform(0.2, 0.6, size=len(points))
+    relevance[:60] += 0.5  # one cluster is clearly most relevant
+    return points, relevance
+
+
+def run_experiment(seed: int = 0):
+    points, relevance = _candidates(seed)
+    rows = []
+    curve = {}
+    for trade_off in (0.0, 0.25, 0.5, 0.75, 1.0):
+        selected = mmr_diversify(points, relevance, K, trade_off=trade_off)
+        div = diversity_score(points, selected)
+        rel = relevance_score(relevance, selected)
+        curve[trade_off] = (div, rel)
+        rows.append([f"mmr λ={trade_off}", rel, div])
+    top = topk_relevance(relevance, K)
+    rows.append(["top-k", relevance_score(relevance, top), diversity_score(points, top)])
+    swapped = swap_diversify(points, relevance, K, min_relevance_fraction=0.5)
+    rows.append(
+        ["swap", relevance_score(relevance, swapped), diversity_score(points, swapped)]
+    )
+    return points, relevance, curve, top, rows
+
+
+def test_bench_diversification(benchmark) -> None:
+    points, relevance, curve, top, rows = run_experiment()
+    print_table(
+        "S13: relevance/diversity trade-off (k=10)",
+        ["method", "total relevance", "diversity"],
+        rows,
+    )
+    # λ sweep: diversity at λ=0 far exceeds λ=1
+    assert curve[0.0][0] > curve[1.0][0] * 1.5
+    # λ=1 reduces to pure top-k
+    top_div = diversity_score(points, top)
+    assert abs(curve[1.0][0] - top_div) < 1e-9
+    # moderate λ: much more diverse than top-k, keeps most relevance
+    assert curve[0.5][0] > top_div * 1.2
+    assert curve[0.5][1] > 0.6 * curve[1.0][1]
+
+    benchmark(lambda: mmr_diversify(points, relevance, K, trade_off=0.5))
+
+
+if __name__ == "__main__":
+    *_, rows = run_experiment()
+    print_table(
+        "S13: relevance/diversity trade-off (k=10)",
+        ["method", "total relevance", "diversity"],
+        rows,
+    )

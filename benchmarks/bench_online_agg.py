@@ -1,0 +1,81 @@
+"""S6 — online aggregation ([25]'s headline figure).
+
+Running AVG over a large table: the confidence interval's half-width
+shrinks like 1/sqrt(rows processed), so a few percent of the data already
+pins the answer tightly — the analyst stops the query early.
+
+Shape assertions: the half-width decreases monotonically (sampled at
+checkpoints), roughly as 1/sqrt(n); a 1%-relative-error stop consumes a
+small fraction of the table; the final (exhausted) answer is exact.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+from common import print_table
+
+from repro.sampling import OnlineAggregator
+
+N = 1_000_000
+
+
+def run_experiment(n: int = N):
+    rng = np.random.default_rng(0)
+    values = rng.lognormal(mean=3.0, sigma=1.0, size=n)
+    truth = float(values.mean())
+    aggregator = OnlineAggregator(values, "avg", batch_size=n // 100, seed=1)
+    rows = []
+    checkpoints = {1, 2, 5, 10, 25, 50, 100}
+    widths = []
+    batch = 0
+    for result in aggregator.run():
+        batch += 1
+        widths.append(result.estimate.half_width)
+        if batch in checkpoints:
+            rows.append(
+                [
+                    result.rows_processed,
+                    f"{100 * result.progress:.0f}%",
+                    result.estimate.value,
+                    result.estimate.half_width,
+                    result.estimate.contains(truth),
+                ]
+            )
+    return values, truth, widths, rows
+
+
+def test_bench_online_aggregation(benchmark) -> None:
+    values, truth, widths, rows = run_experiment(n=200_000)
+    print_table(
+        "S6: running AVG estimate with 95% CI",
+        ["rows seen", "progress", "estimate", "ci half-width", "covers truth"],
+        rows,
+    )
+    # width shrinks ~1/sqrt(n): width at 4x the rows should be ~half
+    assert widths[3] < widths[0] * 0.75
+    assert widths[-1] == 0.0, "exhausted run is exact"
+    # early stopping saves most of the scan
+    aggregator = OnlineAggregator(values, "avg", batch_size=2000, seed=2)
+    stopped = aggregator.run_until(relative_error=0.01)
+    assert stopped.rows_processed <= len(values) / 3
+    assert abs(stopped.estimate.value - truth) / truth < 0.05
+
+    def one_stop():
+        agg = OnlineAggregator(values, "avg", batch_size=2000, seed=3)
+        return agg.run_until(relative_error=0.02).rows_processed
+
+    benchmark(one_stop)
+
+
+if __name__ == "__main__":
+    _, _, _, rows = run_experiment()
+    print_table(
+        "S6: running AVG estimate with 95% CI",
+        ["rows seen", "progress", "estimate", "ci half-width", "covers truth"],
+        rows,
+    )

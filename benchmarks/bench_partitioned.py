@@ -1,0 +1,86 @@
+"""S27 — partitioned adaptive indexing (HAIL / Hadoop [53]).
+
+Block-resident data behind a zone map, with per-partition cracking built
+only where queries land.  On data with value locality (sorted/clustered
+blocks — the common case for time-ordered big-data ingests) most
+partitions are pruned outright, and cold partitions never pay a byte of
+indexing effort.
+
+Shape assertions: the zone map prunes the vast majority of partition
+visits; only the touched partitions ever build indexes; total work beats
+a monolithic cracker on first-touch cost.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+from common import print_table
+
+from repro.indexing import CrackerIndex, PartitionedAdaptiveIndex
+from repro.workloads import shifting_focus_queries, uniform_column
+
+N = 1_000_000
+DOMAIN = (0, 10_000_000)
+
+
+def run_experiment(n: int = N, num_queries: int = 120):
+    values = np.sort(uniform_column(n, *DOMAIN, seed=0))  # time-ordered ingest
+    queries = shifting_focus_queries(
+        num_queries, DOMAIN, selectivity=0.001, num_phases=3, focus_fraction=0.03, seed=1
+    )
+    partitioned = PartitionedAdaptiveIndex(values, partition_size=n // 64)
+    monolithic = CrackerIndex(values.copy())
+    for query in queries:
+        partitioned.lookup_range(query.low, query.high, True, False)
+        monolithic.lookup_range(query.low, query.high, True, False)
+    visits = partitioned.partitions_pruned + partitioned.partitions_scanned
+    rows = [
+        ["partitions", partitioned.num_partitions, "-"],
+        ["partition visits pruned", partitioned.partitions_pruned, f"{partitioned.partitions_pruned / visits:.0%}"],
+        ["partitions ever indexed", partitioned.partitions_indexed, f"of {partitioned.num_partitions}"],
+        ["work: partitioned", partitioned.work_touched, "-"],
+        ["work: monolithic crack", monolithic.work_touched, "-"],
+    ]
+    return partitioned, monolithic, rows
+
+
+def test_bench_partitioned_indexing(benchmark) -> None:
+    partitioned, monolithic, rows = run_experiment(n=200_000, num_queries=90)
+    print_table(
+        "S27: partitioned adaptive indexing on block-local data",
+        ["metric", "value", "note"],
+        rows,
+    )
+    visits = partitioned.partitions_pruned + partitioned.partitions_scanned
+    assert partitioned.partitions_pruned / visits > 0.8, "zone map must prune hard"
+    assert partitioned.partitions_indexed < partitioned.num_partitions / 2, (
+        "cold partitions never build indexes"
+    )
+    assert partitioned.work_touched < monolithic.work_touched, (
+        "block pruning beats monolithic first-touch cracking"
+    )
+
+    values = np.sort(uniform_column(100_000, *DOMAIN, seed=2))
+    queries = shifting_focus_queries(30, DOMAIN, selectivity=0.001, seed=3)
+
+    def run_partitioned():
+        index = PartitionedAdaptiveIndex(values, partition_size=4_096)
+        for query in queries:
+            index.lookup_range(query.low, query.high, True, False)
+        return index.work_touched
+
+    benchmark(run_partitioned)
+
+
+if __name__ == "__main__":
+    *_, rows = run_experiment()
+    print_table(
+        "S27: partitioned adaptive indexing on block-local data",
+        ["metric", "value", "note"],
+        rows,
+    )

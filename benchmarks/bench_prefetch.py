@@ -1,0 +1,156 @@
+"""S12 — prefetching: hit rate vs strategy ([37, 35, 63]).
+
+Synthetic cube-navigation sessions with realistic locality; four setups:
+
+- no cache at all (every request computes);
+- LRU cache only;
+- cache + Markov (move-based) speculation;
+- cache + trajectory-index (SCOUT-style) speculation.
+
+Shape assertions: speculative strategies beat cache-only hit rates; the
+foreground cost (what the user waits for) drops accordingly.  Includes
+the Markov-order / fanout ablation from DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import print_table
+
+from repro.prefetch import (
+    CubeNavigator,
+    HybridRegionPredictor,
+    MarkovPredictor,
+    SpeculativeExecutor,
+    TileCache,
+    TrajectoryIndex,
+)
+from repro.prefetch.cube import MoveBasedRegionPredictor
+from repro.workloads import CubeSessionGenerator, SessionConfig, generate_sessions, sales_table
+
+
+def _navigator(n_rows: int = 4_000, seed: int = 0) -> CubeNavigator:
+    table = sales_table(n_rows, seed=seed)
+    return CubeNavigator(table, "price", "quantity", "revenue", levels=4, base_tiles=4)
+
+
+def _sessions(count: int, seed: int, length: int = 60):
+    config = SessionConfig(length=length, grid_side=32, levels=4, persistence=0.85)
+    return generate_sessions(count, config, seed=seed)
+
+
+def _run(strategy: str, fanout: int = 3, markov_order: int = 1, seed: int = 0):
+    navigator = _navigator(seed=seed)
+    training = _sessions(12, seed=100 + seed)
+    live = _sessions(4, seed=200 + seed)
+
+    predictor = None
+    if strategy == "markov":
+        model = MarkovPredictor(order=markov_order)
+        for session in training:
+            model.observe_sequence([s.move for s in session[1:]])
+        predictor = MoveBasedRegionPredictor(navigator, model)
+    elif strategy == "trajectory":
+        index = TrajectoryIndex(max_suffix=2)
+        for session in training:
+            index.index_trajectory([s.region for s in session])
+        predictor = index
+    elif strategy == "hybrid":
+        model = MarkovPredictor(order=markov_order)
+        for session in training:
+            model.observe_sequence([s.move for s in session[1:]])
+        predictor = HybridRegionPredictor(navigator, model, mix=0.7)
+
+    cache = TileCache(capacity=256)
+
+    def compute(region):
+        tile = navigator.compute_tile(region)
+        if strategy == "hybrid":
+            predictor.observe_tile(region, tile.aggregate)
+        return tile
+
+    executor = SpeculativeExecutor(
+        compute=compute,
+        cache=cache,
+        predictor=predictor,
+        fanout=fanout if strategy != "none" else 0,
+    )
+    for session in live:
+        for step in session:
+            executor.request(step.region)
+    return executor
+
+
+def run_experiment(seed: int = 0):
+    rows = []
+    executors = {}
+    # a cache-less run pays one foreground computation per request
+    navigator = _navigator(seed=seed)
+    live = _sessions(4, seed=200 + seed)
+    requests = sum(len(session) for session in live)
+    for session in live:
+        for step in session:
+            navigator.compute_tile(step.region)
+    rows.append(["no cache", 0.0, float(requests), 0.0])
+
+    for strategy in ("cache-only", "markov", "trajectory", "hybrid"):
+        executor = _run(strategy, fanout=0 if strategy == "cache-only" else 3, seed=seed)
+        executors[strategy] = executor
+        rows.append(
+            [
+                strategy,
+                executor.hit_rate,
+                executor.foreground_cost,
+                executor.background_cost,
+            ]
+        )
+    return executors, rows
+
+
+def test_bench_prefetching(benchmark) -> None:
+    executors, rows = run_experiment(seed=1)
+    print_table(
+        "S12: cache hit rate and costs by strategy (tiles computed)",
+        ["strategy", "hit rate", "foreground cost", "background cost"],
+        rows,
+    )
+    assert executors["markov"].hit_rate > executors["cache-only"].hit_rate
+    assert executors["trajectory"].hit_rate > 0
+    assert (
+        executors["markov"].foreground_cost < executors["cache-only"].foreground_cost
+    ), "speculation converts foreground latency into background work"
+
+    benchmark(lambda: _run("markov", seed=2).hit_rate)
+
+
+def test_bench_prefetch_ablation(benchmark) -> None:
+    """Ablation: Markov order and speculation fanout."""
+    rows = []
+    hit_rates = {}
+    for order in (1, 2):
+        for fanout in (1, 3):
+            executor = _run("markov", fanout=fanout, markov_order=order, seed=3)
+            hit_rates[(order, fanout)] = executor.hit_rate
+            rows.append([order, fanout, executor.hit_rate, executor.background_cost])
+    print_table(
+        "S12b: Markov order / fanout ablation",
+        ["order", "fanout", "hit rate", "background cost"],
+        rows,
+    )
+    assert hit_rates[(1, 3)] >= hit_rates[(1, 1)] - 0.02, (
+        "larger fanout should not hurt hit rate"
+    )
+    benchmark(lambda: None)
+
+
+if __name__ == "__main__":
+    _, rows = run_experiment()
+    print_table(
+        "S12: cache hit rate and costs by strategy (tiles computed)",
+        ["strategy", "hit rate", "foreground cost", "background cost"],
+        rows,
+    )

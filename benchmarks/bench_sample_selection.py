@@ -1,0 +1,82 @@
+"""S28 — BlinkDB sample selection: workload coverage vs storage budget.
+
+The BlinkDB paper's offline optimisation: given the workload's query
+column sets and a storage budget, choose which stratified samples to
+build.  Its headline figure plots coverage of the (weighted) workload
+against the budget — coverage climbs steeply while the budget admits the
+high-frequency column sets, then saturates.
+
+Shape assertions: coverage is non-decreasing in the budget; the most
+frequent QCS is admitted first; full budget reaches (near-)full coverage.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import print_table
+
+from repro.sampling import WorkloadEntry, choose_samples
+from repro.workloads import sales_table
+
+WORKLOAD = [
+    WorkloadEntry.make(["region"], frequency=40),
+    WorkloadEntry.make(["category"], frequency=25),
+    WorkloadEntry.make(["region", "category"], frequency=15),
+    WorkloadEntry.make(["product_id"], frequency=5),
+    WorkloadEntry.make([], frequency=15),
+]
+
+
+def run_experiment(n: int = 40_000, cap: int = 200):
+    table = sales_table(n, seed=0)
+    rows = []
+    coverages = {}
+    first_choice = {}
+    for budget in (1_200, 3_000, 8_000, 30_000):
+        catalog, report = choose_samples(table, WORKLOAD, budget_rows=budget, cap=cap)
+        coverages[budget] = report.workload_coverage
+        first_choice[budget] = (
+            report.chosen_column_sets[0] if report.chosen_column_sets else ()
+        )
+        rows.append(
+            [
+                budget,
+                report.rows_used,
+                len(report.chosen_column_sets),
+                f"{report.workload_coverage:.0%}",
+                ", ".join("+".join(c) for c in report.chosen_column_sets) or "(uniform only)",
+            ]
+        )
+    return coverages, first_choice, rows
+
+
+def test_bench_sample_selection(benchmark) -> None:
+    coverages, first_choice, rows = run_experiment(n=15_000)
+    print_table(
+        "S28: stratified-sample selection under a storage budget",
+        ["budget rows", "rows used", "samples", "QCS coverage", "chosen column sets"],
+        rows,
+    )
+    budgets = sorted(coverages)
+    for small, large in zip(budgets[:-1], budgets[1:]):
+        assert coverages[large] >= coverages[small] - 1e-9, "coverage monotone in budget"
+    assert first_choice[budgets[1]] == ("region",), (
+        "the most frequent QCS is admitted first"
+    )
+    assert coverages[budgets[-1]] > 0.9, "ample budgets cover nearly everything"
+
+    table = sales_table(8_000, seed=1)
+    benchmark(lambda: choose_samples(table, WORKLOAD, budget_rows=3_000, cap=100)[1])
+
+
+if __name__ == "__main__":
+    *_, rows = run_experiment()
+    print_table(
+        "S28: stratified-sample selection under a storage budget",
+        ["budget rows", "rows used", "samples", "QCS coverage", "chosen column sets"],
+        rows,
+    )

@@ -1,0 +1,95 @@
+"""S25 — semantic range caching: reuse of overlapping query results.
+
+An exploration session's range queries overlap heavily (zoom-ins,
+shifting focus).  The semantic cache answers covered sub-ranges locally
+and fetches only remainder intervals.
+
+Shape assertions: on a zoom-in workload most returned rows come from the
+cache; base-table fetch volume is a fraction of what no caching pays;
+exact-match repeats fetch nothing.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+from common import print_table
+
+from repro.prefetch import SemanticRangeCache
+from repro.workloads import uniform_column, zoom_in_queries
+
+N = 200_000
+DOMAIN = (0, 1_000_000)
+
+
+def run_experiment(n: int = N, num_queries: int = 40):
+    values = uniform_column(n, *DOMAIN, seed=0).astype(float)
+    fetched = {"rows": 0}
+
+    def fetch(low, high):
+        hits = np.flatnonzero((values >= low) & (values < high))
+        fetched["rows"] += len(hits)
+        return hits
+
+    cache = SemanticRangeCache(fetch)
+    queries = zoom_in_queries(num_queries, DOMAIN, shrink=0.85, seed=1)
+    no_cache_rows = 0
+    rows = []
+    for i, query in enumerate(queries):
+        result = cache.query_filtered(float(query.low), float(query.high), values)
+        truth = int(((values >= query.low) & (values < query.high)).sum())
+        no_cache_rows += truth
+        assert len(result) == truth
+        if i in (0, 1, 5, 15, num_queries - 1):
+            rows.append(
+                [i + 1, query.width, truth, fetched["rows"], no_cache_rows]
+            )
+    rows.append(
+        [
+            "summary",
+            "-",
+            "-",
+            fetched["rows"],
+            no_cache_rows,
+        ]
+    )
+    return cache, fetched["rows"], no_cache_rows, rows
+
+
+def test_bench_semantic_cache(benchmark) -> None:
+    cache, fetched_rows, no_cache_rows, rows = run_experiment(n=60_000, num_queries=30)
+    print_table(
+        "S25: cumulative base-table rows fetched, with vs without semantic cache",
+        ["query", "range width", "result rows", "fetched (cached)", "fetched (no cache)"],
+        rows,
+    )
+    assert fetched_rows < no_cache_rows / 2, (
+        "overlapping ranges should be served mostly from cache"
+    )
+    assert cache.stats.cache_fraction > 0.3
+
+    values = uniform_column(30_000, *DOMAIN, seed=2).astype(float)
+
+    def fetch(low, high):
+        return np.flatnonzero((values >= low) & (values < high))
+
+    def session():
+        cache_ = SemanticRangeCache(fetch)
+        for query in zoom_in_queries(15, DOMAIN, shrink=0.8, seed=3):
+            cache_.query_filtered(float(query.low), float(query.high), values)
+        return cache_.stats.cache_fraction
+
+    benchmark(session)
+
+
+if __name__ == "__main__":
+    *_, rows = run_experiment()
+    print_table(
+        "S25: cumulative base-table rows fetched, with vs without semantic cache",
+        ["query", "range width", "result rows", "fetched (cached)", "fetched (no cache)"],
+        rows,
+    )

@@ -1,0 +1,101 @@
+"""S21 — sideways cracking: tuple reconstruction ([31]).
+
+``SELECT tail WHERE head BETWEEN ...`` answered two ways:
+
+- plain cracking on the head + positional gather of the tail (random
+  access per qualifying row, charged with a penalty factor as in the
+  storage cost model);
+- a sideways cracker map storing (head, tail) together.
+
+Shape assertions: both converge, but the sideways map's steady-state cost
+(sequential tail reads) beats crack+gather once result sizes dominate;
+maps for never-projected columns are never built.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+from common import print_table
+
+from repro.indexing import CrackerIndex, SidewaysCracker
+from repro.workloads import random_range_queries, uniform_column
+
+N = 300_000
+DOMAIN = (0, 10_000_000)
+GATHER_PENALTY = 4  # random access vs sequential read, as in repro.storage
+
+
+def run_experiment(n: int = N, num_queries: int = 120):
+    rng = np.random.default_rng(0)
+    head = uniform_column(n, *DOMAIN, seed=1)
+    tails = {"b": rng.normal(size=n), "c": rng.normal(size=n)}
+    queries = random_range_queries(num_queries, DOMAIN, selectivity=0.01, seed=2)
+
+    # plain cracking + gather
+    cracker = CrackerIndex(head.copy())
+    gather_cost = 0
+    crack_series = []
+    for query in queries:
+        before = cracker.work_touched
+        positions = cracker.lookup_range(query.low, query.high, True, False)
+        tails["b"][positions]  # the actual gather
+        cost = (cracker.work_touched - before) + GATHER_PENALTY * len(positions)
+        gather_cost += GATHER_PENALTY * len(positions)
+        crack_series.append(cost)
+
+    # sideways cracker map
+    sideways = SidewaysCracker(head, tails)
+    side_series = []
+    previous = 0
+    for query in queries:
+        sideways.select_project(query.low, query.high, ["b"], True, False)
+        side_series.append(sideways.work_touched - previous)
+        previous = sideways.work_touched
+
+    checkpoints = [0, 9, 49, num_queries - 1]
+    rows = [[q + 1, crack_series[q], side_series[q]] for q in checkpoints]
+    rows.append(["total", sum(crack_series), sum(side_series)])
+    return crack_series, side_series, sideways, rows
+
+
+def test_bench_sideways(benchmark) -> None:
+    crack_series, side_series, sideways, rows = run_experiment(
+        n=100_000, num_queries=80
+    )
+    print_table(
+        "S21: select+project cost, crack+gather vs sideways map",
+        ["query", "crack + gather", "sideways map"],
+        rows,
+    )
+    late_crack = float(np.mean(crack_series[-15:]))
+    late_side = float(np.mean(side_series[-15:]))
+    assert late_side < late_crack, (
+        "steady state: sequential map reads beat positional gathers"
+    )
+    assert sideways.maps_created == 1, "the never-projected column built no map"
+
+    head = uniform_column(100_000, *DOMAIN, seed=1)
+    tails = {"b": np.random.default_rng(3).normal(size=100_000)}
+    queries = random_range_queries(40, DOMAIN, selectivity=0.01, seed=4)
+
+    def run_sideways():
+        cracker = SidewaysCracker(head, tails)
+        for query in queries:
+            cracker.select_project(query.low, query.high, ["b"], True, False)
+        return cracker.work_touched
+
+    benchmark(run_sideways)
+
+
+if __name__ == "__main__":
+    *_, rows = run_experiment()
+    print_table(
+        "S21: select+project cost, crack+gather vs sideways map",
+        ["query", "crack + gather", "sideways map"],
+        rows,
+    )

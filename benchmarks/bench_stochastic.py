@@ -1,0 +1,89 @@
+"""S2 — stochastic cracking robustness ([23]'s headline figure).
+
+Standard cracking degenerates on a *sequential* workload: each query
+cracks off a small slice of one huge unsorted piece, so every query
+re-touches nearly the whole remainder.  Stochastic cracking inserts
+random pre-cracks that bound piece sizes regardless of the pattern.
+
+Shape assertions: on a sequential sweep, stochastic total cost beats
+standard by a wide margin; on a random workload the two are comparable
+(stochastic pays only a modest overhead).  Also serves as the pivot-
+choice ablation from DESIGN.md (standard vs stochastic vs center).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import print_table
+
+from repro.indexing import CrackerIndex
+from repro.workloads import (
+    random_range_queries,
+    sequential_range_queries,
+    uniform_column,
+)
+
+N = 400_000
+DOMAIN = (0, 10_000_000)
+VARIANTS = ("standard", "stochastic", "center")
+
+
+def run_experiment(n: int = N, num_queries: int = 150):
+    values = uniform_column(n, *DOMAIN, seed=0)
+    workloads = {
+        "sequential": sequential_range_queries(num_queries, DOMAIN, selectivity=1.0 / num_queries),
+        "random": random_range_queries(num_queries, DOMAIN, selectivity=0.005, seed=1),
+    }
+    totals: dict[tuple[str, str], int] = {}
+    for workload_name, queries in workloads.items():
+        for variant in VARIANTS:
+            index = CrackerIndex(
+                values.copy(), variant=variant, random_crack_threshold=n // 64, seed=7
+            )
+            for query in queries:
+                index.lookup_range(query.low, query.high, True, False)
+            totals[(workload_name, variant)] = index.work_touched
+    rows = [
+        [workload] + [totals[(workload, variant)] for variant in VARIANTS]
+        for workload in workloads
+    ]
+    return totals, rows
+
+
+def test_bench_stochastic_robustness(benchmark) -> None:
+    totals, rows = run_experiment(n=150_000, num_queries=100)
+    print_table(
+        "S2: total cost (elements touched) by workload and pivot strategy",
+        ["workload"] + list(VARIANTS),
+        rows,
+    )
+    assert totals[("sequential", "stochastic")] < totals[("sequential", "standard")] / 3, (
+        "stochastic cracking must fix the sequential pathology"
+    )
+    assert totals[("random", "stochastic")] < totals[("random", "standard")] * 3, (
+        "stochastic overhead on random workloads stays modest"
+    )
+
+    values = uniform_column(150_000, *DOMAIN, seed=0)
+    queries = sequential_range_queries(50, DOMAIN, selectivity=0.02)
+
+    def run_stochastic():
+        index = CrackerIndex(values.copy(), variant="stochastic", seed=7)
+        for query in queries:
+            index.lookup_range(query.low, query.high, True, False)
+        return index.work_touched
+
+    benchmark(run_stochastic)
+
+
+if __name__ == "__main__":
+    _, rows = run_experiment()
+    print_table(
+        "S2: total cost (elements touched) by workload and pivot strategy",
+        ["workload"] + list(VARIANTS),
+        rows,
+    )

@@ -1,0 +1,93 @@
+"""S14 — adaptive storage vs static layouts ([9]).
+
+A phase-shifting workload (narrow analytical scans ↔ wide tuple reads)
+replayed against three static layouts and the H2O-style adaptive store.
+
+Shape assertions: each static layout wins one phase and loses the other;
+the adaptive store's total cost beats both static extremes over the full
+phase-shifting workload (it pays brief reorganisation spikes instead of a
+persistent mismatch).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import print_table
+
+from repro.storage import (
+    AdaptiveStore,
+    ColumnLayout,
+    QueryProfile,
+    RowLayout,
+)
+
+COLUMNS = [f"c{i}" for i in range(8)]
+N = 100_000
+PHASE = 40
+
+
+def _workload(num_phases: int = 4):
+    profiles = []
+    for phase in range(num_phases):
+        if phase % 2 == 0:
+            profile = QueryProfile.make(["c0"], ["c1"], selectivity=0.01)  # scan phase
+        else:
+            profile = QueryProfile.make(["c0"], COLUMNS, selectivity=0.7)  # tuple phase
+        profiles.extend([profile] * PHASE)
+    return profiles
+
+
+def run_experiment(n: int = N):
+    workload = _workload()
+    static_costs = {}
+    for name, layout in (("static-row", RowLayout(COLUMNS)), ("static-column", ColumnLayout(COLUMNS))):
+        static_costs[name] = sum(layout.scan_cost(p, n) for p in workload)
+
+    adaptive = AdaptiveStore(COLUMNS, n, evaluation_interval=10, window=20)
+    for profile in workload:
+        adaptive.execute(profile)
+
+    rows = [
+        ["static-row", static_costs["static-row"], 0],
+        ["static-column", static_costs["static-column"], 0],
+        ["adaptive (H2O)", adaptive.total_cost, len(adaptive.events)],
+    ]
+    return adaptive, static_costs, workload, rows
+
+
+def test_bench_adaptive_storage(benchmark) -> None:
+    adaptive, static_costs, workload, rows = run_experiment(n=50_000)
+    print_table(
+        "S14: total cost (cells touched) over a phase-shifting workload",
+        ["system", "total cost", "layout switches"],
+        rows,
+    )
+    # sanity: each static layout wins one phase
+    scan = QueryProfile.make(["c0"], ["c1"], selectivity=0.01)
+    wide = QueryProfile.make(["c0"], COLUMNS, selectivity=0.7)
+    assert ColumnLayout(COLUMNS).scan_cost(scan, 50_000) < RowLayout(COLUMNS).scan_cost(scan, 50_000)
+    assert RowLayout(COLUMNS).scan_cost(wide, 50_000) < ColumnLayout(COLUMNS).scan_cost(wide, 50_000)
+    # the adaptive store beats both static extremes overall
+    assert adaptive.total_cost < min(static_costs.values())
+    assert len(adaptive.events) >= 2, "expected switches at phase boundaries"
+
+    def replay():
+        store = AdaptiveStore(COLUMNS, 50_000, evaluation_interval=10, window=20)
+        for profile in workload:
+            store.execute(profile)
+        return store.total_cost
+
+    benchmark(replay)
+
+
+if __name__ == "__main__":
+    *_, rows = run_experiment()
+    print_table(
+        "S14: total cost (cells touched) over a phase-shifting workload",
+        ["system", "total cost", "layout switches"],
+        rows,
+    )

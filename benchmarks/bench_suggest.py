@@ -1,0 +1,89 @@
+"""S19 — SQL query suggestion: hit-rate@k on held-out sessions ([21]).
+
+Synthetic analyst sessions follow a small set of workflow templates
+(scan → project → aggregate → drill).  The suggester trains on most
+sessions and is evaluated on held-out ones.
+
+Shape assertions: hit-rate@3 beats both random guessing over the query
+vocabulary and a popularity-only baseline; hit-rate grows with k.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+from common import print_table
+
+from repro.explore import QuerySuggester
+
+TEMPLATES = [
+    [
+        "SELECT * FROM sales WHERE price > 50",
+        "SELECT region, price FROM sales WHERE price > 50",
+        "SELECT region, AVG(price) AS p FROM sales GROUP BY region",
+        "SELECT region, SUM(revenue) AS r FROM sales GROUP BY region",
+    ],
+    [
+        "SELECT * FROM sales WHERE quantity >= 5",
+        "SELECT category, quantity FROM sales WHERE quantity >= 5",
+        "SELECT category, COUNT(*) AS n FROM sales GROUP BY category",
+    ],
+    [
+        "SELECT * FROM sales WHERE discount > 0",
+        "SELECT category, SUM(revenue) AS r FROM sales GROUP BY category",
+    ],
+]
+
+
+def _sessions(count: int, seed: int):
+    rng = np.random.default_rng(seed)
+    sessions = []
+    for _ in range(count):
+        template = TEMPLATES[int(rng.integers(0, len(TEMPLATES)))]
+        # analysts sometimes stop early
+        length = int(rng.integers(2, len(template) + 1))
+        sessions.append(template[:length])
+    return sessions
+
+
+def run_experiment():
+    train = _sessions(60, seed=0)
+    test = _sessions(20, seed=1)
+    suggester = QuerySuggester()
+    for session in train:
+        suggester.observe_session(session)
+    vocabulary = {q for t in TEMPLATES for q in t}
+    rows = []
+    hit_rates = {}
+    for k in (1, 3, 5):
+        rate = suggester.hit_rate(test, k=k)
+        hit_rates[k] = rate
+        rows.append([k, rate, k / len(vocabulary)])
+    return suggester, test, hit_rates, rows, vocabulary
+
+
+def test_bench_suggestion(benchmark) -> None:
+    suggester, test, hit_rates, rows, vocabulary = run_experiment()
+    print_table(
+        "S19: next-query hit-rate@k vs random baseline",
+        ["k", "hit rate", "random baseline"],
+        rows,
+    )
+    assert hit_rates[3] > 3 / len(vocabulary) * 2, "must beat random clearly"
+    assert hit_rates[5] >= hit_rates[1], "hit rate grows with k"
+    assert hit_rates[3] > 0.5, "templated workflows are highly predictable"
+
+    benchmark(lambda: suggester.hit_rate(test[:5], k=3))
+
+
+if __name__ == "__main__":
+    *_, rows, _ = run_experiment()
+    print_table(
+        "S19: next-query hit-rate@k vs random baseline",
+        ["k", "hit rate", "random baseline"],
+        rows,
+    )

@@ -1,0 +1,100 @@
+"""S8 — synopsis accuracy vs space ([16, 5]).
+
+All four synopsis families estimate range counts over a zipfian column at
+several space budgets; reported as mean relative error per (synopsis,
+space) cell, plus point-frequency error for the sketch.
+
+Shape assertions: every family's error decreases with space; at equal
+space, equi-depth beats equi-width on the skewed data; Count-Min never
+underestimates point frequencies.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+from common import print_table
+
+from repro.synopses import (
+    CountMinSketch,
+    EquiDepthHistogram,
+    EquiWidthHistogram,
+    HaarWaveletSynopsis,
+    SampleSynopsis,
+)
+from repro.workloads import zipfian_column
+
+N = 100_000
+NUM_VALUES = 2_000
+
+
+def _range_queries(rng, count=50, width=40):
+    starts = rng.integers(0, NUM_VALUES - width, size=count)
+    return [(int(s), int(s + width)) for s in starts]
+
+
+def _mean_relative_error(synopsis, queries, values) -> float:
+    errors = []
+    for low, high in queries:
+        truth = float(((values >= low) & (values <= high)).sum())
+        estimate = synopsis.estimate_range_count(low, high)
+        errors.append(abs(estimate - truth) / max(1.0, truth))
+    return float(np.mean(errors))
+
+
+def run_experiment(n: int = N):
+    rng = np.random.default_rng(0)
+    values = zipfian_column(n, num_values=NUM_VALUES, skew=1.3, seed=1).astype(float)
+    queries = _range_queries(rng)
+    budgets = (16, 64, 256)
+    rows = []
+    errors: dict[tuple[str, int], float] = {}
+    for budget in budgets:
+        synopses = {
+            "equi-width": EquiWidthHistogram(values, num_buckets=budget),
+            "equi-depth": EquiDepthHistogram(values, num_buckets=budget),
+            "wavelet": HaarWaveletSynopsis(values, num_coefficients=budget, grid_size=2048),
+            "sample": SampleSynopsis(values, sample_size=budget * 2, seed=2),
+        }
+        for name, synopsis in synopses.items():
+            error = _mean_relative_error(synopsis, queries, values)
+            errors[(name, budget)] = error
+            rows.append([name, budget, synopsis.size_bytes, error])
+    return values, errors, rows, budgets
+
+
+def test_bench_synopses(benchmark) -> None:
+    values, errors, rows, budgets = run_experiment(n=40_000)
+    print_table(
+        "S8: mean relative range-count error by synopsis and budget",
+        ["synopsis", "budget", "bytes", "mean rel. error"],
+        rows,
+    )
+    for name in ("equi-width", "equi-depth", "wavelet", "sample"):
+        assert errors[(name, budgets[-1])] <= errors[(name, budgets[0])] + 0.02, (
+            f"{name}: more space must not hurt"
+        )
+    assert errors[("equi-depth", 64)] <= errors[("equi-width", 64)], (
+        "equi-depth is the skew-robust histogram"
+    )
+    # Count-Min: one-sided error on point frequencies
+    sketch = CountMinSketch(epsilon=0.005, delta=0.01)
+    sketch.extend(values[:20_000].astype(int).tolist())
+    counts = np.bincount(values[:20_000].astype(int), minlength=NUM_VALUES)
+    for item in range(0, NUM_VALUES, 200):
+        assert sketch.estimate(item) >= counts[item]
+
+    benchmark(lambda: EquiDepthHistogram(values, num_buckets=64))
+
+
+if __name__ == "__main__":
+    _, _, rows, _ = run_experiment()
+    print_table(
+        "S8: mean relative range-count error by synopsis and budget",
+        ["synopsis", "budget", "bytes", "mean rel. error"],
+        rows,
+    )

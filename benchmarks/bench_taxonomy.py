@@ -1,0 +1,56 @@
+"""T1 — the paper's Table 1, validated against the implementation.
+
+Prints the taxonomy with the modules covering each cluster and asserts
+full coverage: every cluster of the paper's Table 1 maps to at least one
+importable repro module.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import print_table
+
+from repro.core.taxonomy import TAXONOMY, validate_coverage
+
+
+def run_experiment() -> list[list]:
+    """One row per Table 1 cluster."""
+    rows = []
+    for cluster in TAXONOMY:
+        rows.append(
+            [
+                cluster.layer,
+                f"{cluster.area} / {cluster.sub_area}",
+                len(cluster.paper_refs),
+                len(cluster.modules),
+            ]
+        )
+    return rows
+
+
+def test_bench_taxonomy_coverage(benchmark) -> None:
+    report = benchmark(validate_coverage)
+    rows = run_experiment()
+    print_table(
+        "T1: Table 1 taxonomy coverage",
+        ["layer", "cluster", "papers", "modules"],
+        rows,
+    )
+    assert report.complete
+    assert report.clusters_covered == len(TAXONOMY)
+    benchmark.extra_info["clusters"] = report.clusters_total
+
+
+if __name__ == "__main__":
+    run_experiment()
+    report = validate_coverage()
+    print_table(
+        "T1: Table 1 taxonomy coverage",
+        ["layer", "cluster", "papers", "modules"],
+        run_experiment(),
+    )
+    print(f"coverage: {report.clusters_covered}/{report.clusters_total}")

@@ -1,0 +1,99 @@
+"""S4 — cracking under updates ([30]).
+
+Interleaves range queries with inserts.  The adaptive merge policy only
+pays for updates that queries actually touch, so query cost stays near
+the update-free baseline while out-of-range updates accumulate for free;
+the eager comparator (re-merge everything on every insert, modelled by
+merging all pending on every query over the full domain) pays much more.
+
+Shape assertions: with updates concentrated outside the queried region,
+total cost with lazy merging is close to the no-update run; forcing full
+merges costs substantially more.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+from common import print_table
+
+from repro.indexing import CrackerIndex, UpdatableCrackerIndex
+from repro.workloads import random_range_queries, uniform_column
+
+N = 200_000
+DOMAIN = (0, 1_000_000)
+HOT = (0, 300_000)  # queries live here
+COLD = (700_000, 1_000_000)  # updates land here
+
+
+def run_experiment(n: int = N, num_queries: int = 100, updates_per_query: int = 20):
+    rng = np.random.default_rng(3)
+    values = uniform_column(n, *DOMAIN, seed=0)
+    queries = random_range_queries(num_queries, HOT, selectivity=0.01, seed=1)
+
+    # baseline: no updates at all
+    baseline = CrackerIndex(values.copy())
+    for query in queries:
+        baseline.lookup_range(query.low, query.high, True, False)
+
+    # lazy merging with cold updates
+    lazy = UpdatableCrackerIndex(values.copy())
+    for query in queries:
+        for _ in range(updates_per_query):
+            lazy.insert(int(rng.integers(*COLD)))
+        lazy.lookup_range(query.low, query.high, True, False)
+
+    # forced merging: every query also merges all pending (full-domain touch)
+    eager = UpdatableCrackerIndex(values.copy())
+    for query in queries:
+        for _ in range(updates_per_query):
+            eager.insert(int(rng.integers(*COLD)))
+        eager.lookup_range(None, None)  # forces a full merge
+        eager.lookup_range(query.low, query.high, True, False)
+
+    rows = [
+        ["no updates (baseline)", baseline.work_touched, 0],
+        ["lazy merge (cold updates)", lazy.work_touched, lazy.pending_count],
+        ["forced full merge", eager.work_touched, eager.pending_count],
+    ]
+    return baseline, lazy, eager, rows
+
+
+def test_bench_cracking_updates(benchmark) -> None:
+    baseline, lazy, eager, rows = run_experiment(n=60_000, num_queries=60)
+    print_table(
+        "S4: total cost with interleaved updates",
+        ["strategy", "elements touched", "pending left"],
+        rows,
+    )
+    assert lazy.pending_count > 0, "cold updates should stay pending"
+    # lazy merging keeps overhead bounded: cost stays within ~2.5x of the
+    # no-update baseline (pending-buffer scans are the only overhead)
+    assert lazy.work_touched < baseline.work_touched * 2.5
+    assert eager.work_touched > lazy.work_touched * 2, "eager merging is far costlier"
+
+    values = uniform_column(60_000, *DOMAIN, seed=0)
+    queries = random_range_queries(30, HOT, selectivity=0.01, seed=1)
+    rng = np.random.default_rng(4)
+
+    def run_lazy():
+        index = UpdatableCrackerIndex(values.copy())
+        for query in queries:
+            index.insert(int(rng.integers(*COLD)))
+            index.lookup_range(query.low, query.high, True, False)
+        return index.work_touched
+
+    benchmark(run_lazy)
+
+
+if __name__ == "__main__":
+    _, _, _, rows = run_experiment()
+    print_table(
+        "S4: total cost with interleaved updates",
+        ["strategy", "elements touched", "pending left"],
+        rows,
+    )

@@ -1,0 +1,74 @@
+"""S16 — sampling with ordering guarantees ([12]).
+
+Bar-chart group means with controlled gaps: the sampler draws per-group
+rows only until adjacent bars separate.
+
+Shape assertions: wide-gap charts settle with a tiny fraction of the
+rows and the recovered order is correct; shrinking the gaps increases the
+required samples (the paper's gap-dependence result).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+from common import print_table
+
+from repro.viz import OrderedSampler
+
+PER_GROUP = 20_000
+NUM_GROUPS = 5
+
+
+def _sampler(gap: float, seed: int = 0) -> OrderedSampler:
+    rng = np.random.default_rng(seed)
+    groups, values = [], []
+    for i in range(NUM_GROUPS):
+        groups.extend([f"g{i}"] * PER_GROUP)
+        values.extend(rng.normal(i * gap, 1.0, size=PER_GROUP).tolist())
+    return OrderedSampler(groups, np.asarray(values), batch=20, seed=seed)
+
+
+def run_experiment():
+    rows = []
+    samples_by_gap = {}
+    for gap in (8.0, 2.0, 0.5):
+        sampler = _sampler(gap)
+        result = sampler.run()
+        correct = result.order == sampler.true_order()
+        fraction = result.total_samples / (PER_GROUP * NUM_GROUPS)
+        samples_by_gap[gap] = result.total_samples
+        rows.append([gap, result.total_samples, f"{100 * fraction:.2f}%", correct])
+    return samples_by_gap, rows
+
+
+def test_bench_ordered_sampling(benchmark) -> None:
+    samples_by_gap, rows = run_experiment()
+    print_table(
+        "S16: samples needed for a correct bar ordering vs group-mean gap",
+        ["gap", "samples drawn", "fraction of data", "order correct"],
+        rows,
+    )
+    assert samples_by_gap[8.0] < samples_by_gap[0.5], (
+        "closer groups need more samples"
+    )
+    assert samples_by_gap[8.0] < PER_GROUP * NUM_GROUPS * 0.05, (
+        "well-separated charts settle with a tiny sample"
+    )
+    sampler = _sampler(8.0, seed=1)
+    assert sampler.run().order == sampler.true_order()
+
+    benchmark(lambda: _sampler(4.0, seed=2).run().total_samples)
+
+
+if __name__ == "__main__":
+    _, rows = run_experiment()
+    print_table(
+        "S16: samples needed for a correct bar ordering vs group-mean gap",
+        ["gap", "samples drawn", "fraction of data", "order correct"],
+        rows,
+    )

@@ -1,0 +1,78 @@
+"""S11 — semantic windows: online vs exhaustive search ([36]).
+
+Hotspot windows hide somewhere on a large grid; the exhaustive strategy
+scans windows in grid order while the online strategy probes then expands
+around promising probes.
+
+Shape assertion: averaged over grids, the online strategy inspects far
+fewer windows before delivering the first k results.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+from common import print_table
+
+from repro.explore import SemanticWindowExplorer
+from repro.workloads import grid_table
+
+SIDE = 128
+WINDOW = 4
+THRESHOLD = 1.5
+
+
+def run_experiment(side: int = SIDE, trials: int = 6, k: int = 3):
+    rows = []
+    ratios = []
+    for trial in range(trials):
+        table = grid_table(side, value_fn="hotspots", num_hotspots=3, seed=trial)
+        online = SemanticWindowExplorer(table, WINDOW, THRESHOLD)
+        exhaustive = SemanticWindowExplorer(table, WINDOW, THRESHOLD)
+        online_found = online.find_online(k=k, num_probes=side, seed=trial)
+        exhaustive_found = exhaustive.find_exhaustive(k=k)
+        if not online_found or not exhaustive_found:
+            continue
+        ratios.append(exhaustive.windows_inspected / max(1, online.windows_inspected))
+        rows.append(
+            [
+                trial,
+                len(online_found),
+                online.windows_inspected,
+                exhaustive.windows_inspected,
+                online.num_windows,
+            ]
+        )
+    return ratios, rows
+
+
+def test_bench_semantic_windows(benchmark) -> None:
+    ratios, rows = run_experiment(side=96, trials=5)
+    print_table(
+        "S11: windows inspected to find first 3 results",
+        ["grid", "found", "online inspected", "exhaustive inspected", "total windows"],
+        rows,
+    )
+    assert ratios, "expected at least one grid with discoverable hotspots"
+    assert float(np.mean(ratios)) > 1.5, "online search should inspect far fewer windows on average"
+
+    table = grid_table(64, value_fn="hotspots", num_hotspots=3, seed=99)
+
+    def one_online_search():
+        explorer = SemanticWindowExplorer(table, WINDOW, THRESHOLD)
+        return explorer.find_online(k=2, num_probes=64, seed=0)
+
+    benchmark(one_online_search)
+
+
+if __name__ == "__main__":
+    _, rows = run_experiment()
+    print_table(
+        "S11: windows inspected to find first 3 results",
+        ["grid", "found", "online inspected", "exhaustive inspected", "total windows"],
+        rows,
+    )

@@ -1,0 +1,49 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*.py`` file regenerates one experiment from DESIGN.md's
+per-experiment index: it defines a ``run_experiment()`` that returns the
+printed series, a pytest-benchmark test that times the core operation and
+asserts the *shape* claims, and a ``__main__`` hook so
+``python benchmarks/bench_x.py`` prints the full table.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render and print a fixed-width results table; returns the text."""
+    rendered = [[_format(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    text = "\n".join(lines)
+    print("\n" + text + "\n")
+    return text
+
+
+def _format(cell: Any) -> str:
+    if isinstance(cell, float):
+        if cell != 0 and (abs(cell) >= 1e5 or abs(cell) < 1e-3):
+            return f"{cell:.3e}"
+        return f"{cell:,.3f}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (0 guarded)."""
+    import math
+
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in positive) / len(positive))

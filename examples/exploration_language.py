@@ -1,0 +1,104 @@
+"""The paper's future-work vision, §2.4: a declarative exploration language.
+
+One conversation with the data, each line a single declarative command:
+dashboards, steering, facets, view recommendation, segmentation,
+approximation, diversification — plus the assisted-formulation loop
+(join inference) and an online join estimate on top.
+
+Run with:  python examples/exploration_language.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ExplorationLanguage, ExplorationSession
+from repro.explore import JoinInferencer
+from repro.sampling import RippleJoin
+from repro.workloads import sales_table
+
+
+def language_walkthrough(session: ExplorationSession) -> None:
+    language = ExplorationLanguage(session)
+    commands = [
+        "EXPLORE sales",
+        "STEER sales TOP 2",
+        "RECOMMEND VIEWS sales FOR region = 'north' TOP 2",
+        "SEGMENT sales.price INTO 3",
+        "APPROX AVG(revenue) FROM sales ROWS 1000",
+        "FACETS sales WHERE revenue > 500 RATIO 1.2",
+        "DIVERSIFY sales BY price, quantity RELEVANCE revenue TOP 3",
+    ]
+    for command in commands:
+        print(f">>> {command}")
+        print(language.run(command).text)
+        print()
+
+
+def join_without_writing_it(session: ExplorationSession) -> None:
+    print(">>> (the user labels candidate pairs instead of writing a join)")
+    rng = np.random.default_rng(1)
+    db = session.db
+    db.create_table(
+        "stores",
+        {
+            "store_id": list(range(50)),
+            "manager_id": rng.integers(0, 50, size=50).tolist(),  # decoy
+            "city": [f"city_{i % 9}" for i in range(50)],
+        },
+    )
+    # give sales a store reference so the intended join exists among the
+    # type-compatible candidate column pairs
+    from repro.engine.column import Column
+
+    sales = db.get_table("sales")
+    stores = db.get_table("stores")
+    store_ref = np.asarray(sales.column("product_id").data) % 50
+    db.replace_table("sales", sales.with_column("store_ref", Column(store_ref)))
+    sales = db.get_table("sales")
+
+    def oracle(sale_row: int, store_row: int) -> bool:
+        """The simulated user recognises pairs of the intended join."""
+        return sales.column("store_ref")[sale_row] == stores.column("store_id")[store_row]
+
+    inferencer = JoinInferencer(db, "sales", "stores", oracle, seed=2)
+    print(f"    candidate equi-joins: {len(inferencer.candidates)}")
+    result = inferencer.run(max_labels=30)
+    print(f"    resolved after {result.labels_used} labels: "
+          f"{result.join.to_sql('sales', 'stores')}")
+    sql = (
+        inferencer.inferred_sql(result, projection="city, COUNT(*) AS n")
+        + " GROUP BY city ORDER BY n DESC LIMIT 3"
+    )
+    print(f"    running: {sql}")
+    print(session.db.sql(sql).pretty())
+    print()
+
+
+def online_join_estimate(session: ExplorationSession) -> None:
+    print(">>> (ripple join: the join count before the join finishes)")
+    sales = session.db.get_table("sales")
+    stores = session.db.get_table("stores")
+    left = np.asarray(sales.column("store_ref").data)
+    right = np.asarray(stores.column("store_id").data)
+    join = RippleJoin(left, right, batch_size=len(left) // 40, seed=3)
+    for i, snapshot in enumerate(join.run()):
+        if i % 10 == 0 and snapshot.half_width > 0:
+            print(f"    after {snapshot.rows_read_left + snapshot.rows_read_right} rows: "
+                  f"|sales ⋈ stores| ≈ {snapshot.estimate:,.0f} ± {snapshot.half_width:,.0f}")
+        if snapshot.relative_error < 0.02 and snapshot.half_width > 0:
+            print(f"    tight enough — stopping at "
+                  f"{snapshot.rows_read_left + snapshot.rows_read_right} rows read.")
+            break
+
+
+def main() -> None:
+    session = ExplorationSession()
+    session.load_table("sales", sales_table(30_000, seed=0))
+    language_walkthrough(session)
+    join_without_writing_it(session)
+    online_join_estimate(session)
+
+
+if __name__ == "__main__":
+    main()

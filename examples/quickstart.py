@@ -1,0 +1,74 @@
+"""Quickstart: the repro data exploration engine in five minutes.
+
+Covers the core loop the paper motivates: load data, query it through
+SQL (adaptive indexes appear as a side effect), get approximate answers
+instantly, and let the system recommend where to look next.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import col
+from repro.core import ExplorationSession
+from repro.workloads import sales_table
+
+
+def main() -> None:
+    # 1. an exploration session over a synthetic sales table -----------------
+    session = ExplorationSession()
+    session.load_table("sales", sales_table(50_000, seed=7))
+    print("Loaded 'sales':", session.db.get_table("sales").schema)
+
+    # 2. plain SQL — with adaptive indexing happening underneath --------------
+    result = session.sql(
+        "SELECT region, COUNT(*) AS orders, AVG(revenue) AS avg_revenue "
+        "FROM sales WHERE price > 40 GROUP BY region ORDER BY avg_revenue DESC"
+    )
+    print("\nRevenue by region (price > 40):")
+    print(result.pretty())
+    index = session.db.index_for("sales", "price")
+    print(
+        f"\nA cracker index on sales.price appeared automatically "
+        f"({index.num_pieces} pieces after one query)."
+    )
+
+    # repeat queries keep refining it and get cheaper
+    for low in (10, 30, 50, 70):
+        session.sql(f"SELECT COUNT(*) AS n FROM sales WHERE price > {low}")
+    print(f"After four more queries: {index.num_pieces} pieces.")
+
+    # 3. approximate answers with error bars ---------------------------------
+    session.build_samples("sales", uniform_fractions=(0.01, 0.1), stratified_on=[["region"]])
+    answer = session.approx("sales", "avg", "revenue", time_bound_rows=1_000)
+    estimate = answer.estimate
+    print(
+        f"\nApprox AVG(revenue) from {answer.rows_scanned} rows "
+        f"({answer.sample_used}): {estimate.value:.2f} ± {estimate.half_width:.2f}"
+    )
+    truth = float(np.mean(session.db.get_table("sales").column("revenue").data))
+    print(f"True AVG(revenue): {truth:.2f}  (inside the interval: {estimate.contains(truth)})")
+
+    # 4. which charts are worth looking at? (SeeDB) ---------------------------
+    views = session.recommend_views(
+        "sales",
+        target=col("region") == "north",
+        dimensions=["category"],
+        measures=["price", "revenue", "quantity"],
+        k=3,
+    )
+    print("\nMost deviating views for the 'north' region (SeeDB):")
+    for view in views:
+        print(f"  {view.spec.describe():45s} utility={view.utility:.3f}")
+
+    # 5. where to go next? (steering) -----------------------------------------
+    print("\nDrill-down suggestions (query steering):")
+    for suggestion in session.steer("sales", k=3):
+        print(f"  {suggestion.sql}")
+        print(f"      because: {suggestion.reason}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Interactive exploration of a data-series collection (iSAX, dbtouch,
+gestures).
+
+1. **iSAX index**: approximate then exact similarity search over
+   thousands of series, touching a fraction of the data.
+2. **dbtouch**: summary statistics that accumulate as a finger slides
+   over a column — work proportional to the gesture, not the data.
+3. **Gestural queries**: sort and group a table by swiping and pinching.
+
+Run with:  python examples/timeseries_similarity.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine import Table
+from repro.indexing import ISAXIndex
+from repro.interface import DbTouch, GestureQuerySession, TouchPoint
+from repro.workloads import random_walk_series
+
+
+def similarity_search() -> None:
+    print("1. iSAX similarity search over 5,000 random-walk series")
+    series = random_walk_series(5_000, 256, seed=0)
+    index = ISAXIndex(series, word_length=8, leaf_capacity=64)
+    print(f"   index built: {index.num_leaves} leaves")
+
+    rng = np.random.default_rng(1)
+    target = int(rng.integers(0, len(series)))
+    query = series[target] + rng.normal(0, 0.05, size=256)
+
+    index.reset_counters()
+    approx = index.approximate_search(query, k=3)
+    print(f"   approximate (one leaf): best match {approx[0][0]} "
+          f"at distance {approx[0][1]:.3f} "
+          f"({index.distance_computations} distances computed)")
+
+    index.reset_counters()
+    exact = index.exact_search(query, k=3)
+    print(f"   exact: best match {exact[0][0]} (hidden target was {target}) "
+          f"using {index.distance_computations}/{len(series)} distances")
+    for series_id, distance in exact:
+        print(f"      #{series_id}: distance {distance:.3f}")
+
+
+def touch_analytics() -> None:
+    print("\n2. dbtouch: statistics under your finger")
+    rng = np.random.default_rng(2)
+    table = Table.from_dict({"signal": np.sort(rng.normal(100, 25, size=200_000))})
+    touch = DbTouch(table, slice_rows=256)
+    for stop in (0.1, 0.3, 0.6, 1.0):
+        summary = touch.slide("signal", max(0.0, stop - 0.1), stop, steps=15)
+        print(f"   slid to {stop:3.0%}: seen {summary.rows_seen:6d} rows "
+              f"({summary.fraction_explored:5.1%} of data), "
+              f"running mean {summary.mean:7.2f}, max {summary.maximum:7.2f}")
+    print(f"   total rows processed: {touch.rows_touched} "
+          f"(the table has {table.num_rows})")
+
+
+def gesture_queries() -> None:
+    print("\n3. GestureDB: querying without keyboards")
+    table = Table.from_dict(
+        {
+            "city": ["Oslo", "Lima", "Pune", "Oslo", "Lima", "Oslo"],
+            "temp": [3.0, 19.5, 28.1, 1.2, 21.0, -4.0],
+        }
+    )
+    session = GestureQuerySession(table)
+    # swipe right over the 'temp' column strip (x in the right half)
+    swipe = [TouchPoint(0.6 + i * 0.03, 0.5, i * 0.02) for i in range(10)]
+    print("   " + session.apply_trace(swipe))
+    print("      ->", session.current.column("temp").to_list())
+    # pinch over the 'city' column strip (two fingers converging, left half)
+    pinch = [
+        TouchPoint(0.05, 0.3, 0.0, finger=0),
+        TouchPoint(0.45, 0.7, 0.0, finger=1),
+        TouchPoint(0.2, 0.45, 0.2, finger=0),
+        TouchPoint(0.3, 0.55, 0.2, finger=1),
+    ]
+    print("   " + session.apply_trace(pinch))
+    print(session.current.pretty())
+
+
+def main() -> None:
+    similarity_search()
+    touch_analytics()
+    gesture_queries()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""repro — a data exploration engine.
+
+Reproduction of "Overview of Data Exploration Techniques" (Idreos,
+Papaemmanouil & Chaudhuri, SIGMOD 2015).  The package mirrors the paper's
+three-layer organisation:
+
+- :mod:`repro.engine` — the column-store substrate (storage, SQL, planner).
+- Database Layer (§2.3): :mod:`repro.indexing` (adaptive indexing /
+  cracking, iSAX), :mod:`repro.loading` (NoDB-style raw-file access),
+  :mod:`repro.storage` (adaptive layouts).
+- Middleware (§2.2): :mod:`repro.sampling` (online aggregation, BlinkDB),
+  :mod:`repro.synopses` (histograms, wavelets, sketches),
+  :mod:`repro.prefetch` (speculation, Markov models, trajectories).
+- User Interaction (§2.1): :mod:`repro.explore` (AIDE, SeeDB, QBO,
+  diversification, semantic windows), :mod:`repro.viz`,
+  :mod:`repro.interface` (dbtouch, gestures, keyword search).
+- :mod:`repro.core` — the ExplorationSession facade and the paper's
+  Table 1 taxonomy.
+"""
+
+from repro.engine import Column, Database, DataType, Table, col, lit
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Column",
+    "Database",
+    "DataType",
+    "Table",
+    "col",
+    "lit",
+    "__version__",
+]

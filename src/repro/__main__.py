@@ -1,0 +1,149 @@
+"""An interactive exploration shell: ``python -m repro``.
+
+Accepts both plain SQL (SELECT / CREATE / INSERT / UPDATE / DELETE / DROP)
+and the declarative exploration language (EXPLORE / STEER / FACETS /
+RECOMMEND VIEWS / SEGMENT / APPROX / DIVERSIFY), plus a few shell
+meta-commands:
+
+=================  ===================================================
+``\\tables``        list tables
+``\\demo [n]``      load the synthetic sales demo table (default 20k rows)
+``\\load f AS t``   NoDB-load a CSV file as table ``t`` (lazy, adaptive)
+``\\explain q``     show the plan for a SELECT
+``\\help``          this text
+``\\quit``          exit
+=================  ===================================================
+
+Non-interactive use: pipe commands on stdin, or pass a single command
+with ``python -m repro -c "<command>"``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core import ExplorationLanguage, ExplorationSession
+from repro.engine.table import Table
+from repro.errors import ReproError
+
+_LANGUAGE_HEADS = (
+    "EXPLORE", "STEER", "FACETS", "RECOMMEND", "SEGMENT", "APPROX", "DIVERSIFY",
+)
+_SQL_HEADS = ("SELECT", "CREATE", "INSERT", "UPDATE", "DELETE", "DROP")
+
+
+class Shell:
+    """The REPL state: one session plus the command dispatcher."""
+
+    def __init__(self) -> None:
+        self.session = ExplorationSession()
+        self.language = ExplorationLanguage(self.session)
+
+    # -- meta commands ---------------------------------------------------------------
+
+    def _meta(self, line: str) -> str:
+        parts = line[1:].split()
+        command = parts[0].lower() if parts else "help"
+        if command == "tables":
+            names = self.session.db.table_names()
+            if not names:
+                return "(no tables; try \\demo)"
+            lines = []
+            for name in names:
+                table = self.session.db.get_table(name)
+                lines.append(
+                    f"{name}: {table.num_rows} rows "
+                    f"({', '.join(table.column_names)})"
+                )
+            return "\n".join(lines)
+        if command == "demo":
+            from repro.workloads import sales_table
+
+            n = int(parts[1]) if len(parts) > 1 else 20_000
+            if self.session.db.has_table("sales"):
+                return "table 'sales' already exists"
+            self.session.load_table("sales", sales_table(n, seed=0))
+            return f"loaded demo table 'sales' with {n} rows"
+        if command == "load":
+            if len(parts) < 4 or parts[2].upper() != "AS":
+                return "usage: \\load <file.csv> AS <table>"
+            from repro.loading import RawTable
+
+            raw = RawTable(parts[1])
+            table = raw.to_table()
+            self.session.load_table(parts[3], table)
+            return f"loaded {parts[1]} as '{parts[3]}' ({table.num_rows} rows)"
+        if command == "explain":
+            sql = line[1:].split(None, 1)[1]
+            return self.session.db.explain(sql)
+        if command in ("quit", "exit", "q"):
+            raise EOFError
+        return __doc__ or ""
+
+    # -- dispatch ---------------------------------------------------------------------
+
+    def execute(self, line: str) -> str:
+        """Execute one input line; returns the rendered response."""
+        stripped = line.strip()
+        if not stripped:
+            return ""
+        if stripped.startswith("\\"):
+            return self._meta(stripped)
+        head = stripped.split(None, 1)[0].upper()
+        if head in _LANGUAGE_HEADS:
+            return self.language.run(stripped).text
+        if head in _SQL_HEADS:
+            if head == "SELECT":
+                result = self.session.sql(stripped)
+                footer = f"({result.num_rows} rows)"
+                return result.pretty() + "\n" + footer
+            affected = self.session.db.execute(stripped)
+            if isinstance(affected, Table):  # pragma: no cover - defensive
+                return affected.pretty()
+            return f"ok ({affected} rows affected)"
+        return (
+            f"unrecognised command {head!r}; enter SQL, an exploration "
+            "command, or \\help"
+        )
+
+    def run(self, stream, interactive: bool) -> None:
+        """Main loop over an input stream."""
+        if interactive:
+            print("repro exploration shell — \\help for help, \\demo for data")
+        while True:
+            if interactive:
+                sys.stdout.write("repro> ")
+                sys.stdout.flush()
+            line = stream.readline()
+            if not line:
+                break
+            try:
+                output = self.execute(line)
+            except EOFError:
+                break
+            except ReproError as exc:
+                output = f"error: {exc}"
+            if output:
+                print(output)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    shell = Shell()
+    if argv[:1] == ["-c"]:
+        if len(argv) < 2:
+            print("usage: python -m repro -c '<command>'", file=sys.stderr)
+            return 2
+        try:
+            print(shell.execute(argv[1]))
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        return 0
+    shell.run(sys.stdin, interactive=sys.stdin.isatty())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

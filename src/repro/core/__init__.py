@@ -1,0 +1,34 @@
+"""The paper's primary contribution, operationalised.
+
+A survey's "contribution" is its organisation of the field; this package
+makes that organisation executable:
+
+- :class:`ExplorationSession` — a single facade wiring the engine,
+  the Database-Layer adaptivity, the Middleware approximation/prefetching
+  and the User-Interaction assistants into one exploration loop.
+- :class:`QueryHistory` — session history, the raw material for
+  steering, suggestion and prefetching.
+- :mod:`repro.core.steering` — policies that propose the next query.
+- :mod:`repro.core.taxonomy` — the paper's Table 1 as data, with a
+  validator mapping every cluster to implemented modules (experiment T1).
+"""
+
+from repro.core.history import HistoryEntry, QueryHistory
+from repro.core.language import CommandResult, ExplorationLanguage
+from repro.core.session import ExplorationSession
+from repro.core.steering import SteeringSuggestion, ZoomSteering, FacetSteering
+from repro.core.taxonomy import TAXONOMY, Cluster, validate_coverage
+
+__all__ = [
+    "Cluster",
+    "CommandResult",
+    "ExplorationLanguage",
+    "ExplorationSession",
+    "FacetSteering",
+    "HistoryEntry",
+    "QueryHistory",
+    "SteeringSuggestion",
+    "TAXONOMY",
+    "ZoomSteering",
+    "validate_coverage",
+]

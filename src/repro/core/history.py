@@ -1,0 +1,77 @@
+"""Query history: the session's memory.
+
+Every exploration-support technique in the paper consumes history in some
+form — prefetchers learn trajectories from it, suggesters mine it,
+steering reacts to it.  :class:`QueryHistory` is the shared record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class HistoryEntry:
+    """One executed query and its outcome."""
+
+    sequence: int
+    sql: str
+    result_rows: int
+    tables: frozenset[str] = field(default_factory=frozenset)
+    columns: frozenset[str] = field(default_factory=frozenset)
+
+
+class QueryHistory:
+    """Ordered record of a session's queries."""
+
+    def __init__(self) -> None:
+        self._entries: list[HistoryEntry] = []
+
+    def record(
+        self,
+        sql: str,
+        result_rows: int,
+        tables: frozenset[str] = frozenset(),
+        columns: frozenset[str] = frozenset(),
+    ) -> HistoryEntry:
+        """Append one query to the history."""
+        entry = HistoryEntry(
+            sequence=len(self._entries),
+            sql=sql,
+            result_rows=result_rows,
+            tables=tables,
+            columns=columns,
+        )
+        self._entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[HistoryEntry]:
+        return iter(self._entries)
+
+    def last(self, n: int = 1) -> list[HistoryEntry]:
+        """The most recent ``n`` entries, oldest first."""
+        return self._entries[-n:]
+
+    def queries(self) -> list[str]:
+        """All SQL texts in order."""
+        return [entry.sql for entry in self._entries]
+
+    def column_touch_counts(self) -> dict[str, int]:
+        """How often each column appeared across the session."""
+        counts: dict[str, int] = {}
+        for entry in self._entries:
+            for column in entry.columns:
+                counts[column] = counts.get(column, 0) + 1
+        return counts
+
+    def empty_result_fraction(self) -> float:
+        """Share of queries that returned nothing — a signal the user is
+        lost, which steering policies react to."""
+        if not self._entries:
+            return 0.0
+        empty = sum(1 for entry in self._entries if entry.result_rows == 0)
+        return empty / len(self._entries)

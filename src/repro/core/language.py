@@ -1,0 +1,240 @@
+"""A declarative exploration language (the paper's §2.4 vision).
+
+The tutorial's open-problems section argues that exploration idioms —
+steering, facets, diversification, view recommendation, approximation —
+deserve a *declarative* surface of their own, so the system can optimise
+and compose them.  This module prototypes that language:
+
+=====================================================  ======================
+Command                                                 Backed by
+=====================================================  ======================
+``EXPLORE <table>``                                     VizDeck dashboard
+``STEER <table> [TOP k]``                               zoom steering
+``FACETS <table> WHERE <pred> [RATIO r]``               YmalDB facets
+``RECOMMEND VIEWS <table> FOR <pred> [TOP k]``          SeeDB
+``SEGMENT <table>.<column> INTO k``                     Charles segmentation
+``APPROX <agg>(<col>) FROM <table> [WHERE <pred>]``     BlinkDB sampling
+``  [ERROR e | ROWS n]``
+``DIVERSIFY <table> BY <c1>, <c2> RELEVANCE <c>``       MMR diversification
+``  [TOP k]``
+=====================================================  ======================
+
+Predicates reuse the engine's SQL expression grammar.  Every command
+returns a :class:`CommandResult` with both a structured payload and a
+rendered text block, so the language works equally for programs and for
+an interactive prompt.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.session import ExplorationSession
+from repro.engine.expressions import Expression
+from repro.engine.sql.parser import parse as parse_sql
+from repro.errors import ParseError
+from repro.explore.diversify import mmr_diversify
+from repro.explore.segment import segment_column
+from repro.explore.vizrec import VizDeck
+
+
+@dataclass
+class CommandResult:
+    """Outcome of one exploration command."""
+
+    command: str
+    payload: Any
+    text: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.text
+
+
+def _parse_predicate(table: str, predicate_sql: str) -> Expression:
+    statement = parse_sql(f"SELECT * FROM {table} WHERE {predicate_sql}")
+    assert statement.where is not None
+    return statement.where
+
+
+class ExplorationLanguage:
+    """Parses and executes exploration commands against a session."""
+
+    def __init__(self, session: ExplorationSession) -> None:
+        self.session = session
+
+    def run(self, command: str) -> CommandResult:
+        """Execute one command.
+
+        Raises:
+            ParseError: on unknown commands or malformed clauses.
+        """
+        stripped = command.strip().rstrip(";")
+        head = stripped.split(None, 1)[0].upper() if stripped else ""
+        dispatch = {
+            "EXPLORE": self._explore,
+            "STEER": self._steer,
+            "FACETS": self._facets,
+            "RECOMMEND": self._recommend,
+            "SEGMENT": self._segment,
+            "APPROX": self._approx,
+            "DIVERSIFY": self._diversify,
+        }
+        if head not in dispatch:
+            raise ParseError(f"unknown exploration command {head!r}")
+        return dispatch[head](stripped)
+
+    # -- commands ---------------------------------------------------------------------
+
+    def _explore(self, command: str) -> CommandResult:
+        match = re.match(r"EXPLORE\s+(\w+)$", command, re.IGNORECASE)
+        if not match:
+            raise ParseError("usage: EXPLORE <table>")
+        table_name = match.group(1)
+        table = self.session.db.get_table(table_name)
+        deck = VizDeck(table).rank(k=5)
+        lines = [f"table {table_name}: {table.num_rows} rows"]
+        for name in table.column_names:
+            column = table.column(name)
+            lines.append(
+                f"  {name}: {column.dtype.name}, {column.distinct_count()} distinct"
+                + (f", {column.null_count()} nulls" if column.has_nulls else "")
+            )
+        lines.append("suggested charts:")
+        for candidate in deck:
+            lines.append(f"  {candidate.describe()} (score {candidate.score:.2f})")
+        return CommandResult("EXPLORE", deck, "\n".join(lines))
+
+    def _steer(self, command: str) -> CommandResult:
+        match = re.match(r"STEER\s+(\w+)(?:\s+TOP\s+(\d+))?$", command, re.IGNORECASE)
+        if not match:
+            raise ParseError("usage: STEER <table> [TOP k]")
+        table, k = match.group(1), int(match.group(2) or 3)
+        suggestions = self.session.steer(table, k=k)
+        lines = [f"{s.sql}   -- {s.reason}" for s in suggestions]
+        return CommandResult("STEER", suggestions, "\n".join(lines) or "(no suggestions)")
+
+    def _facets(self, command: str) -> CommandResult:
+        match = re.match(
+            r"FACETS\s+(\w+)\s+WHERE\s+(.+?)(?:\s+RATIO\s+([\d.]+))?$",
+            command,
+            re.IGNORECASE,
+        )
+        if not match:
+            raise ParseError("usage: FACETS <table> WHERE <predicate> [RATIO r]")
+        table, predicate_sql, ratio = match.groups()
+        predicate = _parse_predicate(table, predicate_sql)
+        facets = self.session.interesting_facets(
+            table, predicate, min_ratio=float(ratio or 1.5)
+        )
+        lines = [
+            f"{f.attribute}={f.value!r}: {f.relevance_ratio:.1f}x over-represented "
+            f"({f.support_in_result} rows)"
+            for f in facets
+        ]
+        return CommandResult("FACETS", facets, "\n".join(lines) or "(no facets)")
+
+    def _recommend(self, command: str) -> CommandResult:
+        match = re.match(
+            r"RECOMMEND\s+VIEWS\s+(\w+)\s+FOR\s+(.+?)(?:\s+TOP\s+(\d+))?$",
+            command,
+            re.IGNORECASE,
+        )
+        if not match:
+            raise ParseError("usage: RECOMMEND VIEWS <table> FOR <predicate> [TOP k]")
+        table_name, predicate_sql, k = match.groups()
+        table = self.session.db.get_table(table_name)
+        dimensions = [
+            name
+            for name in table.column_names
+            if not table.column(name).dtype.is_numeric
+            and table.column(name).distinct_count() <= 30
+        ]
+        measures = [
+            name for name in table.column_names if table.column(name).dtype.is_numeric
+        ]
+        if not dimensions or not measures:
+            raise ParseError(f"table {table_name!r} has no dimension/measure split")
+        predicate = _parse_predicate(table_name, predicate_sql)
+        views = self.session.recommend_views(
+            table_name, predicate, dimensions, measures, k=int(k or 3)
+        )
+        lines = [f"{v.spec.describe()} (utility {v.utility:.3f})" for v in views]
+        return CommandResult("RECOMMEND VIEWS", views, "\n".join(lines))
+
+    def _segment(self, command: str) -> CommandResult:
+        match = re.match(
+            r"SEGMENT\s+(\w+)\.(\w+)\s+INTO\s+(\d+)$", command, re.IGNORECASE
+        )
+        if not match:
+            raise ParseError("usage: SEGMENT <table>.<column> INTO k")
+        table_name, column, k = match.groups()
+        values = np.asarray(
+            self.session.db.get_table(table_name).column(column).data,
+            dtype=np.float64,
+        )
+        segmentation = segment_column(values, int(k))
+        return CommandResult(
+            "SEGMENT", segmentation, "\n".join(segmentation.describe())
+        )
+
+    def _approx(self, command: str) -> CommandResult:
+        match = re.match(
+            r"APPROX\s+(AVG|SUM|COUNT)\s*\(\s*(\*|\w+)\s*\)\s+FROM\s+(\w+)"
+            r"(?:\s+WHERE\s+(.+?))?(?:\s+ERROR\s+([\d.]+))?(?:\s+ROWS\s+(\d+))?$",
+            command,
+            re.IGNORECASE,
+        )
+        if not match:
+            raise ParseError(
+                "usage: APPROX <agg>(<col>) FROM <table> [WHERE p] [ERROR e | ROWS n]"
+            )
+        aggregate, column, table, predicate_sql, error, rows = match.groups()
+        aggregate = aggregate.lower()
+        value_column = None if column == "*" else column
+        predicate = (
+            _parse_predicate(table, predicate_sql) if predicate_sql else None
+        )
+        if table not in self.session._catalogs:
+            self.session.build_samples(table)
+        answer = self.session.approx(
+            table,
+            aggregate,
+            value_column=value_column,
+            where=predicate,
+            error_bound=float(error) if error else None,
+            time_bound_rows=int(rows) if rows else None,
+        )
+        estimate = answer.estimate
+        text = (
+            f"{aggregate}({column}) ≈ {estimate.value:.4f} ± {estimate.half_width:.4f} "
+            f"(from {answer.rows_scanned} rows via {answer.sample_used})"
+        )
+        return CommandResult("APPROX", answer, text)
+
+    def _diversify(self, command: str) -> CommandResult:
+        match = re.match(
+            r"DIVERSIFY\s+(\w+)\s+BY\s+([\w\s,]+?)\s+RELEVANCE\s+(\w+)"
+            r"(?:\s+TOP\s+(\d+))?$",
+            command,
+            re.IGNORECASE,
+        )
+        if not match:
+            raise ParseError(
+                "usage: DIVERSIFY <table> BY <c1>, <c2> RELEVANCE <col> [TOP k]"
+            )
+        table_name, by_columns, relevance_column, k = match.groups()
+        table = self.session.db.get_table(table_name)
+        columns = [c.strip() for c in by_columns.split(",") if c.strip()]
+        points = np.column_stack(
+            [np.asarray(table.column(c).data, dtype=np.float64) for c in columns]
+        )
+        relevance = np.asarray(
+            table.column(relevance_column).data, dtype=np.float64
+        )
+        selected = mmr_diversify(points, relevance, k=int(k or 5), trade_off=0.5)
+        result = table.take(selected)
+        return CommandResult("DIVERSIFY", result, result.pretty())

@@ -1,0 +1,118 @@
+"""Query steering policies ([14], "query steering for interactive data
+exploration").
+
+A steering policy looks at where the user has been (history) and what the
+data looks like, and proposes where to go next:
+
+- :class:`ZoomSteering` — drill-down steering: segments the most-touched
+  numeric column (Charles-style) and proposes range queries over the
+  segments whose statistics deviate most from the column average.
+- :class:`FacetSteering` — result-driven steering: proposes queries over
+  the interesting facet values of the last result (YmalDB-style).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.history import QueryHistory
+from repro.engine.catalog import Database
+from repro.engine.expressions import Expression
+from repro.explore.facets import FacetRecommender
+from repro.explore.segment import segment_column
+
+
+@dataclass
+class SteeringSuggestion:
+    """One proposed next query."""
+
+    sql: str
+    reason: str
+    score: float
+
+
+class ZoomSteering:
+    """Proposes drill-down range queries over deviating data segments.
+
+    Args:
+        db: the database.
+        table: table being explored.
+    """
+
+    def __init__(self, db: Database, table: str) -> None:
+        self.db = db
+        self.table = table
+
+    def suggest(
+        self, history: QueryHistory, k: int = 3, num_segments: int = 5
+    ) -> list[SteeringSuggestion]:
+        """Top-k drill-down suggestions."""
+        table = self.db.get_table(self.table)
+        touch_counts = history.column_touch_counts()
+        numeric = [
+            name
+            for name in table.column_names
+            if table.column(name).dtype.is_numeric
+        ]
+        if not numeric:
+            return []
+        # steer on the column the user cares about most (ties: first)
+        target = max(numeric, key=lambda c: (touch_counts.get(c, 0), -numeric.index(c)))
+        values = np.asarray(table.column(target).data, dtype=np.float64)
+        segmentation = segment_column(values, num_segments)
+        overall_mean = float(values.mean())
+        scale = float(values.std()) or 1.0
+        suggestions = []
+        for i in range(segmentation.num_segments):
+            low = segmentation.boundaries[i]
+            high = segmentation.boundaries[i + 1]
+            deviation = abs(segmentation.means[i] - overall_mean) / scale
+            suggestions.append(
+                SteeringSuggestion(
+                    sql=(
+                        f"SELECT * FROM {self.table} "
+                        f"WHERE {target} >= {low:g} AND {target} < {high:g}"
+                    ),
+                    reason=(
+                        f"segment of {target} with mean {segmentation.means[i]:g} "
+                        f"vs overall {overall_mean:g}"
+                    ),
+                    score=float(deviation),
+                )
+            )
+        suggestions.sort(key=lambda s: -s.score)
+        return suggestions[:k]
+
+
+class FacetSteering:
+    """Proposes queries over the interesting facets of the last result."""
+
+    def __init__(self, db: Database, table: str) -> None:
+        self.db = db
+        self.table = table
+
+    def suggest(
+        self, last_predicate: Expression, k: int = 3, min_ratio: float = 1.3
+    ) -> list[SteeringSuggestion]:
+        """Top-k facet-expansion suggestions for the previous query."""
+        recommender = FacetRecommender(self.db.get_table(self.table))
+        facets = recommender.interesting_facets(last_predicate, min_ratio=min_ratio)
+        suggestions = []
+        for facet in facets[:k]:
+            value = str(facet.value).replace("'", "''")
+            suggestions.append(
+                SteeringSuggestion(
+                    sql=(
+                        f"SELECT * FROM {self.table} "
+                        f"WHERE {facet.attribute} = '{value}'"
+                    ),
+                    reason=(
+                        f"{facet.attribute}={facet.value!r} is "
+                        f"{facet.relevance_ratio:.1f}x over-represented in your result"
+                    ),
+                    score=float(facet.relevance_ratio),
+                )
+            )
+        return suggestions

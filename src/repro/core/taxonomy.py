@@ -1,0 +1,185 @@
+"""The paper's Table 1, reproduced as data (experiment T1).
+
+Table 1 of the tutorial clusters the surveyed papers into a three-layer
+taxonomy.  :data:`TAXONOMY` encodes every cluster with its paper
+references (the bracketed citation numbers of the tutorial) and the repro
+modules implementing it; :func:`validate_coverage` checks that every
+cluster's modules actually import — i.e. that this repository covers the
+whole table.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """One cell of Table 1."""
+
+    layer: str
+    area: str
+    sub_area: str
+    paper_refs: tuple[int, ...]
+    modules: tuple[str, ...]
+
+
+TAXONOMY: tuple[Cluster, ...] = (
+    # -- User Interaction -----------------------------------------------------------
+    Cluster(
+        "User Interaction", "Data Visualization", "Visual Optimizations",
+        (11, 12, 49, 66),
+        ("repro.viz.m4", "repro.viz.ordering", "repro.explore.seedb", "repro.viz.spec"),
+    ),
+    Cluster(
+        "User Interaction", "Data Visualization", "Visualization Tools",
+        (38, 40, 48, 61, 62),
+        ("repro.explore.vizrec",),
+    ),
+    Cluster(
+        "User Interaction", "Exploration Interfaces", "Automatic Exploration",
+        (14, 18, 20),
+        ("repro.explore.aide", "repro.explore.facets", "repro.core.steering"),
+    ),
+    Cluster(
+        "User Interaction", "Exploration Interfaces", "Assisted Query Formulation",
+        (3, 4, 13, 21, 52, 57, 58, 64, 51),
+        (
+            "repro.explore.qbo",
+            "repro.explore.suggest",
+            "repro.explore.refine",
+            "repro.explore.join_inference",
+            "repro.explore.segment",
+        ),
+    ),
+    Cluster(
+        "User Interaction", "Exploration Interfaces", "Novel Query Interfaces",
+        (32, 44, 45, 47),
+        ("repro.interface.dbtouch", "repro.interface.gestures", "repro.interface.keyword"),
+    ),
+    # -- Middleware ------------------------------------------------------------------
+    Cluster(
+        "Middleware", "Interactive Performance Optimizations", "Data Prefetching",
+        (36, 37, 41, 63),
+        (
+            "repro.explore.windows",
+            "repro.prefetch.markov",
+            "repro.prefetch.hybrid_predictor",
+            "repro.prefetch.speculative",
+            "repro.prefetch.trajectory",
+            "repro.prefetch.cache",
+            "repro.prefetch.semantic_cache",
+            "repro.explore.olap",
+            "repro.explore.diversify",
+        ),
+    ),
+    Cluster(
+        "Middleware", "Interactive Performance Optimizations", "Query Approximation",
+        (16, 5, 6, 7, 24, 25),
+        (
+            "repro.sampling.online_agg",
+            "repro.sampling.blinkdb",
+            "repro.sampling.stratified",
+            "repro.sampling.selection",
+            "repro.sampling.bootstrap",
+            "repro.sampling.ripple",
+            "repro.synopses.histogram",
+            "repro.synopses.wavelet",
+            "repro.synopses.sketches",
+        ),
+    ),
+    # -- Database Layer --------------------------------------------------------------
+    Cluster(
+        "Database Layer", "Indexes", "Adaptive Indexing",
+        (26, 29, 30, 31, 33, 22, 23, 50, 27, 39),
+        (
+            "repro.indexing.cracking",
+            "repro.indexing.hybrid",
+            "repro.indexing.updates",
+            "repro.indexing.sideways",
+            "repro.indexing.concurrent",
+            "repro.indexing.partitioned",
+        ),
+    ),
+    Cluster(
+        "Database Layer", "Indexes", "Time Series",
+        (68,),
+        ("repro.indexing.sax", "repro.indexing.isax"),
+    ),
+    Cluster(
+        "Database Layer", "Indexes", "Flexible Engines",
+        (17, 42, 43, 34),
+        ("repro.storage.declarative",),
+    ),
+    Cluster(
+        "Database Layer", "Data Storage", "Adaptive Loading",
+        (28, 8, 2, 15),
+        (
+            "repro.loading.raw_table",
+            "repro.loading.positional_map",
+            "repro.loading.invisible",
+            "repro.loading.speculative",
+        ),
+    ),
+    Cluster(
+        "Database Layer", "Data Storage", "Adaptive Storage",
+        (9, 19),
+        ("repro.storage.layouts", "repro.storage.adaptive_store", "repro.storage.workload"),
+    ),
+    Cluster(
+        "Database Layer", "Data Storage", "Sampling",
+        (59, 60, 35),
+        ("repro.sampling.weighted", "repro.prefetch.speculative"),
+    ),
+)
+
+
+@dataclass
+class CoverageReport:
+    """Result of the Table 1 coverage validation."""
+
+    clusters_total: int
+    clusters_covered: int
+    missing: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """True when every cluster maps to at least one importable module."""
+        return not self.missing
+
+
+def validate_coverage() -> CoverageReport:
+    """Check that every Table 1 cluster's modules import successfully."""
+    missing: list[tuple[str, str]] = []
+    covered = 0
+    for cluster in TAXONOMY:
+        ok = True
+        for module in cluster.modules:
+            try:
+                importlib.import_module(module)
+            except ImportError:
+                missing.append((f"{cluster.area}/{cluster.sub_area}", module))
+                ok = False
+        if ok and cluster.modules:
+            covered += 1
+    return CoverageReport(
+        clusters_total=len(TAXONOMY),
+        clusters_covered=covered,
+        missing=missing,
+    )
+
+
+def render_table() -> str:
+    """Render the taxonomy as text, mirroring the paper's Table 1 layout."""
+    lines = []
+    current_layer = None
+    for cluster in TAXONOMY:
+        if cluster.layer != current_layer:
+            current_layer = cluster.layer
+            lines.append(f"== {current_layer} ==")
+        refs = ", ".join(f"[{r}]" for r in cluster.paper_refs)
+        modules = ", ".join(cluster.modules)
+        lines.append(f"  {cluster.area} / {cluster.sub_area}: {refs}")
+        lines.append(f"      -> {modules}")
+    return "\n".join(lines)

@@ -1,0 +1,284 @@
+"""Catalog and the :class:`Database` facade.
+
+``Database`` is the main entry point of the engine substrate: it registers
+tables, maintains statistics, hosts secondary indexes (including the
+adaptive cracker indexes of the paper's Database Layer), and executes SQL.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Protocol, Sequence
+
+import numpy as np
+
+from repro.engine.planner import Plan, plan_statement
+from repro.engine.sql.parser import parse
+from repro.engine.statistics import TableStatistics
+from repro.engine.table import Table
+from repro.errors import CatalogError
+
+
+class RangeIndex(Protocol):
+    """Protocol for secondary indexes consulted by table scans.
+
+    Implementations return the *positions* of qualifying rows in the base
+    table.  Adaptive implementations (database cracking) are free to refine
+    their internal organisation as a side effect of each lookup — that is
+    the whole point of adaptive indexing.
+    """
+
+    def lookup_range(
+        self,
+        low: Any,
+        high: Any,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> np.ndarray:
+        """Row positions with values in the given (possibly open) range."""
+        ...
+
+
+class Database:
+    """An in-memory database: tables, statistics, indexes, SQL execution."""
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        self._statistics: dict[str, TableStatistics] = {}
+        self._indexes: dict[tuple[str, str], RangeIndex] = {}
+        self.queries_executed = 0
+
+    # -- DDL ---------------------------------------------------------------------
+
+    def create_table(self, name: str, table: Table | Mapping[str, Sequence[Any]]) -> Table:
+        """Register a table under ``name``.
+
+        Accepts either a built :class:`Table` or a ``{column: values}``
+        mapping.
+
+        Raises:
+            CatalogError: if the name is already taken.
+        """
+        if name in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        if not isinstance(table, Table):
+            table = Table.from_dict(table)
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table and everything attached to it."""
+        if name not in self._tables:
+            raise CatalogError(f"unknown table {name!r}")
+        del self._tables[name]
+        self._statistics.pop(name, None)
+        for key in [k for k in self._indexes if k[0] == name]:
+            del self._indexes[key]
+
+    def replace_table(self, name: str, table: Table) -> None:
+        """Swap the contents of an existing table.
+
+        Statistics and indexes attached to the old contents are dropped,
+        since they no longer describe the data.
+        """
+        if name not in self._tables:
+            raise CatalogError(f"unknown table {name!r}")
+        self._tables[name] = table
+        self._statistics.pop(name, None)
+        for key in [k for k in self._indexes if k[0] == name]:
+            del self._indexes[key]
+
+    def table_names(self) -> list[str]:
+        """Registered table names, sorted."""
+        return sorted(self._tables)
+
+    def has_table(self, name: str) -> bool:
+        """True if a table with this name exists."""
+        return name in self._tables
+
+    def get_table(self, name: str) -> Table:
+        """The named table.
+
+        Raises:
+            CatalogError: if the table does not exist.
+        """
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    # -- statistics ---------------------------------------------------------------
+
+    def statistics(self, name: str) -> TableStatistics:
+        """Statistics for a table, computed lazily and cached."""
+        if name not in self._statistics:
+            self._statistics[name] = TableStatistics.from_table(self.get_table(name))
+        return self._statistics[name]
+
+    def invalidate_statistics(self, name: str) -> None:
+        """Drop cached statistics (e.g. after the table was replaced)."""
+        self._statistics.pop(name, None)
+
+    # -- indexes -------------------------------------------------------------------
+
+    def register_index(self, table: str, column: str, index: RangeIndex) -> None:
+        """Attach a secondary index to ``table.column``.
+
+        The planner will route qualifying range predicates through it.
+        """
+        if table not in self._tables:
+            raise CatalogError(f"unknown table {table!r}")
+        if column not in self.get_table(table).schema:
+            raise CatalogError(f"table {table!r} has no column {column!r}")
+        self._indexes[(table, column)] = index
+
+    def unregister_index(self, table: str, column: str) -> None:
+        """Detach the index on ``table.column`` if present."""
+        self._indexes.pop((table, column), None)
+
+    def index_for(self, table: str, column: str) -> RangeIndex | None:
+        """The registered index on ``table.column``, or None."""
+        return self._indexes.get((table, column))
+
+    # -- query execution --------------------------------------------------------------
+
+    def plan(self, sql: str) -> Plan:
+        """Parse and plan a query without executing it."""
+        return plan_statement(parse(sql), self)
+
+    def explain(self, sql: str) -> str:
+        """Textual plan for a query (like EXPLAIN)."""
+        return self.plan(sql).explain()
+
+    def sql(self, query: str) -> Table:
+        """Parse, plan and execute a SELECT statement."""
+        from repro.engine.executor import execute_plan
+
+        plan = self.plan(query)
+        self.queries_executed += 1
+        return execute_plan(plan, self)
+
+    def execute(self, statement_sql: str) -> Table | int:
+        """Execute any supported statement.
+
+        SELECTs return their result :class:`Table`; DML statements return
+        the number of rows affected; DDL statements return 0.  Mutating a
+        table drops its cached statistics and any registered indexes,
+        since both describe the old contents.
+        """
+        from repro.engine.sql.ast import (
+            CreateTableStatement,
+            DeleteStatement,
+            DropTableStatement,
+            InsertStatement,
+            SelectStatement,
+            UpdateStatement,
+        )
+        from repro.engine.sql.parser import parse_statement
+
+        statement = parse_statement(statement_sql)
+        if isinstance(statement, SelectStatement):
+            return self.sql(statement_sql)
+        if isinstance(statement, CreateTableStatement):
+            self.create_table(statement.table, _empty_table(statement.columns))
+            return 0
+        if isinstance(statement, DropTableStatement):
+            self.drop_table(statement.table)
+            return 0
+        if isinstance(statement, InsertStatement):
+            return self._execute_insert(statement)
+        if isinstance(statement, DeleteStatement):
+            return self._execute_delete(statement)
+        if isinstance(statement, UpdateStatement):
+            return self._execute_update(statement)
+        raise CatalogError(f"unsupported statement {type(statement).__name__}")
+
+    def _execute_insert(self, statement) -> int:
+        from repro.engine.column import Column
+        from repro.engine.expressions import Literal
+
+        table = self.get_table(statement.table)
+        names = statement.columns or list(table.column_names)
+        unknown = set(names) - set(table.column_names)
+        if unknown:
+            raise CatalogError(f"unknown column(s) in INSERT: {sorted(unknown)}")
+        new_rows: list[dict[str, Any]] = []
+        for row in statement.rows:
+            if len(row) != len(names):
+                raise CatalogError(
+                    f"INSERT row width {len(row)} does not match {len(names)} columns"
+                )
+            values: dict[str, Any] = {}
+            for name, expr in zip(names, row):
+                if not isinstance(expr, Literal):
+                    raise CatalogError("INSERT VALUES must be literals")
+                values[name] = expr.value
+            new_rows.append(values)
+        columns = []
+        for name in table.column_names:
+            existing = table.column(name)
+            appended = [row.get(name) for row in new_rows]
+            columns.append(
+                (name, existing.concat(Column(appended, dtype=existing.dtype)))
+            )
+        self.replace_table(statement.table, Table(columns))
+        return len(new_rows)
+
+    def _execute_delete(self, statement) -> int:
+        from repro.engine.expressions import truth_mask
+
+        table = self.get_table(statement.table)
+        if statement.where is None:
+            affected = table.num_rows
+            self.replace_table(statement.table, table.slice(0, 0))
+            return affected
+        mask = truth_mask(statement.where, table)
+        affected = int(mask.sum())
+        self.replace_table(statement.table, table.filter(~mask))
+        return affected
+
+    def _execute_update(self, statement) -> int:
+        from repro.engine.column import Column
+        from repro.engine.expressions import truth_mask
+
+        table = self.get_table(statement.table)
+        mask = (
+            truth_mask(statement.where, table)
+            if statement.where is not None
+            else np.ones(table.num_rows, dtype=bool)
+        )
+        affected = int(mask.sum())
+        result = table
+        for column_name, expr in statement.assignments:
+            if column_name not in table.schema:
+                raise CatalogError(f"unknown column {column_name!r} in UPDATE")
+            new_values = expr.evaluate(table)
+            old = result.column(column_name)
+            merged = [
+                new_values[i] if mask[i] else old[i] for i in range(table.num_rows)
+            ]
+            result = result.with_column(
+                column_name, Column(merged, dtype=old.dtype)
+            )
+        self.replace_table(statement.table, result)
+        return affected
+
+_TYPE_WORDS = {
+    "INT": "INT64", "INTEGER": "INT64", "BIGINT": "INT64",
+    "FLOAT": "FLOAT64", "DOUBLE": "FLOAT64", "REAL": "FLOAT64",
+    "TEXT": "STRING", "STRING": "STRING", "VARCHAR": "STRING",
+    "BOOL": "BOOL", "BOOLEAN": "BOOL",
+}
+
+
+def _empty_table(columns: list[tuple[str, str]]) -> Table:
+    """An empty Table from CREATE TABLE (name, type word) pairs."""
+    from repro.engine.column import Column
+    from repro.engine.types import DataType
+
+    built = []
+    for name, type_word in columns:
+        if type_word not in _TYPE_WORDS:
+            raise CatalogError(f"unknown column type {type_word!r}")
+        built.append((name, Column.empty(DataType[_TYPE_WORDS[type_word]])))
+    return Table(built)

@@ -1,0 +1,248 @@
+"""NumPy-backed columns with out-of-band null masks.
+
+A :class:`Column` is the unit of storage in the engine: a dense payload
+array plus an optional boolean validity mask (True = valid).  Columns are
+treated as immutable by the query layer; all operations return new columns.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from repro.engine.types import DataType, coerce_array, infer_type, python_value
+from repro.errors import TypeMismatchError
+
+
+class Column:
+    """An immutable typed column of values with optional nulls.
+
+    Args:
+        values: payload values; ``None`` entries become nulls.
+        dtype: logical type; inferred from the data when omitted.
+        validity: boolean mask, True where the value is valid.  When omitted
+            it is derived from ``None`` entries in ``values``.
+    """
+
+    __slots__ = ("_data", "_validity", "_dtype")
+
+    def __init__(
+        self,
+        values: Sequence[Any] | np.ndarray,
+        dtype: DataType | None = None,
+        validity: np.ndarray | None = None,
+    ) -> None:
+        values_list: Sequence[Any] | np.ndarray
+        if isinstance(values, np.ndarray) and values.dtype != object:
+            values_list = values
+            inferred_validity = None
+        else:
+            values_list = list(values)
+            has_null = any(v is None for v in values_list)
+            if has_null:
+                inferred_validity = np.array([v is not None for v in values_list], dtype=bool)
+            else:
+                inferred_validity = None
+
+        if dtype is None:
+            non_null = (
+                [v for v in values_list if v is not None]
+                if inferred_validity is not None
+                else values_list
+            )
+            if len(non_null) == 0:
+                dtype = DataType.FLOAT64
+            else:
+                dtype = infer_type(non_null)
+
+        if inferred_validity is not None:
+            fill = _null_fill_value(dtype)
+            filled = [fill if v is None else v for v in values_list]
+            data = coerce_array(filled, dtype)
+        else:
+            data = coerce_array(values_list, dtype)
+
+        if validity is None:
+            validity = inferred_validity
+        elif validity.dtype != bool or len(validity) != len(data):
+            raise TypeMismatchError("validity mask must be a bool array matching the data length")
+        if validity is not None and bool(validity.all()):
+            validity = None
+
+        self._data = data
+        self._validity = validity
+        self._dtype = dtype
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_numpy(cls, array: np.ndarray, dtype: DataType | None = None) -> "Column":
+        """Wrap an existing NumPy array (no copy for non-object dtypes)."""
+        return cls(array, dtype=dtype)
+
+    @classmethod
+    def empty(cls, dtype: DataType) -> "Column":
+        """An empty column of the given type."""
+        return cls(np.empty(0, dtype=dtype.numpy_dtype), dtype=dtype)
+
+    # -- basic accessors -------------------------------------------------------
+
+    @property
+    def dtype(self) -> DataType:
+        """Logical type of the column."""
+        return self._dtype
+
+    @property
+    def data(self) -> np.ndarray:
+        """The dense payload array.  Null slots hold an arbitrary fill value."""
+        return self._data
+
+    @property
+    def validity(self) -> np.ndarray | None:
+        """Boolean validity mask, or None when every value is valid."""
+        return self._validity
+
+    @property
+    def has_nulls(self) -> bool:
+        """True if the column contains at least one null."""
+        return self._validity is not None and not bool(self._validity.all())
+
+    def null_count(self) -> int:
+        """Number of null values."""
+        if self._validity is None:
+            return 0
+        return int((~self._validity).sum())
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __getitem__(self, index: int) -> Any:
+        """Value at ``index`` as a native Python value, or None for null."""
+        if self._validity is not None and not self._validity[index]:
+            return None
+        return python_value(self._data[index])
+
+    def __iter__(self) -> Iterator[Any]:
+        for i in range(len(self)):
+            yield self[i]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Column):
+            return NotImplemented
+        return (
+            self._dtype == other._dtype
+            and len(self) == len(other)
+            and all(a == b for a, b in zip(self, other))
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - columns are not hashable
+        raise TypeError("Column objects are not hashable")
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(v) for v in list(self)[:6])
+        suffix = ", ..." if len(self) > 6 else ""
+        return f"Column<{self._dtype.name}>[{preview}{suffix}] (n={len(self)})"
+
+    # -- vectorised operations -------------------------------------------------
+
+    def to_list(self) -> list[Any]:
+        """Materialise as a Python list (nulls become None)."""
+        return list(self)
+
+    def valid_data(self) -> np.ndarray:
+        """Payload restricted to valid (non-null) slots."""
+        if self._validity is None:
+            return self._data
+        return self._data[self._validity]
+
+    def take(self, indices: np.ndarray) -> "Column":
+        """Gather rows by position."""
+        data = self._data[indices]
+        validity = self._validity[indices] if self._validity is not None else None
+        return _wrap(data, self._dtype, validity)
+
+    def filter(self, mask: np.ndarray) -> "Column":
+        """Keep rows where ``mask`` is True."""
+        data = self._data[mask]
+        validity = self._validity[mask] if self._validity is not None else None
+        return _wrap(data, self._dtype, validity)
+
+    def slice(self, start: int, stop: int) -> "Column":
+        """Contiguous row range ``[start, stop)``."""
+        data = self._data[start:stop]
+        validity = self._validity[start:stop] if self._validity is not None else None
+        return _wrap(data, self._dtype, validity)
+
+    def is_null_mask(self) -> np.ndarray:
+        """Boolean array, True where the value is null."""
+        if self._validity is None:
+            return np.zeros(len(self), dtype=bool)
+        return ~self._validity
+
+    def concat(self, other: "Column") -> "Column":
+        """Append ``other`` (same logical type) after this column."""
+        if other.dtype != self._dtype:
+            raise TypeMismatchError(
+                f"cannot concat {other.dtype.name} column onto {self._dtype.name}"
+            )
+        data = np.concatenate([self._data, other._data])
+        if self._validity is None and other._validity is None:
+            validity = None
+        else:
+            left = self._validity if self._validity is not None else np.ones(len(self), bool)
+            right = other._validity if other._validity is not None else np.ones(len(other), bool)
+            validity = np.concatenate([left, right])
+        return _wrap(data, self._dtype, validity)
+
+    # -- statistics -------------------------------------------------------------
+
+    def min(self) -> Any:
+        """Minimum valid value, or None for an all-null/empty column."""
+        valid = self.valid_data()
+        if len(valid) == 0:
+            return None
+        return python_value(valid.min())
+
+    def max(self) -> Any:
+        """Maximum valid value, or None for an all-null/empty column."""
+        valid = self.valid_data()
+        if len(valid) == 0:
+            return None
+        return python_value(valid.max())
+
+    def distinct_count(self) -> int:
+        """Number of distinct valid values."""
+        valid = self.valid_data()
+        if self._dtype is DataType.STRING:
+            return len(set(valid))
+        return len(np.unique(valid))
+
+
+def _null_fill_value(dtype: DataType) -> Any:
+    """A harmless payload value to park in null slots."""
+    if dtype is DataType.STRING:
+        return ""
+    if dtype is DataType.BOOL:
+        return False
+    return 0
+
+
+def _wrap(data: np.ndarray, dtype: DataType, validity: np.ndarray | None) -> Column:
+    """Build a Column around prepared arrays without re-inference."""
+    col = Column.__new__(Column)
+    if validity is not None and bool(validity.all()):
+        validity = None
+    col._data = data
+    col._validity = validity
+    col._dtype = dtype
+    return col
+
+
+def column_from_parts(data: np.ndarray, dtype: DataType, validity: np.ndarray | None = None) -> Column:
+    """Public wrapper for building a column from prepared arrays.
+
+    Used by operators that compute payload and validity separately and want
+    to avoid the inference cost of the main constructor.
+    """
+    return _wrap(data, dtype, validity)

@@ -1,0 +1,89 @@
+"""Plan execution: walks the logical plan bottom-up over in-memory tables."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine import operators as ops
+from repro.engine.expressions import truth_mask
+from repro.engine.planner import (
+    AggregateNode,
+    DistinctNode,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    Plan,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+)
+from repro.engine.table import Table
+from repro.errors import ExecutionError
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.catalog import Database
+
+
+def execute_plan(plan: Plan, database: "Database") -> Table:
+    """Execute a logical plan and return the result table."""
+    return _execute(plan.root, database)
+
+
+def _execute(node: PlanNode, database: "Database") -> Table:
+    if isinstance(node, ScanNode):
+        return _execute_scan(node, database)
+    if isinstance(node, JoinNode):
+        left = _execute(node.child, database)
+        right = database.get_table(node.clause.table)
+        return ops.hash_join(
+            left,
+            right,
+            node.clause.left_column,
+            node.clause.right_column,
+            kind=node.clause.kind,
+        )
+    if isinstance(node, FilterNode):
+        return ops.filter_table(_execute(node.child, database), node.predicate)
+    if isinstance(node, AggregateNode):
+        child = _execute(node.child, database)
+        return ops.hash_aggregate(
+            child, node.group_exprs, node.aggregates, node.group_names
+        )
+    if isinstance(node, ProjectNode):
+        return ops.project(_execute(node.child, database), node.items)
+    if isinstance(node, DistinctNode):
+        child = _execute(node.child, database)
+        seen: set[tuple] = set()
+        keep: list[int] = []
+        for i, row in enumerate(child.rows()):
+            if row not in seen:
+                seen.add(row)
+                keep.append(i)
+        return child.take(np.asarray(keep, dtype=np.int64))
+    if isinstance(node, SortNode):
+        return ops.sort_table(_execute(node.child, database), node.order_by)
+    if isinstance(node, LimitNode):
+        return ops.limit(_execute(node.child, database), node.count)
+    raise ExecutionError(f"unknown plan node {type(node).__name__}")
+
+
+def _execute_scan(node: ScanNode, database: "Database") -> Table:
+    table = database.get_table(node.table)
+    if node.probe is not None:
+        index = database.index_for(node.table, node.probe.column)
+        if index is None:
+            raise ExecutionError(
+                f"plan expected an index on {node.table}.{node.probe.column}"
+            )
+        positions = index.lookup_range(
+            node.probe.low,
+            node.probe.high,
+            node.probe.low_inclusive,
+            node.probe.high_inclusive,
+        )
+        table = table.take(np.asarray(positions, dtype=np.int64))
+    if node.predicate is not None:
+        table = table.filter(truth_mask(node.predicate, table))
+    return table

@@ -1,0 +1,685 @@
+"""Typed expression trees with vectorised evaluation.
+
+Expressions are built either programmatically (``col("a") > 5``) or by the
+SQL parser.  Evaluation is vectorised over a :class:`~repro.engine.table.Table`
+and returns a :class:`~repro.engine.column.Column`.
+
+SQL three-valued logic is honoured: comparisons involving NULL yield NULL,
+AND/OR follow Kleene logic, and WHERE keeps only rows whose predicate is
+strictly TRUE.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.engine.column import Column, column_from_parts
+from repro.engine.table import Table
+from repro.engine.types import DataType, common_type, python_value
+from repro.errors import TypeMismatchError
+
+
+class Expression(abc.ABC):
+    """Base class of the expression AST."""
+
+    @abc.abstractmethod
+    def evaluate(self, table: Table) -> Column:
+        """Evaluate over every row of ``table``."""
+
+    @abc.abstractmethod
+    def output_type(self, table: Table) -> DataType:
+        """Logical type this expression produces against ``table``."""
+
+    @abc.abstractmethod
+    def referenced_columns(self) -> set[str]:
+        """Names of all columns the expression reads."""
+
+    @abc.abstractmethod
+    def to_sql(self) -> str:
+        """Render back to SQL text."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.to_sql()})"
+
+    # -- operator sugar ---------------------------------------------------------
+
+    def _binop(self, op: str, other: Any) -> "Expression":
+        return Comparison(op, self, _lift(other))
+
+    def __eq__(self, other: Any) -> "Expression":  # type: ignore[override]
+        return self._binop("=", other)
+
+    def __ne__(self, other: Any) -> "Expression":  # type: ignore[override]
+        return self._binop("<>", other)
+
+    def __lt__(self, other: Any) -> "Expression":
+        return self._binop("<", other)
+
+    def __le__(self, other: Any) -> "Expression":
+        return self._binop("<=", other)
+
+    def __gt__(self, other: Any) -> "Expression":
+        return self._binop(">", other)
+
+    def __ge__(self, other: Any) -> "Expression":
+        return self._binop(">=", other)
+
+    def __hash__(self) -> int:
+        return hash(self.to_sql())
+
+    def __add__(self, other: Any) -> "Expression":
+        return Arithmetic("+", self, _lift(other))
+
+    def __sub__(self, other: Any) -> "Expression":
+        return Arithmetic("-", self, _lift(other))
+
+    def __mul__(self, other: Any) -> "Expression":
+        return Arithmetic("*", self, _lift(other))
+
+    def __truediv__(self, other: Any) -> "Expression":
+        return Arithmetic("/", self, _lift(other))
+
+    def __and__(self, other: Any) -> "Expression":
+        return And(self, _lift(other))
+
+    def __or__(self, other: Any) -> "Expression":
+        return Or(self, _lift(other))
+
+    def __invert__(self) -> "Expression":
+        return Not(self)
+
+    def between(self, low: Any, high: Any) -> "Expression":
+        """``self BETWEEN low AND high`` (inclusive on both ends)."""
+        return And(self._binop(">=", low), self._binop("<=", high))
+
+    def isin(self, values: Iterable[Any]) -> "Expression":
+        """``self IN (values...)``."""
+        return InList(self, [_lift(v) for v in values])
+
+    def is_null(self) -> "Expression":
+        """``self IS NULL``."""
+        return IsNull(self, negated=False)
+
+    def is_not_null(self) -> "Expression":
+        """``self IS NOT NULL``."""
+        return IsNull(self, negated=True)
+
+
+def _lift(value: Any) -> Expression:
+    """Wrap a plain Python value as a Literal; pass expressions through."""
+    if isinstance(value, Expression):
+        return value
+    return Literal(value)
+
+
+def col(name: str) -> "ColumnRef":
+    """Shorthand constructor for a column reference."""
+    return ColumnRef(name)
+
+
+def lit(value: Any) -> "Literal":
+    """Shorthand constructor for a literal."""
+    return Literal(value)
+
+
+class ColumnRef(Expression):
+    """Reference to a named column of the input table."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def evaluate(self, table: Table) -> Column:
+        return table.column(self.name)
+
+    def output_type(self, table: Table) -> DataType:
+        return table.schema.type_of(self.name)
+
+    def referenced_columns(self) -> set[str]:
+        return {self.name}
+
+    def to_sql(self) -> str:
+        return self.name
+
+
+class Literal(Expression):
+    """A constant value (int, float, bool, str, or None)."""
+
+    def __init__(self, value: Any) -> None:
+        self.value = python_value(value)
+
+    def evaluate(self, table: Table) -> Column:
+        n = table.num_rows
+        return Column([self.value] * n, dtype=self._dtype())
+
+    def _dtype(self) -> DataType:
+        if self.value is None:
+            return DataType.FLOAT64
+        if isinstance(self.value, bool):
+            return DataType.BOOL
+        if isinstance(self.value, int):
+            return DataType.INT64
+        if isinstance(self.value, float):
+            return DataType.FLOAT64
+        if isinstance(self.value, str):
+            return DataType.STRING
+        raise TypeMismatchError(f"unsupported literal {self.value!r}")
+
+    def output_type(self, table: Table) -> DataType:
+        return self._dtype()
+
+    def referenced_columns(self) -> set[str]:
+        return set()
+
+    def to_sql(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return repr(self.value)
+
+
+_COMPARATORS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "=": np.equal,
+    "<>": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+
+def _combined_validity(left: Column, right: Column) -> np.ndarray | None:
+    if left.validity is None and right.validity is None:
+        return None
+    lv = left.validity if left.validity is not None else np.ones(len(left), bool)
+    rv = right.validity if right.validity is not None else np.ones(len(right), bool)
+    return lv & rv
+
+
+class Comparison(Expression):
+    """Binary comparison: ``left <op> right`` with SQL null semantics."""
+
+    def __init__(self, op: str, left: Expression, right: Expression) -> None:
+        if op not in _COMPARATORS:
+            raise TypeMismatchError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, table: Table) -> Column:
+        lcol = self.left.evaluate(table)
+        rcol = self.right.evaluate(table)
+        ltype, rtype = lcol.dtype, rcol.dtype
+        target = common_type(ltype, rtype)
+        if target is DataType.STRING and self.op not in ("=", "<>", "<", "<=", ">", ">="):
+            raise TypeMismatchError(f"operator {self.op} unsupported for strings")
+        ldata = lcol.data
+        rdata = rcol.data
+        if target.is_numeric:
+            ldata = ldata.astype(target.numpy_dtype, copy=False)
+            rdata = rdata.astype(target.numpy_dtype, copy=False)
+            result = _COMPARATORS[self.op](ldata, rdata)
+        elif target is DataType.STRING:
+            lu = np.asarray([v if v is not None else "" for v in ldata], dtype=str)
+            ru = np.asarray([v if v is not None else "" for v in rdata], dtype=str)
+            result = _COMPARATORS[self.op](lu, ru)
+        else:  # BOOL
+            if self.op not in ("=", "<>"):
+                raise TypeMismatchError("booleans only support = and <>")
+            result = _COMPARATORS[self.op](ldata, rdata)
+        validity = _combined_validity(lcol, rcol)
+        return column_from_parts(np.asarray(result, dtype=bool), DataType.BOOL, validity)
+
+    def output_type(self, table: Table) -> DataType:
+        common_type(self.left.output_type(table), self.right.output_type(table))
+        return DataType.BOOL
+
+    def referenced_columns(self) -> set[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.op} {self.right.to_sql()})"
+
+
+_ARITH: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.divide,
+    "%": np.mod,
+}
+
+
+class Arithmetic(Expression):
+    """Binary arithmetic over numeric operands."""
+
+    def __init__(self, op: str, left: Expression, right: Expression) -> None:
+        if op not in _ARITH:
+            raise TypeMismatchError(f"unknown arithmetic operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, table: Table) -> Column:
+        lcol = self.left.evaluate(table)
+        rcol = self.right.evaluate(table)
+        target = common_type(lcol.dtype, rcol.dtype)
+        if not target.is_numeric:
+            raise TypeMismatchError(f"arithmetic requires numeric operands, got {target.name}")
+        if self.op == "/":
+            target = DataType.FLOAT64
+        ldata = lcol.data.astype(target.numpy_dtype, copy=False)
+        rdata = rcol.data.astype(target.numpy_dtype, copy=False)
+        validity = _combined_validity(lcol, rcol)
+        if self.op in ("/", "%"):
+            zero = rdata == 0
+            if zero.any():
+                safe = rdata.copy()
+                safe[zero] = 1
+                result = _ARITH[self.op](ldata, safe)
+                zmask = ~zero
+                validity = zmask if validity is None else (validity & zmask)
+            else:
+                result = _ARITH[self.op](ldata, rdata)
+        else:
+            result = _ARITH[self.op](ldata, rdata)
+        return column_from_parts(np.asarray(result, dtype=target.numpy_dtype), target, validity)
+
+    def output_type(self, table: Table) -> DataType:
+        target = common_type(self.left.output_type(table), self.right.output_type(table))
+        if not target.is_numeric:
+            raise TypeMismatchError("arithmetic requires numeric operands")
+        return DataType.FLOAT64 if self.op == "/" else target
+
+    def referenced_columns(self) -> set[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.op} {self.right.to_sql()})"
+
+
+class Negate(Expression):
+    """Unary minus."""
+
+    def __init__(self, operand: Expression) -> None:
+        self.operand = operand
+
+    def evaluate(self, table: Table) -> Column:
+        inner = self.operand.evaluate(table)
+        if not inner.dtype.is_numeric:
+            raise TypeMismatchError("unary minus requires a numeric operand")
+        return column_from_parts(-inner.data, inner.dtype, inner.validity)
+
+    def output_type(self, table: Table) -> DataType:
+        dtype = self.operand.output_type(table)
+        if not dtype.is_numeric:
+            raise TypeMismatchError("unary minus requires a numeric operand")
+        return dtype
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+    def to_sql(self) -> str:
+        return f"(-{self.operand.to_sql()})"
+
+
+def _to_kleene(col_: Column) -> tuple[np.ndarray, np.ndarray]:
+    """Split a BOOL column into (truth, known) arrays for 3-valued logic."""
+    truth = col_.data.astype(bool, copy=False)
+    known = col_.validity if col_.validity is not None else np.ones(len(col_), bool)
+    return truth & known, known
+
+
+def _from_kleene(truth: np.ndarray, known: np.ndarray) -> Column:
+    validity = None if bool(known.all()) else known
+    return column_from_parts(truth, DataType.BOOL, validity)
+
+
+class And(Expression):
+    """Kleene-logic conjunction."""
+
+    def __init__(self, left: Expression, right: Expression) -> None:
+        self.left = left
+        self.right = right
+
+    def evaluate(self, table: Table) -> Column:
+        lt, lk = _to_kleene(self.left.evaluate(table))
+        rt, rk = _to_kleene(self.right.evaluate(table))
+        truth = lt & rt
+        false_somewhere = (lk & ~lt) | (rk & ~rt)
+        known = (lk & rk) | false_somewhere
+        return _from_kleene(truth, known)
+
+    def output_type(self, table: Table) -> DataType:
+        return DataType.BOOL
+
+    def referenced_columns(self) -> set[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} AND {self.right.to_sql()})"
+
+
+class Or(Expression):
+    """Kleene-logic disjunction."""
+
+    def __init__(self, left: Expression, right: Expression) -> None:
+        self.left = left
+        self.right = right
+
+    def evaluate(self, table: Table) -> Column:
+        lt, lk = _to_kleene(self.left.evaluate(table))
+        rt, rk = _to_kleene(self.right.evaluate(table))
+        truth = lt | rt
+        known = (lk & rk) | lt | rt
+        return _from_kleene(truth, known)
+
+    def output_type(self, table: Table) -> DataType:
+        return DataType.BOOL
+
+    def referenced_columns(self) -> set[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} OR {self.right.to_sql()})"
+
+
+class Not(Expression):
+    """Kleene-logic negation."""
+
+    def __init__(self, operand: Expression) -> None:
+        self.operand = operand
+
+    def evaluate(self, table: Table) -> Column:
+        truth, known = _to_kleene(self.operand.evaluate(table))
+        return _from_kleene(~truth & known, known)
+
+    def output_type(self, table: Table) -> DataType:
+        return DataType.BOOL
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+    def to_sql(self) -> str:
+        return f"(NOT {self.operand.to_sql()})"
+
+
+class InList(Expression):
+    """``expr IN (v1, v2, ...)`` membership test over literals/expressions."""
+
+    def __init__(self, operand: Expression, options: list[Expression]) -> None:
+        self.operand = operand
+        self.options = options
+
+    def evaluate(self, table: Table) -> Column:
+        inner = self.operand.evaluate(table)
+        result = np.zeros(len(inner), dtype=bool)
+        for option in self.options:
+            eq = Comparison("=", self.operand, option).evaluate(table)
+            truth, _ = _to_kleene(eq)
+            result |= truth
+        validity = inner.validity
+        return column_from_parts(result, DataType.BOOL, validity)
+
+    def output_type(self, table: Table) -> DataType:
+        return DataType.BOOL
+
+    def referenced_columns(self) -> set[str]:
+        refs = self.operand.referenced_columns()
+        for option in self.options:
+            refs |= option.referenced_columns()
+        return refs
+
+    def to_sql(self) -> str:
+        opts = ", ".join(o.to_sql() for o in self.options)
+        return f"({self.operand.to_sql()} IN ({opts}))"
+
+
+class IsNull(Expression):
+    """``expr IS [NOT] NULL`` — always yields a non-null boolean."""
+
+    def __init__(self, operand: Expression, negated: bool) -> None:
+        self.operand = operand
+        self.negated = negated
+
+    def evaluate(self, table: Table) -> Column:
+        inner = self.operand.evaluate(table)
+        nulls = inner.is_null_mask()
+        result = ~nulls if self.negated else nulls
+        return column_from_parts(result, DataType.BOOL, None)
+
+    def output_type(self, table: Table) -> DataType:
+        return DataType.BOOL
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+    def to_sql(self) -> str:
+        suffix = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand.to_sql()} {suffix})"
+
+
+def truth_mask(predicate: Expression, table: Table) -> np.ndarray:
+    """Rows of ``table`` where ``predicate`` is strictly TRUE.
+
+    This implements the SQL WHERE rule: NULL predicate results drop the row.
+    """
+    result = predicate.evaluate(table)
+    if result.dtype is not DataType.BOOL:
+        raise TypeMismatchError(f"predicate must be boolean, got {result.dtype.name}")
+    truth, known = _to_kleene(result)
+    return truth & known
+
+
+class Like(Expression):
+    """SQL ``LIKE`` pattern matching (``%`` = any run, ``_`` = one char)."""
+
+    def __init__(self, operand: Expression, pattern: str, negated: bool = False) -> None:
+        import re
+
+        self.operand = operand
+        self.pattern = pattern
+        self.negated = negated
+        escaped = re.escape(pattern)
+        # re.escape may or may not escape % and _ depending on the Python
+        # version; normalise, then translate the SQL wildcards
+        escaped = escaped.replace(r"\%", "%").replace(r"\_", "_")
+        escaped = escaped.replace("%", ".*").replace("_", ".")
+        self._regex = re.compile(f"^{escaped}$", re.DOTALL)
+
+    def evaluate(self, table: Table) -> Column:
+        inner = self.operand.evaluate(table)
+        if inner.dtype is not DataType.STRING:
+            raise TypeMismatchError("LIKE requires a string operand")
+        result = np.asarray(
+            [
+                bool(self._regex.match(v)) if v is not None else False
+                for v in inner.to_list()
+            ],
+            dtype=bool,
+        )
+        if self.negated:
+            result = ~result & ~inner.is_null_mask()
+        return column_from_parts(result, DataType.BOOL, inner.validity)
+
+    def output_type(self, table: Table) -> DataType:
+        return DataType.BOOL
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+    def to_sql(self) -> str:
+        keyword = "NOT LIKE" if self.negated else "LIKE"
+        escaped = self.pattern.replace("'", "''")
+        return f"({self.operand.to_sql()} {keyword} '{escaped}')"
+
+
+def _fn_round(values: np.ndarray, digits: int = 0) -> np.ndarray:
+    return np.round(values, digits)
+
+
+#: Scalar function registry: name -> (apply, input kind, output kind).
+#: Kinds: "numeric" or "string"; output "same" preserves the input type.
+SCALAR_FUNCTIONS: dict[str, tuple[Callable[..., np.ndarray], str, str]] = {
+    "ABS": (np.abs, "numeric", "same"),
+    "SQRT": (np.sqrt, "numeric", "float"),
+    "FLOOR": (np.floor, "numeric", "float"),
+    "CEIL": (np.ceil, "numeric", "float"),
+    "ROUND": (_fn_round, "numeric", "float"),
+    "LN": (np.log, "numeric", "float"),
+    "EXP": (np.exp, "numeric", "float"),
+    "LENGTH": (None, "string", "int"),  # handled specially
+    "UPPER": (None, "string", "string"),
+    "LOWER": (None, "string", "string"),
+}
+
+
+class FunctionCall(Expression):
+    """A scalar function call (see :data:`SCALAR_FUNCTIONS`)."""
+
+    def __init__(self, name: str, arguments: list[Expression]) -> None:
+        name = name.upper()
+        if name not in SCALAR_FUNCTIONS:
+            raise TypeMismatchError(f"unknown function {name!r}")
+        self.name = name
+        self.arguments = arguments
+
+    def _check_arity(self) -> None:
+        allowed = (1, 2) if self.name == "ROUND" else (1,)
+        if len(self.arguments) not in allowed:
+            raise TypeMismatchError(
+                f"{self.name} expects {' or '.join(map(str, allowed))} "
+                f"argument(s), got {len(self.arguments)}"
+            )
+
+    def evaluate(self, table: Table) -> Column:
+        self._check_arity()
+        inner = self.arguments[0].evaluate(table)
+        fn, in_kind, out_kind = SCALAR_FUNCTIONS[self.name]
+        if in_kind == "numeric":
+            if not inner.dtype.is_numeric:
+                raise TypeMismatchError(f"{self.name} requires a numeric argument")
+            data = inner.data.astype(np.float64, copy=False)
+            if self.name == "ROUND" and len(self.arguments) == 2:
+                digits_col = self.arguments[1].evaluate(table)
+                digits = int(digits_col[0]) if len(digits_col) else 0
+                result = _fn_round(data, digits)
+            else:
+                with np.errstate(invalid="ignore", divide="ignore"):
+                    result = fn(data)
+            invalid = ~np.isfinite(result)
+            validity = inner.validity
+            if invalid.any():
+                base = validity if validity is not None else np.ones(len(result), bool)
+                validity = base & ~invalid
+                result = np.where(invalid, 0.0, result)
+            if out_kind == "same" and inner.dtype is DataType.INT64:
+                return column_from_parts(
+                    result.astype(np.int64), DataType.INT64, validity
+                )
+            return column_from_parts(result, DataType.FLOAT64, validity)
+        # string functions
+        if inner.dtype is not DataType.STRING:
+            raise TypeMismatchError(f"{self.name} requires a string argument")
+        values = inner.to_list()
+        if self.name == "LENGTH":
+            data = np.asarray([0 if v is None else len(v) for v in values], np.int64)
+            return column_from_parts(data, DataType.INT64, inner.validity)
+        transform = str.upper if self.name == "UPPER" else str.lower
+        out = np.empty(len(values), dtype=object)
+        for i, v in enumerate(values):
+            out[i] = None if v is None else transform(v)
+        return column_from_parts(out, DataType.STRING, inner.validity)
+
+    def output_type(self, table: Table) -> DataType:
+        _, in_kind, out_kind = SCALAR_FUNCTIONS[self.name]
+        if out_kind == "int":
+            return DataType.INT64
+        if out_kind == "string":
+            return DataType.STRING
+        if out_kind == "same":
+            return self.arguments[0].output_type(table)
+        return DataType.FLOAT64
+
+    def referenced_columns(self) -> set[str]:
+        refs: set[str] = set()
+        for argument in self.arguments:
+            refs |= argument.referenced_columns()
+        return refs
+
+    def to_sql(self) -> str:
+        args = ", ".join(a.to_sql() for a in self.arguments)
+        return f"{self.name}({args})"
+
+
+class Case(Expression):
+    """``CASE WHEN cond THEN value ... [ELSE value] END``."""
+
+    def __init__(
+        self,
+        branches: list[tuple[Expression, Expression]],
+        default: Expression | None = None,
+    ) -> None:
+        if not branches:
+            raise TypeMismatchError("CASE needs at least one WHEN branch")
+        self.branches = branches
+        self.default = default
+
+    def evaluate(self, table: Table) -> Column:
+        n = table.num_rows
+        value_columns = [value.evaluate(table) for _, value in self.branches]
+        default_column = (
+            self.default.evaluate(table) if self.default is not None else None
+        )
+        out_type = value_columns[0].dtype
+        for column in value_columns[1:]:
+            out_type = common_type(out_type, column.dtype)
+        if default_column is not None:
+            out_type = common_type(out_type, default_column.dtype)
+
+        chosen = np.full(n, -1, dtype=np.int64)  # branch index; -1 = default
+        remaining = np.ones(n, dtype=bool)
+        for i, (condition, _) in enumerate(self.branches):
+            mask = truth_mask(condition, table) & remaining
+            chosen[mask] = i
+            remaining &= ~mask
+
+        values: list[Any] = [None] * n
+        for row in range(n):
+            branch = chosen[row]
+            if branch >= 0:
+                values[row] = value_columns[branch][row]
+            elif default_column is not None:
+                values[row] = default_column[row]
+        return Column(values, dtype=out_type)
+
+    def output_type(self, table: Table) -> DataType:
+        out = self.branches[0][1].output_type(table)
+        for _, value in self.branches[1:]:
+            out = common_type(out, value.output_type(table))
+        if self.default is not None:
+            out = common_type(out, self.default.output_type(table))
+        return out
+
+    def referenced_columns(self) -> set[str]:
+        refs: set[str] = set()
+        for condition, value in self.branches:
+            refs |= condition.referenced_columns() | value.referenced_columns()
+        if self.default is not None:
+            refs |= self.default.referenced_columns()
+        return refs
+
+    def to_sql(self) -> str:
+        parts = ["CASE"]
+        for condition, value in self.branches:
+            parts.append(f"WHEN {condition.to_sql()} THEN {value.to_sql()}")
+        if self.default is not None:
+            parts.append(f"ELSE {self.default.to_sql()}")
+        parts.append("END")
+        return "(" + " ".join(parts) + ")"

@@ -1,0 +1,354 @@
+"""Vectorised physical operators.
+
+Each operator is a pure function from tables/columns to tables/columns.
+The executor composes them according to the plan produced by the planner.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.engine.column import Column, column_from_parts
+from repro.engine.expressions import Expression, truth_mask
+from repro.engine.sql.ast import AggregateCall, OrderItem, SelectItem
+from repro.engine.table import Table
+from repro.engine.types import DataType
+from repro.errors import ExecutionError
+
+
+def filter_table(table: Table, predicate: Expression) -> Table:
+    """Keep rows where ``predicate`` is strictly TRUE (SQL WHERE rule)."""
+    return table.filter(truth_mask(predicate, table))
+
+
+def project(table: Table, items: Sequence[SelectItem]) -> Table:
+    """Evaluate a non-aggregate select list."""
+    columns: list[tuple[str, Column]] = []
+    for item in items:
+        if item.star:
+            columns.extend((name, table.column(name)) for name in table.column_names)
+            continue
+        if item.aggregate is not None:
+            raise ExecutionError("project() cannot evaluate aggregates")
+        assert item.expression is not None
+        columns.append((item.output_name(), item.expression.evaluate(table)))
+    return Table(columns)
+
+
+def limit(table: Table, n: int) -> Table:
+    """First ``n`` rows."""
+    return table.slice(0, min(n, table.num_rows))
+
+
+# -- sorting -----------------------------------------------------------------------
+
+
+def _sort_key_array(column: Column) -> np.ndarray:
+    """An array usable by argsort; nulls order first via a sentinel."""
+    if column.dtype is DataType.STRING:
+        return np.asarray(
+            ["" if v is None else str(v) for v in column.to_list()], dtype=str
+        )
+    data = column.data.astype(np.float64, copy=True)
+    if column.validity is not None:
+        data[~column.validity] = -np.inf
+    return data
+
+
+def sort_table(table: Table, order_by: Sequence[OrderItem]) -> Table:
+    """Stable multi-key sort."""
+    if not order_by:
+        return table
+    indices = np.arange(table.num_rows)
+    # numpy's stable sort applied from the least-significant key backwards
+    for item in reversed(list(order_by)):
+        keys = _sort_key_array(item.expression.evaluate(table))[indices]
+        order = np.argsort(keys, kind="stable")
+        if not item.ascending:
+            order = order[::-1]
+            # keep equal keys in stable (original) order under DESC
+            order = _stabilise_descending(keys, order)
+        indices = indices[order]
+    return table.take(indices)
+
+
+def _stabilise_descending(keys: np.ndarray, order: np.ndarray) -> np.ndarray:
+    """Re-stabilise a reversed ascending argsort for descending order."""
+    sorted_keys = keys[order]
+    result = order.copy()
+    start = 0
+    n = len(order)
+    while start < n:
+        end = start + 1
+        while end < n and sorted_keys[end] == sorted_keys[start]:
+            end += 1
+        if end - start > 1:
+            result[start:end] = np.sort(order[start:end])
+        start = end
+    return result
+
+
+# -- joins --------------------------------------------------------------------------
+
+
+def hash_join(
+    left: Table,
+    right: Table,
+    left_key: str,
+    right_key: str,
+    kind: str = "inner",
+) -> Table:
+    """Equi-join two tables on one key column each.
+
+    Columns of the right table that clash with left column names are
+    prefixed with ``right_`` in the output.  ``kind`` is ``inner`` or
+    ``left``; a left join emits unmatched left rows with NULL right columns.
+    """
+    if kind not in ("inner", "left"):
+        raise ExecutionError(f"unsupported join kind {kind!r}")
+    left_idx, right_idx = _match_join_keys(
+        left.column(left_key), right.column(right_key), kind
+    )
+    out: list[tuple[str, Column]] = [
+        (name, left.column(name).take(left_idx)) for name in left.column_names
+    ]
+    pad_mask = right_idx < 0
+    safe_right_idx = np.where(pad_mask, 0, right_idx)
+    for name in right.column_names:
+        out_name = name if name not in left.column_names else f"right_{name}"
+        source = right.column(name)
+        if len(right) == 0:
+            # all output rows (if any) are left-join padding: emit nulls
+            taken = column_from_parts(
+                np.zeros(len(left_idx), dtype=source.dtype.numpy_dtype),
+                source.dtype,
+                np.zeros(len(left_idx), dtype=bool) if len(left_idx) else None,
+            )
+            out.append((out_name, taken))
+            continue
+        taken = source.take(safe_right_idx)
+        if pad_mask.any():
+            validity = (
+                taken.validity.copy() if taken.validity is not None
+                else np.ones(len(taken), bool)
+            )
+            validity[pad_mask] = False
+            taken = column_from_parts(taken.data, taken.dtype, validity)
+        out.append((out_name, taken))
+    if left.num_rows and not out:
+        raise ExecutionError("join produced no columns")
+    return Table(out) if out else left
+
+
+def _join_key_array(column: Column) -> np.ndarray:
+    """A comparable key array for join matching (nulls handled by mask)."""
+    if column.dtype is DataType.STRING:
+        return np.asarray(
+            ["" if v is None else str(v) for v in column.data], dtype=str
+        )
+    return column.data.astype(np.float64, copy=False)
+
+
+def _match_join_keys(
+    left_col: Column, right_col: Column, kind: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised equi-join matching.
+
+    Returns aligned (left row, right row) index arrays in left-row order,
+    with matches for one left row in right-row order; a right index of -1
+    marks left-join padding.  Null keys never match.
+    """
+    if (left_col.dtype is DataType.STRING) != (right_col.dtype is DataType.STRING):
+        # incomparable key types: nothing joins
+        n_left = len(left_col)
+        if kind == "left":
+            return (
+                np.arange(n_left, dtype=np.int64),
+                np.full(n_left, -1, dtype=np.int64),
+            )
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+
+    left_vals = _join_key_array(left_col)
+    right_vals = _join_key_array(right_col)
+    left_valid = ~left_col.is_null_mask()
+    right_valid = ~right_col.is_null_mask()
+
+    # group right rows by key (valid rows only)
+    right_rows = np.flatnonzero(right_valid)
+    unique_keys, inverse = (
+        np.unique(right_vals[right_rows], return_inverse=True)
+        if len(right_rows)
+        else (right_vals[:0], np.empty(0, dtype=np.int64))
+    )
+    order = np.argsort(inverse, kind="stable")
+    grouped_rows = right_rows[order]  # right row ids, grouped by key, ascending
+    counts_per_key = np.bincount(inverse, minlength=len(unique_keys))
+    group_starts = np.concatenate([[0], np.cumsum(counts_per_key)[:-1]])
+
+    # probe: locate each left key among the unique right keys
+    if len(unique_keys) == 0:
+        matched = np.zeros(len(left_vals), dtype=bool)
+        match_counts = np.zeros(len(left_vals), dtype=np.int64)
+        clipped = np.zeros(len(left_vals), dtype=np.int64)
+    else:
+        positions = np.searchsorted(unique_keys, left_vals)
+        clipped = np.clip(positions, 0, len(unique_keys) - 1)
+        matched = (
+            left_valid
+            & (positions < len(unique_keys))
+            & (unique_keys[clipped] == left_vals)
+        )
+        match_counts = np.where(matched, counts_per_key[clipped], 0)
+    if kind == "left":
+        out_counts = np.maximum(match_counts, 1)  # unmatched rows emit padding
+    else:
+        out_counts = match_counts
+
+    total = int(out_counts.sum())
+    left_idx = np.repeat(np.arange(len(left_vals), dtype=np.int64), out_counts)
+    right_idx = np.full(total, -1, dtype=np.int64)
+    # fill matched slots: for each matched left row, a contiguous run of
+    # its key group in `grouped_rows`
+    run_starts = np.cumsum(out_counts) - out_counts
+    matched_rows = np.flatnonzero(matched & (match_counts > 0))
+    if len(matched_rows):
+        starts = group_starts[clipped[matched_rows]]
+        counts = match_counts[matched_rows]
+        flat_targets = np.repeat(run_starts[matched_rows], counts)
+        flat_sources = np.repeat(starts, counts)
+        intra = np.arange(int(counts.sum())) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        right_idx[flat_targets + intra] = grouped_rows[flat_sources + intra]
+    return left_idx, right_idx
+
+
+# -- aggregation ------------------------------------------------------------------------
+
+
+def _aggregate_values(call: AggregateCall, column: Column | None, group_size: int) -> Any:
+    """Evaluate one aggregate over the (already filtered) group values."""
+    if call.argument is None:  # COUNT(*)
+        return group_size
+    assert column is not None
+    if call.function == "COUNT":
+        if call.distinct:
+            return len({v for v in column.to_list() if v is not None})
+        return group_size - column.null_count()
+    valid = column.valid_data()
+    if call.distinct:
+        if column.dtype is DataType.STRING:
+            valid = np.asarray(sorted(set(valid)), dtype=object)
+        else:
+            valid = np.unique(valid)
+    if len(valid) == 0:
+        return None
+    if call.function == "SUM":
+        return float(valid.sum()) if column.dtype is DataType.FLOAT64 else int(valid.sum())
+    if call.function == "AVG":
+        return float(np.mean(valid.astype(np.float64)))
+    if call.function == "MIN":
+        value = min(valid) if column.dtype is DataType.STRING else valid.min()
+        return value if isinstance(value, str) else value.item()
+    if call.function == "MAX":
+        value = max(valid) if column.dtype is DataType.STRING else valid.max()
+        return value if isinstance(value, str) else value.item()
+    raise ExecutionError(f"unknown aggregate function {call.function}")
+
+
+def hash_aggregate(
+    table: Table,
+    group_exprs: Sequence[Expression],
+    aggregates: Sequence[tuple[str, AggregateCall]],
+    group_names: Sequence[str] | None = None,
+) -> Table:
+    """GROUP BY via hashing on materialised key columns.
+
+    Args:
+        table: input rows (already WHERE-filtered).
+        group_exprs: grouping expressions; empty means a single global group.
+        aggregates: (output name, call) pairs.
+        group_names: output names for the group keys; defaults to the
+            expressions' SQL text.
+
+    Returns:
+        One row per group: key columns first, aggregate columns after.
+    """
+    names = list(group_names) if group_names is not None else [
+        e.to_sql().strip("()") for e in group_exprs
+    ]
+    key_columns = [expr.evaluate(table) for expr in group_exprs]
+    arg_columns: dict[int, Column] = {}
+    for i, (_, call) in enumerate(aggregates):
+        if call.argument is not None:
+            arg_columns[i] = call.argument.evaluate(table)
+
+    if not group_exprs:
+        row: list[Any] = []
+        for i, (_, call) in enumerate(aggregates):
+            row.append(_aggregate_values(call, arg_columns.get(i), table.num_rows))
+        return Table.from_rows([tuple(row)], [name for name, _ in aggregates])
+
+    grouped = _group_rows(key_columns, table.num_rows)
+
+    out_rows: list[tuple[Any, ...]] = []
+    for key, idx in grouped:
+        row_values: list[Any] = list(key)
+        for i, (_, call) in enumerate(aggregates):
+            arg = arg_columns.get(i)
+            sliced = arg.take(idx) if arg is not None else None
+            row_values.append(_aggregate_values(call, sliced, len(idx)))
+        out_rows.append(tuple(row_values))
+    out_names = names + [name for name, _ in aggregates]
+    return Table.from_rows(out_rows, out_names)
+
+
+def _group_rows(
+    key_columns: list[Column], num_rows: int
+) -> list[tuple[tuple[Any, ...], np.ndarray]]:
+    """Partition row indices by key tuple, in first-appearance order.
+
+    Null-free key columns go through a vectorised ``np.unique`` path;
+    anything else falls back to a per-row hash loop.
+    """
+    if num_rows == 0:
+        return []
+    if all(not column.has_nulls for column in key_columns):
+        codes = np.zeros(num_rows, dtype=np.int64)
+        for column in key_columns:
+            if column.dtype is DataType.STRING:
+                data = np.asarray(
+                    ["" if v is None else str(v) for v in column.data], dtype=str
+                )
+            else:
+                data = column.data
+            _, inverse = np.unique(data, return_inverse=True)
+            codes = codes * (int(inverse.max()) + 1 if len(inverse) else 1) + inverse
+        order = np.argsort(codes, kind="stable")
+        sorted_codes = codes[order]
+        boundaries = np.flatnonzero(sorted_codes[1:] != sorted_codes[:-1]) + 1
+        starts = np.concatenate([[0], boundaries])
+        ends = np.concatenate([boundaries, [num_rows]])
+        groups = []
+        for start, end in zip(starts, ends):
+            idx = np.sort(order[start:end])
+            key = tuple(column[int(idx[0])] for column in key_columns)
+            groups.append((key, idx))
+        groups.sort(key=lambda item: int(item[1][0]))  # first-appearance order
+        return groups
+
+    buckets: dict[tuple[Any, ...], list[int]] = {}
+    order_keys: list[tuple[Any, ...]] = []
+    for row_idx in range(num_rows):
+        key = tuple(column[row_idx] for column in key_columns)
+        bucket = buckets.get(key)
+        if bucket is None:
+            buckets[key] = [row_idx]
+            order_keys.append(key)
+        else:
+            bucket.append(row_idx)
+    return [
+        (key, np.asarray(buckets[key], dtype=np.int64)) for key in order_keys
+    ]

@@ -1,0 +1,497 @@
+"""Logical planning: name binding, rewrites, and index selection.
+
+The planner turns a parsed :class:`~repro.engine.sql.ast.SelectStatement`
+into a tree of plan nodes.  Rewrites applied, in order:
+
+1. **Name binding** — qualified references (``t.col``) are resolved against
+   the FROM/JOIN tables; right-side join columns that clash with left names
+   are renamed ``right_<name>`` to match the executor's join output.
+2. **Predicate splitting and pushdown** — the WHERE clause is split into
+   conjuncts; conjuncts that reference only base-table columns are pushed
+   into the scan so they can use an index.
+3. **Index selection** — a pushed conjunct of the form ``col < c``,
+   ``col BETWEEN a AND b`` or ``col = c`` on a column with a registered
+   index becomes an index range probe instead of a full scan filter.
+
+The paper's Database Layer section (adaptive indexing) plugs in exactly at
+step 3: cracker indexes register themselves with the catalog and the scan
+consults them, refining them as a side effect of query processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.engine import expressions as ex
+from repro.engine.sql.ast import (
+    AggregateCall,
+    JoinClause,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+)
+from repro.errors import BindError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.catalog import Database
+
+
+# -- plan nodes -------------------------------------------------------------------------
+
+
+@dataclass
+class RangeProbe:
+    """A single-column range usable by an ordered/adaptive index.
+
+    ``low``/``high`` of None mean unbounded on that side.  Bounds are
+    half-open or closed per the ``*_inclusive`` flags.
+    """
+
+    column: str
+    low: Any = None
+    high: Any = None
+    low_inclusive: bool = True
+    high_inclusive: bool = True
+
+    def describe(self) -> str:
+        """Human-readable rendering used by EXPLAIN."""
+        lo = "-inf" if self.low is None else repr(self.low)
+        hi = "+inf" if self.high is None else repr(self.high)
+        lb = "[" if self.low_inclusive else "("
+        rb = "]" if self.high_inclusive else ")"
+        return f"{self.column} in {lb}{lo}, {hi}{rb}"
+
+
+@dataclass
+class PlanNode:
+    """Base class for logical plan nodes."""
+
+    def children(self) -> list["PlanNode"]:
+        """Child nodes, outermost first."""
+        return []
+
+    def label(self) -> str:
+        """One-line description used by EXPLAIN."""
+        return type(self).__name__
+
+
+@dataclass
+class ScanNode(PlanNode):
+    """Scan a base table, optionally through an index probe and a residual
+    filter predicate."""
+
+    table: str
+    predicate: ex.Expression | None = None
+    probe: RangeProbe | None = None
+
+    def label(self) -> str:
+        parts = [f"Scan({self.table}"]
+        if self.probe is not None:
+            parts.append(f", index: {self.probe.describe()}")
+        if self.predicate is not None:
+            parts.append(f", filter: {self.predicate.to_sql()}")
+        return "".join(parts) + ")"
+
+
+@dataclass
+class JoinNode(PlanNode):
+    """Hash equi-join of a child plan with a base table."""
+
+    child: PlanNode
+    clause: JoinClause
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        return (
+            f"HashJoin({self.clause.kind}, {self.clause.table}, "
+            f"{self.clause.left_column} = {self.clause.right_column})"
+        )
+
+
+@dataclass
+class FilterNode(PlanNode):
+    """Residual filter above joins."""
+
+    child: PlanNode
+    predicate: ex.Expression
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        return f"Filter({self.predicate.to_sql()})"
+
+
+@dataclass
+class AggregateNode(PlanNode):
+    """Hash aggregation with optional grouping."""
+
+    child: PlanNode
+    group_exprs: list[ex.Expression]
+    group_names: list[str]
+    aggregates: list[tuple[str, AggregateCall]]
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        keys = ", ".join(self.group_names) or "<global>"
+        aggs = ", ".join(f"{n}={c.to_sql()}" for n, c in self.aggregates)
+        return f"Aggregate(keys: {keys}; aggs: {aggs})"
+
+
+@dataclass
+class ProjectNode(PlanNode):
+    """Evaluate a non-aggregate select list."""
+
+    child: PlanNode
+    items: list[SelectItem]
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        return "Project(" + ", ".join(i.to_sql() for i in self.items) + ")"
+
+
+@dataclass
+class DistinctNode(PlanNode):
+    """SELECT DISTINCT: drop duplicate output rows (first wins)."""
+
+    child: PlanNode
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        return "Distinct"
+
+
+@dataclass
+class SortNode(PlanNode):
+    """ORDER BY."""
+
+    child: PlanNode
+    order_by: list[OrderItem]
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        return "Sort(" + ", ".join(o.to_sql() for o in self.order_by) + ")"
+
+
+@dataclass
+class LimitNode(PlanNode):
+    """LIMIT."""
+
+    child: PlanNode
+    count: int
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        return f"Limit({self.count})"
+
+
+@dataclass
+class Plan:
+    """A complete logical plan plus planning metadata."""
+
+    root: PlanNode
+    statement: SelectStatement
+    notes: list[str] = field(default_factory=list)
+
+    def explain(self) -> str:
+        """Indented textual rendering of the plan tree."""
+        lines: list[str] = []
+
+        def walk(node: PlanNode, depth: int) -> None:
+            lines.append("  " * depth + node.label())
+            for child in node.children():
+                walk(child, depth + 1)
+
+        walk(self.root, 0)
+        return "\n".join(lines)
+
+
+# -- planning ----------------------------------------------------------------------------
+
+
+def plan_statement(statement: SelectStatement, database: "Database") -> Plan:
+    """Bind and plan a SELECT statement against ``database``."""
+    notes: list[str] = []
+    binder = _Binder(statement, database)
+    statement = binder.bind()
+
+    conjuncts = _split_conjuncts(statement.where) if statement.where is not None else []
+    base_columns = set(database.get_table(statement.table).column_names)
+
+    pushed: list[ex.Expression] = []
+    residual: list[ex.Expression] = []
+    if statement.joins:
+        for conj in conjuncts:
+            if conj.referenced_columns() <= base_columns:
+                pushed.append(conj)
+            else:
+                residual.append(conj)
+    else:
+        pushed = conjuncts
+
+    probe, remaining = _select_index(pushed, statement.table, database)
+    if probe is not None:
+        notes.append(f"index probe on {probe.describe()}")
+
+    node: PlanNode = ScanNode(
+        table=statement.table,
+        predicate=_conjoin(remaining),
+        probe=probe,
+    )
+    for clause in statement.joins:
+        node = JoinNode(child=node, clause=clause)
+    residual_pred = _conjoin(residual)
+    if residual_pred is not None:
+        node = FilterNode(child=node, predicate=residual_pred)
+
+    if statement.is_aggregate:
+        group_names = [
+            _group_output_name(expr, statement.items) for expr in statement.group_by
+        ]
+        aggregates = statement.aggregates() + statement.having_aggregates
+        node = AggregateNode(
+            child=node,
+            group_exprs=list(statement.group_by),
+            group_names=group_names,
+            aggregates=aggregates,
+        )
+        if statement.having is not None:
+            node = FilterNode(child=node, predicate=statement.having)
+        if statement.order_by:
+            node = SortNode(child=node, order_by=list(statement.order_by))
+        # project away synthetic HAVING columns and order the output
+        wanted = [i.output_name() for i in statement.items if not i.star]
+        keep = wanted or group_names
+        if keep:
+            node = ProjectNode(
+                child=node,
+                items=[SelectItem(expression=ex.ColumnRef(n), alias=n) for n in keep],
+            )
+    else:
+        output_names = {
+            i.output_name() for i in statement.items if not i.star
+        }
+        sort_uses_aliases = statement.order_by and all(
+            o.expression.referenced_columns() <= output_names for o in statement.order_by
+        )
+        if statement.order_by and not sort_uses_aliases:
+            node = SortNode(child=node, order_by=list(statement.order_by))
+        node = ProjectNode(child=node, items=list(statement.items))
+        if statement.distinct:
+            node = DistinctNode(child=node)
+        if statement.order_by and sort_uses_aliases:
+            node = SortNode(child=node, order_by=list(statement.order_by))
+    if statement.limit is not None:
+        node = LimitNode(child=node, count=statement.limit)
+
+    return Plan(root=node, statement=statement, notes=notes)
+
+
+def _group_output_name(expr: ex.Expression, items: list[SelectItem]) -> str:
+    """Output column name for a group key, honouring select-list aliases."""
+    sql = expr.to_sql()
+    for item in items:
+        if item.expression is not None and item.expression.to_sql() == sql:
+            return item.output_name()
+    return sql.strip("()")
+
+
+def _split_conjuncts(predicate: ex.Expression) -> list[ex.Expression]:
+    """Flatten nested ANDs into a conjunct list."""
+    if isinstance(predicate, ex.And):
+        return _split_conjuncts(predicate.left) + _split_conjuncts(predicate.right)
+    return [predicate]
+
+
+def _conjoin(conjuncts: list[ex.Expression]) -> ex.Expression | None:
+    """Rebuild a single predicate from conjuncts (None when empty)."""
+    if not conjuncts:
+        return None
+    result = conjuncts[0]
+    for conj in conjuncts[1:]:
+        result = ex.And(result, conj)
+    return result
+
+
+def _select_index(
+    conjuncts: list[ex.Expression], table: str, database: "Database"
+) -> tuple[RangeProbe | None, list[ex.Expression]]:
+    """Pick at most one indexable conjunct; return the probe + the rest."""
+    for i, conj in enumerate(conjuncts):
+        probe = _extract_probe(conj)
+        if probe is None:
+            continue
+        if database.index_for(table, probe.column) is None:
+            continue
+        remaining = conjuncts[:i] + conjuncts[i + 1 :]
+        return probe, remaining
+    return None, conjuncts
+
+
+def _extract_probe(conj: ex.Expression) -> RangeProbe | None:
+    """Recognise ``col <op> literal`` / ``literal <op> col`` / BETWEEN shapes."""
+    if isinstance(conj, ex.And):
+        left = _extract_probe(conj.left)
+        right = _extract_probe(conj.right)
+        if left is not None and right is not None and left.column == right.column:
+            merged = RangeProbe(column=left.column)
+            for part in (left, right):
+                if part.low is not None and (
+                    merged.low is None or part.low > merged.low
+                ):
+                    merged.low = part.low
+                    merged.low_inclusive = part.low_inclusive
+                if part.high is not None and (
+                    merged.high is None or part.high < merged.high
+                ):
+                    merged.high = part.high
+                    merged.high_inclusive = part.high_inclusive
+            return merged
+        return None
+    if not isinstance(conj, ex.Comparison):
+        return None
+    left, right, op = conj.left, conj.right, conj.op
+    if isinstance(left, ex.Literal) and isinstance(right, ex.ColumnRef):
+        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "<>": "<>"}
+        left, right, op = right, left, flipped[op]
+    if not (isinstance(left, ex.ColumnRef) and isinstance(right, ex.Literal)):
+        return None
+    value = right.value
+    if value is None or isinstance(value, str):
+        return None
+    name = left.name
+    if op == "=":
+        return RangeProbe(column=name, low=value, high=value)
+    if op == "<":
+        return RangeProbe(column=name, high=value, high_inclusive=False)
+    if op == "<=":
+        return RangeProbe(column=name, high=value)
+    if op == ">":
+        return RangeProbe(column=name, low=value, low_inclusive=False)
+    if op == ">=":
+        return RangeProbe(column=name, low=value)
+    return None
+
+
+# -- binding ----------------------------------------------------------------------------
+
+
+class _Binder:
+    """Resolves qualified column names against the FROM/JOIN tables."""
+
+    def __init__(self, statement: SelectStatement, database: "Database") -> None:
+        self._statement = statement
+        self._database = database
+        base = database.get_table(statement.table)
+        self._base_columns = set(base.column_names)
+        self._join_columns: dict[str, set[str]] = {}
+        for clause in statement.joins:
+            join_table = database.get_table(clause.table)
+            self._join_columns[clause.table] = set(join_table.column_names)
+
+    def bind(self) -> SelectStatement:
+        """Rewrite all name references in place and return the statement."""
+        stmt = self._statement
+        for clause in stmt.joins:
+            self._bind_join(clause)
+        for item in stmt.items:
+            if item.expression is not None:
+                self._bind_expr(item.expression)
+            if item.aggregate is not None and item.aggregate.argument is not None:
+                self._bind_expr(item.aggregate.argument)
+        if stmt.where is not None:
+            self._bind_expr(stmt.where)
+        for expr in stmt.group_by:
+            self._bind_expr(expr)
+        if stmt.having is not None:
+            self._bind_expr(stmt.having)
+        for _, call in stmt.having_aggregates:
+            if call.argument is not None:
+                self._bind_expr(call.argument)
+        for order in stmt.order_by:
+            self._bind_order_expr(order)
+        return stmt
+
+    def _bind_expr(self, expr: ex.Expression) -> None:
+        if isinstance(expr, ex.ColumnRef):
+            expr.name = self._resolve(expr.name, in_join_output=True)
+            return
+        for attr in ("left", "right", "operand"):
+            child = getattr(expr, attr, None)
+            if isinstance(child, ex.Expression):
+                self._bind_expr(child)
+        options = getattr(expr, "options", None)
+        if options:
+            for option in options:
+                self._bind_expr(option)
+
+    def _bind_order_expr(self, order: OrderItem) -> None:
+        # ORDER BY may reference select-list aliases; leave those alone.
+        expr = order.expression
+        if isinstance(expr, ex.ColumnRef):
+            aliases = {i.output_name() for i in self._statement.items if not i.star}
+            if expr.name in aliases:
+                return
+        self._bind_expr(expr)
+
+    def _resolve(self, name: str, in_join_output: bool) -> str:
+        if "." not in name:
+            return name
+        qualifier, column = name.split(".", 1)
+        if qualifier == self._statement.table:
+            if column not in self._base_columns:
+                raise BindError(f"table {qualifier!r} has no column {column!r}")
+            return column
+        if qualifier in self._join_columns:
+            if column not in self._join_columns[qualifier]:
+                raise BindError(f"table {qualifier!r} has no column {column!r}")
+            if in_join_output and column in self._base_columns:
+                return f"right_{column}"
+            return column
+        raise BindError(f"unknown table qualifier {qualifier!r} in {name!r}")
+
+    def _bind_join(self, clause: JoinClause) -> None:
+        """Normalise an ON clause so left_column is on the probe side and
+        right_column belongs to the joined table."""
+
+        def side_of(name: str) -> tuple[str, str]:
+            """Return ('left'|'right', bare_column) for one ON operand."""
+            if "." in name:
+                qualifier, column = name.split(".", 1)
+                if qualifier == clause.table:
+                    if column not in self._join_columns[clause.table]:
+                        raise BindError(f"table {qualifier!r} has no column {column!r}")
+                    return "right", column
+                if qualifier == self._statement.table:
+                    if column not in self._base_columns:
+                        raise BindError(f"table {qualifier!r} has no column {column!r}")
+                    return "left", column
+                if qualifier in self._join_columns:
+                    return "left", column  # an earlier join's table
+                raise BindError(f"unknown table qualifier {qualifier!r} in {name!r}")
+            if name in self._join_columns[clause.table]:
+                return "right", name
+            return "left", name
+
+        left_side, left_col = side_of(clause.left_column)
+        right_side, right_col = side_of(clause.right_column)
+        if left_side == right_side == "right" or left_side == right_side == "left":
+            # Ambiguous/unqualified: keep as written and hope names line up.
+            clause.left_column, clause.right_column = left_col, right_col
+            return
+        if left_side == "right":
+            left_col, right_col = right_col, left_col
+        clause.left_column, clause.right_column = left_col, right_col

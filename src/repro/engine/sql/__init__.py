@@ -1,0 +1,34 @@
+"""SQL front end: lexer, parser, and statement AST.
+
+The dialect is the subset needed by the exploration workloads in the paper:
+
+- ``SELECT`` lists with expressions, aliases, ``*`` and aggregates
+  (``COUNT/SUM/AVG/MIN/MAX``, plus ``COUNT(*)`` and ``COUNT(DISTINCT x)``)
+- single-table ``FROM`` plus ``JOIN ... ON`` equi-joins
+- ``WHERE`` with comparisons, ``AND/OR/NOT``, ``BETWEEN``, ``IN``,
+  ``IS [NOT] NULL``
+- ``GROUP BY`` / ``HAVING``
+- ``ORDER BY ... [ASC|DESC]`` and ``LIMIT``
+"""
+
+from repro.engine.sql.ast import (
+    AggregateCall,
+    JoinClause,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+)
+from repro.engine.sql.lexer import Token, TokenType, tokenize
+from repro.engine.sql.parser import parse
+
+__all__ = [
+    "AggregateCall",
+    "JoinClause",
+    "OrderItem",
+    "SelectItem",
+    "SelectStatement",
+    "Token",
+    "TokenType",
+    "tokenize",
+    "parse",
+]

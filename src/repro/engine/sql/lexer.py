@@ -1,0 +1,151 @@
+"""A hand-written tokenizer for the engine's SQL subset."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.errors import LexerError
+
+
+class TokenType(enum.Enum):
+    """Lexical token categories."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+        "AND", "OR", "NOT", "AS", "ASC", "DESC", "BETWEEN", "IN", "IS",
+        "NULL", "TRUE", "FALSE", "JOIN", "INNER", "LEFT", "ON", "DISTINCT",
+        "COUNT", "SUM", "AVG", "MIN", "MAX",
+        "LIKE", "CASE", "WHEN", "THEN", "ELSE", "END",
+        "INSERT", "INTO", "VALUES", "CREATE", "TABLE", "DELETE", "UPDATE",
+        "SET", "DROP",
+    }
+)
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/", "%")
+_PUNCT = {"(", ")", ",", ".", ";"}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        type: token category.
+        value: normalised token text (keywords upper-cased) or parsed value
+            for numbers/strings.
+        position: character offset in the source string.
+    """
+
+    type: TokenType
+    value: Any
+    position: int
+
+    def matches(self, type_: TokenType, value: Any = None) -> bool:
+        """True if the token has the given type (and value, when provided)."""
+        if self.type is not type_:
+            return False
+        return value is None or self.value == value
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize a SQL string.
+
+    Returns the token list terminated by a single EOF token.
+
+    Raises:
+        LexerError: on characters outside the dialect.
+    """
+    return list(_tokens(sql))
+
+
+def _tokens(sql: str) -> Iterator[Token]:
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and sql.startswith("--", i):
+            newline = sql.find("\n", i)
+            i = n if newline < 0 else newline + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                yield Token(TokenType.KEYWORD, upper, start)
+            else:
+                yield Token(TokenType.IDENTIFIER, word, start)
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            seen_exp = False
+            while i < n:
+                c = sql[i]
+                if c.isdigit():
+                    i += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    i += 1
+                elif c in "eE" and not seen_exp and i > start:
+                    seen_exp = True
+                    i += 1
+                    if i < n and sql[i] in "+-":
+                        i += 1
+                else:
+                    break
+            text = sql[start:i]
+            value: Any
+            if seen_dot or seen_exp:
+                value = float(text)
+            else:
+                value = int(text)
+            yield Token(TokenType.NUMBER, value, start)
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            parts: list[str] = []
+            while True:
+                if i >= n:
+                    raise LexerError("unterminated string literal", start)
+                if sql[i] == "'":
+                    if i + 1 < n and sql[i + 1] == "'":
+                        parts.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                parts.append(sql[i])
+                i += 1
+            yield Token(TokenType.STRING, "".join(parts), start)
+            continue
+        matched_op = next((op for op in _OPERATORS if sql.startswith(op, i)), None)
+        if matched_op is not None:
+            canonical = "<>" if matched_op == "!=" else matched_op
+            yield Token(TokenType.OPERATOR, canonical, i)
+            i += len(matched_op)
+            continue
+        if ch in _PUNCT:
+            yield Token(TokenType.PUNCT, ch, i)
+            i += 1
+            continue
+        raise LexerError(f"unexpected character {ch!r}", i)
+    yield Token(TokenType.EOF, None, n)

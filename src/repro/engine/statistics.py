@@ -1,0 +1,145 @@
+"""Per-column statistics used by the planner and the exploration layers.
+
+These are the classical optimizer statistics: row counts, min/max, distinct
+counts, and a small equi-width histogram per numeric column.  The
+selectivity estimators implement the textbook uniformity assumptions and are
+deliberately simple; the point of the exploration work in the paper is
+precisely that such static statistics are insufficient for ad-hoc
+workloads, which the adaptive components then address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.engine.column import Column
+from repro.engine.table import Table
+from repro.engine.types import DataType
+
+_HISTOGRAM_BUCKETS = 32
+
+
+@dataclass
+class ColumnStatistics:
+    """Summary statistics of one column."""
+
+    dtype: DataType
+    row_count: int
+    null_count: int
+    distinct_count: int
+    min_value: Any = None
+    max_value: Any = None
+    bucket_bounds: np.ndarray | None = None
+    bucket_counts: np.ndarray | None = None
+
+    @classmethod
+    def from_column(cls, column: Column) -> "ColumnStatistics":
+        """Compute statistics for a column in one pass."""
+        valid = column.valid_data()
+        stats = cls(
+            dtype=column.dtype,
+            row_count=len(column),
+            null_count=column.null_count(),
+            distinct_count=column.distinct_count(),
+            min_value=column.min(),
+            max_value=column.max(),
+        )
+        if column.dtype.is_numeric and len(valid) > 0:
+            lo = float(valid.min())
+            hi = float(valid.max())
+            if hi > lo:
+                counts, bounds = np.histogram(
+                    valid.astype(np.float64), bins=_HISTOGRAM_BUCKETS, range=(lo, hi)
+                )
+                stats.bucket_bounds = bounds
+                stats.bucket_counts = counts
+        return stats
+
+    # -- selectivity estimation ---------------------------------------------------
+
+    def estimate_equality_selectivity(self, value: Any = None) -> float:
+        """Fraction of rows expected to equal a point value (1/NDV)."""
+        if self.row_count == 0 or self.distinct_count == 0:
+            return 0.0
+        if (
+            value is not None
+            and self.dtype.is_numeric
+            and self.min_value is not None
+            and not (self.min_value <= value <= self.max_value)
+        ):
+            return 0.0
+        return 1.0 / self.distinct_count
+
+    def estimate_range_selectivity(
+        self, low: float | None, high: float | None
+    ) -> float:
+        """Fraction of rows expected inside ``[low, high]``.
+
+        Uses the histogram when present, otherwise a linear interpolation
+        between min and max.  Non-numeric columns fall back to 1/3 (the
+        classical System R default).
+        """
+        if self.row_count == 0:
+            return 0.0
+        if not self.dtype.is_numeric or self.min_value is None:
+            return 1.0 / 3.0
+        lo = float(self.min_value) if low is None else float(low)
+        hi = float(self.max_value) if high is None else float(high)
+        if hi < lo:
+            return 0.0
+        if self.bucket_bounds is not None and self.bucket_counts is not None:
+            return self._histogram_fraction(lo, hi)
+        span = float(self.max_value) - float(self.min_value)
+        if span <= 0:
+            return 1.0 if lo <= float(self.min_value) <= hi else 0.0
+        clipped_lo = max(lo, float(self.min_value))
+        clipped_hi = min(hi, float(self.max_value))
+        if clipped_hi < clipped_lo:
+            return 0.0
+        return (clipped_hi - clipped_lo) / span
+
+    def _histogram_fraction(self, lo: float, hi: float) -> float:
+        assert self.bucket_bounds is not None and self.bucket_counts is not None
+        bounds = self.bucket_bounds
+        counts = self.bucket_counts
+        total = counts.sum()
+        if total == 0:
+            return 0.0
+        covered = 0.0
+        for i in range(len(counts)):
+            b_lo, b_hi = float(bounds[i]), float(bounds[i + 1])
+            if b_hi < lo or b_lo > hi:
+                continue
+            width = b_hi - b_lo
+            if width <= 0:
+                covered += counts[i] if lo <= b_lo <= hi else 0.0
+                continue
+            overlap = min(hi, b_hi) - max(lo, b_lo)
+            covered += counts[i] * max(0.0, overlap) / width
+        return min(1.0, covered / total)
+
+
+@dataclass
+class TableStatistics:
+    """Statistics for every column of a table."""
+
+    row_count: int
+    columns: dict[str, ColumnStatistics] = field(default_factory=dict)
+
+    @classmethod
+    def from_table(cls, table: Table) -> "TableStatistics":
+        """Compute statistics for every column."""
+        return cls(
+            row_count=table.num_rows,
+            columns={
+                name: ColumnStatistics.from_column(table.column(name))
+                for name in table.column_names
+            },
+        )
+
+    def column(self, name: str) -> ColumnStatistics | None:
+        """Statistics for one column, or None if unknown."""
+        return self.columns.get(name)

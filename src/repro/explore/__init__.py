@@ -1,0 +1,68 @@
+"""User-interaction layer: automatic exploration, assisted query
+formulation, view recommendation, diversification (paper §2.1).
+
+- :class:`DecisionTreeClassifier` — a from-scratch CART learner, the
+  substrate AIDE and query-by-output build on (no sklearn offline).
+- :class:`AideExplorer` — Explore-by-Example ([18]): learns the user's
+  interest region from relevance feedback and steers sampling toward it.
+- :class:`QueryByOutput` — reverse-engineers selection predicates from
+  example output tuples ([64, 58]).
+- :class:`SeeDB` — deviation-based visualization recommendation with
+  shared scans and confidence pruning ([49]).
+- :class:`VizDeck` — statistical ranking of candidate visualizations [40].
+- :mod:`repro.explore.diversify` — MMR / swap-based result
+  diversification ([65, 41]).
+- :class:`FacetRecommender` — YmalDB-style "you may also like" faceted
+  recommendations ([20]).
+- :class:`QuerySuggester` — session-based SQL autocompletion from query
+  logs ([21]).
+- :class:`SemanticWindowExplorer` — online search for grid windows with
+  content constraints ([36]).
+- :class:`ImpreciseQueryRefiner` — user-driven refinement of imprecise
+  predicates ([52]).
+- :func:`segment_column` — Charles-style data-space segmentation ([57]).
+"""
+
+from repro.explore.classifier import DecisionTreeClassifier
+from repro.explore.aide import AideExplorer, AideResult
+from repro.explore.qbo import QueryByOutput
+from repro.explore.seedb import SeeDB, ViewRecommendation
+from repro.explore.vizrec import VizDeck, VizCandidate
+from repro.explore.diversify import (
+    cached_diversify,
+    diversity_score,
+    mmr_diversify,
+    swap_diversify,
+)
+from repro.explore.facets import FacetRecommender
+from repro.explore.suggest import QuerySuggester
+from repro.explore.windows import SemanticWindowExplorer, Window
+from repro.explore.refine import ImpreciseQueryRefiner
+from repro.explore.segment import segment_column
+from repro.explore.olap import CubeExplorer, best_views_by_exceptions
+from repro.explore.join_inference import JoinCandidate, JoinInferencer
+
+__all__ = [
+    "AideExplorer",
+    "CubeExplorer",
+    "best_views_by_exceptions",
+    "AideResult",
+    "DecisionTreeClassifier",
+    "FacetRecommender",
+    "ImpreciseQueryRefiner",
+    "JoinCandidate",
+    "JoinInferencer",
+    "QueryByOutput",
+    "QuerySuggester",
+    "SeeDB",
+    "SemanticWindowExplorer",
+    "VizCandidate",
+    "VizDeck",
+    "ViewRecommendation",
+    "Window",
+    "cached_diversify",
+    "diversity_score",
+    "mmr_diversify",
+    "segment_column",
+    "swap_diversify",
+]

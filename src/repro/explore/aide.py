@@ -1,0 +1,173 @@
+"""AIDE: Explore-by-Example, automatic query steering ([18, 14]).
+
+The user never writes a predicate.  Instead the system shows sample
+tuples, the user labels them *relevant* / *irrelevant*, and AIDE:
+
+1. fits a decision-tree classifier to the labelled set,
+2. translates the tree's positive leaves into range-query *boxes*,
+3. steers the next sampling round — a mix of **exploitation** (sampling
+   inside and around the current boxes, to refine their boundaries) and
+   **exploration** (grid/random sampling elsewhere, to find undiscovered
+   relevant areas),
+4. repeats until the classifier stabilises, then emits the final query.
+
+The S10 benchmark reproduces the paper's headline curve: F1 of the
+discovered region versus number of labelled samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.explore.classifier import Box, DecisionTreeClassifier
+
+
+@dataclass
+class AideResult:
+    """Final state of an exploration run."""
+
+    classifier: DecisionTreeClassifier
+    boxes: list[Box]
+    labeled_indices: list[int]
+    labels: list[int]
+    iterations: int
+    f1_history: list[float] = field(default_factory=list)
+
+    @property
+    def samples_labeled(self) -> int:
+        """Total labelling effort spent."""
+        return len(self.labeled_indices)
+
+    def predicate_sql(self, feature_names: Sequence[str]) -> str:
+        """The discovered region as a SQL WHERE clause."""
+        return self.classifier.to_sql(feature_names)
+
+
+class AideExplorer:
+    """Runs the explore-by-example loop against an oracle user.
+
+    Args:
+        features: (n, d) numeric matrix of the explorable attributes.
+        oracle: the simulated user — maps a row index to a 0/1 relevance
+            label.  (With a real user this is the UI feedback callback.)
+        samples_per_round: labels requested per iteration.
+        exploration_fraction: share of each round spent on random
+            exploration rather than boundary exploitation.
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        features: np.ndarray,
+        oracle: Callable[[int], int],
+        samples_per_round: int = 20,
+        exploration_fraction: float = 0.4,
+        max_depth: int = 8,
+        seed: int = 0,
+    ) -> None:
+        self.features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        self.oracle = oracle
+        self.samples_per_round = samples_per_round
+        self.exploration_fraction = exploration_fraction
+        self.max_depth = max_depth
+        self._rng = np.random.default_rng(seed)
+        self._labeled: dict[int, int] = {}
+
+    # -- the steering loop -------------------------------------------------------------
+
+    def run(
+        self,
+        max_iterations: int = 15,
+        truth: np.ndarray | None = None,
+        stop_f1: float | None = None,
+    ) -> AideResult:
+        """Run the loop.
+
+        Args:
+            max_iterations: iteration budget.
+            truth: optional full ground-truth labels, only used to record
+                the F1 learning curve (the algorithm never reads it).
+            stop_f1: stop early when the recorded F1 reaches this value
+                (requires ``truth``).
+        """
+        n = len(self.features)
+        classifier = DecisionTreeClassifier(max_depth=self.max_depth)
+        f1_history: list[float] = []
+        iterations = 0
+        for iteration in range(max_iterations):
+            iterations = iteration + 1
+            candidates = self._next_sample_batch(classifier if self._labeled else None)
+            for index in candidates:
+                if index not in self._labeled:
+                    self._labeled[index] = int(self.oracle(index))
+            indices = np.asarray(sorted(self._labeled))
+            labels = np.asarray([self._labeled[i] for i in indices])
+            if labels.min() == labels.max():
+                # all one class so far: keep exploring
+                if truth is not None:
+                    f1_history.append(0.0)
+                continue
+            classifier = DecisionTreeClassifier(max_depth=self.max_depth)
+            classifier.fit(self.features[indices], labels)
+            if truth is not None:
+                f1 = self._f1(classifier, truth)
+                f1_history.append(f1)
+                if stop_f1 is not None and f1 >= stop_f1:
+                    break
+        boxes = classifier.positive_boxes() if classifier._root is not None else []
+        indices = sorted(self._labeled)
+        return AideResult(
+            classifier=classifier,
+            boxes=boxes,
+            labeled_indices=list(indices),
+            labels=[self._labeled[i] for i in indices],
+            iterations=iterations,
+            f1_history=f1_history,
+        )
+
+    def _f1(self, classifier: DecisionTreeClassifier, truth: np.ndarray) -> float:
+        predictions = classifier.predict(self.features)
+        tp = int(np.sum((predictions == 1) & (truth == 1)))
+        fp = int(np.sum((predictions == 1) & (truth == 0)))
+        fn = int(np.sum((predictions == 0) & (truth == 1)))
+        if tp == 0:
+            return 0.0
+        precision = tp / (tp + fp)
+        recall = tp / (tp + fn)
+        return 2 * precision * recall / (precision + recall)
+
+    # -- sample selection ----------------------------------------------------------------
+
+    def _next_sample_batch(
+        self, classifier: DecisionTreeClassifier | None
+    ) -> list[int]:
+        n = len(self.features)
+        budget = self.samples_per_round
+        unlabeled = np.asarray(
+            [i for i in range(n) if i not in self._labeled], dtype=np.int64
+        )
+        if len(unlabeled) == 0:
+            return []
+        if classifier is None or classifier._root is None:
+            # bootstrap: stratified random grid over the space
+            size = min(budget, len(unlabeled))
+            return self._rng.choice(unlabeled, size=size, replace=False).tolist()
+        explore_budget = max(1, int(budget * self.exploration_fraction))
+        exploit_budget = budget - explore_budget
+        chosen: list[int] = []
+        # exploitation: sample near the decision boundary — rows whose
+        # predicted probability is most uncertain
+        if exploit_budget > 0:
+            probabilities = classifier.predict_proba(self.features[unlabeled])
+            uncertainty = np.abs(probabilities - 0.5)
+            order = np.argsort(uncertainty, kind="stable")
+            chosen.extend(unlabeled[order[:exploit_budget]].tolist())
+        # exploration: uniform random over what remains
+        remaining = np.asarray([i for i in unlabeled if i not in set(chosen)])
+        if len(remaining) and explore_budget > 0:
+            size = min(explore_budget, len(remaining))
+            chosen.extend(self._rng.choice(remaining, size=size, replace=False).tolist())
+        return chosen

@@ -1,0 +1,205 @@
+"""A from-scratch CART decision-tree classifier.
+
+AIDE ([18]) characterises the user's interest region with decision-tree
+classifiers because their axis-aligned splits translate directly into SQL
+range predicates.  sklearn is unavailable offline, so this is a compact
+but complete CART implementation: binary gini splits on numeric features,
+depth / leaf-size stopping, and extraction of the positive-leaf regions as
+conjunctive range predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    prediction: int = 0
+    probability: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+#: A conjunctive box predicate: feature index -> (low, high) with None for
+#: an unbounded side.
+Box = dict[int, tuple[float | None, float | None]]
+
+
+class DecisionTreeClassifier:
+    """Binary CART classifier over numeric features.
+
+    Args:
+        max_depth: maximum tree depth.
+        min_leaf: minimum samples in a leaf.
+        min_gain: minimum gini improvement to accept a split.
+    """
+
+    def __init__(self, max_depth: int = 6, min_leaf: int = 3, min_gain: float = 1e-7) -> None:
+        self.max_depth = max_depth
+        self.min_leaf = min_leaf
+        self.min_gain = min_gain
+        self._root: _Node | None = None
+        self.num_features = 0
+
+    # -- training ----------------------------------------------------------------------
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "DecisionTreeClassifier":
+        """Fit on a (n, d) feature matrix and 0/1 labels."""
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        labels = np.asarray(labels, dtype=np.int64)
+        if len(features) != len(labels):
+            raise ValueError("features and labels must have equal length")
+        if len(features) == 0:
+            raise ValueError("cannot fit on an empty training set")
+        self.num_features = features.shape[1]
+        self._root = self._build(features, labels, depth=0)
+        return self
+
+    @staticmethod
+    def _gini(labels: np.ndarray) -> float:
+        if len(labels) == 0:
+            return 0.0
+        p = labels.mean()
+        return 2.0 * p * (1.0 - p)
+
+    def _build(self, features: np.ndarray, labels: np.ndarray, depth: int) -> _Node:
+        node = _Node(
+            prediction=int(labels.mean() >= 0.5),
+            probability=float(labels.mean()),
+        )
+        if (
+            depth >= self.max_depth
+            or len(labels) < 2 * self.min_leaf
+            or labels.min() == labels.max()
+        ):
+            return node
+        best = self._best_split(features, labels)
+        if best is None:
+            return node
+        feature, threshold, _ = best
+        mask = features[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(features[mask], labels[mask], depth + 1)
+        node.right = self._build(features[~mask], labels[~mask], depth + 1)
+        return node
+
+    def _best_split(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> tuple[int, float, float] | None:
+        n, d = features.shape
+        parent_gini = self._gini(labels)
+        best: tuple[int, float, float] | None = None
+        for feature in range(d):
+            order = np.argsort(features[:, feature], kind="stable")
+            sorted_values = features[order, feature]
+            sorted_labels = labels[order]
+            positives = np.cumsum(sorted_labels)
+            total_pos = positives[-1]
+            for i in range(self.min_leaf, n - self.min_leaf + 1):
+                if i < n and sorted_values[i - 1] == sorted_values[i]:
+                    continue  # cannot split between equal values
+                if i >= n:
+                    break
+                left_n, right_n = i, n - i
+                left_pos = positives[i - 1]
+                right_pos = total_pos - left_pos
+                p_left = left_pos / left_n
+                p_right = right_pos / right_n
+                gini = (
+                    left_n / n * 2.0 * p_left * (1.0 - p_left)
+                    + right_n / n * 2.0 * p_right * (1.0 - p_right)
+                )
+                gain = parent_gini - gini
+                if gain > self.min_gain and (best is None or gain > best[2]):
+                    threshold = (sorted_values[i - 1] + sorted_values[i]) / 2.0
+                    best = (feature, float(threshold), float(gain))
+        return best
+
+    # -- prediction --------------------------------------------------------------------
+
+    def _descend(self, row: np.ndarray) -> _Node:
+        assert self._root is not None
+        node = self._root
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right  # type: ignore[assignment]
+        return node
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """0/1 predictions for a (n, d) feature matrix."""
+        if self._root is None:
+            raise ValueError("classifier is not fitted")
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        return np.asarray([self._descend(row).prediction for row in features])
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """P(label = 1) per row."""
+        if self._root is None:
+            raise ValueError("classifier is not fitted")
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        return np.asarray([self._descend(row).probability for row in features])
+
+    # -- introspection ------------------------------------------------------------------
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+
+        def walk(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)
+
+    def positive_boxes(self) -> list[Box]:
+        """The axis-aligned boxes of all positive leaves.
+
+        Each box is a conjunctive predicate over feature ranges — exactly
+        the shape AIDE turns into SQL range queries.
+        """
+        if self._root is None:
+            raise ValueError("classifier is not fitted")
+        boxes: list[Box] = []
+
+        def walk(node: _Node, box: Box) -> None:
+            if node.is_leaf:
+                if node.prediction == 1:
+                    boxes.append(dict(box))
+                return
+            low, high = box.get(node.feature, (None, None))
+            left_box = dict(box)
+            left_box[node.feature] = (low, node.threshold)
+            walk(node.left, left_box)  # type: ignore[arg-type]
+            right_box = dict(box)
+            right_box[node.feature] = (node.threshold, high)
+            walk(node.right, right_box)  # type: ignore[arg-type]
+
+        walk(self._root, {})
+        return boxes
+
+    def to_sql(self, feature_names: Sequence[str]) -> str:
+        """Render the positive region as a SQL WHERE disjunction of boxes."""
+        boxes = self.positive_boxes()
+        if not boxes:
+            return "FALSE"
+        clauses = []
+        for box in boxes:
+            parts = []
+            for feature, (low, high) in sorted(box.items()):
+                name = feature_names[feature]
+                if low is not None:
+                    parts.append(f"{name} > {low:g}")
+                if high is not None:
+                    parts.append(f"{name} <= {high:g}")
+            clauses.append("(" + " AND ".join(parts) + ")" if parts else "TRUE")
+        return " OR ".join(clauses)

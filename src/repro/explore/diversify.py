@@ -1,0 +1,210 @@
+"""Query-result diversification ([65], DivIDE [41]).
+
+Returning the k *most relevant* rows often returns k near-duplicates;
+exploration benefits from results that are relevant **and** spread out.
+Implemented:
+
+- :func:`mmr_diversify` — Maximal Marginal Relevance greedy selection:
+  each pick maximises ``λ·relevance − (1−λ)·max similarity to picked``.
+- :func:`swap_diversify` — the classic swap heuristic: start from the
+  top-k by relevance, then swap in far-away candidates while the
+  diversity objective improves.
+- :func:`diversity_score` — the standard max-sum-of-distances objective
+  used to compare methods in the S13 benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _pairwise_distances(points: np.ndarray) -> np.ndarray:
+    diff = points[:, None, :] - points[None, :, :]
+    return np.sqrt(np.sum(diff**2, axis=-1))
+
+
+def diversity_score(points: np.ndarray, selected: np.ndarray) -> float:
+    """Sum of pairwise distances among the selected points."""
+    chosen = points[selected]
+    if len(chosen) < 2:
+        return 0.0
+    distances = _pairwise_distances(chosen)
+    return float(distances[np.triu_indices(len(chosen), k=1)].sum())
+
+
+def relevance_score(relevance: np.ndarray, selected: np.ndarray) -> float:
+    """Sum of relevance over the selected points."""
+    return float(relevance[selected].sum())
+
+
+def mmr_diversify(
+    points: np.ndarray,
+    relevance: np.ndarray,
+    k: int,
+    trade_off: float = 0.5,
+) -> np.ndarray:
+    """Greedy MMR selection of ``k`` indices.
+
+    Runs in O(k·n·d) time and O(n) extra space: the max-similarity-to-
+    selected penalty is maintained incrementally, so no n×n distance
+    matrix is ever materialised (exploration result sets can be large).
+
+    Args:
+        points: (n, d) item coordinates (for the similarity term).
+        relevance: per-item relevance, higher is better.
+        k: items to select.
+        trade_off: λ in [0, 1]; 1 = pure relevance, 0 = pure diversity.
+
+    Returns:
+        Selected indices in pick order.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    relevance = np.asarray(relevance, dtype=np.float64)
+    n = len(points)
+    k = min(k, n)
+    if k == 0:
+        return np.empty(0, dtype=np.int64)
+    # normalise both signals to [0, 1] so λ is meaningful; the similarity
+    # scale is the bounding-box diagonal (an upper bound on any distance)
+    rel = relevance - relevance.min()
+    if rel.max() > 0:
+        rel = rel / rel.max()
+    span = points.max(axis=0) - points.min(axis=0)
+    diagonal = float(np.sqrt(np.sum(span**2)))
+    scale = diagonal if diagonal > 0 else 1.0
+
+    selected = [int(np.argmax(rel))]
+    taken = np.zeros(n, dtype=bool)
+    taken[selected[0]] = True
+    # max similarity of each candidate to the selected set, updated per pick
+    max_similarity = 1.0 - np.sqrt(
+        np.sum((points - points[selected[0]]) ** 2, axis=1)
+    ) / scale
+    while len(selected) < k:
+        value = trade_off * rel - (1.0 - trade_off) * max_similarity
+        value[taken] = -np.inf
+        best_index = int(np.argmax(value))
+        selected.append(best_index)
+        taken[best_index] = True
+        similarity = 1.0 - np.sqrt(
+            np.sum((points - points[best_index]) ** 2, axis=1)
+        ) / scale
+        max_similarity = np.maximum(max_similarity, similarity)
+    return np.asarray(selected, dtype=np.int64)
+
+
+def swap_diversify(
+    points: np.ndarray,
+    relevance: np.ndarray,
+    k: int,
+    min_relevance_fraction: float = 0.5,
+    max_swaps: int = 200,
+) -> np.ndarray:
+    """Swap-based diversification.
+
+    Starts from the top-k most relevant items and greedily swaps in
+    outside candidates that raise the diversity objective, never letting
+    total relevance drop below ``min_relevance_fraction`` of the initial
+    top-k relevance.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    relevance = np.asarray(relevance, dtype=np.float64)
+    n = len(points)
+    k = min(k, n)
+    if k == 0:
+        return np.empty(0, dtype=np.int64)
+    order = np.argsort(-relevance, kind="stable")
+    selected = list(order[:k])
+    floor = relevance[selected].sum() * min_relevance_fraction
+    candidates = list(order[k:])
+    swaps = 0
+    improved = True
+    while improved and swaps < max_swaps:
+        improved = False
+        current_score = diversity_score(points, np.asarray(selected))
+        for candidate in candidates:
+            for position, incumbent in enumerate(selected):
+                trial = list(selected)
+                trial[position] = candidate
+                trial_arr = np.asarray(trial)
+                if relevance[trial_arr].sum() < floor:
+                    continue
+                trial_score = diversity_score(points, trial_arr)
+                if trial_score > current_score:
+                    selected = trial
+                    candidates[candidates.index(candidate)] = incumbent
+                    current_score = trial_score
+                    swaps += 1
+                    improved = True
+                    break
+            if improved:
+                break
+    return np.asarray(selected, dtype=np.int64)
+
+
+def topk_relevance(relevance: np.ndarray, k: int) -> np.ndarray:
+    """The no-diversification baseline: top-k by relevance alone."""
+    relevance = np.asarray(relevance, dtype=np.float64)
+    return np.argsort(-relevance, kind="stable")[: min(k, len(relevance))]
+
+
+def cached_diversify(
+    points: np.ndarray,
+    relevance: np.ndarray,
+    cached: np.ndarray,
+    k: int,
+    trade_off: float = 0.5,
+    fetch_penalty: float = 0.3,
+) -> np.ndarray:
+    """DivIDE-style diversification aware of the result cache ([41]).
+
+    Diversifying a result set is expensive when the diverse candidates are
+    *not* in the cache: each fresh item costs a fetch.  DivIDE's insight is
+    to treat that cost as part of the objective — prefer cached items when
+    they buy (almost) the same relevance/diversity, and pay the fetch only
+    when a fresh item is clearly better.
+
+    Args:
+        points: (n, d) item coordinates.
+        relevance: per-item relevance.
+        cached: boolean mask, True where the item is already cached.
+        k: items to select.
+        trade_off: λ of the underlying MMR objective.
+        fetch_penalty: score deduction for selecting an uncached item;
+            0 recovers plain MMR, large values force cache-only answers.
+
+    Returns:
+        Selected indices in pick order.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    relevance = np.asarray(relevance, dtype=np.float64)
+    cached = np.asarray(cached, dtype=bool)
+    n = len(points)
+    k = min(k, n)
+    if k == 0:
+        return np.empty(0, dtype=np.int64)
+    rel = relevance - relevance.min()
+    if rel.max() > 0:
+        rel = rel / rel.max()
+    span = points.max(axis=0) - points.min(axis=0)
+    scale = float(np.sqrt(np.sum(span**2))) or 1.0
+    penalty = np.where(cached, 0.0, fetch_penalty)
+
+    first_scores = trade_off * rel - penalty
+    selected = [int(np.argmax(first_scores))]
+    taken = np.zeros(n, dtype=bool)
+    taken[selected[0]] = True
+    max_similarity = 1.0 - np.sqrt(
+        np.sum((points - points[selected[0]]) ** 2, axis=1)
+    ) / scale
+    while len(selected) < k:
+        value = trade_off * rel - (1.0 - trade_off) * max_similarity - penalty
+        value[taken] = -np.inf
+        best = int(np.argmax(value))
+        selected.append(best)
+        taken[best] = True
+        similarity = 1.0 - np.sqrt(
+            np.sum((points - points[best]) ** 2, axis=1)
+        ) / scale
+        max_similarity = np.maximum(max_similarity, similarity)
+    return np.asarray(selected, dtype=np.int64)

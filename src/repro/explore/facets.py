@@ -1,0 +1,123 @@
+"""YmalDB-style result-driven recommendations ("You May Also Like", [20]).
+
+After a query, the system inspects the result set for *interesting facet
+values*: attribute values significantly over-represented in the result
+relative to the whole database.  Those values are then used to recommend
+additional tuples (sharing the interesting facets but outside the
+original result) — steering the user toward related data they did not
+ask for.
+
+Interestingness of value ``v`` of attribute ``A`` is the relevance ratio
+``P(v | result) / P(v | database)``, the measure used by YmalDB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.engine.expressions import Expression, truth_mask
+from repro.engine.table import Table
+
+
+@dataclass
+class InterestingFacet:
+    """One over-represented attribute value."""
+
+    attribute: str
+    value: Any
+    relevance_ratio: float
+    support_in_result: int
+
+
+class FacetRecommender:
+    """Finds interesting facets of a query result and recommends tuples.
+
+    Args:
+        table: the full table.
+        facet_columns: candidate categorical columns; defaults to every
+            low-cardinality non-numeric column.
+        max_cardinality: cardinality cutoff for automatic facet columns.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        facet_columns: Sequence[str] | None = None,
+        max_cardinality: int = 50,
+    ) -> None:
+        self.table = table
+        if facet_columns is None:
+            facet_columns = [
+                name
+                for name in table.column_names
+                if not table.column(name).dtype.is_numeric
+                and table.column(name).distinct_count() <= max_cardinality
+            ]
+        self.facet_columns = list(facet_columns)
+
+    def interesting_facets(
+        self,
+        predicate: Expression,
+        min_ratio: float = 1.5,
+        min_support: int = 2,
+    ) -> list[InterestingFacet]:
+        """Facet values over-represented in the predicate's result.
+
+        Args:
+            predicate: the user's query.
+            min_ratio: minimum relevance ratio to report.
+            min_support: minimum occurrences inside the result.
+        """
+        mask = truth_mask(predicate, self.table)
+        result_size = int(mask.sum())
+        if result_size == 0:
+            return []
+        n = self.table.num_rows
+        facets: list[InterestingFacet] = []
+        for attribute in self.facet_columns:
+            values = np.asarray(self.table.column(attribute).to_list(), dtype=object)
+            in_result = values[mask]
+            for value in set(in_result.tolist()):
+                support = int(np.sum(in_result == value))
+                if support < min_support:
+                    continue
+                p_result = support / result_size
+                p_database = float(np.sum(values == value)) / n
+                if p_database == 0:
+                    continue
+                ratio = p_result / p_database
+                if ratio >= min_ratio:
+                    facets.append(
+                        InterestingFacet(attribute, value, float(ratio), support)
+                    )
+        facets.sort(key=lambda f: -f.relevance_ratio)
+        return facets
+
+    def recommend_tuples(
+        self,
+        predicate: Expression,
+        k: int = 10,
+        min_ratio: float = 1.5,
+    ) -> Table:
+        """Rows *outside* the result that share its interesting facets.
+
+        Rows are scored by the summed relevance ratios of the interesting
+        facet values they carry; the top-k are returned.
+        """
+        facets = self.interesting_facets(predicate, min_ratio=min_ratio)
+        mask = truth_mask(predicate, self.table)
+        scores = np.zeros(self.table.num_rows)
+        for facet in facets:
+            values = np.asarray(
+                self.table.column(facet.attribute).to_list(), dtype=object
+            )
+            scores += np.where(values == facet.value, facet.relevance_ratio, 0.0)
+        scores[mask] = -np.inf  # only recommend rows the user has not seen
+        order = np.argsort(-scores, kind="stable")
+        chosen = [int(i) for i in order[:k] if np.isfinite(scores[i]) and scores[i] > 0]
+        if not chosen:
+            return self.table.slice(0, 0)
+        return self.table.take(np.asarray(chosen, dtype=np.int64))

@@ -1,0 +1,170 @@
+"""Interactive inference of join queries (Bonifati et al. [13]).
+
+The user cannot write the join, but they can *recognise* it: shown a
+candidate pair of tuples (one from each table), they say whether the pair
+belongs in the result.  The inference engine maintains the version space
+of candidate equi-join predicates (all type-compatible column pairs) and:
+
+1. eliminates candidates inconsistent with each label —
+   a positive pair must satisfy the predicate, a negative must not;
+2. picks the next pair to ask about by **maximum disagreement** among the
+   surviving candidates (halving), so every answer eliminates as many
+   candidates as possible.
+
+The loop ends when one candidate remains (or the label budget runs out),
+and emits the inferred join as SQL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.engine.catalog import Database
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class JoinCandidate:
+    """One candidate equi-join predicate."""
+
+    left_column: str
+    right_column: str
+
+    def to_sql(self, left_table: str, right_table: str) -> str:
+        """Render as an ON clause."""
+        return (
+            f"{left_table}.{self.left_column} = {right_table}.{self.right_column}"
+        )
+
+
+@dataclass
+class InferenceResult:
+    """Outcome of a join-inference session."""
+
+    candidates_remaining: list[JoinCandidate]
+    labels_used: int
+    questions: list[tuple[int, int, bool]]  # (left row, right row, answer)
+
+    @property
+    def resolved(self) -> bool:
+        """True when exactly one join predicate survives."""
+        return len(self.candidates_remaining) == 1
+
+    @property
+    def join(self) -> JoinCandidate:
+        """The inferred join (requires :attr:`resolved`)."""
+        if not self.resolved:
+            raise ReproError("join not uniquely resolved yet")
+        return self.candidates_remaining[0]
+
+
+class JoinInferencer:
+    """Infers the intended equi-join between two tables from labels.
+
+    Args:
+        db: the database.
+        left_table, right_table: tables being joined.
+        oracle: the simulated user — maps (left row id, right row id) to
+            True/False membership in the intended join result.
+        seed: RNG seed for probe-pair selection tie-breaking.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        left_table: str,
+        right_table: str,
+        oracle: Callable[[int, int], bool],
+        seed: int = 0,
+    ) -> None:
+        self.db = db
+        self.left_table = left_table
+        self.right_table = right_table
+        self.oracle = oracle
+        self._rng = np.random.default_rng(seed)
+        self._left = db.get_table(left_table)
+        self._right = db.get_table(right_table)
+        self.candidates = self._enumerate_candidates()
+        if not self.candidates:
+            raise ReproError("no type-compatible column pairs to join on")
+
+    def _enumerate_candidates(self) -> list[JoinCandidate]:
+        result = []
+        for left_name in self._left.column_names:
+            left_type = self._left.schema.type_of(left_name)
+            for right_name in self._right.column_names:
+                if self._right.schema.type_of(right_name) == left_type:
+                    result.append(JoinCandidate(left_name, right_name))
+        return result
+
+    # -- consistency ------------------------------------------------------------------
+
+    def _pair_satisfies(self, candidate: JoinCandidate, left_row: int, right_row: int) -> bool:
+        left_value = self._left.column(candidate.left_column)[left_row]
+        right_value = self._right.column(candidate.right_column)[right_row]
+        return left_value is not None and left_value == right_value
+
+    def _consistent(self, candidate: JoinCandidate, left_row: int, right_row: int, label: bool) -> bool:
+        return self._pair_satisfies(candidate, left_row, right_row) == label
+
+    # -- probe selection ---------------------------------------------------------------
+
+    def _best_probe(self, candidates: list[JoinCandidate], budget: int = 400) -> tuple[int, int] | None:
+        """The pair on which the surviving candidates disagree the most."""
+        n_left = self._left.num_rows
+        n_right = self._right.num_rows
+        best_pair = None
+        best_balance = -1.0
+        for _ in range(budget):
+            left_row = int(self._rng.integers(0, n_left))
+            right_row = int(self._rng.integers(0, n_right))
+            yes = sum(
+                self._pair_satisfies(c, left_row, right_row) for c in candidates
+            )
+            if 0 < yes < len(candidates):
+                balance = min(yes, len(candidates) - yes) / len(candidates)
+                if balance > best_balance:
+                    best_balance = balance
+                    best_pair = (left_row, right_row)
+                    if balance >= 0.5:
+                        return best_pair
+        return best_pair
+
+    # -- the interactive loop -------------------------------------------------------------
+
+    def run(self, max_labels: int = 30) -> InferenceResult:
+        """Ask the oracle about discriminating pairs until resolved."""
+        candidates = list(self.candidates)
+        questions: list[tuple[int, int, bool]] = []
+        while len(candidates) > 1 and len(questions) < max_labels:
+            probe = self._best_probe(candidates)
+            if probe is None:
+                break  # remaining candidates are indistinguishable on this data
+            left_row, right_row = probe
+            answer = bool(self.oracle(left_row, right_row))
+            questions.append((left_row, right_row, answer))
+            candidates = [
+                c for c in candidates
+                if self._consistent(c, left_row, right_row, answer)
+            ]
+            if not candidates:
+                raise ReproError(
+                    "labels are inconsistent with every candidate equi-join"
+                )
+        return InferenceResult(
+            candidates_remaining=candidates,
+            labels_used=len(questions),
+            questions=questions,
+        )
+
+    def inferred_sql(self, result: InferenceResult, projection: str = "*") -> str:
+        """The full SELECT for a resolved inference."""
+        join = result.join
+        return (
+            f"SELECT {projection} FROM {self.left_table} "
+            f"JOIN {self.right_table} ON "
+            f"{join.to_sql(self.left_table, self.right_table)}"
+        )

@@ -1,0 +1,152 @@
+"""Query by Output: reverse-engineering selection queries ([64, 58, 51]).
+
+Given a table and a set of *example output rows* (identified by row id),
+recover a selection predicate whose result matches the examples.  The
+instance-equivalent-query problem of Tran et al. reduces, for conjunctive
+selection queries, to building a classifier that separates example rows
+from the rest and reading the predicate off its structure — here, the
+same CART substrate AIDE uses, restricted to the most selective positive
+box when the user asks for a conjunctive (single-box) answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.engine.table import Table
+from repro.explore.classifier import Box, DecisionTreeClassifier
+
+
+@dataclass
+class RecoveredQuery:
+    """The outcome of query discovery."""
+
+    where_sql: str
+    boxes: list[Box]
+    precision: float
+    recall: float
+    feature_names: list[str]
+
+    @property
+    def f1(self) -> float:
+        """F1 of the recovered query against the examples."""
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+class QueryByOutput:
+    """Discovers selection predicates from example output rows.
+
+    Args:
+        table: the queried table.
+        columns: candidate predicate columns (numeric); defaults to all
+            numeric columns.
+        max_depth: classifier depth — bounds predicate complexity.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        columns: Sequence[str] | None = None,
+        max_depth: int = 6,
+    ) -> None:
+        self.table = table
+        if columns is None:
+            columns = [
+                name
+                for name in table.column_names
+                if table.column(name).dtype.is_numeric
+            ]
+        if not columns:
+            raise ValueError("query-by-output needs at least one numeric column")
+        self.columns = list(columns)
+        self.max_depth = max_depth
+        self._features = np.column_stack(
+            [np.asarray(table.column(c).data, dtype=np.float64) for c in self.columns]
+        )
+
+    def discover(
+        self, example_rows: Sequence[int], conjunctive_only: bool = False
+    ) -> RecoveredQuery:
+        """Recover a predicate matching the example rows.
+
+        Args:
+            example_rows: indices of rows the target query returns.
+            conjunctive_only: restrict the answer to a single conjunctive
+                box (the Tran et al. "at-most-one-selection" setting)
+                instead of a disjunction of boxes.
+        """
+        examples = set(int(r) for r in example_rows)
+        if not examples:
+            raise ValueError("need at least one example row")
+        n = self.table.num_rows
+        labels = np.asarray([1 if i in examples else 0 for i in range(n)])
+        classifier = DecisionTreeClassifier(max_depth=self.max_depth, min_leaf=1)
+        classifier.fit(self._features, labels)
+        boxes = classifier.positive_boxes()
+        if conjunctive_only and len(boxes) > 1:
+            boxes = [self._best_box(boxes, labels)]
+        predicted = self._rows_matching(boxes)
+        tp = len(predicted & examples)
+        precision = tp / len(predicted) if predicted else 0.0
+        recall = tp / len(examples)
+        return RecoveredQuery(
+            where_sql=self._boxes_to_sql(boxes),
+            boxes=boxes,
+            precision=precision,
+            recall=recall,
+            feature_names=list(self.columns),
+        )
+
+    # -- helpers ------------------------------------------------------------------------
+
+    def _rows_matching(self, boxes: list[Box]) -> set[int]:
+        matched: set[int] = set()
+        for box in boxes:
+            mask = np.ones(len(self._features), dtype=bool)
+            for feature, (low, high) in box.items():
+                if low is not None:
+                    mask &= self._features[:, feature] > low
+                if high is not None:
+                    mask &= self._features[:, feature] <= high
+            matched.update(np.flatnonzero(mask).tolist())
+        return matched
+
+    def _best_box(self, boxes: list[Box], labels: np.ndarray) -> Box:
+        """The single box with the highest F1 against the examples."""
+        best_box = boxes[0]
+        best_f1 = -1.0
+        total_pos = int(labels.sum())
+        for box in boxes:
+            rows = self._rows_matching([box])
+            tp = int(sum(labels[r] for r in rows))
+            precision = tp / len(rows) if rows else 0.0
+            recall = tp / total_pos if total_pos else 0.0
+            f1 = (
+                2 * precision * recall / (precision + recall)
+                if precision + recall
+                else 0.0
+            )
+            if f1 > best_f1:
+                best_f1 = f1
+                best_box = box
+        return best_box
+
+    def _boxes_to_sql(self, boxes: list[Box]) -> str:
+        if not boxes:
+            return "FALSE"
+        clauses = []
+        for box in boxes:
+            parts = []
+            for feature, (low, high) in sorted(box.items()):
+                name = self.columns[feature]
+                if low is not None:
+                    parts.append(f"{name} > {low:g}")
+                if high is not None:
+                    parts.append(f"{name} <= {high:g}")
+            clauses.append("(" + " AND ".join(parts) + ")" if parts else "TRUE")
+        return " OR ".join(clauses)

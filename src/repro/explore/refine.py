@@ -1,0 +1,140 @@
+"""User-driven refinement of imprecise queries ([52]).
+
+An analyst often knows *roughly* what they want ("magnitude around 5-ish,
+depth shallow-ish, about a hundred results") but not exact predicate
+constants.  The refiner takes an imprecise conjunctive range query and
+adjusts the ranges — uniformly scaling them around their centres — until
+the result cardinality lands in the user's target band, and can also
+expand minimally to cover must-include example tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.engine.table import Table
+
+#: An imprecise predicate: column -> (low, high) initial guess.
+Ranges = dict[str, tuple[float, float]]
+
+
+@dataclass
+class RefinementResult:
+    """Outcome of a refinement run."""
+
+    ranges: Ranges
+    cardinality: int
+    scale: float
+    iterations: int
+
+    def to_sql(self) -> str:
+        """The refined predicate as SQL text."""
+        parts = [
+            f"{column} BETWEEN {low:g} AND {high:g}"
+            for column, (low, high) in sorted(self.ranges.items())
+        ]
+        return " AND ".join(parts)
+
+
+class ImpreciseQueryRefiner:
+    """Refines imprecise range predicates against a table.
+
+    Args:
+        table: the data.
+    """
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+
+    def _columns_matrix(self, columns: Sequence[str]) -> np.ndarray:
+        return np.column_stack(
+            [np.asarray(self.table.column(c).data, dtype=np.float64) for c in columns]
+        )
+
+    def _cardinality(self, matrix: np.ndarray, ranges: Sequence[tuple[float, float]]) -> int:
+        mask = np.ones(len(matrix), dtype=bool)
+        for i, (low, high) in enumerate(ranges):
+            mask &= (matrix[:, i] >= low) & (matrix[:, i] <= high)
+        return int(mask.sum())
+
+    @staticmethod
+    def _scaled(base: Ranges, scale: float) -> list[tuple[float, float]]:
+        result = []
+        for low, high in base.values():
+            center = (low + high) / 2.0
+            half = (high - low) / 2.0 * scale
+            result.append((center - half, center + half))
+        return result
+
+    def refine_to_cardinality(
+        self,
+        ranges: Mapping[str, tuple[float, float]],
+        target: tuple[int, int],
+        max_iterations: int = 40,
+    ) -> RefinementResult:
+        """Scale the ranges so the result size falls inside ``target``.
+
+        Uses bisection on a single scale factor (the paper's
+        one-dimensional refinement mode).  If even a 1000x expansion or a
+        near-zero contraction cannot reach the band, the closest endpoint
+        is returned.
+        """
+        base: Ranges = {c: (float(lo), float(hi)) for c, (lo, hi) in ranges.items()}
+        columns = list(base)
+        matrix = self._columns_matrix(columns)
+        lo_target, hi_target = target
+        if lo_target > hi_target:
+            raise ValueError("target band is empty")
+
+        def cardinality_at(scale: float) -> int:
+            return self._cardinality(matrix, self._scaled(base, scale))
+
+        scale_lo, scale_hi = 1e-3, 1.0
+        # grow the upper bracket until it overshoots the band (or caps out)
+        while cardinality_at(scale_hi) < lo_target and scale_hi < 1000.0:
+            scale_hi *= 2.0
+        iterations = 0
+        best_scale = scale_hi
+        for _ in range(max_iterations):
+            iterations += 1
+            mid = (scale_lo + scale_hi) / 2.0
+            cardinality = cardinality_at(mid)
+            if lo_target <= cardinality <= hi_target:
+                best_scale = mid
+                break
+            if cardinality < lo_target:
+                scale_lo = mid
+            else:
+                scale_hi = mid
+            best_scale = mid
+        final_ranges = dict(zip(columns, self._scaled(base, best_scale)))
+        return RefinementResult(
+            ranges=final_ranges,
+            cardinality=self._cardinality(matrix, list(final_ranges.values())),
+            scale=best_scale,
+            iterations=iterations,
+        )
+
+    def expand_to_include(
+        self,
+        ranges: Mapping[str, tuple[float, float]],
+        required_rows: Sequence[int],
+    ) -> RefinementResult:
+        """Minimally expand the ranges so the required rows qualify."""
+        base: Ranges = {c: (float(lo), float(hi)) for c, (lo, hi) in ranges.items()}
+        columns = list(base)
+        matrix = self._columns_matrix(columns)
+        expanded: Ranges = {}
+        for i, column in enumerate(columns):
+            low, high = base[column]
+            needed = matrix[np.asarray(required_rows, dtype=np.int64), i]
+            expanded[column] = (min(low, float(needed.min())), max(high, float(needed.max())))
+        return RefinementResult(
+            ranges=expanded,
+            cardinality=self._cardinality(matrix, list(expanded.values())),
+            scale=1.0,
+            iterations=1,
+        )

@@ -1,0 +1,150 @@
+"""Data-space segmentation ("Meet Charles", [57]).
+
+Charles proposes *segmentations* of a column — partitions of its value
+range into contiguous segments that are internally homogeneous — as
+starting points for exploration ("your sensor readings split naturally
+into these four regimes").  The classical optimal 1-D segmentation
+criterion is minimum within-segment variance (Fisher/Jenks natural
+breaks), solved exactly here by dynamic programming over a quantised
+value grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class Segmentation:
+    """One proposed segmentation of a column."""
+
+    boundaries: list[float]  # k+1 edges, ascending
+    counts: list[int]
+    means: list[float]
+    within_variance: float
+
+    @property
+    def num_segments(self) -> int:
+        """Number of segments."""
+        return len(self.counts)
+
+    def describe(self) -> list[str]:
+        """Human-readable segment summaries."""
+        return [
+            f"[{self.boundaries[i]:g}, {self.boundaries[i + 1]:g}): "
+            f"{self.counts[i]} rows, mean {self.means[i]:g}"
+            for i in range(self.num_segments)
+        ]
+
+
+def segment_column(
+    values: np.ndarray,
+    num_segments: int,
+    grid: int = 256,
+) -> Segmentation:
+    """Optimal (Jenks/Fisher) segmentation of a numeric column.
+
+    Args:
+        values: column payload.
+        num_segments: k, segments wanted.
+        grid: quantisation resolution the DP runs on (keeps the DP
+            O(grid² · k) regardless of data size).
+
+    Returns:
+        The within-variance-minimising segmentation.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) == 0:
+        raise ValueError("cannot segment an empty column")
+    if num_segments < 1:
+        raise ValueError("num_segments must be at least 1")
+    lo, hi = float(values.min()), float(values.max())
+    if hi == lo:
+        return Segmentation([lo, lo + 1.0], [len(values)], [lo], 0.0)
+    counts, edges = np.histogram(values, bins=grid, range=(lo, hi))
+    centers = (edges[:-1] + edges[1:]) / 2.0
+
+    # prefix sums over the histogram for O(1) segment statistics
+    w = counts.astype(np.float64)
+    wx = w * centers
+    wxx = w * centers**2
+    cum_w = np.concatenate([[0.0], np.cumsum(w)])
+    cum_wx = np.concatenate([[0.0], np.cumsum(wx)])
+    cum_wxx = np.concatenate([[0.0], np.cumsum(wxx)])
+
+    def segment_cost(i: int, j: int) -> float:
+        """Within-variance (sum of squared deviations) of cells [i, j)."""
+        weight = cum_w[j] - cum_w[i]
+        if weight <= 0:
+            return 0.0
+        total = cum_wx[j] - cum_wx[i]
+        total_sq = cum_wxx[j] - cum_wxx[i]
+        return float(total_sq - total * total / weight)
+
+    k = min(num_segments, grid)
+    infinity = float("inf")
+    # dp[s][j] = best cost splitting cells [0, j) into s segments
+    dp = np.full((k + 1, grid + 1), infinity)
+    back = np.zeros((k + 1, grid + 1), dtype=np.int64)
+    dp[0][0] = 0.0
+    for s in range(1, k + 1):
+        for j in range(s, grid + 1):
+            best = infinity
+            best_i = s - 1
+            for i in range(s - 1, j):
+                if dp[s - 1][i] == infinity:
+                    continue
+                cost = dp[s - 1][i] + segment_cost(i, j)
+                if cost < best:
+                    best = cost
+                    best_i = i
+            dp[s][j] = best
+            back[s][j] = best_i
+
+    # reconstruct boundaries
+    cuts = [grid]
+    j = grid
+    for s in range(k, 0, -1):
+        j = int(back[s][j])
+        cuts.append(j)
+    cuts.reverse()
+
+    boundaries = [float(edges[c]) for c in cuts]
+    boundaries[-1] = hi
+    segment_counts: list[int] = []
+    means: list[float] = []
+    for a, b in zip(cuts[:-1], cuts[1:]):
+        weight = cum_w[b] - cum_w[a]
+        segment_counts.append(int(weight))
+        means.append(float((cum_wx[b] - cum_wx[a]) / weight) if weight else 0.0)
+    return Segmentation(
+        boundaries=boundaries,
+        counts=segment_counts,
+        means=means,
+        within_variance=float(dp[k][grid]),
+    )
+
+
+def suggest_segmentations(
+    values: np.ndarray,
+    max_segments: int = 6,
+    grid: int = 256,
+) -> list[Segmentation]:
+    """Segmentations for k = 2..max_segments, best (elbow) first.
+
+    Charles proposes several candidate views; ordering here follows the
+    marginal-gain elbow: segmentations whose extra segment buys the
+    largest variance reduction rank first.
+    """
+    candidates = [
+        segment_column(values, k, grid=grid) for k in range(2, max_segments + 1)
+    ]
+    gains = []
+    previous = segment_column(values, 1, grid=grid).within_variance
+    for candidate in candidates:
+        gains.append(previous - candidate.within_variance)
+        previous = candidate.within_variance
+    order = np.argsort(-np.asarray(gains), kind="stable")
+    return [candidates[i] for i in order]

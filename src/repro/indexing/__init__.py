@@ -1,0 +1,45 @@
+"""Adaptive indexing (paper §2.3).
+
+Implements the database-cracking family the tutorial surveys:
+
+- :class:`CrackerIndex` — incremental, query-driven index refinement
+  (database cracking [29]), with the stochastic variants of [23] that stay
+  robust under sequential workloads.
+- :class:`HybridCrackSortIndex` — the crack/sort hybrids of [33].
+- :class:`UpdatableCrackerIndex` — cracking under updates [30].
+- :class:`SidewaysCracker` — sideways cracking for multi-column tuple
+  reconstruction [31].
+- :class:`SortedIndex` / :class:`ScanIndex` — the classical comparators
+  (full index built up front; no index at all).
+- :class:`ISAXIndex` — the data-series index of the time-series cluster [68].
+
+All indexes implement the engine's :class:`~repro.engine.catalog.RangeIndex`
+protocol and count the *logical work* (elements touched) they perform, which
+is what the convergence plots in EXPERIMENTS.md report.
+"""
+
+from repro.indexing.cracking import CrackerIndex, CrackingVariant
+from repro.indexing.baselines import ScanIndex, SortedIndex
+from repro.indexing.hybrid import HybridCrackSortIndex
+from repro.indexing.updates import UpdatableCrackerIndex
+from repro.indexing.sideways import SidewaysCracker
+from repro.indexing.sax import paa_transform, sax_symbols, sax_lower_bound_distance
+from repro.indexing.isax import ISAXIndex
+from repro.indexing.concurrent import ConcurrentCrackingSimulator
+from repro.indexing.partitioned import PartitionedAdaptiveIndex
+
+__all__ = [
+    "ConcurrentCrackingSimulator",
+    "CrackerIndex",
+    "CrackingVariant",
+    "HybridCrackSortIndex",
+    "ISAXIndex",
+    "PartitionedAdaptiveIndex",
+    "ScanIndex",
+    "SidewaysCracker",
+    "SortedIndex",
+    "UpdatableCrackerIndex",
+    "paa_transform",
+    "sax_lower_bound_distance",
+    "sax_symbols",
+]

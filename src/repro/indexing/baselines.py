@@ -1,0 +1,108 @@
+"""Comparator indexes for the adaptive-indexing experiments.
+
+- :class:`SortedIndex` — the "full index" baseline: pay a complete sort on
+  the first query (or at build time), then answer every range with two
+  binary searches.
+- :class:`ScanIndex` — the "no index" baseline: every query scans the
+  whole column.
+
+Both count logical work the same way the cracker index does, so the three
+series are directly comparable in the S1 convergence benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+
+class SortedIndex:
+    """A fully sorted secondary index built eagerly or on first use.
+
+    Args:
+        values: column payload.
+        lazy: when True, the sort cost is charged to the first lookup
+            (which is how the cracking papers plot the comparison); when
+            False it is charged at construction.
+    """
+
+    def __init__(self, values: np.ndarray, lazy: bool = True) -> None:
+        self._raw = np.asarray(values)
+        self._sorted_values: np.ndarray | None = None
+        self._positions: np.ndarray | None = None
+        self.work_touched = 0
+        if not lazy:
+            self._build()
+
+    def _build(self) -> None:
+        if self._sorted_values is not None:
+            return
+        order = np.argsort(self._raw, kind="stable")
+        self._sorted_values = self._raw[order]
+        self._positions = order.astype(np.int64)
+        n = len(self._raw)
+        # charge n log2 n comparisons for the sort
+        self.work_touched += int(n * max(1.0, math.log2(max(2, n))))
+
+    @property
+    def is_built(self) -> bool:
+        """True once the sort has happened."""
+        return self._sorted_values is not None
+
+    def reset_counters(self) -> None:
+        """Zero the work counter."""
+        self.work_touched = 0
+
+    def lookup_range(
+        self,
+        low: Any,
+        high: Any,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> np.ndarray:
+        """Row positions of values in the given (possibly open) range."""
+        self._build()
+        assert self._sorted_values is not None and self._positions is not None
+        n = len(self._sorted_values)
+        start = 0
+        end = n
+        if low is not None:
+            side = "left" if low_inclusive else "right"
+            start = int(np.searchsorted(self._sorted_values, low, side=side))
+        if high is not None:
+            side = "right" if high_inclusive else "left"
+            end = int(np.searchsorted(self._sorted_values, high, side=side))
+        if end < start:
+            end = start
+        self.work_touched += int(2 * max(1.0, math.log2(max(2, n)))) + (end - start)
+        return self._positions[start:end].copy()
+
+
+class ScanIndex:
+    """The no-index baseline: a full scan per lookup."""
+
+    def __init__(self, values: np.ndarray) -> None:
+        self._values = np.asarray(values)
+        self.work_touched = 0
+
+    def reset_counters(self) -> None:
+        """Zero the work counter."""
+        self.work_touched = 0
+
+    def lookup_range(
+        self,
+        low: Any,
+        high: Any,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> np.ndarray:
+        """Row positions of values in the given (possibly open) range."""
+        mask = np.ones(len(self._values), dtype=bool)
+        if low is not None:
+            mask &= self._values >= low if low_inclusive else self._values > low
+        if high is not None:
+            mask &= self._values <= high if high_inclusive else self._values < high
+        self.work_touched += len(self._values)
+        return np.flatnonzero(mask).astype(np.int64)

@@ -1,0 +1,274 @@
+"""iSAX: an indexable SAX tree for data-series similarity search.
+
+Series are summarised by iSAX words — SAX words whose *per-symbol*
+cardinality can differ.  A node's word uses ``bits[i]`` bits for segment
+``i``; splitting a full leaf promotes one segment by a bit, halving its
+value band and redistributing the leaf's series between two children.
+
+Search:
+
+- :meth:`ISAXIndex.approximate_search` descends to the leaf the query's
+  own word would land in and scans only that leaf — the fast, inexact mode
+  interactive exploration uses first.
+- :meth:`ISAXIndex.exact_search` then runs best-first search over the tree
+  using the MINDIST lower bound to prune — exact, and usually touches a
+  small fraction of the data (reproduced by the S15 benchmark).
+
+The index also supports *adaptive* building in the spirit of [68]: pass
+``adaptive=True`` and raw series are parked unconverted in leaves until a
+query actually visits them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.indexing.sax import paa_transform, sax_lower_bound_distance, sax_symbols
+
+
+@dataclass
+class _Node:
+    """One tree node.  ``bits[i]`` is the number of bits of segment i's
+    symbol used by ``word[i]``."""
+
+    word: np.ndarray
+    bits: np.ndarray
+    children: dict[tuple[int, ...], "_Node"] = field(default_factory=dict)
+    series_ids: list[int] = field(default_factory=list)
+    split_segment: int | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.split_segment is None
+
+
+class ISAXIndex:
+    """An iSAX tree over a fixed collection of z-normalised series.
+
+    Args:
+        series: array of shape (num_series, length).
+        word_length: number of PAA segments.
+        max_bits: maximum bits per segment (cardinality ``2**max_bits``).
+        leaf_capacity: maximum series per leaf before splitting.
+        adaptive: park raw series in leaves and split lazily on first
+            query touch (ADS-style) instead of eagerly at build time.
+    """
+
+    def __init__(
+        self,
+        series: np.ndarray,
+        word_length: int = 8,
+        max_bits: int = 8,
+        leaf_capacity: int = 64,
+        adaptive: bool = False,
+    ) -> None:
+        self._series = np.atleast_2d(np.asarray(series, dtype=np.float64))
+        self.word_length = word_length
+        self.max_bits = max_bits
+        self.leaf_capacity = leaf_capacity
+        self.adaptive = adaptive
+        self.series_length = self._series.shape[1]
+        self._paa = paa_transform(self._series, word_length)
+        self._max_symbols = sax_symbols(self._paa, 2**max_bits)
+        self._root = _Node(
+            word=np.zeros(word_length, dtype=np.int64),
+            bits=np.zeros(word_length, dtype=np.int64),
+        )
+        self.distance_computations = 0
+        self.nodes_visited = 0
+        for series_id in range(len(self._series)):
+            self._insert(series_id, defer_splits=adaptive)
+
+    # -- construction -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def _symbol_at(self, series_id: int, segment: int, bits: int) -> int:
+        """Symbol of one segment at the given (reduced) cardinality."""
+        if bits <= 0:
+            return 0
+        return int(self._max_symbols[series_id, segment]) >> (self.max_bits - bits)
+
+    def _child_key(self, node: _Node, series_id: int) -> tuple[int, ...]:
+        segment = node.split_segment
+        assert segment is not None
+        bits = int(node.bits[segment]) + 1
+        return (segment, self._symbol_at(series_id, segment, bits))
+
+    def _insert(self, series_id: int, defer_splits: bool) -> None:
+        node = self._root
+        while not node.is_leaf:
+            key = self._child_key(node, series_id)
+            node = self._ensure_child(node, key)
+        node.series_ids.append(series_id)
+        if not defer_splits:
+            self._maybe_split(node)
+
+    def _ensure_child(self, node: _Node, key: tuple[int, ...]) -> _Node:
+        if key not in node.children:
+            segment, symbol = key
+            word = node.word.copy()
+            bits = node.bits.copy()
+            word[segment] = symbol
+            bits[segment] = bits[segment] + 1
+            node.children[key] = _Node(word=word, bits=bits)
+        return node.children[key]
+
+    def _maybe_split(self, node: _Node) -> None:
+        while len(node.series_ids) > self.leaf_capacity:
+            segment = self._pick_split_segment(node)
+            if segment is None:
+                return  # all segments at max cardinality; oversized leaf stays
+            node.split_segment = segment
+            ids = node.series_ids
+            node.series_ids = []
+            for series_id in ids:
+                child = self._ensure_child(node, self._child_key(node, series_id))
+                child.series_ids.append(series_id)
+            # recurse into any child that is itself oversized
+            for child in node.children.values():
+                self._maybe_split(child)
+            return
+
+    def _pick_split_segment(self, node: _Node) -> int | None:
+        """Split on the promotable segment whose next bit best balances
+        the leaf's series."""
+        best_segment = None
+        best_balance = -1.0
+        for segment in range(self.word_length):
+            if node.bits[segment] >= self.max_bits:
+                continue
+            bits = int(node.bits[segment]) + 1
+            symbols = [self._symbol_at(sid, segment, bits) for sid in node.series_ids]
+            unique = set(symbols)
+            if len(unique) < 2:
+                continue
+            counts = np.bincount(symbols)
+            counts = counts[counts > 0]
+            balance = 1.0 - float(counts.max()) / float(counts.sum())
+            if balance > best_balance:
+                best_balance = balance
+                best_segment = segment
+        if best_segment is not None:
+            return best_segment
+        # no segment separates the series at the next bit; promote the
+        # first promotable one anyway to make (eventual) progress
+        for segment in range(self.word_length):
+            if node.bits[segment] < self.max_bits:
+                bits = int(node.bits[segment]) + 1
+                symbols = {self._symbol_at(sid, segment, bits) for sid in node.series_ids}
+                if len(symbols) >= 2:
+                    return segment
+        return None
+
+    # -- search ------------------------------------------------------------------------
+
+    def _euclidean(self, series_id: int, query: np.ndarray) -> float:
+        self.distance_computations += 1
+        return float(np.linalg.norm(self._series[series_id] - query))
+
+    def _leaf_for(self, query: np.ndarray) -> _Node:
+        """Descend to the leaf the query's own word selects (splitting
+        deferred leaves on the way when in adaptive mode)."""
+        paa = paa_transform(query, self.word_length)
+        max_symbols = sax_symbols(paa, 2**self.max_bits)
+        node = self._root
+        while True:
+            self.nodes_visited += 1
+            if node.is_leaf and self.adaptive and len(node.series_ids) > self.leaf_capacity:
+                self._maybe_split(node)
+            if node.is_leaf:
+                return node
+            segment = node.split_segment
+            assert segment is not None
+            bits = int(node.bits[segment]) + 1
+            symbol = int(max_symbols[segment]) >> (self.max_bits - bits)
+            key = (segment, symbol)
+            if key not in node.children:
+                # query falls in an empty band: scan the nearest child
+                if not node.children:
+                    return node
+                key = min(
+                    node.children,
+                    key=lambda k: abs(k[1] - symbol) if k[0] == segment else 1_000_000,
+                )
+            node = node.children[key]
+
+    def approximate_search(self, query: np.ndarray, k: int = 1) -> list[tuple[int, float]]:
+        """k nearest neighbours *within the query's own leaf* (inexact).
+
+        Returns ``(series_id, distance)`` pairs, nearest first.
+        """
+        query = np.asarray(query, dtype=np.float64)
+        leaf = self._leaf_for(query)
+        candidates = [(self._euclidean(sid, query), sid) for sid in leaf.series_ids]
+        candidates.sort()
+        return [(sid, dist) for dist, sid in candidates[:k]]
+
+    def exact_search(self, query: np.ndarray, k: int = 1) -> list[tuple[int, float]]:
+        """Exact k-NN via best-first traversal with MINDIST pruning."""
+        query = np.asarray(query, dtype=np.float64)
+        paa = paa_transform(query, self.word_length)
+        best: list[tuple[float, int]] = []  # max-heap via negated distances
+        considered: set[int] = set()
+
+        def consider(series_id: int) -> None:
+            if series_id in considered:
+                return
+            considered.add(series_id)
+            dist = self._euclidean(series_id, query)
+            if len(best) < k:
+                heapq.heappush(best, (-dist, series_id))
+            elif dist < -best[0][0]:
+                heapq.heapreplace(best, (-dist, series_id))
+
+        # seed the pruning bound with the approximate answer
+        for series_id, _ in self.approximate_search(query, k=k):
+            consider(series_id)
+
+        counter = 0
+        frontier: list[tuple[float, int, _Node]] = [(0.0, counter, self._root)]
+        while frontier:
+            bound, _, node = heapq.heappop(frontier)
+            if len(best) == k and bound >= -best[0][0]:
+                break
+            self.nodes_visited += 1
+            if node.is_leaf:
+                for series_id in node.series_ids:
+                    consider(series_id)
+                continue
+            for child in node.children.values():
+                child_bound = sax_lower_bound_distance(
+                    paa, child.word, 2**child.bits, self.series_length
+                )
+                if len(best) < k or child_bound < -best[0][0]:
+                    counter += 1
+                    heapq.heappush(frontier, (child_bound, counter, child))
+        return sorted([(sid, -neg) for neg, sid in best], key=lambda x: x[1])
+
+    # -- introspection -------------------------------------------------------------------
+
+    def leaves(self) -> Iterator[_Node]:
+        """Iterate all leaf nodes."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield node
+            else:
+                stack.extend(node.children.values())
+
+    @property
+    def num_leaves(self) -> int:
+        """Number of leaves currently in the tree."""
+        return sum(1 for _ in self.leaves())
+
+    def reset_counters(self) -> None:
+        """Zero the search-effort counters."""
+        self.distance_computations = 0
+        self.nodes_visited = 0

@@ -1,0 +1,31 @@
+"""Novel query interfaces (paper §2.1): touch, gestures, keywords.
+
+- :class:`DbTouch` — dbtouch ([32, 44]): analytics driven by touch; the
+  system processes only the data slices the finger passes over, so
+  interaction cost is proportional to gesture length, not data size.
+- :class:`GestureClassifier` / :class:`GestureQuerySession` — GestureDB
+  ([45, 47]): classify raw touch traces into gestures and map them to
+  relational operations over the presented table.
+- :class:`KeywordSearchEngine` — keyword search over relational data
+  ([67]): tuple matches joined through foreign-key candidate networks.
+"""
+
+from repro.interface.dbtouch import DbTouch, TouchSummary
+from repro.interface.gestures import (
+    Gesture,
+    GestureClassifier,
+    GestureQuerySession,
+    TouchPoint,
+)
+from repro.interface.keyword import JoinedResult, KeywordSearchEngine
+
+__all__ = [
+    "DbTouch",
+    "Gesture",
+    "GestureClassifier",
+    "GestureQuerySession",
+    "JoinedResult",
+    "KeywordSearchEngine",
+    "TouchPoint",
+    "TouchSummary",
+]

@@ -1,0 +1,109 @@
+"""dbtouch: analytics at your fingertips ([32, 44]).
+
+The dbtouch vision inverts the usual control flow: the *user's touches*
+drive query processing.  A column is presented as a strip; as the finger
+slides across it, the kernel processes only small slices of data under
+the touch point, maintaining incremental statistics.  Total work is
+therefore proportional to how much the user touched, never to table size
+— the property the tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.table import Table
+from repro.errors import InterfaceError
+
+
+@dataclass
+class TouchSummary:
+    """Incremental statistics gathered from the touched slices."""
+
+    rows_seen: int
+    mean: float
+    minimum: float
+    maximum: float
+    fraction_explored: float
+
+
+class DbTouch:
+    """A touch-driven exploration kernel over one table.
+
+    Args:
+        table: the data.
+        slice_rows: rows processed per touch event (the "resolution" of a
+            fingertip).
+    """
+
+    def __init__(self, table: Table, slice_rows: int = 64) -> None:
+        if slice_rows <= 0:
+            raise InterfaceError("slice_rows must be positive")
+        self.table = table
+        self.slice_rows = slice_rows
+        self.rows_touched = 0
+        self._state: dict[str, dict] = {}
+
+    def _column_state(self, column: str) -> dict:
+        if column not in self._state:
+            payload = self.table.column(column)
+            if not payload.dtype.is_numeric:
+                raise InterfaceError(f"dbtouch needs a numeric column, got {column!r}")
+            self._state[column] = {
+                "values": np.asarray(payload.data, dtype=np.float64),
+                "seen": np.zeros(self.table.num_rows, dtype=bool),
+                "sum": 0.0,
+                "count": 0,
+                "min": np.inf,
+                "max": -np.inf,
+            }
+        return self._state[column]
+
+    def touch(self, column: str, position: float) -> TouchSummary:
+        """Process the slice under a touch at ``position`` in [0, 1].
+
+        The slice covers ``slice_rows`` rows centred on the touched
+        fraction of the column strip; already-seen rows are not
+        reprocessed (sliding back over explored data is free).
+        """
+        if not 0.0 <= position <= 1.0:
+            raise InterfaceError(f"touch position must be in [0, 1], got {position}")
+        state = self._column_state(column)
+        n = len(state["values"])
+        center = int(position * (n - 1)) if n > 1 else 0
+        start = max(0, center - self.slice_rows // 2)
+        end = min(n, start + self.slice_rows)
+        fresh = ~state["seen"][start:end]
+        new_values = state["values"][start:end][fresh]
+        state["seen"][start:end] = True
+        if len(new_values):
+            self.rows_touched += len(new_values)
+            state["sum"] += float(new_values.sum())
+            state["count"] += len(new_values)
+            state["min"] = min(state["min"], float(new_values.min()))
+            state["max"] = max(state["max"], float(new_values.max()))
+        return self.summary(column)
+
+    def slide(self, column: str, start: float, stop: float, steps: int = 10) -> TouchSummary:
+        """A continuous slide gesture: ``steps`` touches from start to stop."""
+        if steps < 1:
+            raise InterfaceError("a slide needs at least one step")
+        positions = np.linspace(start, stop, steps)
+        summary = self.summary(column)
+        for position in positions:
+            summary = self.touch(column, float(np.clip(position, 0.0, 1.0)))
+        return summary
+
+    def summary(self, column: str) -> TouchSummary:
+        """Statistics over everything touched so far on ``column``."""
+        state = self._column_state(column)
+        count = state["count"]
+        return TouchSummary(
+            rows_seen=count,
+            mean=state["sum"] / count if count else 0.0,
+            minimum=state["min"] if count else 0.0,
+            maximum=state["max"] if count else 0.0,
+            fraction_explored=count / max(1, self.table.num_rows),
+        )

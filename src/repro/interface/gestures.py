@@ -1,0 +1,185 @@
+"""Gestural query specification (GestureDB [45, 47]).
+
+Raw multi-touch traces are classified into a small gesture vocabulary and
+mapped onto relational operations over the *presented* table:
+
+=========  ================================
+Gesture     Operation
+=========  ================================
+tap         preview the touched column
+swipe-left  sort descending by the column
+swipe-right sort ascending by the column
+pinch       group by the column (summarise)
+spread      undo the last operation
+=========  ================================
+
+Classification follows GestureDB's feature approach: path length,
+displacement direction, and inter-finger distance change.  Ambiguous
+traces yield a *ranked* list of gesture likelihoods, mirroring the
+paper's proactive query suggestion while the gesture is still in flight.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+from repro.engine.sql.ast import AggregateCall
+from repro.engine.table import Table
+from repro.engine import operators as ops
+from repro.engine.expressions import col
+from repro.engine.sql.ast import OrderItem
+from repro.errors import InterfaceError
+
+
+@dataclass(frozen=True)
+class TouchPoint:
+    """One sample of one finger: position plus timestamp."""
+
+    x: float
+    y: float
+    t: float
+    finger: int = 0
+
+
+@dataclass
+class Gesture:
+    """A classified gesture with its likelihood ranking."""
+
+    kind: str
+    confidence: float
+    ranking: list[tuple[str, float]] = field(default_factory=list)
+
+
+_TAP_MAX_PATH = 0.02
+_SWIPE_MIN_DISPLACEMENT = 0.15
+
+
+class GestureClassifier:
+    """Classifies touch traces into the gesture vocabulary."""
+
+    VOCABULARY = ("tap", "swipe-left", "swipe-right", "pinch", "spread")
+
+    def classify(self, trace: Sequence[TouchPoint]) -> Gesture:
+        """Classify one trace (one or two fingers).
+
+        Returns the most likely gesture; ``ranking`` holds the full
+        likelihood ordering for ambiguity-aware clients.
+        """
+        if not trace:
+            raise InterfaceError("cannot classify an empty trace")
+        fingers = {p.finger for p in trace}
+        scores: dict[str, float] = {kind: 0.0 for kind in self.VOCABULARY}
+        if len(fingers) >= 2:
+            spread_change = self._spread_change(trace)
+            scale = min(1.0, abs(spread_change) / 0.2)
+            if spread_change < 0:
+                scores["pinch"] = 0.5 + 0.5 * scale
+                scores["spread"] = 0.5 - 0.5 * scale
+            else:
+                scores["spread"] = 0.5 + 0.5 * scale
+                scores["pinch"] = 0.5 - 0.5 * scale
+        else:
+            path = self._path_length(trace)
+            dx = trace[-1].x - trace[0].x
+            if path <= _TAP_MAX_PATH:
+                scores["tap"] = 1.0
+            else:
+                strength = min(1.0, abs(dx) / _SWIPE_MIN_DISPLACEMENT)
+                if dx < 0:
+                    scores["swipe-left"] = 0.4 + 0.6 * strength
+                    scores["swipe-right"] = 0.1
+                else:
+                    scores["swipe-right"] = 0.4 + 0.6 * strength
+                    scores["swipe-left"] = 0.1
+                scores["tap"] = max(0.0, 0.3 - path)
+        ranking = sorted(scores.items(), key=lambda kv: -kv[1])
+        kind, confidence = ranking[0]
+        return Gesture(kind=kind, confidence=confidence, ranking=ranking)
+
+    @staticmethod
+    def _path_length(trace: Sequence[TouchPoint]) -> float:
+        total = 0.0
+        by_finger: dict[int, list[TouchPoint]] = {}
+        for point in trace:
+            by_finger.setdefault(point.finger, []).append(point)
+        for points in by_finger.values():
+            for a, b in zip(points[:-1], points[1:]):
+                total += math.hypot(b.x - a.x, b.y - a.y)
+        return total
+
+    @staticmethod
+    def _spread_change(trace: Sequence[TouchPoint]) -> float:
+        by_finger: dict[int, list[TouchPoint]] = {}
+        for point in trace:
+            by_finger.setdefault(point.finger, []).append(point)
+        fingers = sorted(by_finger)[:2]
+        a, b = by_finger[fingers[0]], by_finger[fingers[1]]
+        start = math.hypot(a[0].x - b[0].x, a[0].y - b[0].y)
+        end = math.hypot(a[-1].x - b[-1].x, a[-1].y - b[-1].y)
+        return end - start
+
+
+class GestureQuerySession:
+    """Maps classified gestures onto operations over a presented table."""
+
+    def __init__(self, table: Table) -> None:
+        self._history: list[Table] = [table]
+        self.classifier = GestureClassifier()
+        self.operations_log: list[str] = []
+
+    @property
+    def current(self) -> Table:
+        """The table currently presented to the user."""
+        return self._history[-1]
+
+    def _column_at(self, x: float) -> str:
+        names = self.current.column_names
+        index = min(int(x * len(names)), len(names) - 1)
+        return names[index]
+
+    def apply_trace(self, trace: Sequence[TouchPoint]) -> str:
+        """Classify a trace and execute the implied operation.
+
+        Returns a description of what happened.
+        """
+        gesture = self.classifier.classify(trace)
+        column = self._column_at(trace[0].x)
+        return self.apply_gesture(gesture.kind, column)
+
+    def apply_gesture(self, kind: str, column: str) -> str:
+        """Execute one gesture's operation on the named column."""
+        table = self.current
+        if column not in table.column_names and kind != "spread":
+            raise InterfaceError(f"no column {column!r} on screen")
+        if kind == "tap":
+            self.operations_log.append(f"preview {column}")
+            return f"preview of {column}: {table.column(column).to_list()[:5]}"
+        if kind in ("swipe-left", "swipe-right"):
+            ascending = kind == "swipe-right"
+            result = ops.sort_table(
+                table, [OrderItem(expression=col(column), ascending=ascending)]
+            )
+            self._history.append(result)
+            direction = "ascending" if ascending else "descending"
+            self.operations_log.append(f"sort {column} {direction}")
+            return f"sorted by {column} {direction}"
+        if kind == "pinch":
+            result = ops.hash_aggregate(
+                table,
+                [col(column)],
+                [("count", AggregateCall(function="COUNT", argument=None))],
+                [column],
+            )
+            self._history.append(result)
+            self.operations_log.append(f"group by {column}")
+            return f"grouped by {column} ({result.num_rows} groups)"
+        if kind == "spread":
+            if len(self._history) > 1:
+                self._history.pop()
+                self.operations_log.append("undo")
+                return "undid last operation"
+            return "nothing to undo"
+        raise InterfaceError(f"unknown gesture {kind!r}")

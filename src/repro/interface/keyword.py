@@ -1,0 +1,198 @@
+"""Keyword search over relational databases ([67]).
+
+The schema is modelled as a graph: tables are nodes, declared foreign-key
+relationships are edges.  A keyword query is answered by:
+
+1. finding per-table tuple matches for each keyword (substring match on
+   string columns),
+2. enumerating *candidate networks* — minimal join trees over the schema
+   graph connecting tables that (together) cover all keywords,
+3. executing the joins and scoring answers by compactness (fewer joins =
+   better) and match quality.
+
+This is the DISCOVER/BANKS-style architecture the survey [67] describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.engine.catalog import Database
+from repro.engine.operators import hash_join
+from repro.engine.table import Table
+from repro.engine.types import DataType
+from repro.errors import InterfaceError
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A declared FK edge: ``child.child_column -> parent.parent_column``."""
+
+    child_table: str
+    child_column: str
+    parent_table: str
+    parent_column: str
+
+
+@dataclass
+class JoinedResult:
+    """One keyword-search answer."""
+
+    tables: tuple[str, ...]
+    rows: Table
+    score: float
+    keywords_covered: frozenset[str]
+
+
+class KeywordSearchEngine:
+    """Keyword search over a multi-table database.
+
+    Args:
+        db: the database.
+        foreign_keys: declared FK relationships (the schema graph edges).
+        max_network_size: largest candidate network (tables per answer).
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        foreign_keys: Sequence[ForeignKey],
+        max_network_size: int = 3,
+    ) -> None:
+        self.db = db
+        self.foreign_keys = list(foreign_keys)
+        self.max_network_size = max_network_size
+        self._graph = nx.Graph()
+        for name in db.table_names():
+            self._graph.add_node(name)
+        for fk in self.foreign_keys:
+            if not (db.has_table(fk.child_table) and db.has_table(fk.parent_table)):
+                raise InterfaceError(f"foreign key references unknown table: {fk}")
+            self._graph.add_edge(fk.child_table, fk.parent_table, fk=fk)
+
+    # -- matching -----------------------------------------------------------------------
+
+    def _table_matches(self, table_name: str, keyword: str) -> bool:
+        table = self.db.get_table(table_name)
+        lowered = keyword.lower()
+        for column_name in table.column_names:
+            column = table.column(column_name)
+            if column.dtype is not DataType.STRING:
+                continue
+            if any(value is not None and lowered in value.lower() for value in column):
+                return True
+        return False
+
+    def _match_map(self, keywords: Sequence[str]) -> dict[str, set[str]]:
+        """keyword -> set of tables containing a match."""
+        return {
+            keyword: {
+                name for name in self.db.table_names() if self._table_matches(name, keyword)
+            }
+            for keyword in keywords
+        }
+
+    def _row_filter(self, table: Table, keywords: Sequence[str]) -> Table:
+        """Rows (of a base table or a joined network) covering ALL keywords."""
+        lowered = [k.lower() for k in keywords]
+        keep = []
+        for i in range(table.num_rows):
+            row_text = " ".join(
+                str(v).lower()
+                for v in table.row(i)
+                if isinstance(v, str)
+            )
+            if all(k in row_text for k in lowered):
+                keep.append(i)
+        return table.take(np.asarray(keep, dtype=np.int64)) if keep else table.slice(0, 0)
+
+    # -- candidate networks ----------------------------------------------------------------
+
+    def candidate_networks(self, keywords: Sequence[str]) -> list[tuple[str, ...]]:
+        """Minimal connected table sets covering all keywords.
+
+        Networks may include non-matching *intermediate* tables when those
+        are needed to connect the matching ones through the FK graph (e.g.
+        authors ⋈ papers ⋈ venues for keywords hitting authors and venues).
+        """
+        matches = self._match_map(keywords)
+        if any(not tables for tables in matches.values()):
+            return []
+        candidates = sorted(self.db.table_names())
+        networks: list[tuple[str, ...]] = []
+        for size in range(1, self.max_network_size + 1):
+            for subset in combinations(candidates, size):
+                covered = all(
+                    any(t in subset for t in matches[k]) for k in keywords
+                )
+                if not covered:
+                    continue
+                subgraph = self._graph.subgraph(subset)
+                if size > 1 and not nx.is_connected(subgraph):
+                    continue
+                if any(set(existing) <= set(subset) for existing in networks):
+                    continue  # a smaller network already covers this
+                networks.append(subset)
+        return networks
+
+    # -- execution -----------------------------------------------------------------------
+
+    def search(self, keywords: Sequence[str], k: int = 5) -> list[JoinedResult]:
+        """Top-k joined answers covering all keywords."""
+        if not keywords:
+            raise InterfaceError("need at least one keyword")
+        results: list[JoinedResult] = []
+        for network in self.candidate_networks(keywords):
+            rows = self._execute_network(network, keywords)
+            if rows is None or rows.num_rows == 0:
+                continue
+            # compactness score: 1 / network size, boosted by match count
+            score = (1.0 / len(network)) * min(1.0, rows.num_rows / 10.0 + 0.5)
+            results.append(
+                JoinedResult(
+                    tables=network,
+                    rows=rows,
+                    score=score,
+                    keywords_covered=frozenset(keywords),
+                )
+            )
+        results.sort(key=lambda r: -r.score)
+        return results[:k]
+
+    def _execute_network(
+        self, network: tuple[str, ...], keywords: Sequence[str]
+    ) -> Table | None:
+        if len(network) == 1:
+            return self._row_filter(self.db.get_table(network[0]), keywords)
+        # join along a spanning tree of the network
+        subgraph = self._graph.subgraph(network)
+        tree_edges = list(nx.minimum_spanning_edges(subgraph, data=True))
+        joined: Table | None = None
+        joined_tables: set[str] = set()
+        for a, b, data in tree_edges:
+            fk: ForeignKey = data["fk"]
+            if joined is None:
+                left = self.db.get_table(fk.child_table)
+                right = self.db.get_table(fk.parent_table)
+                joined = hash_join(left, right, fk.child_column, fk.parent_column)
+                joined_tables = {fk.child_table, fk.parent_table}
+                continue
+            if fk.child_table in joined_tables:
+                other = self.db.get_table(fk.parent_table)
+                left_key, right_key = fk.child_column, fk.parent_column
+            else:
+                other = self.db.get_table(fk.child_table)
+                left_key, right_key = fk.parent_column, fk.child_column
+            if left_key not in joined.column_names:
+                return None  # key was renamed/absorbed; skip this network
+            joined = hash_join(joined, other, left_key, right_key)
+            joined_tables.add(fk.parent_table)
+            joined_tables.add(fk.child_table)
+        if joined is None:
+            return None
+        return self._row_filter(joined, keywords)

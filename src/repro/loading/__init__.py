@@ -1,0 +1,28 @@
+"""Adaptive loading: querying raw data files (paper §2.3).
+
+Implements the NoDB line of work the tutorial surveys:
+
+- :class:`RawTable` — query CSV files in situ ([28, 8]): no up-front load;
+  lines are tokenised and fields parsed lazily, and a *positional map*
+  caches what earlier queries already paid for.
+- :class:`InvisibleLoader` — invisible loading ([2]): each query's parsing
+  effort is retained as progressively materialised engine columns, so the
+  database "loads itself" as a side effect of the workload.
+- :class:`SpeculativeLoader` — speculative loading ([15]): idle
+  capacity materialises likely-next columns in the background, so
+  follow-up queries pay no foreground parsing.
+- :func:`full_load` — the traditional comparator: parse everything first.
+"""
+
+from repro.loading.raw_table import RawTable
+from repro.loading.positional_map import PositionalMap
+from repro.loading.invisible import InvisibleLoader, full_load
+from repro.loading.speculative import SpeculativeLoader
+
+__all__ = [
+    "InvisibleLoader",
+    "PositionalMap",
+    "RawTable",
+    "SpeculativeLoader",
+    "full_load",
+]

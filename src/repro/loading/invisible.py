@@ -1,0 +1,84 @@
+"""Invisible loading ([2]) and the traditional full-load comparator.
+
+Invisible loading piggy-backs on the workload: each query's parsing effort
+is *kept*, as columns materialised into the engine catalog.  After enough
+distinct queries the table is fully loaded — without any load phase having
+ever been visible to the user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.engine.catalog import Database
+from repro.engine.table import Table
+from repro.loading.raw_table import RawTable
+
+
+@dataclass
+class LoadProgress:
+    """Snapshot of how much of the raw file has been materialised."""
+
+    columns_loaded: int
+    columns_total: int
+    fields_parsed: int
+    fields_tokenized: int
+
+    @property
+    def fraction_loaded(self) -> float:
+        """Loaded fraction of the column set, in [0, 1]."""
+        if self.columns_total == 0:
+            return 1.0
+        return self.columns_loaded / self.columns_total
+
+
+class InvisibleLoader:
+    """Runs queries against a raw file, retaining parsed columns in a
+    :class:`~repro.engine.catalog.Database`.
+
+    Args:
+        db: target database.
+        table_name: name under which the growing table is registered.
+        path: raw CSV file.
+    """
+
+    def __init__(self, db: Database, table_name: str, path: str | Path) -> None:
+        self.db = db
+        self.table_name = table_name
+        self.raw = RawTable(path)
+        self.query_costs: list[int] = []
+
+    def query(self, sql: str) -> Table:
+        """Execute one query, loading any newly touched columns first."""
+        parse_before = self.raw.fields_parsed
+        token_before = self.raw.fields_tokenized
+        result = self.raw.sql_over(self.db, self.table_name, sql)
+        self.query_costs.append(
+            (self.raw.fields_parsed - parse_before)
+            + (self.raw.fields_tokenized - token_before)
+        )
+        return result
+
+    def progress(self) -> LoadProgress:
+        """Current loading progress."""
+        return LoadProgress(
+            columns_loaded=len(self.raw.columns_parsed),
+            columns_total=len(self.raw.column_names),
+            fields_parsed=self.raw.fields_parsed,
+            fields_tokenized=self.raw.fields_tokenized,
+        )
+
+
+def full_load(db: Database, table_name: str, path: str | Path) -> tuple[Table, int]:
+    """The traditional comparator: parse every field up front.
+
+    Returns the loaded table and the loading cost in parsed fields.
+    """
+    raw = RawTable(path)
+    table = raw.to_table()
+    if db.has_table(table_name):
+        db.replace_table(table_name, table)
+    else:
+        db.create_table(table_name, table)
+    return table, raw.fields_parsed + raw.fields_tokenized

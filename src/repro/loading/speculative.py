@@ -1,0 +1,118 @@
+"""Speculative in-situ loading (Cheng & Rusu [15]).
+
+NoDB-style raw querying parses a column the moment a query needs it —
+and the user waits for that parse.  Speculative loading exploits two
+facts to fill otherwise-idle capacity:
+
+1. **marginal cost**: when a query forces tokenisation up to field ``j``
+   of every line, all fields before ``j`` are already delimited in the
+   positional map, so parsing them is nearly free — the "load more while
+   you're there" observation at the core of [15];
+2. **workload hints**: if the application knows which columns the
+   workload favours (templates, dashboards), those are speculated first.
+
+After each foreground query the loader parses up to
+``speculation_budget`` additional columns, cheapest/most-hinted first,
+charging the work to ``background_cost``.  Follow-up queries that find
+their columns already parsed register as ``speculative_hits`` and pay
+(near-)zero foreground parsing.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from repro.engine.catalog import Database
+from repro.engine.table import Table
+from repro.loading.raw_table import RawTable
+
+
+class SpeculativeLoader:
+    """Raw-file querying with background column speculation.
+
+    Args:
+        db: target database for invisible loading.
+        table_name: name the growing table is registered under.
+        path: the raw CSV file.
+        speculation_budget: columns speculatively parsed after each query.
+        workload_hint: optional column-priority ordering from the
+            application (earlier = speculated sooner).
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        table_name: str,
+        path: str | Path,
+        speculation_budget: int = 1,
+        workload_hint: Sequence[str] | None = None,
+    ) -> None:
+        self.db = db
+        self.table_name = table_name
+        self.raw = RawTable(path)
+        self.speculation_budget = speculation_budget
+        self.workload_hint = list(workload_hint or [])
+        self._access_counts: Counter = Counter()
+        self.foreground_costs: list[int] = []
+        self.background_cost = 0
+        self.speculative_hits = 0
+
+    # -- speculation policy ---------------------------------------------------------
+
+    def _candidates(self) -> list[str]:
+        """Unparsed columns ranked: hinted first, then tokenisation-free
+        ones (left of the rightmost parsed column), then the rest."""
+        names = self.raw.column_names
+        parsed = set(self.raw.columns_parsed)
+        unparsed = [c for c in names if c not in parsed]
+        if not unparsed:
+            return []
+        parsed_indices = [names.index(c) for c in parsed] or [-1]
+        frontier = max(parsed_indices)
+
+        def rank(column: str) -> tuple:
+            hinted = (
+                self.workload_hint.index(column)
+                if column in self.workload_hint
+                else len(self.workload_hint)
+            )
+            tokenisation_free = 0 if names.index(column) <= frontier else 1
+            return (hinted, tokenisation_free, names.index(column))
+
+        return sorted(unparsed, key=rank)
+
+    # -- querying ----------------------------------------------------------------------
+
+    def query(self, sql: str) -> Table:
+        """Run one query; speculate on candidate columns afterwards.
+
+        The foreground cost is what the user waited for; speculation is
+        charged to ``background_cost``.
+        """
+        parsed_before = set(self.raw.columns_parsed)
+        cost_before = self.raw.fields_parsed + self.raw.fields_tokenized
+        result = self.raw.sql_over(self.db, self.table_name, sql)
+        cost_after = self.raw.fields_parsed + self.raw.fields_tokenized
+        self.foreground_costs.append(cost_after - cost_before)
+        newly_parsed = set(self.raw.columns_parsed) - parsed_before
+        if not newly_parsed and parsed_before:
+            # the query ran entirely on already-materialised columns
+            self.speculative_hits += 1
+        for column in self.raw.columns_parsed:
+            self._access_counts[column] += 1
+
+        # background speculation
+        for column in self._candidates()[: self.speculation_budget]:
+            before = self.raw.fields_parsed + self.raw.fields_tokenized
+            self.raw.fetch_column(column)
+            self.background_cost += (
+                self.raw.fields_parsed + self.raw.fields_tokenized - before
+            )
+        return result
+
+    @property
+    def fraction_loaded(self) -> float:
+        """Share of columns materialised so far (foreground + speculative)."""
+        return len(self.raw.columns_parsed) / max(1, len(self.raw.column_names))

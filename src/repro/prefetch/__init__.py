@@ -1,0 +1,35 @@
+"""Prefetching & speculative execution middleware (paper §2.2).
+
+Sits between the interaction layer and the engine, reducing perceived
+latency during navigation-style exploration:
+
+- :class:`TileCache` — result cache with LRU eviction and hit accounting.
+- :class:`MarkovPredictor` — learns move transitions from sessions
+  (ForeCache/DICE-style [37, 35]) to guess where the user goes next.
+- :class:`TrajectoryIndex` — SCOUT-style ([63]) indexing of *past* user
+  trajectories; prediction by matching the current path's suffix.
+- :class:`SpeculativeExecutor` — serves requests through the cache and
+  speculatively executes the predictor's top guesses in the background.
+- :class:`CubeNavigator` — a multi-resolution tiled aggregation cube over
+  an engine table, the navigation space the predictors operate on.
+"""
+
+from repro.prefetch.cache import CacheStats, TileCache
+from repro.prefetch.markov import MarkovPredictor
+from repro.prefetch.trajectory import TrajectoryIndex
+from repro.prefetch.speculative import SpeculativeExecutor
+from repro.prefetch.cube import CubeNavigator, Tile
+from repro.prefetch.semantic_cache import SemanticRangeCache
+from repro.prefetch.hybrid_predictor import HybridRegionPredictor
+
+__all__ = [
+    "CacheStats",
+    "CubeNavigator",
+    "HybridRegionPredictor",
+    "MarkovPredictor",
+    "SemanticRangeCache",
+    "SpeculativeExecutor",
+    "Tile",
+    "TileCache",
+    "TrajectoryIndex",
+]

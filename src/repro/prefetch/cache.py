@@ -1,0 +1,80 @@
+"""An LRU result cache for navigation tiles / query results."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    prefetch_insertions: int = 0
+
+    @property
+    def requests(self) -> int:
+        """Foreground requests observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Foreground hit rate in [0, 1] (0 when nothing was requested)."""
+        if self.requests == 0:
+            return 0.0
+        return self.hits / self.requests
+
+
+class TileCache:
+    """A bounded LRU cache keyed by hashable region descriptors.
+
+    Args:
+        capacity: maximum entries kept.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable) -> Any | None:
+        """Foreground lookup; counts toward the hit rate."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return self._entries[key]
+        self.stats.misses += 1
+        return None
+
+    def peek(self, key: Hashable) -> Any | None:
+        """Lookup without recency update or stats impact."""
+        return self._entries.get(key)
+
+    def put(self, key: Hashable, value: Any, prefetched: bool = False) -> None:
+        """Insert (or refresh) an entry, evicting the LRU entry if full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = value
+            return
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[key] = value
+        if prefetched:
+            self.stats.prefetch_insertions += 1
+
+    def clear(self) -> None:
+        """Drop all entries (stats are kept)."""
+        self._entries.clear()

@@ -1,0 +1,204 @@
+"""A multi-resolution tiled aggregation cube over an engine table.
+
+This is the navigation space the cube-exploration systems ([37, 35]) work
+in: two dimension columns are binned into tiles at several zoom levels,
+and a tile request aggregates a measure over the tile's extent.  Tile
+computation cost (rows scanned) is tracked so the prefetching benchmarks
+can report foreground vs background work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.table import Table
+
+#: Region key: (level, x, y).  Level 0 is the coarsest.
+Region = tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One computed tile: its aggregate plus metadata."""
+
+    region: Region
+    row_count: int
+    aggregate: float
+    x_range: tuple[float, float]
+    y_range: tuple[float, float]
+
+
+class CubeNavigator:
+    """Aggregation tiles over (x, y) dimensions of a table.
+
+    Args:
+        table: base table.
+        x_column, y_column: numeric dimension columns.
+        measure: numeric column aggregated per tile (mean).
+        levels: zoom levels; level ``l`` has ``base_tiles * 2**l`` tiles
+            per axis.
+        base_tiles: tiles per axis at level 0.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        x_column: str,
+        y_column: str,
+        measure: str,
+        levels: int = 4,
+        base_tiles: int = 4,
+    ) -> None:
+        self.table = table
+        self.levels = levels
+        self.base_tiles = base_tiles
+        self._x = np.asarray(table.column(x_column).data, dtype=np.float64)
+        self._y = np.asarray(table.column(y_column).data, dtype=np.float64)
+        self._measure = np.asarray(table.column(measure).data, dtype=np.float64)
+        self._x_domain = (float(self._x.min()), float(self._x.max()))
+        self._y_domain = (float(self._y.min()), float(self._y.max()))
+        self.rows_scanned = 0
+        self.tiles_computed = 0
+
+    def tiles_per_axis(self, level: int) -> int:
+        """Tiles per axis at a zoom level."""
+        return self.base_tiles * (2**level)
+
+    def region_is_valid(self, region: Region) -> bool:
+        """True if the region key addresses a real tile."""
+        level, x, y = region
+        if not 0 <= level < self.levels:
+            return False
+        side = self.tiles_per_axis(level)
+        return 0 <= x < side and 0 <= y < side
+
+    def tile_bounds(self, region: Region) -> tuple[tuple[float, float], tuple[float, float]]:
+        """Value-domain extent of one tile."""
+        level, x, y = region
+        side = self.tiles_per_axis(level)
+        x_lo, x_hi = self._x_domain
+        y_lo, y_hi = self._y_domain
+        x_width = (x_hi - x_lo) / side or 1.0
+        y_width = (y_hi - y_lo) / side or 1.0
+        return (
+            (x_lo + x * x_width, x_lo + (x + 1) * x_width),
+            (y_lo + y * y_width, y_lo + (y + 1) * y_width),
+        )
+
+    def compute_tile(self, region: Region) -> Tile:
+        """Aggregate the measure over the tile's extent (a full scan —
+        deliberately expensive, which is what prefetching hides)."""
+        if not self.region_is_valid(region):
+            raise ValueError(f"invalid region {region!r}")
+        (x_lo, x_hi), (y_lo, y_hi) = self.tile_bounds(region)
+        mask = (
+            (self._x >= x_lo)
+            & (self._x <= x_hi)
+            & (self._y >= y_lo)
+            & (self._y <= y_hi)
+        )
+        self.rows_scanned += len(self._x)
+        self.tiles_computed += 1
+        count = int(mask.sum())
+        aggregate = float(self._measure[mask].mean()) if count else 0.0
+        return Tile(
+            region=region,
+            row_count=count,
+            aggregate=aggregate,
+            x_range=(x_lo, x_hi),
+            y_range=(y_lo, y_hi),
+        )
+
+    def neighbours(self, region: Region) -> list[Region]:
+        """Regions reachable in one navigation move from ``region``."""
+        level, x, y = region
+        candidates = [
+            (level, x - 1, y),
+            (level, x + 1, y),
+            (level, x, y - 1),
+            (level, x, y + 1),
+            (level + 1, x * 2, y * 2),
+            (level - 1, x // 2, y // 2),
+        ]
+        return [r for r in candidates if self.region_is_valid(r)]
+
+    def infer_move(self, previous: Region, current: Region) -> str:
+        """Name the navigation move that connects two adjacent regions."""
+        p_level, p_x, p_y = previous
+        level, x, y = current
+        if level > p_level:
+            return "drill"
+        if level < p_level:
+            return "roll"
+        if x < p_x:
+            return "left"
+        if x > p_x:
+            return "right"
+        if y < p_y:
+            return "up"
+        if y > p_y:
+            return "down"
+        return "stay"
+
+    def apply_move(self, region: Region, move: str) -> Region:
+        """The region a move leads to (clamped to the grid)."""
+        level, x, y = region
+        if move == "drill" and level < self.levels - 1:
+            level, x, y = level + 1, x * 2, y * 2
+        elif move == "roll" and level > 0:
+            level, x, y = level - 1, x // 2, y // 2
+        elif move == "left":
+            x -= 1
+        elif move == "right":
+            x += 1
+        elif move == "up":
+            y -= 1
+        elif move == "down":
+            y += 1
+        side = self.tiles_per_axis(level)
+        return (level, int(np.clip(x, 0, side - 1)), int(np.clip(y, 0, side - 1)))
+
+
+class MoveBasedRegionPredictor:
+    """Adapts a move-level Markov predictor to region prediction.
+
+    Translates the recent region history into moves, asks the move model
+    for likely next moves, and maps those back to concrete regions via the
+    navigator — the actions-based prediction mode of ForeCache.
+    """
+
+    def __init__(self, navigator: CubeNavigator, move_model) -> None:
+        self.navigator = navigator
+        self.move_model = move_model
+
+    def predict(self, recent, k: int = 1) -> list[Region]:
+        """The ``k`` most likely next regions given recent region history."""
+        if not recent:
+            return []
+        current = recent[-1]
+        moves = [
+            self.navigator.infer_move(a, b) for a, b in zip(recent[:-1], recent[1:])
+        ]
+        predicted_moves = self.move_model.predict(moves, k=k + 2) if moves else []
+        regions: list[Region] = []
+        for move in predicted_moves:
+            if move == "stay":
+                continue
+            region = self.navigator.apply_move(current, move)
+            if region != current and region not in regions:
+                regions.append(region)
+            if len(regions) >= k:
+                break
+        return regions
+
+    def observe_transition(self, history, new_region: Region) -> None:
+        """Online-train the move model from one observed navigation step."""
+        if not history:
+            return
+        moves = [
+            self.navigator.infer_move(a, b) for a, b in zip(history[:-1], history[1:])
+        ]
+        next_move = self.navigator.infer_move(history[-1], new_region)
+        self.move_model.observe_step(moves, next_move)

@@ -1,0 +1,106 @@
+"""ForeCache-style hybrid prediction: actions + data characteristics.
+
+The cube-exploration systems found that *neither* signal suffices alone:
+
+- the **actions-based** (Markov) model captures momentum — analysts keep
+  panning the way they were panning;
+- the **data-driven** model captures attraction — analysts move toward
+  tiles that look like what they have been dwelling on (here: tiles whose
+  aggregate value resembles the recently visited tiles').
+
+:class:`HybridRegionPredictor` blends both: candidate neighbours are
+scored by ``mix · P(move) + (1 − mix) · similarity(candidate, recent)``,
+which degrades gracefully to either pure model at ``mix`` 1 or 0.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.prefetch.cube import CubeNavigator, MoveBasedRegionPredictor, Region
+from repro.prefetch.markov import MarkovPredictor
+
+
+class HybridRegionPredictor:
+    """Blends move momentum with tile-content similarity.
+
+    Args:
+        navigator: the cube being explored (provides neighbours and tile
+            aggregates; tile values are read from a small cache of already
+            computed tiles, never recomputed for prediction).
+        move_model: a trained :class:`MarkovPredictor` over moves.
+        mix: weight of the actions-based signal in [0, 1].
+        recency: how many recent tiles define the "current interest".
+    """
+
+    def __init__(
+        self,
+        navigator: CubeNavigator,
+        move_model: MarkovPredictor,
+        mix: float = 0.6,
+        recency: int = 3,
+    ) -> None:
+        if not 0.0 <= mix <= 1.0:
+            raise ValueError("mix must be in [0, 1]")
+        self.navigator = navigator
+        self.move_model = move_model
+        self.mix = mix
+        self.recency = recency
+        self._action_predictor = MoveBasedRegionPredictor(navigator, move_model)
+        self._tile_values: dict[Region, float] = {}
+
+    def observe_tile(self, region: Region, aggregate: float) -> None:
+        """Record a computed tile's aggregate (fed by the executor)."""
+        self._tile_values[region] = float(aggregate)
+
+    def _recent_level(self, recent: Sequence[Region]) -> float | None:
+        values = [
+            self._tile_values[region]
+            for region in list(recent)[-self.recency :]
+            if region in self._tile_values
+        ]
+        if not values:
+            return None
+        return float(np.mean(values))
+
+    def _similarity(self, candidate: Region, target_level: float, scale: float) -> float:
+        value = self._tile_values.get(candidate)
+        if value is None:
+            # unknown content: neutral prior
+            return 0.5
+        return float(np.exp(-abs(value - target_level) / max(scale, 1e-9)))
+
+    def predict(self, recent: Sequence[Region], k: int = 1) -> list[Region]:
+        """The ``k`` most likely next regions given recent history."""
+        if not recent:
+            return []
+        current = recent[-1]
+        candidates = self.navigator.neighbours(current)
+        if not candidates:
+            return []
+        # actions signal: rank from the move model (higher = more likely)
+        action_ranked = self._action_predictor.predict(recent, k=len(candidates))
+        action_score = {
+            region: 1.0 - position / max(1, len(action_ranked))
+            for position, region in enumerate(action_ranked)
+        }
+        # data signal: similarity to the recently dwelled-on tile values
+        target_level = self._recent_level(recent)
+        known = [v for v in self._tile_values.values()]
+        scale = float(np.std(known)) if len(known) > 1 else 1.0
+        scores = []
+        for candidate in candidates:
+            action = action_score.get(candidate, 0.0)
+            if target_level is None:
+                data = 0.5
+            else:
+                data = self._similarity(candidate, target_level, scale)
+            scores.append((self.mix * action + (1.0 - self.mix) * data, candidate))
+        scores.sort(key=lambda item: (-item[0], str(item[1])))
+        return [region for _, region in scores[:k]]
+
+    def observe_transition(self, history: Sequence[Region], new_region: Region) -> None:
+        """Online-train the move model from one observed step."""
+        self._action_predictor.observe_transition(list(history), new_region)

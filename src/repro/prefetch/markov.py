@@ -1,0 +1,91 @@
+"""Markov move prediction for navigation sessions (ForeCache-style).
+
+Navigation interfaces expose a small move vocabulary (pan directions,
+drill, roll).  A :class:`MarkovPredictor` of order ``k`` learns
+``P(next move | last k moves)`` from observed sessions and predicts the
+most likely continuations — the *actions-based* predictor the cube
+exploration systems ([37, 35]) use for speculative execution.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Hashable, Sequence
+
+
+class MarkovPredictor:
+    """An order-``k`` Markov model over a discrete move alphabet.
+
+    Args:
+        order: history length conditioning each prediction.
+        smoothing: additive (Laplace) smoothing mass per known move.
+    """
+
+    def __init__(self, order: int = 1, smoothing: float = 0.1) -> None:
+        if order < 1:
+            raise ValueError("order must be at least 1")
+        self.order = order
+        self.smoothing = smoothing
+        self._transitions: dict[tuple[Hashable, ...], Counter] = defaultdict(Counter)
+        self._alphabet: set[Hashable] = set()
+        self.observations = 0
+
+    def observe_sequence(self, moves: Sequence[Hashable]) -> None:
+        """Train on one completed session's move sequence."""
+        for move in moves:
+            self._alphabet.add(move)
+        for i in range(len(moves) - self.order):
+            context = tuple(moves[i : i + self.order])
+            self._transitions[context][moves[i + self.order]] += 1
+            self.observations += 1
+
+    def observe_step(self, history: Sequence[Hashable], next_move: Hashable) -> None:
+        """Online update from a single observed transition."""
+        self._alphabet.add(next_move)
+        for move in history[-self.order :]:
+            self._alphabet.add(move)
+        if len(history) >= self.order:
+            context = tuple(history[-self.order :])
+            self._transitions[context][next_move] += 1
+            self.observations += 1
+
+    def distribution(self, history: Sequence[Hashable]) -> dict[Hashable, float]:
+        """Smoothed probability of each known move given the history.
+
+        Falls back to shorter contexts (and finally the uniform
+        distribution) when the full context was never seen.
+        """
+        if not self._alphabet:
+            return {}
+        context = tuple(history[-self.order :]) if len(history) >= self.order else None
+        counter = self._transitions.get(context, Counter()) if context else Counter()
+        if not counter and len(history) >= 1:
+            # back-off: aggregate all contexts ending with the last move
+            last = history[-1]
+            counter = Counter()
+            for ctx, moves in self._transitions.items():
+                if ctx and ctx[-1] == last:
+                    counter.update(moves)
+        total = sum(counter.values()) + self.smoothing * len(self._alphabet)
+        return {
+            move: (counter.get(move, 0) + self.smoothing) / total
+            for move in self._alphabet
+        }
+
+    def predict(self, history: Sequence[Hashable], k: int = 1) -> list[Hashable]:
+        """The ``k`` most likely next moves, most likely first."""
+        dist = self.distribution(history)
+        ranked = sorted(dist.items(), key=lambda kv: (-kv[1], str(kv[0])))
+        return [move for move, _ in ranked[:k]]
+
+    def accuracy(self, sessions: Sequence[Sequence[Hashable]]) -> float:
+        """Top-1 predictive accuracy over held-out sessions."""
+        correct = 0
+        total = 0
+        for session in sessions:
+            for i in range(self.order, len(session)):
+                prediction = self.predict(session[:i], k=1)
+                if prediction and prediction[0] == session[i]:
+                    correct += 1
+                total += 1
+        return correct / total if total else 0.0

@@ -1,0 +1,136 @@
+"""A semantic cache for range queries.
+
+The paper's future-work section calls for "reusing past or in-progress
+query results"; this is the classical mechanism for it on range
+predicates: the cache remembers which *value intervals* of a column have
+been materialised, answers the covered part of a new range locally, and
+fetches only the uncovered *remainder intervals* from the base data.
+
+Unlike the tile cache (exact-key reuse), a semantic cache gives partial
+hits: a query for ``[10, 90)`` after ``[0, 50)`` fetches only ``[50, 90)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass
+class SemanticCacheStats:
+    """Rows served locally vs fetched from the base data."""
+
+    queries: int = 0
+    rows_from_cache: int = 0
+    rows_fetched: int = 0
+    remainder_queries: int = 0
+
+    @property
+    def cache_fraction(self) -> float:
+        """Share of returned rows that came from the cache."""
+        total = self.rows_from_cache + self.rows_fetched
+        if total == 0:
+            return 0.0
+        return self.rows_from_cache / total
+
+
+class SemanticRangeCache:
+    """Caches the rows of half-open value intervals ``[low, high)``.
+
+    Args:
+        fetch: function mapping ``(low, high)`` to the base-table row ids
+            whose value lies in ``[low, high)`` — the expensive operation
+            the cache avoids.
+    """
+
+    def __init__(self, fetch: Callable[[float, float], np.ndarray]) -> None:
+        self._fetch = fetch
+        # disjoint sorted intervals with their cached row ids
+        self._intervals: list[tuple[float, float, np.ndarray]] = []
+        self.stats = SemanticCacheStats()
+
+    # -- interval arithmetic ------------------------------------------------------------
+
+    def coverage(self) -> list[tuple[float, float]]:
+        """The currently cached intervals (sorted, disjoint)."""
+        return [(low, high) for low, high, _ in self._intervals]
+
+    def _remainders(self, low: float, high: float) -> list[tuple[float, float]]:
+        """Sub-intervals of [low, high) not covered by the cache."""
+        gaps = []
+        cursor = low
+        for c_low, c_high, _ in self._intervals:
+            if c_high <= cursor or c_low >= high:
+                continue
+            if c_low > cursor:
+                gaps.append((cursor, min(c_low, high)))
+            cursor = max(cursor, c_high)
+            if cursor >= high:
+                break
+        if cursor < high:
+            gaps.append((cursor, high))
+        return gaps
+
+    def _merge_in(self, low: float, high: float, rows: np.ndarray) -> None:
+        """Insert a new interval, coalescing overlaps."""
+        new_low, new_high = low, high
+        merged_rows = [rows]
+        survivors = []
+        for c_low, c_high, c_rows in self._intervals:
+            if c_high < new_low or c_low > new_high:
+                survivors.append((c_low, c_high, c_rows))
+            else:
+                new_low = min(new_low, c_low)
+                new_high = max(new_high, c_high)
+                merged_rows.append(c_rows)
+        combined = np.unique(np.concatenate(merged_rows)) if merged_rows else rows
+        survivors.append((new_low, new_high, combined))
+        survivors.sort(key=lambda item: item[0])
+        self._intervals = survivors
+
+    # -- queries -------------------------------------------------------------------------
+
+    def query(self, low: float, high: float) -> np.ndarray:
+        """Row ids with value in ``[low, high)``, fetching only the gaps."""
+        if high <= low:
+            return np.empty(0, dtype=np.int64)
+        self.stats.queries += 1
+        gaps = self._remainders(low, high)
+        fetched_chunks = []
+        for gap_low, gap_high in gaps:
+            chunk = np.asarray(self._fetch(gap_low, gap_high), dtype=np.int64)
+            self.stats.remainder_queries += 1
+            self.stats.rows_fetched += len(chunk)
+            fetched_chunks.append((gap_low, gap_high, chunk))
+        for gap_low, gap_high, chunk in fetched_chunks:
+            self._merge_in(gap_low, gap_high, chunk)
+        # assemble the answer from the (now covering) cached intervals;
+        # cached row ids outside [low, high) are filtered by re-probing the
+        # cached intervals' bounds: collect all cached rows overlapping
+        result_chunks = []
+        cached_rows = 0
+        for c_low, c_high, c_rows in self._intervals:
+            if c_high <= low or c_low >= high:
+                continue
+            result_chunks.append(c_rows)
+            cached_rows += len(c_rows)
+        if not result_chunks:
+            return np.empty(0, dtype=np.int64)
+        candidates = np.unique(np.concatenate(result_chunks))
+        fetched_now = sum(len(chunk) for _, _, chunk in fetched_chunks)
+        self.stats.rows_from_cache += max(0, len(candidates) - fetched_now)
+        return candidates
+
+    def query_filtered(
+        self, low: float, high: float, values: np.ndarray
+    ) -> np.ndarray:
+        """Like :meth:`query` but trims the answer exactly to ``[low, high)``
+        using the provided value array (cached intervals can be wider)."""
+        candidates = self.query(low, high)
+        if len(candidates) == 0:
+            return candidates
+        selected = values[candidates]
+        keep = (selected >= low) & (selected < high)
+        return candidates[keep]

@@ -1,0 +1,82 @@
+"""Speculative execution through a cache (DICE-style [35]).
+
+On each foreground request the executor answers from the cache when it
+can; afterwards it asks its predictor where the user is likely to go next
+and computes those tiles *speculatively*, so the following request is
+(ideally) a hit.  Foreground cost — what the user waits for — and
+background (speculative) cost are tracked separately: the entire point of
+the technique is converting foreground latency into background work.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Protocol, Sequence
+
+from repro.prefetch.cache import TileCache
+
+
+class Predictor(Protocol):
+    """Anything that ranks likely next regions from recent history."""
+
+    def predict(self, recent: Sequence[Hashable], k: int = 1) -> list[Hashable]:
+        """The k most likely next keys, most likely first."""
+        ...
+
+
+class SpeculativeExecutor:
+    """Cache + predictor + compute function.
+
+    Args:
+        compute: expensive function from a region key to its result; its
+            cost is measured with ``cost_of`` per call.
+        cache: the result cache.
+        predictor: ranks candidate next regions; may be None (pure cache).
+        fanout: how many predictions to prefetch per request.
+        cost_of: maps a computed result to its cost (default: 1 per call).
+    """
+
+    def __init__(
+        self,
+        compute: Callable[[Hashable], object],
+        cache: TileCache,
+        predictor: Predictor | None = None,
+        fanout: int = 2,
+        cost_of: Callable[[object], float] | None = None,
+    ) -> None:
+        self.compute = compute
+        self.cache = cache
+        self.predictor = predictor
+        self.fanout = fanout
+        self.cost_of = cost_of or (lambda result: 1.0)
+        self.history: list[Hashable] = []
+        self.foreground_cost = 0.0
+        self.background_cost = 0.0
+
+    def request(self, key: Hashable) -> object:
+        """Serve one foreground request, then speculate."""
+        result = self.cache.get(key)
+        if result is None:
+            result = self.compute(key)
+            self.foreground_cost += self.cost_of(result)
+            self.cache.put(key, result)
+        self.history.append(key)
+        self._speculate()
+        return result
+
+    def _speculate(self) -> None:
+        if self.predictor is None or self.fanout <= 0:
+            return
+        for candidate in self.predictor.predict(self.history, k=self.fanout):
+            if candidate in self.cache:
+                continue
+            try:
+                result = self.compute(candidate)
+            except (ValueError, KeyError):
+                continue  # predictor guessed an invalid region
+            self.background_cost += self.cost_of(result)
+            self.cache.put(candidate, result, prefetched=True)
+
+    @property
+    def hit_rate(self) -> float:
+        """Foreground cache hit rate so far."""
+        return self.cache.stats.hit_rate

@@ -1,0 +1,59 @@
+"""Trajectory-based prefetching (SCOUT [63]).
+
+SCOUT observes that analysts *follow latent structures*: different users
+exploring the same dataset trace similar region sequences.  It therefore
+indexes complete past trajectories and, given the live session's recent
+path, retrieves historical continuations of the best-matching suffix —
+predicting *regions* directly rather than abstract moves.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Hashable, Sequence
+
+
+class TrajectoryIndex:
+    """Suffix index over past region trajectories.
+
+    Args:
+        max_suffix: longest suffix length indexed/matched.
+    """
+
+    def __init__(self, max_suffix: int = 3) -> None:
+        if max_suffix < 1:
+            raise ValueError("max_suffix must be at least 1")
+        self.max_suffix = max_suffix
+        # suffix tuple -> Counter of next regions
+        self._continuations: dict[tuple[Hashable, ...], Counter] = defaultdict(Counter)
+        self.trajectories_indexed = 0
+
+    def index_trajectory(self, regions: Sequence[Hashable]) -> None:
+        """Add one completed trajectory to the index."""
+        n = len(regions)
+        for i in range(1, n):
+            for length in range(1, min(self.max_suffix, i) + 1):
+                suffix = tuple(regions[i - length : i])
+                self._continuations[suffix][regions[i]] += 1
+        self.trajectories_indexed += 1
+
+    def predict(self, recent: Sequence[Hashable], k: int = 1) -> list[Hashable]:
+        """The ``k`` most likely next regions given the live path.
+
+        Tries the longest indexed suffix first and backs off to shorter
+        ones, merging votes weighted by suffix length.
+        """
+        votes: Counter = Counter()
+        for length in range(min(self.max_suffix, len(recent)), 0, -1):
+            suffix = tuple(recent[-length:])
+            continuations = self._continuations.get(suffix)
+            if continuations:
+                weight = 2**length  # longer matches dominate
+                for region, count in continuations.items():
+                    votes[region] += weight * count
+        ranked = sorted(votes.items(), key=lambda kv: (-kv[1], str(kv[0])))
+        return [region for region, _ in ranked[:k]]
+
+    def known_suffixes(self) -> int:
+        """Number of distinct suffixes indexed."""
+        return len(self._continuations)

@@ -1,0 +1,335 @@
+"""Query-time sample selection under error/latency bounds (BlinkDB [7]).
+
+BlinkDB keeps a catalog of pre-built samples — uniform samples at several
+fractions plus stratified samples on frequently grouped column sets — and,
+per query, picks the cheapest sample that satisfies the user's bound:
+
+- ``error_bound``: pick the smallest sample whose *predicted* relative
+  error (from an error-latency profile calibrated on the smallest sample)
+  meets the bound.
+- ``time_bound``: pick the largest sample whose size fits the time budget
+  (cost is proportional to rows scanned).
+
+The returned answers carry closed-form confidence intervals; the S7
+benchmark reproduces the headline shapes (error falls like 1/sqrt(rows);
+stratified samples keep rare-group errors bounded where uniform samples
+blow up).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.engine.expressions import Expression, truth_mask
+from repro.engine.table import Table
+from repro.errors import ApproximationError
+from repro.sampling.estimators import Estimate, srs_estimate
+from repro.sampling.stratified import (
+    StratifiedSample,
+    build_stratified_sample,
+    build_uniform_sample,
+)
+
+
+@dataclass
+class StoredSample:
+    """One catalog entry: either uniform or stratified."""
+
+    name: str
+    kind: str  # "uniform" | "stratified"
+    row_indices: np.ndarray | None = None  # uniform only
+    stratified: StratifiedSample | None = None  # stratified only
+
+    @property
+    def size(self) -> int:
+        """Rows stored."""
+        if self.kind == "uniform":
+            assert self.row_indices is not None
+            return len(self.row_indices)
+        assert self.stratified is not None
+        return self.stratified.size
+
+
+class SampleCatalog:
+    """The set of samples maintained over one base table."""
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+        self._samples: list[StoredSample] = []
+
+    def add_uniform(self, fraction: float, seed: int = 0) -> StoredSample:
+        """Create and register a uniform sample."""
+        rows = build_uniform_sample(self.table, fraction, seed=seed)
+        sample = StoredSample(
+            name=f"uniform_{fraction:g}", kind="uniform", row_indices=rows
+        )
+        self._samples.append(sample)
+        return sample
+
+    def add_stratified(
+        self, columns: Sequence[str], cap: int, seed: int = 0
+    ) -> StoredSample:
+        """Create and register a stratified sample."""
+        stratified = build_stratified_sample(self.table, columns, cap, seed=seed)
+        sample = StoredSample(
+            name=f"stratified_{'_'.join(columns)}_K{cap}",
+            kind="stratified",
+            stratified=stratified,
+        )
+        self._samples.append(sample)
+        return sample
+
+    def samples(self) -> list[StoredSample]:
+        """All registered samples, smallest first."""
+        return sorted(self._samples, key=lambda s: s.size)
+
+    def storage_rows(self) -> int:
+        """Total rows across all samples (the storage budget used)."""
+        return sum(s.size for s in self._samples)
+
+
+@dataclass
+class ApproximateAnswer:
+    """The result of an approximate aggregate query."""
+
+    estimate: Estimate | None
+    group_estimates: dict[tuple[Any, ...], Estimate]
+    sample_used: str
+    rows_scanned: int
+
+
+class ApproximateQueryEngine:
+    """Answers simple aggregate queries from the cheapest adequate sample.
+
+    Supported query shape: one aggregate (``avg``/``sum``/``count``) over
+    one column, an optional predicate, and an optional GROUP BY over
+    categorical columns.
+    """
+
+    def __init__(self, table: Table, catalog: SampleCatalog) -> None:
+        self.table = table
+        self.catalog = catalog
+
+    # -- public API --------------------------------------------------------------------
+
+    def query(
+        self,
+        aggregate: str,
+        value_column: str | None = None,
+        where: Expression | None = None,
+        group_by: Sequence[str] | None = None,
+        error_bound: float | None = None,
+        time_bound_rows: int | None = None,
+        confidence: float = 0.95,
+    ) -> ApproximateAnswer:
+        """Run one approximate query.
+
+        Args:
+            aggregate: ``"avg"``, ``"sum"`` or ``"count"``.
+            value_column: aggregated column (None only for count).
+            where: optional predicate, evaluated on sampled rows only.
+            group_by: optional grouping columns.
+            error_bound: target relative error (half-width / estimate).
+            time_bound_rows: scan budget in rows (a latency proxy).
+            confidence: CI level.
+
+        Raises:
+            ApproximationError: when no sample can satisfy the request.
+        """
+        if aggregate != "count" and value_column is None:
+            raise ApproximationError(f"{aggregate} requires a value column")
+        candidates = self._candidates(group_by)
+        if not candidates:
+            raise ApproximationError(
+                "no registered sample can answer this query shape"
+            )
+        chosen = self._choose(candidates, error_bound, time_bound_rows, group_by)
+        return self._evaluate(
+            chosen, aggregate, value_column, where, group_by, confidence
+        )
+
+    # -- selection ----------------------------------------------------------------------
+
+    def _candidates(self, group_by: Sequence[str] | None) -> list[StoredSample]:
+        result = []
+        for sample in self.catalog.samples():
+            if group_by and sample.kind == "stratified":
+                assert sample.stratified is not None
+                if not sample.stratified.covers(group_by):
+                    continue
+            result.append(sample)
+        # prefer stratified samples for grouped queries: put them first
+        # among equal sizes
+        if group_by:
+            result.sort(key=lambda s: (s.size, 0 if s.kind == "stratified" else 1))
+        return result
+
+    def _choose(
+        self,
+        candidates: list[StoredSample],
+        error_bound: float | None,
+        time_bound_rows: int | None,
+        group_by: Sequence[str] | None = None,
+    ) -> StoredSample:
+        if group_by and error_bound is None and time_bound_rows is None:
+            # unbounded grouped query: a covering stratified sample keeps
+            # rare groups represented, so prefer the largest one
+            stratified = [s for s in candidates if s.kind == "stratified"]
+            if stratified:
+                return max(stratified, key=lambda s: s.size)
+        if time_bound_rows is not None:
+            fitting = [s for s in candidates if s.size <= time_bound_rows]
+            if not fitting:
+                raise ApproximationError(
+                    f"no sample fits the {time_bound_rows}-row budget"
+                )
+            return fitting[-1]  # largest that fits
+        if error_bound is not None:
+            # error-latency profile: relative error scales like c/sqrt(n);
+            # calibrate c on the smallest candidate, then pick the smallest
+            # sample predicted to satisfy the bound
+            smallest = candidates[0]
+            pilot_error = self._pilot_relative_error(smallest)
+            c = pilot_error * math.sqrt(max(1, smallest.size))
+            for sample in candidates:
+                predicted = c / math.sqrt(max(1, sample.size))
+                if predicted <= error_bound:
+                    return sample
+            # no sample suffices: fall back to the exact answer over the
+            # base table (a "sample" of fraction 1, zero sampling error)
+            return self._full_table_sample()
+        return candidates[-1]  # no bound: use the largest sample
+
+    def _full_table_sample(self) -> StoredSample:
+        return StoredSample(
+            name="full_table",
+            kind="uniform",
+            row_indices=np.arange(self.table.num_rows, dtype=np.int64),
+        )
+
+    def _pilot_relative_error(self, sample: StoredSample) -> float:
+        """A crude pilot error for ELP calibration: the relative sampling
+        error of a mean over this sample's rows."""
+        rows = self._rows_of(sample)
+        if len(rows) < 2:
+            return 1.0
+        numeric = [
+            name
+            for name in self.table.column_names
+            if self.table.column(name).dtype.is_numeric
+        ]
+        if not numeric:
+            return 1.0 / math.sqrt(len(rows))
+        values = np.asarray(
+            self.table.column(numeric[0]).data[rows], dtype=np.float64
+        )
+        estimate = srs_estimate(values, self.table.num_rows, "avg")
+        return min(1.0, estimate.relative_error)
+
+    def _rows_of(self, sample: StoredSample) -> np.ndarray:
+        if sample.kind == "uniform":
+            assert sample.row_indices is not None
+            return sample.row_indices
+        assert sample.stratified is not None
+        return np.concatenate(
+            [s.row_indices for s in sample.stratified.strata.values()]
+        ) if sample.stratified.strata else np.empty(0, dtype=np.int64)
+
+    # -- evaluation ----------------------------------------------------------------------
+
+    def _evaluate(
+        self,
+        sample: StoredSample,
+        aggregate: str,
+        value_column: str | None,
+        where: Expression | None,
+        group_by: Sequence[str] | None,
+        confidence: float,
+    ) -> ApproximateAnswer:
+        rows = self._rows_of(sample)
+        subset = self.table.take(rows)
+        keep = (
+            truth_mask(where, subset)
+            if where is not None
+            else np.ones(len(rows), dtype=bool)
+        )
+
+        if sample.kind == "stratified" and group_by:
+            assert sample.stratified is not None
+            if where is None:
+                groups = sample.stratified.estimate_grouped(
+                    self.table, value_column, aggregate, group_by, confidence
+                )
+                return ApproximateAnswer(None, groups, sample.name, len(rows))
+            # predicate + stratified: fall through to scaled per-group SRS
+            groups = self._grouped_srs(
+                sample, subset, keep, aggregate, value_column, group_by, confidence
+            )
+            return ApproximateAnswer(None, groups, sample.name, len(rows))
+
+        if group_by:
+            groups = self._grouped_srs(
+                sample, subset, keep, aggregate, value_column, group_by, confidence
+            )
+            return ApproximateAnswer(None, groups, sample.name, len(rows))
+
+        n_population = self.table.num_rows
+        if aggregate == "count":
+            indicator = keep.astype(np.float64)
+            estimate = srs_estimate(indicator, n_population, "count", confidence)
+        else:
+            assert value_column is not None
+            if not keep.any():
+                raise ApproximationError(
+                    "no sampled rows satisfy the predicate; use a larger sample"
+                )
+            values = np.asarray(
+                subset.column(value_column).data[keep], dtype=np.float64
+            )
+            if aggregate == "avg":
+                estimate = srs_estimate(values, n_population, "avg", confidence)
+            else:  # sum over qualifying rows: estimate via per-row contribution
+                contributions = np.zeros(len(rows))
+                contributions[keep] = values
+                estimate = srs_estimate(contributions, n_population, "sum", confidence)
+        return ApproximateAnswer(estimate, {}, sample.name, len(rows))
+
+    def _grouped_srs(
+        self,
+        sample: StoredSample,
+        subset: Table,
+        keep: np.ndarray,
+        aggregate: str,
+        value_column: str | None,
+        group_by: Sequence[str],
+        confidence: float,
+    ) -> dict[tuple[Any, ...], Estimate]:
+        """Per-group SRS estimates over a (possibly filtered) sample."""
+        key_columns = [subset.column(c) for c in group_by]
+        n_sample = len(keep)
+        n_population = self.table.num_rows
+        buckets: dict[tuple[Any, ...], list[int]] = {}
+        for i in range(n_sample):
+            if not keep[i]:
+                continue
+            key = tuple(col[i] for col in key_columns)
+            buckets.setdefault(key, []).append(i)
+        results: dict[tuple[Any, ...], Estimate] = {}
+        for key, indices in buckets.items():
+            share = len(indices) / max(1, n_sample)
+            est_population = max(len(indices), int(round(n_population * share)))
+            if aggregate == "count":
+                results[key] = srs_estimate(
+                    np.ones(len(indices)), est_population, "count", confidence
+                )
+                continue
+            assert value_column is not None
+            values = np.asarray(
+                [subset.column(value_column)[i] for i in indices], dtype=np.float64
+            )
+            results[key] = srs_estimate(values, est_population, aggregate, confidence)
+        return results

@@ -1,0 +1,95 @@
+"""Bootstrap error estimation ("knowing when you're wrong" [6]).
+
+Closed-form CIs only exist for simple aggregates; for anything else —
+ratios, quantiles, user-defined statistics — the bootstrap resamples the
+sample itself.  Agarwal et al. showed AQP systems need such a diagnostic
+layer because closed-form intervals silently fail off-assumption; the
+companion :func:`bootstrap_diagnostic` implements their check: compare
+bootstrap intervals across disjoint sub-samples and flag instability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ApproximationError
+from repro.sampling.estimators import Estimate
+
+
+def bootstrap_ci(
+    sample: np.ndarray,
+    statistic: Callable[[np.ndarray], float],
+    confidence: float = 0.95,
+    num_resamples: int = 200,
+    seed: int = 0,
+) -> Estimate:
+    """Percentile-bootstrap confidence interval for an arbitrary statistic.
+
+    Args:
+        sample: the observed sample.
+        statistic: function mapping an array to a scalar.
+        confidence: CI level.
+        num_resamples: bootstrap replicates.
+        seed: RNG seed.
+
+    Returns:
+        An :class:`Estimate` whose value is the statistic on the original
+        sample and whose half-width is half the percentile interval (the
+        interval is symmetrised for the Estimate container).
+    """
+    sample = np.asarray(sample, dtype=np.float64)
+    if len(sample) == 0:
+        raise ApproximationError("cannot bootstrap an empty sample")
+    rng = np.random.default_rng(seed)
+    point = float(statistic(sample))
+    replicates = np.empty(num_resamples)
+    n = len(sample)
+    for i in range(num_resamples):
+        replicates[i] = statistic(sample[rng.integers(0, n, size=n)])
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(replicates, [alpha, 1.0 - alpha])
+    half = float(max(point - low, high - point))
+    return Estimate(point, half, confidence, n, n)
+
+
+@dataclass
+class DiagnosticResult:
+    """Outcome of the bootstrap reliability diagnostic."""
+
+    reliable: bool
+    relative_spread: float
+    subsample_estimates: list[float]
+
+
+def bootstrap_diagnostic(
+    sample: np.ndarray,
+    statistic: Callable[[np.ndarray], float],
+    num_subsamples: int = 5,
+    tolerance: float = 0.2,
+    seed: int = 0,
+) -> DiagnosticResult:
+    """Check whether bootstrap error estimates can be trusted here.
+
+    Splits the sample into disjoint sub-samples, computes the statistic on
+    each, and flags unreliability when the spread across sub-samples
+    exceeds ``tolerance`` relative to the overall estimate — the
+    Kleiner/Agarwal-style diagnostic the tutorial's AQP section discusses.
+    """
+    sample = np.asarray(sample, dtype=np.float64)
+    if len(sample) < num_subsamples * 2:
+        raise ApproximationError("sample too small for the diagnostic")
+    rng = np.random.default_rng(seed)
+    permuted = sample[rng.permutation(len(sample))]
+    chunks = np.array_split(permuted, num_subsamples)
+    estimates = [float(statistic(chunk)) for chunk in chunks]
+    overall = float(statistic(sample))
+    scale = abs(overall) if overall != 0 else 1.0
+    spread = (max(estimates) - min(estimates)) / scale
+    return DiagnosticResult(
+        reliable=spread <= tolerance,
+        relative_spread=float(spread),
+        subsample_estimates=estimates,
+    )

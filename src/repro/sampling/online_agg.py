@@ -1,0 +1,177 @@
+"""Online aggregation (Hellerstein, Haas & Wang [25]; CONTROL [24]).
+
+Rows are consumed in random order; after every batch the aggregator
+exposes a running estimate with a shrinking confidence interval, so an
+analyst can stop a query the moment the answer is "good enough" — the
+canonical interactive-exploration behaviour the tutorial highlights.
+
+Group-by is supported: each group carries its own interval, and the
+stopping test can demand that *every* group has converged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from repro.errors import ApproximationError
+from repro.sampling.estimators import Estimate, srs_estimate
+
+
+@dataclass
+class OnlineResult:
+    """Snapshot of the running computation after some batches."""
+
+    rows_processed: int
+    total_rows: int
+    estimate: Estimate | None
+    group_estimates: dict[Any, Estimate] = field(default_factory=dict)
+
+    @property
+    def progress(self) -> float:
+        """Fraction of the table consumed, in [0, 1]."""
+        if self.total_rows == 0:
+            return 1.0
+        return self.rows_processed / self.total_rows
+
+
+class OnlineAggregator:
+    """Streaming estimator for one aggregate over one column.
+
+    Args:
+        values: the full column payload (the engine hands this over; the
+            aggregator itself only reads it in random order).
+        aggregate: ``"avg"``, ``"sum"`` or ``"count"``; for ``count`` pass
+            predicate outcomes (booleans) as ``values``.
+        groups: optional parallel array of group keys for GROUP BY.
+        confidence: CI level of the running intervals.
+        batch_size: rows consumed per :meth:`step`.
+        seed: RNG seed for the random consumption order.
+    """
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        aggregate: str = "avg",
+        groups: np.ndarray | None = None,
+        confidence: float = 0.95,
+        batch_size: int = 1000,
+        seed: int = 0,
+    ) -> None:
+        if aggregate not in ("avg", "sum", "count"):
+            raise ApproximationError(f"unsupported aggregate {aggregate!r}")
+        self._values = np.asarray(values, dtype=np.float64)
+        self._groups = None if groups is None else np.asarray(groups)
+        if self._groups is not None and len(self._groups) != len(self._values):
+            raise ApproximationError("groups array must match values length")
+        self.aggregate = aggregate
+        self.confidence = confidence
+        self.batch_size = batch_size
+        self._order = np.random.default_rng(seed).permutation(len(self._values))
+        self._cursor = 0
+        self._seen_values: list[np.ndarray] = []
+        self._seen_groups: list[np.ndarray] = []
+
+    @property
+    def total_rows(self) -> int:
+        """Rows in the underlying table."""
+        return len(self._values)
+
+    @property
+    def rows_processed(self) -> int:
+        """Rows consumed so far."""
+        return self._cursor
+
+    @property
+    def finished(self) -> bool:
+        """True when the whole table has been consumed (exact answer)."""
+        return self._cursor >= len(self._values)
+
+    def step(self) -> OnlineResult:
+        """Consume one batch and return the updated snapshot."""
+        end = min(self._cursor + self.batch_size, len(self._values))
+        batch_idx = self._order[self._cursor:end]
+        self._cursor = end
+        self._seen_values.append(self._values[batch_idx])
+        if self._groups is not None:
+            self._seen_groups.append(self._groups[batch_idx])
+        return self.current()
+
+    def current(self) -> OnlineResult:
+        """The current snapshot without consuming more rows."""
+        if not self._seen_values:
+            return OnlineResult(0, self.total_rows, None)
+        seen = np.concatenate(self._seen_values)
+        n_total = self.total_rows
+        if self._groups is None:
+            estimate = srs_estimate(seen, n_total, self.aggregate, self.confidence)
+            return OnlineResult(self._cursor, n_total, estimate)
+        seen_groups = np.concatenate(self._seen_groups)
+        group_estimates: dict[Any, Estimate] = {}
+        # group sizes are unknown mid-stream; estimate each group's
+        # population as N * (group share of the sample) — the standard
+        # online-aggregation treatment
+        for key in np.unique(seen_groups):
+            mask = seen_groups == key
+            share = mask.mean()
+            estimated_population = max(int(round(n_total * share)), int(mask.sum()))
+            group_estimates[key.item() if hasattr(key, "item") else key] = srs_estimate(
+                seen[mask], estimated_population, self.aggregate, self.confidence
+            )
+        return OnlineResult(self._cursor, n_total, None, group_estimates)
+
+    def run(self) -> Iterator[OnlineResult]:
+        """Iterate snapshots batch by batch until the table is exhausted."""
+        while not self.finished:
+            yield self.step()
+
+    def run_until(
+        self,
+        relative_error: float | None = None,
+        half_width: float | None = None,
+        max_rows: int | None = None,
+        predicate: Callable[[OnlineResult], bool] | None = None,
+    ) -> OnlineResult:
+        """Consume batches until a stopping condition holds.
+
+        Conditions (any one stops the run; for grouped queries they must
+        hold for every group):
+
+        - ``relative_error``: CI half-width / estimate below this.
+        - ``half_width``: absolute CI half-width below this.
+        - ``max_rows``: row budget.
+        - ``predicate``: arbitrary user test on the snapshot.
+        """
+        if relative_error is None and half_width is None and max_rows is None and predicate is None:
+            raise ApproximationError("run_until needs at least one stopping condition")
+
+        def satisfied(result: OnlineResult) -> bool:
+            if predicate is not None and predicate(result):
+                return True
+            estimates = (
+                list(result.group_estimates.values())
+                if result.group_estimates
+                else ([result.estimate] if result.estimate else [])
+            )
+            if not estimates:
+                return False
+            if relative_error is not None and all(
+                e.relative_error <= relative_error for e in estimates
+            ):
+                return True
+            if half_width is not None and all(
+                e.half_width <= half_width for e in estimates
+            ):
+                return True
+            return False
+
+        result = self.current()
+        while not self.finished:
+            result = self.step()
+            if satisfied(result):
+                return result
+            if max_rows is not None and self.rows_processed >= max_rows:
+                return result
+        return result

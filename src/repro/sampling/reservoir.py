@@ -1,0 +1,96 @@
+"""Reservoir sampling over streams of unknown length.
+
+Two classical algorithms:
+
+- **Algorithm R** (Vitter): O(1) per element, replace with probability
+  k/i.  Implemented by :class:`ReservoirSampler` (``fast=False``).
+- **Algorithm L**: skips ahead geometrically, touching only the elements
+  that actually enter the reservoir — the right choice when the stream is
+  much larger than the reservoir (``fast=True``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Iterator
+
+import numpy as np
+
+
+class ReservoirSampler:
+    """Maintains a uniform random sample of size ``k`` over a stream.
+
+    Args:
+        k: reservoir capacity.
+        seed: RNG seed.
+        fast: use Algorithm L's geometric skipping (requires feeding whole
+            iterables via :meth:`extend`; :meth:`add` always uses R).
+    """
+
+    def __init__(self, k: int, seed: int = 0, fast: bool = False) -> None:
+        if k <= 0:
+            raise ValueError("reservoir capacity must be positive")
+        self.k = k
+        self.fast = fast
+        self._rng = np.random.default_rng(seed)
+        self._reservoir: list[Any] = []
+        self._seen = 0
+        # Algorithm L state
+        self._w = math.exp(math.log(self._rng.random()) / k) if fast else 1.0
+        self._next_index = k  # 0-based index of the next element to admit
+
+    @property
+    def seen(self) -> int:
+        """Stream elements consumed so far."""
+        return self._seen
+
+    def sample(self) -> list[Any]:
+        """The current reservoir contents (a copy)."""
+        return list(self._reservoir)
+
+    def add(self, item: Any) -> None:
+        """Feed one element (Algorithm R step)."""
+        self._seen += 1
+        if len(self._reservoir) < self.k:
+            self._reservoir.append(item)
+            return
+        j = int(self._rng.integers(0, self._seen))
+        if j < self.k:
+            self._reservoir[j] = item
+
+    def extend(self, items: Iterable[Any]) -> None:
+        """Feed many elements, using Algorithm L when ``fast`` is set."""
+        if not self.fast:
+            for item in items:
+                self.add(item)
+            return
+        for item in items:
+            if len(self._reservoir) < self.k:
+                self._reservoir.append(item)
+                self._seen += 1
+                continue
+            if self._seen == self._next_index:
+                slot = int(self._rng.integers(0, self.k))
+                self._reservoir[slot] = item
+                self._w *= math.exp(math.log(self._rng.random()) / self.k)
+                skip = math.floor(math.log(self._rng.random()) / math.log(1.0 - self._w))
+                self._next_index += int(skip) + 1
+            self._seen += 1
+
+
+def reservoir_sample(items: Iterable[Any], k: int, seed: int = 0) -> list[Any]:
+    """One-shot uniform sample of ``k`` items from an iterable."""
+    sampler = ReservoirSampler(k, seed=seed)
+    sampler.extend(items)
+    return sampler.sample()
+
+
+def shuffled_indices(n: int, seed: int = 0) -> Iterator[int]:
+    """A random permutation of ``range(n)``, yielded lazily.
+
+    Online aggregation consumes rows in random order; this provides that
+    order without materialising anything beyond the permutation itself.
+    """
+    rng = np.random.default_rng(seed)
+    for index in rng.permutation(n):
+        yield int(index)

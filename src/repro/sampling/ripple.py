@@ -1,0 +1,206 @@
+"""Ripple join: online aggregation over joins (Haas & Hellerstein; the
+CONTROL project [24] the tutorial covers).
+
+A join aggregate normally blocks until the full join completes.  The
+(square) ripple join instead reads both inputs in random order, one batch
+per side per step; after step ``k`` it has inspected the ``k·k`` sampled
+cross-product corner and scales what it found there up to the full
+``N_r · N_s`` cross product:
+
+    estimate = (hits in corner) · (N_r · N_s) / (k_r · k_s)
+
+The confidence interval treats the per-pair contributions in the corner
+as a simple random sample of all pairs — the standard first-order
+approximation; the interval shrinks as the corner grows, letting the
+analyst stop a join query early exactly like single-table online
+aggregation (S6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+import numpy as np
+from scipy.stats import norm
+
+from repro.errors import ApproximationError
+
+
+@dataclass
+class RippleSnapshot:
+    """Running state of a ripple join after some steps."""
+
+    rows_read_left: int
+    rows_read_right: int
+    pairs_inspected: int
+    estimate: float
+    half_width: float
+    confidence: float
+
+    @property
+    def relative_error(self) -> float:
+        """Half-width over estimate (inf when the estimate is 0)."""
+        if self.estimate == 0:
+            return math.inf if self.half_width > 0 else 0.0
+        return abs(self.half_width / self.estimate)
+
+
+class RippleJoin:
+    """Online estimation of an equi-join aggregate.
+
+    Supported aggregates:
+
+    - ``"count"`` — join cardinality ``|R ⋈ S|``;
+    - ``"sum"`` — sum of ``values`` (aligned with the left table) over all
+      joining pairs.
+
+    Args:
+        left_keys: join column of R.
+        right_keys: join column of S.
+        values: optional per-left-row values for ``sum``.
+        aggregate: ``"count"`` or ``"sum"``.
+        batch_size: rows drawn per side per step.
+        confidence: CI level.
+        seed: RNG seed for the random read orders.
+    """
+
+    def __init__(
+        self,
+        left_keys: np.ndarray,
+        right_keys: np.ndarray,
+        values: np.ndarray | None = None,
+        aggregate: str = "count",
+        batch_size: int = 100,
+        confidence: float = 0.95,
+        seed: int = 0,
+    ) -> None:
+        if aggregate not in ("count", "sum"):
+            raise ApproximationError(f"unsupported join aggregate {aggregate!r}")
+        if aggregate == "sum" and values is None:
+            raise ApproximationError("sum needs per-left-row values")
+        self._left = np.asarray(left_keys)
+        self._right = np.asarray(right_keys)
+        self._values = (
+            np.asarray(values, dtype=np.float64) if values is not None else None
+        )
+        if self._values is not None and len(self._values) != len(self._left):
+            raise ApproximationError("values must align with left_keys")
+        self.aggregate = aggregate
+        self.batch_size = batch_size
+        self.confidence = confidence
+        rng = np.random.default_rng(seed)
+        self._left_order = rng.permutation(len(self._left))
+        self._right_order = rng.permutation(len(self._right))
+        self._left_cursor = 0
+        self._right_cursor = 0
+        # hash maps over the seen prefixes
+        self._seen_right_counts: dict[Any, int] = {}
+        self._seen_left_contrib: dict[Any, float] = {}  # key -> sum of contribs
+        self._seen_left_counts: dict[Any, int] = {}
+        self._corner_total = 0.0  # running sum of pair contributions
+        self._corner_sq_total = 0.0  # running sum of squared contributions
+
+    # -- streaming ---------------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        """True when both inputs are exhausted (estimate is exact)."""
+        return self._left_cursor >= len(self._left) and self._right_cursor >= len(
+            self._right
+        )
+
+    def _contribution(self, left_index: int) -> float:
+        if self.aggregate == "count":
+            return 1.0
+        assert self._values is not None
+        return float(self._values[left_index])
+
+    def step(self) -> RippleSnapshot:
+        """Read one batch from each side and update the estimate."""
+        # new left rows join against all seen right rows
+        left_end = min(self._left_cursor + self.batch_size, len(self._left))
+        for position in range(self._left_cursor, left_end):
+            index = int(self._left_order[position])
+            key = self._left[index]
+            contribution = self._contribution(index)
+            matches = self._seen_right_counts.get(key, 0)
+            if matches:
+                self._corner_total += contribution * matches
+                self._corner_sq_total += (contribution**2) * matches
+            self._seen_left_contrib[key] = (
+                self._seen_left_contrib.get(key, 0.0) + contribution
+            )
+            self._seen_left_counts[key] = self._seen_left_counts.get(key, 0) + 1
+        self._left_cursor = left_end
+
+        # new right rows join against all seen left rows
+        right_end = min(self._right_cursor + self.batch_size, len(self._right))
+        for position in range(self._right_cursor, right_end):
+            index = int(self._right_order[position])
+            key = self._right[index]
+            contribution_sum = self._seen_left_contrib.get(key, 0.0)
+            if contribution_sum:
+                self._corner_total += contribution_sum
+                # squared contributions need the per-key sum of squares; we
+                # approximate with (sum)^2/count, exact for constant values
+                count = self._seen_left_counts.get(key, 0)
+                if count:
+                    self._corner_sq_total += (contribution_sum**2) / count
+            self._seen_right_counts[key] = self._seen_right_counts.get(key, 0) + 1
+        self._right_cursor = right_end
+        return self.current()
+
+    def current(self) -> RippleSnapshot:
+        """Snapshot without reading more rows."""
+        k_left = self._left_cursor
+        k_right = self._right_cursor
+        pairs = k_left * k_right
+        n_pairs_total = len(self._left) * len(self._right)
+        if pairs == 0:
+            return RippleSnapshot(0, 0, 0, 0.0, math.inf, self.confidence)
+        scale = n_pairs_total / pairs
+        estimate = self._corner_total * scale
+        if self.finished:
+            return RippleSnapshot(
+                k_left, k_right, pairs, estimate, 0.0, self.confidence
+            )
+        # SRS-of-pairs approximation for the variance
+        mean = self._corner_total / pairs
+        mean_sq = self._corner_sq_total / pairs
+        variance = max(0.0, mean_sq - mean**2)
+        z = float(norm.ppf(0.5 + self.confidence / 2.0))
+        fpc = max(0.0, 1.0 - pairs / n_pairs_total)
+        half = z * n_pairs_total * math.sqrt(variance / pairs * fpc)
+        return RippleSnapshot(k_left, k_right, pairs, estimate, half, self.confidence)
+
+    def run(self) -> Iterator[RippleSnapshot]:
+        """Iterate snapshots until both inputs are exhausted."""
+        while not self.finished:
+            yield self.step()
+
+    def run_until(
+        self,
+        relative_error: float | None = None,
+        max_rows_per_side: int | None = None,
+    ) -> RippleSnapshot:
+        """Step until the target relative error or row budget is reached."""
+        if relative_error is None and max_rows_per_side is None:
+            raise ApproximationError("run_until needs a stopping condition")
+        snapshot = self.current()
+        while not self.finished:
+            snapshot = self.step()
+            if (
+                relative_error is not None
+                and snapshot.estimate != 0
+                and snapshot.relative_error <= relative_error
+            ):
+                return snapshot
+            if (
+                max_rows_per_side is not None
+                and max(snapshot.rows_read_left, snapshot.rows_read_right)
+                >= max_rows_per_side
+            ):
+                return snapshot
+        return snapshot

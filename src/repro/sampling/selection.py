@@ -1,0 +1,160 @@
+"""Offline sample selection under a storage budget (BlinkDB [7], §4).
+
+BlinkDB does not stratify on every column set: given the *query column
+sets* (QCSs) observed in the workload and a storage budget, it chooses
+which stratified samples to build so that as much future workload as
+possible can be answered well.  This module implements that optimisation
+with the paper's weighted-coverage objective and a greedy
+benefit-per-row heuristic (the LP's standard rounding companion):
+
+- a query is *covered* by a sample whose stratification columns are a
+  superset of the query's grouping columns (plus by any uniform sample,
+  at lower quality for rare groups);
+- each candidate sample costs its actual row footprint;
+- greedily pick the candidate with the best marginal
+  (frequency-weighted coverage) / cost until the budget is exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.engine.table import Table
+from repro.errors import ApproximationError
+from repro.sampling.blinkdb import SampleCatalog
+from repro.sampling.stratified import build_stratified_sample
+
+
+@dataclass(frozen=True)
+class WorkloadEntry:
+    """One query template: its grouping column set and frequency."""
+
+    group_columns: frozenset[str]
+    frequency: float
+
+    @classmethod
+    def make(cls, columns: Sequence[str], frequency: float = 1.0) -> "WorkloadEntry":
+        """Convenience constructor."""
+        return cls(group_columns=frozenset(columns), frequency=float(frequency))
+
+
+@dataclass
+class SelectionReport:
+    """Outcome of the sample-selection optimisation."""
+
+    chosen_column_sets: list[tuple[str, ...]]
+    rows_used: int
+    budget: int
+    workload_coverage: float
+    skipped: list[tuple[str, ...]] = field(default_factory=list)
+
+    @property
+    def within_budget(self) -> bool:
+        """True when the built samples fit the budget."""
+        return self.rows_used <= self.budget
+
+
+def candidate_column_sets(workload: Sequence[WorkloadEntry]) -> list[frozenset[str]]:
+    """The candidate stratification sets: every distinct QCS in the
+    workload (BlinkDB restricts candidates to observed sets)."""
+    seen = []
+    for entry in workload:
+        if entry.group_columns and entry.group_columns not in seen:
+            seen.append(entry.group_columns)
+    return seen
+
+
+def _coverage(
+    chosen: list[frozenset[str]], workload: Sequence[WorkloadEntry]
+) -> float:
+    total = sum(entry.frequency for entry in workload)
+    if total == 0:
+        return 0.0
+    covered = sum(
+        entry.frequency
+        for entry in workload
+        if any(entry.group_columns <= columns for columns in chosen)
+        or not entry.group_columns  # ungrouped queries: any sample works
+    )
+    return covered / total
+
+
+def choose_samples(
+    table: Table,
+    workload: Sequence[WorkloadEntry],
+    budget_rows: int,
+    cap: int = 200,
+    seed: int = 0,
+) -> tuple[SampleCatalog, SelectionReport]:
+    """Build the best sample catalog that fits the budget.
+
+    Args:
+        table: the base table.
+        workload: query templates with frequencies.
+        budget_rows: total rows the catalog may store.
+        cap: per-group cap K for each stratified sample.
+        seed: RNG seed.
+
+    Returns:
+        The built :class:`SampleCatalog` and a :class:`SelectionReport`.
+
+    Raises:
+        ApproximationError: if the budget cannot even hold the smallest
+            candidate (an empty catalog would be useless).
+    """
+    if budget_rows <= 0:
+        raise ApproximationError("budget must be positive")
+    candidates = candidate_column_sets(workload)
+    # materialise candidate samples once to know their true row costs
+    built = {}
+    for columns in candidates:
+        ordered = tuple(sorted(columns))
+        built[columns] = build_stratified_sample(table, list(ordered), cap, seed=seed)
+
+    chosen: list[frozenset[str]] = []
+    rows_used = 0
+    remaining = list(candidates)
+    while remaining:
+        best = None
+        best_ratio = 0.0
+        current_coverage = _coverage(chosen, workload)
+        for columns in remaining:
+            cost = built[columns].size
+            if rows_used + cost > budget_rows:
+                continue
+            gain = _coverage(chosen + [columns], workload) - current_coverage
+            ratio = gain / max(1, cost)
+            if ratio > best_ratio:
+                best_ratio = ratio
+                best = columns
+        if best is None:
+            break
+        chosen.append(best)
+        rows_used += built[best].size
+        remaining.remove(best)
+
+    catalog = SampleCatalog(table)
+    for columns in chosen:
+        catalog.add_stratified(sorted(columns), cap=cap, seed=seed)
+    # spend leftover budget on a uniform sample (answers ungrouped queries
+    # and anything the stratified set misses, at uniform quality)
+    leftover = budget_rows - rows_used
+    if leftover >= max(1, table.num_rows // 1000):
+        fraction = min(1.0, leftover / table.num_rows)
+        if fraction > 0:
+            uniform = catalog.add_uniform(fraction, seed=seed + 1)
+            rows_used += uniform.size
+
+    report = SelectionReport(
+        chosen_column_sets=[tuple(sorted(c)) for c in chosen],
+        rows_used=rows_used,
+        budget=budget_rows,
+        workload_coverage=_coverage(chosen, workload),
+        skipped=[tuple(sorted(c)) for c in remaining],
+    )
+    if not catalog.samples():
+        raise ApproximationError(
+            f"budget of {budget_rows} rows cannot hold any candidate sample"
+        )
+    return catalog, report

@@ -1,0 +1,185 @@
+"""Stratified samples with per-group caps (BlinkDB [7]).
+
+A uniform sample of a skewed table starves rare groups: a group holding
+0.1% of the rows gets ~0.1% of the sample, often too few rows for any
+usable estimate.  BlinkDB's stratified samples instead take
+``min(cap, |group|)`` rows from **every** group, so rare groups are as
+well represented as popular ones.  Each stored row carries its group's
+scale factor ``|group| / taken``, which the estimators use to stay
+unbiased.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.engine.table import Table
+from repro.errors import ApproximationError
+from repro.sampling.estimators import Estimate, combine_strata, srs_estimate
+
+
+@dataclass
+class Stratum:
+    """One group's slice of a stratified sample."""
+
+    key: tuple[Any, ...]
+    row_indices: np.ndarray  # positions in the base table
+    population: int
+
+    @property
+    def taken(self) -> int:
+        """Sampled rows in this stratum."""
+        return len(self.row_indices)
+
+    @property
+    def scale(self) -> float:
+        """Per-row expansion factor |group| / taken."""
+        return self.population / max(1, self.taken)
+
+
+@dataclass
+class StratifiedSample:
+    """A stratified sample of a table on a set of grouping columns.
+
+    Attributes:
+        columns: the stratification columns (in order).
+        cap: per-group row cap K.
+        strata: one :class:`Stratum` per distinct group.
+        base_rows: base-table cardinality.
+    """
+
+    columns: tuple[str, ...]
+    cap: int
+    strata: dict[tuple[Any, ...], Stratum]
+    base_rows: int
+
+    @property
+    def size(self) -> int:
+        """Total sampled rows."""
+        return sum(s.taken for s in self.strata.values())
+
+    @property
+    def fraction(self) -> float:
+        """Sampled fraction of the base table."""
+        return self.size / max(1, self.base_rows)
+
+    def covers(self, group_columns: Sequence[str]) -> bool:
+        """True if this sample stratifies on a superset of the given columns."""
+        return set(group_columns) <= set(self.columns)
+
+    def estimate_grouped(
+        self,
+        table: Table,
+        value_column: str | None,
+        aggregate: str,
+        group_columns: Sequence[str] | None = None,
+        confidence: float = 0.95,
+    ) -> dict[tuple[Any, ...], Estimate]:
+        """Per-group estimates of one aggregate from the sample.
+
+        Args:
+            table: the base table the sample indexes into.
+            value_column: the aggregated column (None only for ``count``).
+            aggregate: ``"avg"``, ``"sum"`` or ``"count"``.
+            group_columns: the query's GROUP BY columns; must be a subset
+                of the stratification columns.  Defaults to all of them.
+        """
+        group_columns = tuple(group_columns or self.columns)
+        if not self.covers(group_columns):
+            raise ApproximationError(
+                f"sample on {self.columns} cannot answer GROUP BY {group_columns}"
+            )
+        positions = [self.columns.index(c) for c in group_columns]
+        buckets: dict[tuple[Any, ...], list[Stratum]] = {}
+        for stratum in self.strata.values():
+            out_key = tuple(stratum.key[p] for p in positions)
+            buckets.setdefault(out_key, []).append(stratum)
+
+        values_col = table.column(value_column) if value_column else None
+        results: dict[tuple[Any, ...], Estimate] = {}
+        for out_key, strata in buckets.items():
+            parts: list[tuple[Estimate, int]] = []
+            group_population = sum(s.population for s in strata)
+            for stratum in strata:
+                if value_column is None or aggregate == "count":
+                    sample_values = np.ones(stratum.taken)
+                else:
+                    data = values_col.data[stratum.row_indices]
+                    sample_values = np.asarray(data, dtype=np.float64)
+                per_stratum_aggregate = "avg" if aggregate == "avg" else aggregate
+                if aggregate == "count":
+                    # every sampled row is a member: the count is known
+                    # exactly per stratum (it is the stored population)
+                    parts.append(
+                        (
+                            Estimate(
+                                float(stratum.population), 0.0, confidence,
+                                stratum.taken, stratum.population,
+                            ),
+                            stratum.population,
+                        )
+                    )
+                    continue
+                parts.append(
+                    (
+                        srs_estimate(
+                            sample_values,
+                            stratum.population,
+                            per_stratum_aggregate,
+                            confidence,
+                        ),
+                        stratum.population,
+                    )
+                )
+            results[out_key] = combine_strata(
+                parts, aggregate, group_population, confidence
+            )
+        return results
+
+
+def build_stratified_sample(
+    table: Table,
+    columns: Sequence[str],
+    cap: int,
+    seed: int = 0,
+) -> StratifiedSample:
+    """Build a stratified sample capped at ``cap`` rows per group.
+
+    Args:
+        table: base table.
+        columns: stratification columns.
+        cap: maximum rows kept per distinct group (K in the paper).
+        seed: RNG seed.
+    """
+    if cap <= 0:
+        raise ApproximationError("cap must be positive")
+    rng = np.random.default_rng(seed)
+    group_rows: dict[tuple[Any, ...], list[int]] = {}
+    key_columns = [table.column(c) for c in columns]
+    for row in range(table.num_rows):
+        key = tuple(col[row] for col in key_columns)
+        group_rows.setdefault(key, []).append(row)
+    strata: dict[tuple[Any, ...], Stratum] = {}
+    for key, rows in group_rows.items():
+        rows_arr = np.asarray(rows, dtype=np.int64)
+        if len(rows_arr) > cap:
+            chosen = rng.choice(rows_arr, size=cap, replace=False)
+        else:
+            chosen = rows_arr
+        strata[key] = Stratum(key=key, row_indices=np.sort(chosen), population=len(rows_arr))
+    return StratifiedSample(
+        columns=tuple(columns), cap=cap, strata=strata, base_rows=table.num_rows
+    )
+
+
+def build_uniform_sample(table: Table, fraction: float, seed: int = 0) -> np.ndarray:
+    """Row positions of a uniform sample of the given fraction."""
+    if not 0.0 < fraction <= 1.0:
+        raise ApproximationError(f"fraction must be in (0, 1], got {fraction}")
+    rng = np.random.default_rng(seed)
+    n = table.num_rows
+    size = max(1, int(round(n * fraction)))
+    return np.sort(rng.choice(n, size=size, replace=False))

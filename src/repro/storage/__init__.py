@@ -1,0 +1,36 @@
+"""Adaptive storage layouts (paper §2.3).
+
+There is no universally good layout: row stores win wide-tuple access,
+column stores win narrow scans, and column groups sit between.  This
+package implements:
+
+- :mod:`repro.storage.layouts` — row / column / column-group layouts with
+  an explicit cells-touched cost model.
+- :class:`AdaptiveStore` — an H2O-style store ([9]) that monitors the
+  workload and reorganises itself when the projected benefit exceeds the
+  reorganisation cost.
+- :mod:`repro.storage.declarative` — a small declarative layout language
+  in the spirit of RodentStore ([17]).
+"""
+
+from repro.storage.layouts import (
+    ColumnGroupLayout,
+    ColumnLayout,
+    Layout,
+    QueryProfile,
+    RowLayout,
+)
+from repro.storage.workload import WorkloadMonitor
+from repro.storage.adaptive_store import AdaptiveStore
+from repro.storage.declarative import parse_layout_spec
+
+__all__ = [
+    "AdaptiveStore",
+    "ColumnGroupLayout",
+    "ColumnLayout",
+    "Layout",
+    "QueryProfile",
+    "RowLayout",
+    "WorkloadMonitor",
+    "parse_layout_spec",
+]

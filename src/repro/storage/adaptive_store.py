@@ -1,0 +1,126 @@
+"""An H2O-style adaptive store ([9]).
+
+The store executes queries under its current physical layout, charging
+the layout's cost model, while a :class:`WorkloadMonitor` watches what the
+queries touch.  Every ``evaluation_interval`` queries it searches the
+candidate-layout space — pure row, pure column, and the affinity-derived
+column grouping — projects each candidate's cost over the recent window,
+and switches when the projected saving over one window exceeds the
+one-off reorganisation cost.
+
+The S14 benchmark replays a phase-shifting workload (tuple-heavy ↔
+scan-heavy) and shows the adaptive store tracking whichever static layout
+is currently best, paying brief reorganisation spikes at phase changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.storage.layouts import (
+    ColumnGroupLayout,
+    ColumnLayout,
+    Layout,
+    QueryProfile,
+    RowLayout,
+)
+from repro.storage.workload import WorkloadMonitor
+
+
+@dataclass
+class AdaptationEvent:
+    """Record of one layout switch."""
+
+    at_query: int
+    old_layout: str
+    new_layout: str
+    reorganisation_cost: float
+
+
+class AdaptiveStore:
+    """A self-reorganising table store.
+
+    Args:
+        columns: the table's columns.
+        num_rows: table cardinality (drives the cost model).
+        initial_layout: starting layout; defaults to a row layout, the
+            common load-time default.
+        evaluation_interval: queries between layout re-evaluations.
+        window: workload-monitor window size.
+    """
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        num_rows: int,
+        initial_layout: Layout | None = None,
+        evaluation_interval: int = 10,
+        window: int = 30,
+    ) -> None:
+        self.columns = list(columns)
+        self.num_rows = num_rows
+        self.layout: Layout = initial_layout or RowLayout(self.columns)
+        self.evaluation_interval = evaluation_interval
+        self.monitor = WorkloadMonitor(self.columns, window=window)
+        self.queries_seen = 0
+        self.total_cost = 0.0
+        self.query_costs: list[float] = []
+        self.events: list[AdaptationEvent] = []
+
+    def execute(self, profile: QueryProfile) -> float:
+        """Charge one query; returns its cost (including any reorganisation
+        triggered immediately before it ran)."""
+        self.queries_seen += 1
+        self.monitor.record(profile)
+        reorg_cost = 0.0
+        if self.queries_seen % self.evaluation_interval == 0:
+            reorg_cost = self._maybe_adapt()
+        cost = self.layout.scan_cost(profile, self.num_rows) + reorg_cost
+        self.total_cost += cost
+        self.query_costs.append(cost)
+        return cost
+
+    def _candidates(self) -> list[Layout]:
+        candidates: list[Layout] = [
+            RowLayout(self.columns),
+            ColumnLayout(self.columns),
+        ]
+        groups = self.monitor.suggest_groups()
+        if 1 < len(groups) < len(self.columns):
+            candidates.append(ColumnGroupLayout(groups))
+        return candidates
+
+    def _window_cost(self, layout: Layout) -> float:
+        return sum(
+            layout.scan_cost(profile, self.num_rows)
+            for profile in self.monitor.profiles()
+        )
+
+    def _maybe_adapt(self) -> float:
+        """Switch layout if a candidate beats the current one by more than
+        its reorganisation cost; returns the cost charged (0 if no switch)."""
+        current_cost = self._window_cost(self.layout)
+        best_layout = self.layout
+        best_cost = current_cost
+        for candidate in self._candidates():
+            cost = self._window_cost(candidate)
+            if cost < best_cost:
+                best_cost = cost
+                best_layout = candidate
+        if best_layout is self.layout:
+            return 0.0
+        saving = current_cost - best_cost
+        reorg = best_layout.reorganisation_cost(self.num_rows)
+        if saving <= reorg:
+            return 0.0
+        self.events.append(
+            AdaptationEvent(
+                at_query=self.queries_seen,
+                old_layout=self.layout.describe(),
+                new_layout=best_layout.describe(),
+                reorganisation_cost=reorg,
+            )
+        )
+        self.layout = best_layout
+        return reorg

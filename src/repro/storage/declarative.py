@@ -1,0 +1,76 @@
+"""A declarative storage-layout language (RodentStore-flavoured, [17]).
+
+The tutorial's "flexible engines" cluster argues layouts should be
+*declared*, not hard-coded.  This module provides a tiny spec language::
+
+    row(a, b, c)                     -- one NSM table
+    column(a, b, c)                  -- one DSM column per column
+    groups({a, b}; {c})              -- explicit column groups
+
+and a parser producing :class:`~repro.storage.layouts.Layout` objects, so
+layout policies can be stored, diffed and replayed as text.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+from repro.storage.layouts import ColumnGroupLayout, ColumnLayout, Layout, RowLayout
+
+_SPEC_RE = re.compile(r"^\s*(row|column|groups)\s*\((.*)\)\s*$", re.DOTALL)
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def _split_idents(text: str) -> list[str]:
+    names = [part.strip() for part in text.split(",") if part.strip()]
+    for name in names:
+        if not _IDENT_RE.match(name):
+            raise ParseError(f"invalid column name {name!r} in layout spec")
+    if len(set(names)) != len(names):
+        raise ParseError(f"duplicate column in layout spec: {names}")
+    return names
+
+
+def parse_layout_spec(spec: str) -> Layout:
+    """Parse a layout spec string into a :class:`Layout`.
+
+    Raises:
+        ParseError: if the spec does not match the grammar.
+    """
+    match = _SPEC_RE.match(spec)
+    if match is None:
+        raise ParseError(f"cannot parse layout spec {spec!r}")
+    kind, body = match.group(1), match.group(2)
+    if kind == "row":
+        names = _split_idents(body)
+        if not names:
+            raise ParseError("row() layout needs at least one column")
+        return RowLayout(names)
+    if kind == "column":
+        names = _split_idents(body)
+        if not names:
+            raise ParseError("column() layout needs at least one column")
+        return ColumnLayout(names)
+    groups: list[list[str]] = []
+    for chunk in body.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if not (chunk.startswith("{") and chunk.endswith("}")):
+            raise ParseError(f"group {chunk!r} must be wrapped in braces")
+        groups.append(_split_idents(chunk[1:-1]))
+    if not groups:
+        raise ParseError("groups() layout needs at least one group")
+    seen: set[str] = set()
+    for group in groups:
+        overlap = seen & set(group)
+        if overlap:
+            raise ParseError(f"column(s) {sorted(overlap)} appear in multiple groups")
+        seen.update(group)
+    return ColumnGroupLayout(groups)
+
+
+def render_layout(layout: Layout) -> str:
+    """Render a layout back to its spec text (inverse of the parser)."""
+    return layout.describe()

@@ -1,0 +1,150 @@
+"""Storage layouts and their access-cost model.
+
+Costs are measured in *cells touched* — the machine-independent unit the
+adaptive-storage literature reasons in.  The model captures the three
+classical effects:
+
+- a row store reads whole tuples, so narrow scans over many rows are
+  expensive but wide access to few rows is cheap;
+- a column store reads exactly the scanned columns, but materialising
+  wide outputs pays a tuple-reconstruction penalty per column stitched
+  back together;
+- column groups interpolate: columns co-accessed by the workload share a
+  group and are read together.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+#: Random-access penalty for stitching a tuple together across storage
+#: units (relative to a sequential cell read).
+RECONSTRUCTION_PENALTY = 4.0
+
+
+@dataclass(frozen=True)
+class QueryProfile:
+    """What one query touches, as far as storage cost is concerned.
+
+    Attributes:
+        filter_columns: columns evaluated for every row.
+        project_columns: columns materialised for qualifying rows.
+        selectivity: fraction of rows qualifying, in [0, 1].
+    """
+
+    filter_columns: frozenset[str]
+    project_columns: frozenset[str]
+    selectivity: float = 0.1
+
+    @classmethod
+    def make(
+        cls,
+        filters: Iterable[str],
+        projects: Iterable[str],
+        selectivity: float = 0.1,
+    ) -> "QueryProfile":
+        """Convenience constructor from any iterables."""
+        return cls(
+            filter_columns=frozenset(filters),
+            project_columns=frozenset(projects),
+            selectivity=float(selectivity),
+        )
+
+    @property
+    def all_columns(self) -> frozenset[str]:
+        """Every column the query touches."""
+        return self.filter_columns | self.project_columns
+
+
+class Layout(abc.ABC):
+    """A physical layout of a table with ``columns``."""
+
+    def __init__(self, columns: Sequence[str]) -> None:
+        self.columns = list(columns)
+
+    @abc.abstractmethod
+    def scan_cost(self, profile: QueryProfile, num_rows: int) -> float:
+        """Cells touched to execute one query under this layout."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Human-readable layout description."""
+
+    def reorganisation_cost(self, num_rows: int) -> float:
+        """Cells touched to rewrite the table into this layout."""
+        return float(num_rows * len(self.columns))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.describe()})"
+
+
+class RowLayout(Layout):
+    """All columns stored together, tuple at a time (NSM)."""
+
+    def scan_cost(self, profile: QueryProfile, num_rows: int) -> float:
+        width = len(self.columns)
+        # the filter phase drags in whole tuples; projection is then free
+        # because qualifying tuples were already read
+        return float(num_rows * width)
+
+    def describe(self) -> str:
+        return "row(" + ", ".join(self.columns) + ")"
+
+
+class ColumnLayout(Layout):
+    """Every column stored separately (DSM)."""
+
+    def scan_cost(self, profile: QueryProfile, num_rows: int) -> float:
+        filter_cost = num_rows * len(profile.filter_columns & set(self.columns))
+        project_only = (profile.project_columns - profile.filter_columns) & set(
+            self.columns
+        )
+        reconstruction = (
+            profile.selectivity
+            * num_rows
+            * len(project_only)
+            * RECONSTRUCTION_PENALTY
+        )
+        return float(filter_cost + reconstruction)
+
+    def describe(self) -> str:
+        return "column(" + ", ".join(self.columns) + ")"
+
+
+class ColumnGroupLayout(Layout):
+    """Columns partitioned into groups stored together (PAX-like hybrids).
+
+    Args:
+        groups: a partition of the table's columns.
+    """
+
+    def __init__(self, groups: Sequence[Sequence[str]]) -> None:
+        flattened = [column for group in groups for column in group]
+        if len(set(flattened)) != len(flattened):
+            raise ValueError("column groups must be disjoint")
+        super().__init__(flattened)
+        self.groups = [list(group) for group in groups if group]
+
+    def scan_cost(self, profile: QueryProfile, num_rows: int) -> float:
+        cost = 0.0
+        groups_touched_for_projection = 0
+        for group in self.groups:
+            group_set = set(group)
+            if group_set & profile.filter_columns:
+                # the whole group is read for the filter scan
+                cost += num_rows * len(group)
+            elif group_set & profile.project_columns:
+                groups_touched_for_projection += 1
+                cost += (
+                    profile.selectivity
+                    * num_rows
+                    * len(group)
+                    * RECONSTRUCTION_PENALTY
+                )
+        return float(cost)
+
+    def describe(self) -> str:
+        rendered = "; ".join("{" + ", ".join(g) + "}" for g in self.groups)
+        return f"groups({rendered})"

@@ -1,0 +1,82 @@
+"""Workload monitoring for adaptive storage.
+
+Tracks a sliding window of :class:`~repro.storage.layouts.QueryProfile`
+records and derives the column co-access affinity matrix H2O's layout
+search is driven by.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from itertools import combinations
+from typing import Deque, Sequence
+
+from repro.storage.layouts import QueryProfile
+
+
+class WorkloadMonitor:
+    """Sliding-window record of recent query profiles.
+
+    Args:
+        columns: the table's columns.
+        window: how many recent queries to remember.
+    """
+
+    def __init__(self, columns: Sequence[str], window: int = 50) -> None:
+        self.columns = list(columns)
+        self.window = window
+        self._profiles: Deque[QueryProfile] = deque(maxlen=window)
+
+    def record(self, profile: QueryProfile) -> None:
+        """Add one query to the window."""
+        self._profiles.append(profile)
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def profiles(self) -> list[QueryProfile]:
+        """The profiles currently in the window, oldest first."""
+        return list(self._profiles)
+
+    def affinity(self) -> dict[tuple[str, str], int]:
+        """Co-access counts for every unordered column pair in the window."""
+        counts: dict[tuple[str, str], int] = {}
+        for profile in self._profiles:
+            touched = sorted(profile.all_columns)
+            for a, b in combinations(touched, 2):
+                counts[(a, b)] = counts.get((a, b), 0) + 1
+        return counts
+
+    def access_counts(self) -> dict[str, int]:
+        """How often each column was touched in the window."""
+        counts = {column: 0 for column in self.columns}
+        for profile in self._profiles:
+            for column in profile.all_columns:
+                if column in counts:
+                    counts[column] += 1
+        return counts
+
+    def suggest_groups(self, min_affinity_fraction: float = 0.5) -> list[list[str]]:
+        """Partition columns into groups by affinity.
+
+        Two columns share a group when they were co-accessed in at least
+        ``min_affinity_fraction`` of the windowed queries (transitively
+        closed via union-find).  Untouched columns each form a singleton.
+        """
+        threshold = max(1, int(min_affinity_fraction * max(1, len(self._profiles))))
+        parent = {column: column for column in self.columns}
+
+        def find(column: str) -> str:
+            while parent[column] != column:
+                parent[column] = parent[parent[column]]
+                column = parent[column]
+            return column
+
+        for (a, b), count in self.affinity().items():
+            if count >= threshold and a in parent and b in parent:
+                parent[find(a)] = find(b)
+
+        groups: dict[str, list[str]] = {}
+        for column in self.columns:
+            groups.setdefault(find(column), []).append(column)
+        return list(groups.values())

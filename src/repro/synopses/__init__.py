@@ -1,0 +1,46 @@
+"""Data synopses: samples, histograms, wavelets, sketches ([16, 5]).
+
+The four classical synopsis families the tutorial's approximate-processing
+discussion builds on, each answering queries from a small-space summary:
+
+- :mod:`repro.synopses.histogram` — equi-width, equi-depth and max-diff
+  bucket histograms for range counts/selectivities.
+- :mod:`repro.synopses.wavelet` — Haar wavelet synopses with largest-B
+  coefficient thresholding.
+- :mod:`repro.synopses.sketches` — Count-Min (point frequency), AMS
+  (second moment / self-join size), HyperLogLog (distinct count) and
+  Bloom filters (membership).
+- :mod:`repro.synopses.samples` — the sample-as-synopsis baseline.
+
+All expose a common surface: build from a value array, report their
+``size_bytes``, and estimate the query family they support; the S8
+benchmark sweeps accuracy against space across all of them.
+"""
+
+from repro.synopses.histogram import (
+    EquiDepthHistogram,
+    EquiWidthHistogram,
+    MaxDiffHistogram,
+)
+from repro.synopses.wavelet import HaarWaveletSynopsis
+from repro.synopses.sketches import (
+    AMSSketch,
+    BloomFilter,
+    CountMinSketch,
+    GKQuantileSketch,
+    HyperLogLog,
+)
+from repro.synopses.samples import SampleSynopsis
+
+__all__ = [
+    "AMSSketch",
+    "BloomFilter",
+    "CountMinSketch",
+    "EquiDepthHistogram",
+    "GKQuantileSketch",
+    "EquiWidthHistogram",
+    "HaarWaveletSynopsis",
+    "HyperLogLog",
+    "MaxDiffHistogram",
+    "SampleSynopsis",
+]

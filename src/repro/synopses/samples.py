@@ -1,0 +1,62 @@
+"""The sample-as-synopsis baseline.
+
+A uniform sample is the most general synopsis: it answers any query the
+full data answers, by scaling.  Its weakness — variance on selective
+ranges — is exactly what the histogram/wavelet synopses trade generality
+away to fix, and the S8 benchmark makes that trade-off visible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_FLOAT_BYTES = 8
+
+
+class SampleSynopsis:
+    """A uniform row sample of one numeric column.
+
+    Args:
+        values: column payload.
+        sample_size: rows kept.
+        seed: RNG seed.
+    """
+
+    def __init__(self, values: np.ndarray, sample_size: int = 256, seed: int = 0) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        self.total = len(values)
+        rng = np.random.default_rng(seed)
+        size = min(sample_size, len(values))
+        if size == 0:
+            self._sample = np.empty(0)
+        else:
+            self._sample = values[rng.choice(len(values), size=size, replace=False)]
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate storage footprint."""
+        return len(self._sample) * _FLOAT_BYTES
+
+    @property
+    def sample_size(self) -> int:
+        """Rows kept."""
+        return len(self._sample)
+
+    def estimate_range_count(self, low: float, high: float) -> float:
+        """Estimated rows with value in ``[low, high]``."""
+        if len(self._sample) == 0:
+            return 0.0
+        fraction = float(np.mean((self._sample >= low) & (self._sample <= high)))
+        return fraction * self.total
+
+    def estimate_selectivity(self, low: float, high: float) -> float:
+        """Estimated fraction of rows in ``[low, high]``."""
+        if self.total == 0:
+            return 0.0
+        return self.estimate_range_count(low, high) / self.total
+
+    def estimate_mean(self) -> float:
+        """Estimated column mean."""
+        if len(self._sample) == 0:
+            return 0.0
+        return float(self._sample.mean())

@@ -1,0 +1,305 @@
+"""Streaming sketches: Count-Min, AMS, HyperLogLog, Bloom.
+
+All four are implemented over simple salted-hash families (Python's
+``hash`` is randomised per process, so an explicit multiply-shift family
+keyed by seeds is used instead — deterministic and portable).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Any, Iterable
+
+import numpy as np
+
+
+def _hash64(item: Any, seed: int) -> int:
+    """A deterministic (cross-process) 64-bit salted hash of any item.
+
+    Python's built-in ``hash`` is randomised per process for strings, so
+    sketches keyed on it would not be reproducible; blake2b with the seed
+    as key is deterministic and well mixed.
+    """
+    key = (seed & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little")
+    digest = hashlib.blake2b(repr(item).encode(), digest_size=8, key=key).digest()
+    return int.from_bytes(digest, "little")
+
+
+class CountMinSketch:
+    """Count-Min sketch for point-frequency estimation (overestimates).
+
+    Args:
+        epsilon: additive error factor (width = ceil(e / epsilon)).
+        delta: failure probability (depth = ceil(ln 1/delta)).
+    """
+
+    def __init__(self, epsilon: float = 0.001, delta: float = 0.01) -> None:
+        if not (0 < epsilon < 1 and 0 < delta < 1):
+            raise ValueError("epsilon and delta must be in (0, 1)")
+        self.width = max(1, math.ceil(math.e / epsilon))
+        self.depth = max(1, math.ceil(math.log(1.0 / delta)))
+        self._table = np.zeros((self.depth, self.width), dtype=np.int64)
+        self.items_added = 0
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate storage footprint."""
+        return int(self._table.nbytes)
+
+    def add(self, item: Any, count: int = 1) -> None:
+        """Record ``count`` occurrences of ``item``."""
+        for row in range(self.depth):
+            self._table[row, _hash64(item, row) % self.width] += count
+        self.items_added += count
+
+    def extend(self, items: Iterable[Any]) -> None:
+        """Record each element of an iterable once."""
+        for item in items:
+            self.add(item)
+
+    def estimate(self, item: Any) -> int:
+        """Estimated frequency of ``item`` (never underestimates)."""
+        return int(
+            min(
+                self._table[row, _hash64(item, row) % self.width]
+                for row in range(self.depth)
+            )
+        )
+
+    def merge(self, other: "CountMinSketch") -> "CountMinSketch":
+        """Merge two identically shaped sketches."""
+        if (self.width, self.depth) != (other.width, other.depth):
+            raise ValueError("can only merge sketches of identical shape")
+        merged = CountMinSketch.__new__(CountMinSketch)
+        merged.width = self.width
+        merged.depth = self.depth
+        merged._table = self._table + other._table
+        merged.items_added = self.items_added + other.items_added
+        return merged
+
+
+class AMSSketch:
+    """AMS (tug-of-war) sketch estimating the second frequency moment F2.
+
+    F2 equals the self-join size of the attribute — the classical
+    join-size estimator of the synopses survey.
+    """
+
+    def __init__(self, num_counters: int = 256, seed: int = 0) -> None:
+        if num_counters <= 0:
+            raise ValueError("num_counters must be positive")
+        self.num_counters = num_counters
+        self._seed = seed
+        self._counters = np.zeros(num_counters, dtype=np.float64)
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate storage footprint."""
+        return int(self._counters.nbytes)
+
+    def _sign(self, item: Any, counter: int) -> int:
+        return 1 if _hash64(item, (self._seed << 16) ^ counter) & 1 else -1
+
+    def add(self, item: Any, count: int = 1) -> None:
+        """Record ``count`` occurrences of ``item``."""
+        for counter in range(self.num_counters):
+            self._counters[counter] += count * self._sign(item, counter)
+
+    def extend(self, items: Iterable[Any]) -> None:
+        """Record each element of an iterable once."""
+        for item in items:
+            self.add(item)
+
+    def estimate_f2(self) -> float:
+        """Median-of-means estimate of F2."""
+        squares = self._counters**2
+        groups = np.array_split(squares, max(1, self.num_counters // 16))
+        means = [float(group.mean()) for group in groups if len(group)]
+        return float(np.median(means))
+
+
+class HyperLogLog:
+    """HyperLogLog distinct-count estimator.
+
+    Args:
+        precision: p; 2**p registers (4..16).
+    """
+
+    def __init__(self, precision: int = 12) -> None:
+        if not 4 <= precision <= 16:
+            raise ValueError("precision must be in [4, 16]")
+        self.precision = precision
+        self.num_registers = 1 << precision
+        self._registers = np.zeros(self.num_registers, dtype=np.int8)
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate storage footprint."""
+        return int(self._registers.nbytes)
+
+    def add(self, item: Any) -> None:
+        """Record one item."""
+        h = _hash64(item, 0xBEEF)
+        register = h >> (64 - self.precision)
+        remainder = h & ((1 << (64 - self.precision)) - 1)
+        rank = (64 - self.precision) - remainder.bit_length() + 1
+        if rank > self._registers[register]:
+            self._registers[register] = rank
+
+    def extend(self, items: Iterable[Any]) -> None:
+        """Record each element of an iterable."""
+        for item in items:
+            self.add(item)
+
+    def estimate(self) -> float:
+        """Estimated number of distinct items seen."""
+        m = self.num_registers
+        alpha = 0.7213 / (1.0 + 1.079 / m)
+        harmonic = float(np.sum(2.0 ** (-self._registers.astype(np.float64))))
+        raw = alpha * m * m / harmonic
+        zeros = int(np.count_nonzero(self._registers == 0))
+        if raw <= 2.5 * m and zeros > 0:
+            return float(m * math.log(m / zeros))  # linear counting
+        return float(raw)
+
+    def merge(self, other: "HyperLogLog") -> "HyperLogLog":
+        """Merge two sketches of identical precision."""
+        if self.precision != other.precision:
+            raise ValueError("can only merge HLLs of identical precision")
+        merged = HyperLogLog(self.precision)
+        merged._registers = np.maximum(self._registers, other._registers)
+        return merged
+
+
+class BloomFilter:
+    """Bloom filter for approximate set membership (no false negatives).
+
+    Args:
+        capacity: expected number of distinct items.
+        false_positive_rate: target FP rate at capacity.
+    """
+
+    def __init__(self, capacity: int = 10_000, false_positive_rate: float = 0.01) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 < false_positive_rate < 1:
+            raise ValueError("false_positive_rate must be in (0, 1)")
+        ln2 = math.log(2.0)
+        self.num_bits = max(8, math.ceil(-capacity * math.log(false_positive_rate) / (ln2 * ln2)))
+        self.num_hashes = max(1, round(self.num_bits / capacity * ln2))
+        self._bits = np.zeros(self.num_bits, dtype=bool)
+        self.items_added = 0
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate storage footprint (1 bit per slot, rounded up)."""
+        return (self.num_bits + 7) // 8
+
+    def add(self, item: Any) -> None:
+        """Insert one item."""
+        for seed in range(self.num_hashes):
+            self._bits[_hash64(item, seed) % self.num_bits] = True
+        self.items_added += 1
+
+    def extend(self, items: Iterable[Any]) -> None:
+        """Insert each element of an iterable."""
+        for item in items:
+            self.add(item)
+
+    def __contains__(self, item: Any) -> bool:
+        return all(
+            self._bits[_hash64(item, seed) % self.num_bits]
+            for seed in range(self.num_hashes)
+        )
+
+
+class GKQuantileSketch:
+    """Greenwald–Khanna ε-approximate quantile summary.
+
+    Maintains a compressed list of tuples ``(value, g, Δ)`` guaranteeing
+    that any quantile query is answered within ``epsilon * n`` rank error
+    using O((1/ε)·log(εn)) space — the classical streaming quantile
+    synopsis of the survey.
+    """
+
+    def __init__(self, epsilon: float = 0.01) -> None:
+        if not 0 < epsilon < 1:
+            raise ValueError("epsilon must be in (0, 1)")
+        self.epsilon = epsilon
+        # entries: (value, g, delta)
+        self._entries: list[tuple[float, int, int]] = []
+        self.count = 0
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate storage footprint."""
+        return len(self._entries) * 24
+
+    @property
+    def num_entries(self) -> int:
+        """Tuples currently stored."""
+        return len(self._entries)
+
+    def add(self, value: float) -> None:
+        """Insert one value."""
+        value = float(value)
+        self.count += 1
+        threshold = max(1, int(2 * self.epsilon * self.count))
+        entries = self._entries
+        # find insertion position
+        lo, hi = 0, len(entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if entries[mid][0] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        position = lo
+        if position == 0 or position == len(entries):
+            entries.insert(position, (value, 1, 0))
+        else:
+            delta = threshold - 1
+            entries.insert(position, (value, 1, max(0, delta)))
+        if self.count % max(1, int(1.0 / (2 * self.epsilon))) == 0:
+            self._compress()
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Insert each element of an iterable."""
+        for value in values:
+            self.add(value)
+
+    def _compress(self) -> None:
+        threshold = max(1, int(2 * self.epsilon * self.count))
+        entries = self._entries
+        i = len(entries) - 2
+        while i >= 1:
+            value, g, delta = entries[i]
+            next_value, next_g, next_delta = entries[i + 1]
+            if g + next_g + next_delta < threshold:
+                entries[i + 1] = (next_value, g + next_g, next_delta)
+                del entries[i]
+            i -= 1
+
+    def quantile(self, fraction: float) -> float:
+        """The value at the given quantile fraction in [0, 1].
+
+        Raises:
+            ValueError: on an empty sketch or out-of-range fraction.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        if not self._entries:
+            raise ValueError("cannot query an empty sketch")
+        rank = max(1, int(math.ceil(fraction * self.count)))
+        margin = max(1, int(self.epsilon * self.count))
+        running = 0
+        for value, g, delta in self._entries:
+            running += g
+            if running + delta >= rank + margin:
+                return value
+        return self._entries[-1][0]
+
+    def rank_error_bound(self) -> int:
+        """Guaranteed maximum rank error of any quantile answer."""
+        return max(1, int(self.epsilon * self.count))

@@ -1,0 +1,25 @@
+"""Visualization-side optimisations (paper §2.1).
+
+- :func:`m4_reduce` — dynamic query-result reduction for line charts
+  ([11]): per pixel column keep min/max/first/last, which renders
+  pixel-identically at a fraction of the rows.
+- :class:`OrderedSampler` — rapid sampling with ordering guarantees
+  ([12]): sample group means only until the bar-chart *ordering* is
+  settled with high probability.
+- :mod:`repro.viz.spec` — a small declarative visualization algebra in
+  the spirit of the data-visualization-management-system vision ([66]);
+  specs compile to engine SQL.
+"""
+
+from repro.viz.m4 import m4_reduce, reduction_error
+from repro.viz.ordering import OrderedSampler, OrderingResult
+from repro.viz.spec import VizSpec, compile_spec
+
+__all__ = [
+    "OrderedSampler",
+    "OrderingResult",
+    "VizSpec",
+    "compile_spec",
+    "m4_reduce",
+    "reduction_error",
+]

@@ -1,0 +1,95 @@
+"""M4-style query-result reduction for line visualizations ([11]).
+
+A line chart rendered on ``w`` pixel columns cannot show more detail than
+4 values per column: the first, last, minimum and maximum of the points
+falling in that column.  Reducing a long series to those 4·w rows is
+visually lossless at the target width and shrinks transferred results by
+orders of magnitude — the interactive-visualization optimisation the
+tutorial covers under "dynamic reduction of query result sets".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def m4_reduce(
+    x: np.ndarray,
+    y: np.ndarray,
+    width: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reduce a series to at most ``4 * width`` points (M4).
+
+    Args:
+        x: monotonically plottable x values (e.g. timestamps).
+        y: the measure.
+        width: pixel columns of the target chart.
+
+    Returns:
+        (x, y) of the reduced series, in x order.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if len(x) != len(y):
+        raise ValueError("x and y must have equal length")
+    n = len(x)
+    if n == 0 or width <= 0:
+        return np.empty(0), np.empty(0)
+    if n <= 4 * width:
+        order = np.argsort(x, kind="stable")
+        return x[order], y[order]
+    lo, hi = float(x.min()), float(x.max())
+    span = hi - lo or 1.0
+    columns = np.clip(((x - lo) / span * width).astype(np.int64), 0, width - 1)
+    keep: set[int] = set()
+    order = np.argsort(x, kind="stable")
+    sorted_columns = columns[order]
+    boundaries = np.flatnonzero(sorted_columns[1:] != sorted_columns[:-1]) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [n]])
+    for start, end in zip(starts, ends):
+        bucket = order[start:end]
+        keep.add(int(bucket[0]))                       # first
+        keep.add(int(bucket[-1]))                      # last
+        keep.add(int(bucket[np.argmin(y[bucket])]))    # min
+        keep.add(int(bucket[np.argmax(y[bucket])]))    # max
+    kept = np.asarray(sorted(keep, key=lambda i: (x[i], i)), dtype=np.int64)
+    return x[kept], y[kept]
+
+
+def _rasterise(x: np.ndarray, y: np.ndarray, width: int, height: int) -> np.ndarray:
+    """Binary pixel matrix of the min-max envelope per pixel column."""
+    image = np.zeros((width, height), dtype=bool)
+    if len(x) == 0:
+        return image
+    x_lo, x_hi = float(x.min()), float(x.max())
+    y_lo, y_hi = float(y.min()), float(y.max())
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+    columns = np.clip(((x - x_lo) / x_span * width).astype(np.int64), 0, width - 1)
+    rows = np.clip(((y - y_lo) / y_span * height).astype(np.int64), 0, height - 1)
+    for column in np.unique(columns):
+        mask = columns == column
+        image[column, rows[mask].min() : rows[mask].max() + 1] = True
+    return image
+
+
+def reduction_error(
+    x_full: np.ndarray,
+    y_full: np.ndarray,
+    x_reduced: np.ndarray,
+    y_reduced: np.ndarray,
+    width: int = 200,
+    height: int = 100,
+) -> float:
+    """Fraction of differing pixels between full and reduced renderings.
+
+    0.0 means the reduced series renders pixel-identically at the given
+    raster size — M4's correctness claim at ``width`` matching the
+    reduction width.
+    """
+    full = _rasterise(np.asarray(x_full, float), np.asarray(y_full, float), width, height)
+    reduced = _rasterise(
+        np.asarray(x_reduced, float), np.asarray(y_reduced, float), width, height
+    )
+    return float(np.mean(full != reduced))

@@ -1,0 +1,98 @@
+"""A declarative visualization algebra compiling to engine SQL ([66]).
+
+The DVMS vision argues visualizations should be *declared* so the data
+system can optimise them.  :class:`VizSpec` captures the declarative
+core — mark type, x/y encodings, aggregate, filter, ordering, limit — and
+:func:`compile_spec` lowers a spec to the engine's SQL dialect, applying
+two optimisations automatically:
+
+- aggregate bar/line specs group in the engine instead of fetching rows;
+- raw line specs above the resolution budget are flagged for M4 reduction
+  (the caller applies :func:`repro.viz.m4.m4_reduce` on the result).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.errors import ReproError
+
+Mark = Literal["bar", "line", "point"]
+Aggregate = Literal["avg", "sum", "count", "min", "max", ""]
+
+
+@dataclass
+class VizSpec:
+    """A declarative chart description.
+
+    Attributes:
+        mark: visual mark type.
+        table: source table name.
+        x: x-encoding column.
+        y: y-encoding column ("" allowed for count-only bars).
+        aggregate: aggregate applied to y per x group ("" = raw rows).
+        where: optional SQL predicate text.
+        descending: sort bars by value descending.
+        limit: optional row/bar budget.
+        width: target pixel width (drives the M4 decision for lines).
+    """
+
+    mark: Mark
+    table: str
+    x: str
+    y: str = ""
+    aggregate: Aggregate = ""
+    where: str = ""
+    descending: bool = False
+    limit: int | None = None
+    width: int = 400
+
+    def validate(self) -> None:
+        """Check internal consistency.
+
+        Raises:
+            ReproError: on contradictory encodings.
+        """
+        if self.mark not in ("bar", "line", "point"):
+            raise ReproError(f"unknown mark {self.mark!r}")
+        if self.aggregate and self.aggregate not in ("avg", "sum", "count", "min", "max"):
+            raise ReproError(f"unknown aggregate {self.aggregate!r}")
+        if self.aggregate and self.aggregate != "count" and not self.y:
+            raise ReproError(f"aggregate {self.aggregate!r} needs a y column")
+        if not self.x:
+            raise ReproError("a spec needs an x encoding")
+        if self.mark in ("line", "point") and self.aggregate == "" and not self.y:
+            raise ReproError(f"{self.mark} marks need a y encoding")
+
+
+@dataclass
+class CompiledViz:
+    """The lowering of a spec."""
+
+    sql: str
+    needs_m4: bool
+    value_column: str
+
+
+def compile_spec(spec: VizSpec) -> CompiledViz:
+    """Lower a spec to SQL plus post-processing flags."""
+    spec.validate()
+    where = f" WHERE {spec.where}" if spec.where else ""
+    if spec.aggregate:
+        if spec.aggregate == "count":
+            select_value = "COUNT(*) AS value"
+        else:
+            select_value = f"{spec.aggregate.upper()}({spec.y}) AS value"
+        sql = (
+            f"SELECT {spec.x}, {select_value} FROM {spec.table}{where} "
+            f"GROUP BY {spec.x} ORDER BY value {'DESC' if spec.descending else 'ASC'}"
+        )
+        if spec.limit is not None:
+            sql += f" LIMIT {spec.limit}"
+        return CompiledViz(sql=sql, needs_m4=False, value_column="value")
+    sql = f"SELECT {spec.x}, {spec.y} FROM {spec.table}{where} ORDER BY {spec.x}"
+    if spec.limit is not None:
+        sql += f" LIMIT {spec.limit}"
+    needs_m4 = spec.mark == "line"
+    return CompiledViz(sql=sql, needs_m4=needs_m4, value_column=spec.y)

@@ -1,0 +1,51 @@
+"""Synthetic data and workload generators.
+
+The surveyed systems were evaluated on proprietary scientific archives and
+user traces we cannot ship.  Per DESIGN.md, these generators produce the
+closest synthetic equivalents: the algorithms under study react to
+distributional properties (skew, clustering, selectivity, trajectory
+locality), all of which are explicit knobs here.
+"""
+
+from repro.workloads.generators import (
+    clustered_column,
+    correlated_columns,
+    grid_table,
+    normal_column,
+    random_walk_series,
+    sales_table,
+    uniform_column,
+    zipfian_column,
+)
+from repro.workloads.queries import (
+    RangeQuery,
+    random_range_queries,
+    sequential_range_queries,
+    shifting_focus_queries,
+    zoom_in_queries,
+)
+from repro.workloads.sessions import (
+    CubeSessionGenerator,
+    ExplorationStep,
+    SessionConfig,
+    generate_sessions,
+)
+
+__all__ = [
+    "CubeSessionGenerator",
+    "ExplorationStep",
+    "RangeQuery",
+    "SessionConfig",
+    "clustered_column",
+    "correlated_columns",
+    "generate_sessions",
+    "grid_table",
+    "normal_column",
+    "random_range_queries",
+    "random_walk_series",
+    "sales_table",
+    "sequential_range_queries",
+    "shifting_focus_queries",
+    "uniform_column",
+    "zipfian_column",
+]

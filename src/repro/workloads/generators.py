@@ -1,0 +1,182 @@
+"""Synthetic column, table and series generators.
+
+All generators take an explicit ``seed`` (or a :class:`numpy.random.Generator`)
+so every experiment in the repository is reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.engine.table import Table
+
+
+def _rng(seed: int | np.random.Generator) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def uniform_column(n: int, low: int = 0, high: int = 1_000_000, seed: int | np.random.Generator = 0) -> np.ndarray:
+    """``n`` int64 values uniform in ``[low, high)``."""
+    return _rng(seed).integers(low, high, size=n, dtype=np.int64)
+
+
+def normal_column(n: int, mean: float = 0.0, std: float = 1.0, seed: int | np.random.Generator = 0) -> np.ndarray:
+    """``n`` float64 values from a normal distribution."""
+    return _rng(seed).normal(mean, std, size=n)
+
+
+def zipfian_column(
+    n: int,
+    num_values: int = 1000,
+    skew: float = 1.1,
+    seed: int | np.random.Generator = 0,
+) -> np.ndarray:
+    """``n`` int64 values in ``[0, num_values)`` with zipfian frequencies.
+
+    Rank 0 is the most frequent value.  ``skew`` > 1 controls the tail; the
+    classical zipf exponent.
+    """
+    rng = _rng(seed)
+    ranks = np.arange(1, num_values + 1, dtype=np.float64)
+    weights = ranks ** (-skew)
+    weights /= weights.sum()
+    return rng.choice(num_values, size=n, p=weights).astype(np.int64)
+
+
+def clustered_column(
+    n: int,
+    num_clusters: int = 10,
+    cluster_std: float = 1000.0,
+    value_range: tuple[int, int] = (0, 1_000_000),
+    seed: int | np.random.Generator = 0,
+) -> np.ndarray:
+    """``n`` int64 values drawn around ``num_clusters`` random centers.
+
+    Models the clustered value distributions of scientific archives (e.g.
+    sky surveys), where interesting objects concentrate in small regions.
+    """
+    rng = _rng(seed)
+    lo, hi = value_range
+    centers = rng.integers(lo, hi, size=num_clusters)
+    assignment = rng.integers(0, num_clusters, size=n)
+    noise = rng.normal(0.0, cluster_std, size=n)
+    values = centers[assignment] + noise
+    return np.clip(values, lo, hi - 1).astype(np.int64)
+
+
+def correlated_columns(
+    n: int,
+    correlation: float = 0.8,
+    seed: int | np.random.Generator = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Two float64 columns with the given Pearson correlation."""
+    rng = _rng(seed)
+    x = rng.normal(size=n)
+    noise = rng.normal(size=n)
+    y = correlation * x + np.sqrt(max(0.0, 1.0 - correlation**2)) * noise
+    return x, y
+
+
+def random_walk_series(
+    num_series: int,
+    length: int,
+    step_std: float = 1.0,
+    seed: int | np.random.Generator = 0,
+) -> np.ndarray:
+    """``num_series`` random-walk time series of the given length.
+
+    The standard data-series benchmark generator used by the iSAX line of
+    work ([68] and predecessors): cumulative sums of gaussian steps,
+    z-normalised per series.
+    """
+    rng = _rng(seed)
+    steps = rng.normal(0.0, step_std, size=(num_series, length))
+    series = np.cumsum(steps, axis=1)
+    means = series.mean(axis=1, keepdims=True)
+    stds = series.std(axis=1, keepdims=True)
+    stds[stds == 0] = 1.0
+    return (series - means) / stds
+
+
+def grid_table(
+    side: int,
+    value_fn: str = "hotspots",
+    num_hotspots: int = 5,
+    seed: int | np.random.Generator = 0,
+) -> Table:
+    """A ``side x side`` 2-D grid with x, y and a value column.
+
+    ``value_fn`` selects the surface shape:
+
+    - ``"hotspots"``: gaussian bumps at random centers on low background —
+      the semantic-windows workload (regions with high average value).
+    - ``"gradient"``: a smooth diagonal ramp.
+    - ``"noise"``: iid gaussian noise.
+    """
+    rng = _rng(seed)
+    xs, ys = np.meshgrid(np.arange(side), np.arange(side), indexing="ij")
+    xs = xs.ravel()
+    ys = ys.ravel()
+    if value_fn == "hotspots":
+        values = rng.normal(0.0, 0.2, size=side * side)
+        for _ in range(num_hotspots):
+            cx, cy = rng.integers(0, side, size=2)
+            amplitude = rng.uniform(3.0, 6.0)
+            width = rng.uniform(side * 0.02, side * 0.08) + 1.0
+            values += amplitude * np.exp(
+                -((xs - cx) ** 2 + (ys - cy) ** 2) / (2 * width**2)
+            )
+    elif value_fn == "gradient":
+        values = (xs + ys) / (2.0 * side)
+    elif value_fn == "noise":
+        values = rng.normal(size=side * side)
+    else:
+        raise ValueError(f"unknown value_fn {value_fn!r}")
+    return Table.from_dict(
+        {"x": xs.astype(np.int64), "y": ys.astype(np.int64), "value": values}
+    )
+
+
+_REGIONS = ("north", "south", "east", "west", "central")
+_CATEGORIES = ("tools", "toys", "food", "books", "garden", "auto", "music", "sports")
+
+
+def sales_table(
+    n: int,
+    num_products: int = 200,
+    group_skew: float = 1.2,
+    seed: int | np.random.Generator = 0,
+) -> Table:
+    """A synthetic sales fact table used across the AQP and SeeDB experiments.
+
+    Columns: ``region`` and ``category`` (categorical, zipfian-skewed so
+    some groups are rare — the BlinkDB stratified-sampling stress case),
+    ``product_id``, ``price``, ``quantity``, ``revenue``, ``discount``.
+    """
+    rng = _rng(seed)
+    region_idx = zipfian_column(n, num_values=len(_REGIONS), skew=group_skew, seed=rng)
+    category_idx = zipfian_column(n, num_values=len(_CATEGORIES), skew=group_skew, seed=rng)
+    product_id = rng.integers(0, num_products, size=n, dtype=np.int64)
+    base_price = rng.lognormal(mean=3.0, sigma=0.6, size=n)
+    quantity = rng.integers(1, 10, size=n, dtype=np.int64)
+    discount = np.round(rng.choice([0.0, 0.05, 0.1, 0.2], size=n), 2)
+    # regions have systematically different price levels so that per-group
+    # aggregates genuinely differ (needed by SeeDB-style deviation search)
+    region_factor = 1.0 + 0.25 * region_idx
+    price = np.round(base_price * region_factor, 2)
+    revenue = np.round(price * quantity * (1.0 - discount), 2)
+    return Table.from_dict(
+        {
+            "region": [_REGIONS[i] for i in region_idx],
+            "category": [_CATEGORIES[i] for i in category_idx],
+            "product_id": product_id,
+            "price": price,
+            "quantity": quantity,
+            "discount": discount,
+            "revenue": revenue,
+        }
+    )

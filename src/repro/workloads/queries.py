@@ -1,0 +1,148 @@
+"""Range-query workload generators for the adaptive-indexing experiments.
+
+The cracking literature characterises workloads by the *pattern* of query
+predicates over time; the patterns below are the standard ones:
+
+- **random** — independent uniform ranges; cracking's best case.
+- **sequential** — ranges sweep left-to-right; the pathological case for
+  query-bound cracking that stochastic cracking ([23]) fixes.
+- **shifting focus** — the workload concentrates on one region then jumps;
+  models an analyst moving between areas of interest.
+- **zoom-in** — progressively narrower ranges around a target; models
+  drill-down exploration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """A half-open range predicate ``low <= value < high``."""
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ValueError(f"empty range: [{self.low}, {self.high})")
+
+    @property
+    def width(self) -> int:
+        """Range width."""
+        return self.high - self.low
+
+    def to_sql(self, column: str = "value", table: str = "t") -> str:
+        """Render as a SELECT counting qualifying rows."""
+        return (
+            f"SELECT COUNT(*) AS n FROM {table} "
+            f"WHERE {column} >= {self.low} AND {column} < {self.high}"
+        )
+
+
+def _rng(seed: int | np.random.Generator) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def random_range_queries(
+    count: int,
+    domain: tuple[int, int],
+    selectivity: float = 0.01,
+    seed: int | np.random.Generator = 0,
+) -> list[RangeQuery]:
+    """Independent uniform ranges covering ``selectivity`` of the domain."""
+    rng = _rng(seed)
+    lo, hi = domain
+    width = max(1, int((hi - lo) * selectivity))
+    starts = rng.integers(lo, max(lo + 1, hi - width), size=count)
+    return [RangeQuery(int(s), int(s + width)) for s in starts]
+
+
+def sequential_range_queries(
+    count: int,
+    domain: tuple[int, int],
+    selectivity: float = 0.01,
+) -> list[RangeQuery]:
+    """Ranges sweeping the domain left to right without overlap."""
+    lo, hi = domain
+    width = max(1, int((hi - lo) * selectivity))
+    queries = []
+    position = lo
+    for _ in range(count):
+        if position + width > hi:
+            position = lo
+        queries.append(RangeQuery(position, position + width))
+        position += width
+    return queries
+
+
+def shifting_focus_queries(
+    count: int,
+    domain: tuple[int, int],
+    selectivity: float = 0.01,
+    num_phases: int = 4,
+    focus_fraction: float = 0.1,
+    seed: int | np.random.Generator = 0,
+) -> list[RangeQuery]:
+    """Queries clustered in one sub-region per phase, jumping between phases."""
+    rng = _rng(seed)
+    lo, hi = domain
+    width = max(1, int((hi - lo) * selectivity))
+    focus_width = max(width + 1, int((hi - lo) * focus_fraction))
+    per_phase = max(1, count // num_phases)
+    queries: list[RangeQuery] = []
+    while len(queries) < count:
+        focus_start = int(rng.integers(lo, max(lo + 1, hi - focus_width)))
+        for _ in range(per_phase):
+            if len(queries) >= count:
+                break
+            start = int(rng.integers(focus_start, focus_start + focus_width - width))
+            queries.append(RangeQuery(start, start + width))
+    return queries
+
+
+def zoom_in_queries(
+    count: int,
+    domain: tuple[int, int],
+    shrink: float = 0.7,
+    seed: int | np.random.Generator = 0,
+) -> list[RangeQuery]:
+    """Progressively narrower ranges homing in on a random target point."""
+    rng = _rng(seed)
+    lo, hi = domain
+    target = int(rng.integers(lo, hi))
+    width = hi - lo
+    queries: list[RangeQuery] = []
+    for _ in range(count):
+        width = max(2, int(width * shrink))
+        jitter_span = max(1, width // 4)
+        center = target + int(rng.integers(-jitter_span, jitter_span + 1))
+        start = max(lo, min(center - width // 2, hi - width))
+        queries.append(RangeQuery(start, start + width))
+    return queries
+
+
+def query_stream(
+    pattern: str,
+    count: int,
+    domain: tuple[int, int],
+    selectivity: float = 0.01,
+    seed: int = 0,
+) -> Iterator[RangeQuery]:
+    """Dispatch by pattern name; useful for parameter sweeps in benchmarks."""
+    if pattern == "random":
+        yield from random_range_queries(count, domain, selectivity, seed)
+    elif pattern == "sequential":
+        yield from sequential_range_queries(count, domain, selectivity)
+    elif pattern == "shifting":
+        yield from shifting_focus_queries(count, domain, selectivity, seed=seed)
+    elif pattern == "zoom":
+        yield from zoom_in_queries(count, domain, seed=seed)
+    else:
+        raise ValueError(f"unknown workload pattern {pattern!r}")

@@ -1,0 +1,142 @@
+"""Exploration-session simulators.
+
+Prefetching and steering results (paper §2.2) depend on how predictable a
+user's navigation is.  These generators produce synthetic sessions over a
+data-cube-style navigation space with explicit locality/predictability
+knobs, replacing the proprietary user traces of the original studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+#: The navigation moves of a cube/tile exploration interface, as in
+#: ForeCache/DICE: panning in four directions, drilling down, rolling up.
+MOVES = ("left", "right", "up", "down", "drill", "roll")
+
+
+@dataclass(frozen=True)
+class ExplorationStep:
+    """One step of a session: the region requested and the move that led there.
+
+    ``region`` is an abstract tile key ``(level, x, y)``.
+    """
+
+    region: tuple[int, int, int]
+    move: str
+
+
+@dataclass
+class SessionConfig:
+    """Knobs of the session generator.
+
+    Attributes:
+        length: steps per session.
+        grid_side: tiles per axis at the deepest level.
+        levels: zoom levels (0 = coarsest).
+        persistence: probability of repeating the previous move; this is
+            the locality knob — 0 gives an unpredictable random walk,
+            values near 1 give long straight pans that a Markov prefetcher
+            can exploit.
+        drill_bias: probability mass shifted toward drill-down moves.
+    """
+
+    length: int = 50
+    grid_side: int = 32
+    levels: int = 4
+    persistence: float = 0.7
+    drill_bias: float = 0.1
+
+
+class CubeSessionGenerator:
+    """Generates navigation sessions over a tiled multi-resolution grid."""
+
+    def __init__(self, config: SessionConfig, seed: int = 0) -> None:
+        self.config = config
+        self._rng = np.random.default_rng(seed)
+
+    def session(self) -> list[ExplorationStep]:
+        """Generate one session."""
+        cfg = self.config
+        level = 0
+        side = max(1, cfg.grid_side >> (cfg.levels - 1 - level))
+        x = int(self._rng.integers(0, side))
+        y = int(self._rng.integers(0, side))
+        steps = [ExplorationStep(region=(level, x, y), move="start")]
+        previous_move: str | None = None
+        for _ in range(cfg.length - 1):
+            move = self._next_move(previous_move, level)
+            level, x, y = self._apply(move, level, x, y)
+            steps.append(ExplorationStep(region=(level, x, y), move=move))
+            previous_move = move
+        return steps
+
+    def _next_move(self, previous: str | None, level: int) -> str:
+        persistable = previous in MOVES and not (
+            (previous == "drill" and level >= self.config.levels - 1)
+            or (previous == "roll" and level == 0)
+        )
+        if persistable and self._rng.random() < self.config.persistence:
+            return previous
+        weights = np.ones(len(MOVES))
+        drill_idx = MOVES.index("drill")
+        roll_idx = MOVES.index("roll")
+        weights[drill_idx] += self.config.drill_bias * len(MOVES)
+        if level >= self.config.levels - 1:
+            weights[drill_idx] = 0.0
+        if level == 0:
+            weights[roll_idx] = 0.0
+        weights /= weights.sum()
+        return str(self._rng.choice(MOVES, p=weights))
+
+    def _apply(self, move: str, level: int, x: int, y: int) -> tuple[int, int, int]:
+        cfg = self.config
+        if move == "drill" and level < cfg.levels - 1:
+            level += 1
+            x, y = x * 2, y * 2
+        elif move == "roll" and level > 0:
+            level -= 1
+            x, y = x // 2, y // 2
+        side = max(1, cfg.grid_side >> (cfg.levels - 1 - level))
+        if move == "left":
+            x -= 1
+        elif move == "right":
+            x += 1
+        elif move == "up":
+            y -= 1
+        elif move == "down":
+            y += 1
+        x = int(np.clip(x, 0, side - 1))
+        y = int(np.clip(y, 0, side - 1))
+        return level, x, y
+
+
+def generate_sessions(
+    num_sessions: int,
+    config: SessionConfig | None = None,
+    seed: int = 0,
+) -> list[list[ExplorationStep]]:
+    """Generate ``num_sessions`` independent sessions."""
+    config = config or SessionConfig()
+    generator = CubeSessionGenerator(config, seed=seed)
+    return [generator.session() for _ in range(num_sessions)]
+
+
+@dataclass
+class QueryLogEntry:
+    """One entry of a synthetic SQL query log (used by suggestion, S19)."""
+
+    session_id: int
+    query: str
+    fragments: frozenset[str] = field(default_factory=frozenset)
+
+
+def sessions_to_trajectories(
+    sessions: Sequence[Sequence[ExplorationStep]],
+) -> Iterator[list[tuple[int, int, int]]]:
+    """Strip sessions down to their region trajectories."""
+    for session in sessions:
+        yield [step.region for step in session]

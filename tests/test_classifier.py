@@ -1,0 +1,101 @@
+"""Tests for the from-scratch CART classifier."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.explore import DecisionTreeClassifier
+
+
+def make_box_dataset(n=500, seed=0):
+    """Points labelled 1 inside the box [0.3, 0.6] x [0.2, 0.7]."""
+    rng = np.random.default_rng(seed)
+    features = rng.uniform(0, 1, size=(n, 2))
+    labels = (
+        (features[:, 0] >= 0.3)
+        & (features[:, 0] <= 0.6)
+        & (features[:, 1] >= 0.2)
+        & (features[:, 1] <= 0.7)
+    ).astype(int)
+    return features, labels
+
+
+class TestDecisionTree:
+    def test_learns_axis_aligned_box(self):
+        features, labels = make_box_dataset()
+        tree = DecisionTreeClassifier(max_depth=8).fit(features, labels)
+        predictions = tree.predict(features)
+        accuracy = float((predictions == labels).mean())
+        assert accuracy > 0.95
+
+    def test_pure_training_set(self):
+        features = np.random.default_rng(1).uniform(size=(50, 2))
+        labels = np.ones(50, dtype=int)
+        tree = DecisionTreeClassifier().fit(features, labels)
+        assert tree.predict(features).tolist() == [1] * 50
+        assert tree.depth() == 0
+
+    def test_probabilities_in_unit_interval(self):
+        features, labels = make_box_dataset(n=300, seed=2)
+        tree = DecisionTreeClassifier(max_depth=4).fit(features, labels)
+        probabilities = tree.predict_proba(features)
+        assert np.all(probabilities >= 0.0) and np.all(probabilities <= 1.0)
+
+    def test_max_depth_respected(self):
+        features, labels = make_box_dataset(n=400, seed=3)
+        tree = DecisionTreeClassifier(max_depth=2).fit(features, labels)
+        assert tree.depth() <= 2
+
+    def test_positive_boxes_cover_positives(self):
+        features, labels = make_box_dataset(n=600, seed=4)
+        tree = DecisionTreeClassifier(max_depth=8).fit(features, labels)
+        boxes = tree.positive_boxes()
+        assert boxes, "expected at least one positive region"
+
+        def in_any_box(row):
+            for box in boxes:
+                ok = True
+                for feature, (low, high) in box.items():
+                    if low is not None and row[feature] <= low:
+                        ok = False
+                    if high is not None and row[feature] > high:
+                        ok = False
+                if ok:
+                    return True
+            return False
+
+        covered = sum(in_any_box(features[i]) for i in range(len(features)) if labels[i])
+        assert covered / labels.sum() > 0.9
+
+    def test_to_sql_renders_ranges(self):
+        features, labels = make_box_dataset(n=400, seed=5)
+        tree = DecisionTreeClassifier(max_depth=6).fit(features, labels)
+        sql = tree.to_sql(["x", "y"])
+        assert "x" in sql and ("<=" in sql or ">" in sql)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().positive_boxes()
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((3, 2)), np.zeros(4))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(-10, 10), st.booleans()),
+            min_size=6,
+            max_size=80,
+        )
+    )
+    def test_property_training_accuracy_beats_majority(self, rows):
+        features = np.asarray([[r[0]] for r in rows])
+        labels = np.asarray([int(r[1]) for r in rows])
+        tree = DecisionTreeClassifier(max_depth=10, min_leaf=1).fit(features, labels)
+        accuracy = float((tree.predict(features) == labels).mean())
+        majority = max(labels.mean(), 1 - labels.mean())
+        assert accuracy >= majority - 1e-9

@@ -1,0 +1,132 @@
+"""End-to-end smoke tests of the engine substrate."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Database, Table
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database()
+    database.create_table(
+        "orders",
+        {
+            "id": [1, 2, 3, 4, 5, 6],
+            "customer": ["ann", "bob", "ann", "cat", "bob", "ann"],
+            "amount": [10.0, 20.0, 30.0, 40.0, 50.0, 60.0],
+            "region_id": [1, 2, 1, 3, 2, 9],
+        },
+    )
+    database.create_table(
+        "regions",
+        {"region_id": [1, 2, 3], "region": ["north", "south", "east"]},
+    )
+    return database
+
+
+def test_select_star(db: Database) -> None:
+    result = db.sql("SELECT * FROM orders")
+    assert result.num_rows == 6
+    assert result.column_names == ("id", "customer", "amount", "region_id")
+
+
+def test_where_and_order(db: Database) -> None:
+    result = db.sql(
+        "SELECT id, amount FROM orders WHERE amount > 15 AND amount <= 50 "
+        "ORDER BY amount DESC"
+    )
+    assert result.column("id").to_list() == [5, 4, 3, 2]
+
+
+def test_projection_expression(db: Database) -> None:
+    result = db.sql("SELECT id, amount * 2 AS double_amount FROM orders LIMIT 2")
+    assert result.column("double_amount").to_list() == [20.0, 40.0]
+
+
+def test_group_by_aggregates(db: Database) -> None:
+    result = db.sql(
+        "SELECT customer, COUNT(*) AS n, SUM(amount) AS total FROM orders "
+        "GROUP BY customer ORDER BY total DESC"
+    )
+    rows = result.to_dicts()
+    assert rows[0] == {"customer": "ann", "n": 3, "total": 100.0}
+    assert rows[1] == {"customer": "bob", "n": 2, "total": 70.0}
+
+
+def test_global_aggregate(db: Database) -> None:
+    result = db.sql("SELECT COUNT(*) AS n, AVG(amount) AS mean FROM orders")
+    assert result.to_dicts() == [{"n": 6, "mean": 35.0}]
+
+
+def test_having(db: Database) -> None:
+    result = db.sql(
+        "SELECT customer, SUM(amount) AS total FROM orders "
+        "GROUP BY customer HAVING SUM(amount) > 60 ORDER BY customer"
+    )
+    assert result.column("customer").to_list() == ["ann", "bob"]
+    assert result.column_names == ("customer", "total")
+
+
+def test_join(db: Database) -> None:
+    result = db.sql(
+        "SELECT customer, region FROM orders "
+        "JOIN regions ON orders.region_id = regions.region_id "
+        "ORDER BY id"
+    )
+    assert result.num_rows == 5  # region 9 has no match
+    assert result.column("region").to_list() == [
+        "north", "south", "north", "east", "south",
+    ]
+
+
+def test_left_join_pads_nulls(db: Database) -> None:
+    result = db.sql(
+        "SELECT id, region FROM orders "
+        "LEFT JOIN regions ON orders.region_id = regions.region_id "
+        "ORDER BY id"
+    )
+    assert result.num_rows == 6
+    assert result.column("region").to_list()[-1] is None
+
+
+def test_in_and_between(db: Database) -> None:
+    result = db.sql(
+        "SELECT id FROM orders WHERE customer IN ('ann', 'cat') "
+        "AND amount BETWEEN 30 AND 60 ORDER BY id"
+    )
+    assert result.column("id").to_list() == [3, 4, 6]
+
+
+def test_null_semantics() -> None:
+    db = Database()
+    db.create_table("t", Table.from_dict({"a": [1, None, 3], "b": [None, 2.0, 3.0]}))
+    kept = db.sql("SELECT a FROM t WHERE a > 0")
+    assert kept.column("a").to_list() == [1, 3]
+    nulls = db.sql("SELECT a FROM t WHERE b IS NULL")
+    assert nulls.column("a").to_list() == [1]
+    agg = db.sql("SELECT COUNT(a) AS n, AVG(a) AS mean FROM t")
+    assert agg.to_dicts() == [{"n": 2, "mean": 2.0}]
+
+
+def test_order_by_alias(db: Database) -> None:
+    result = db.sql("SELECT id, amount / 10 AS tenth FROM orders ORDER BY tenth DESC LIMIT 1")
+    assert result.column("id").to_list() == [6]
+
+
+def test_explain_mentions_scan(db: Database) -> None:
+    text = db.explain("SELECT id FROM orders WHERE amount > 10")
+    assert "Scan(orders" in text
+    assert "Project" in text
+
+
+def test_count_distinct(db: Database) -> None:
+    result = db.sql("SELECT COUNT(DISTINCT customer) AS c FROM orders")
+    assert result.to_dicts() == [{"c": 3}]
+
+
+def test_division_by_zero_is_null() -> None:
+    db = Database()
+    db.create_table("t", {"a": [10, 20], "b": [2, 0]})
+    result = db.sql("SELECT a / b AS q FROM t")
+    assert result.column("q").to_list() == [5.0, None]

@@ -1,0 +1,264 @@
+"""Focused unit tests for the engine primitives: type system, columns,
+tables, statistics, CSV I/O."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import DataType, Table, write_csv
+from repro.engine.column import Column
+from repro.engine.csv_io import (
+    infer_field_type,
+    parse_field,
+    read_csv,
+    read_header,
+    scan_lines,
+    split_line,
+)
+from repro.engine.statistics import ColumnStatistics, TableStatistics
+from repro.engine.types import coerce_array, common_type, infer_type
+from repro.errors import CatalogError, LoadingError, TypeMismatchError
+
+
+class TestTypes:
+    def test_infer_basic(self):
+        assert infer_type([1, 2, 3]) is DataType.INT64
+        assert infer_type([1.5]) is DataType.FLOAT64
+        assert infer_type([True, False]) is DataType.BOOL
+        assert infer_type(["a", "b"]) is DataType.STRING
+        assert infer_type(np.asarray([1, 2], dtype=np.int32)) is DataType.INT64
+
+    def test_infer_mixed_numeric(self):
+        assert infer_type([1, 2.5]) is DataType.FLOAT64
+
+    def test_infer_rejects_mixed_kinds(self):
+        with pytest.raises(TypeMismatchError):
+            infer_type([1, "a"])
+
+    def test_common_type(self):
+        assert common_type(DataType.INT64, DataType.FLOAT64) is DataType.FLOAT64
+        assert common_type(DataType.STRING, DataType.STRING) is DataType.STRING
+        with pytest.raises(TypeMismatchError):
+            common_type(DataType.STRING, DataType.INT64)
+
+    def test_coerce_array(self):
+        arr = coerce_array([1, 2], DataType.FLOAT64)
+        assert arr.dtype == np.float64
+        strings = coerce_array([1, None, "x"], DataType.STRING)
+        assert strings.tolist() == ["1", None, "x"]
+        with pytest.raises(TypeMismatchError):
+            coerce_array(["abc"], DataType.INT64)
+
+
+class TestColumn:
+    def test_nulls_inferred_from_none(self):
+        column = Column([1, None, 3])
+        assert column.has_nulls
+        assert column.null_count() == 1
+        assert column[1] is None
+        assert column.to_list() == [1, None, 3]
+
+    def test_min_max_skip_nulls(self):
+        column = Column([5.0, None, 1.0])
+        assert column.min() == 1.0
+        assert column.max() == 5.0
+
+    def test_all_null_min_is_none(self):
+        column = Column([None, None], dtype=DataType.FLOAT64)
+        assert column.min() is None and column.max() is None
+
+    def test_take_filter_slice_preserve_nulls(self):
+        column = Column([1, None, 3, None, 5])
+        taken = column.take(np.asarray([1, 4]))
+        assert taken.to_list() == [None, 5]
+        filtered = column.filter(np.asarray([True, True, False, False, True]))
+        assert filtered.to_list() == [1, None, 5]
+        sliced = column.slice(1, 3)
+        assert sliced.to_list() == [None, 3]
+
+    def test_concat_types_must_match(self):
+        with pytest.raises(TypeMismatchError):
+            Column([1]).concat(Column(["x"]))
+
+    def test_concat_merges_validity(self):
+        merged = Column([1, None]).concat(Column([3]))
+        assert merged.to_list() == [1, None, 3]
+
+    def test_distinct_count(self):
+        assert Column([1, 1, 2, None]).distinct_count() == 2
+        assert Column(["a", "a", "b"]).distinct_count() == 2
+
+    def test_equality(self):
+        assert Column([1, None]) == Column([1, None])
+        assert not (Column([1]) == Column([2]))
+
+    def test_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(Column([1]))
+
+    def test_empty_column(self):
+        column = Column.empty(DataType.STRING)
+        assert len(column) == 0
+        assert column.to_list() == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.one_of(st.integers(-50, 50), st.none()), max_size=60))
+    def test_property_roundtrip(self, values):
+        if all(v is None for v in values) and values:
+            column = Column(values, dtype=DataType.INT64)
+        else:
+            column = Column(values)
+        assert column.to_list() == values
+
+
+class TestTable:
+    @pytest.fixture()
+    def table(self):
+        return Table.from_dict({"a": [1, 2, 3], "s": ["x", "y", "z"]})
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(CatalogError):
+            Table({"a": Column([1]), "b": Column([1, 2])})
+
+    def test_duplicate_names_raise(self):
+        with pytest.raises(CatalogError):
+            Table([("a", Column([1])), ("a", Column([2]))])
+
+    def test_from_rows(self):
+        table = Table.from_rows([(1, "u"), (2, "v")], ["n", "s"])
+        assert table.column("n").to_list() == [1, 2]
+        with pytest.raises(CatalogError):
+            Table.from_rows([(1,)], ["a", "b"])
+
+    def test_rename_drop_with_column(self, table):
+        renamed = table.rename({"a": "b"})
+        assert "b" in renamed and "a" not in renamed
+        dropped = table.drop(["s"])
+        assert dropped.column_names == ("a",)
+        with pytest.raises(CatalogError):
+            table.drop(["a", "s"])
+        extended = table.with_column("d", Column([7, 8, 9]))
+        assert extended.column("d").to_list() == [7, 8, 9]
+        with pytest.raises(CatalogError):
+            table.with_column("d", Column([1]))
+
+    def test_concat_schema_checked(self, table):
+        stacked = table.concat(table)
+        assert stacked.num_rows == 6
+        other = Table.from_dict({"a": [1], "t": ["q"]})
+        with pytest.raises(CatalogError):
+            table.concat(other)
+
+    def test_rows_and_dicts(self, table):
+        assert list(table.rows()) == [(1, "x"), (2, "y"), (3, "z")]
+        assert table.to_dicts()[0] == {"a": 1, "s": "x"}
+
+    def test_pretty_handles_nulls_and_truncation(self):
+        table = Table.from_dict({"a": list(range(30)), "b": [None] * 30})
+        text = table.pretty(limit=5)
+        assert "NULL" in text
+        assert "30 rows total" in text
+
+    def test_head(self, table):
+        assert table.head(2).num_rows == 2
+        assert table.head(100).num_rows == 3
+
+    def test_equality(self, table):
+        assert table == Table.from_dict({"a": [1, 2, 3], "s": ["x", "y", "z"]})
+        assert not (table == table.rename({"a": "q"}))
+
+
+class TestStatistics:
+    def test_column_statistics(self):
+        rng = np.random.default_rng(0)
+        column = Column(rng.uniform(0, 100, size=5_000))
+        stats = ColumnStatistics.from_column(column)
+        assert stats.row_count == 5_000
+        assert 0 <= stats.min_value < stats.max_value <= 100
+        assert stats.estimate_range_selectivity(0, 50) == pytest.approx(0.5, abs=0.05)
+        assert stats.estimate_range_selectivity(200, 300) == 0.0
+        assert stats.estimate_range_selectivity(50, 10) == 0.0
+
+    def test_equality_selectivity(self):
+        column = Column([1, 1, 2, 3])
+        stats = ColumnStatistics.from_column(column)
+        assert stats.estimate_equality_selectivity(2) == pytest.approx(1 / 3)
+        assert stats.estimate_equality_selectivity(99) == 0.0
+
+    def test_string_column_defaults(self):
+        stats = ColumnStatistics.from_column(Column(["a", "b"]))
+        assert stats.estimate_range_selectivity(None, None) == pytest.approx(1 / 3)
+
+    def test_table_statistics(self):
+        table = Table.from_dict({"a": [1, 2], "s": ["x", "y"]})
+        stats = TableStatistics.from_table(table)
+        assert stats.row_count == 2
+        assert stats.column("a") is not None
+        assert stats.column("zzz") is None
+
+    def test_constant_column(self):
+        stats = ColumnStatistics.from_column(Column([7, 7, 7]))
+        assert stats.estimate_range_selectivity(7, 7) == 1.0
+        assert stats.estimate_range_selectivity(8, 9) == 0.0
+
+
+class TestCsvIO:
+    def test_parse_field_types(self):
+        assert parse_field("42", DataType.INT64) == 42
+        assert parse_field("4.5", DataType.FLOAT64) == 4.5
+        assert parse_field("true", DataType.BOOL) is True
+        assert parse_field("No", DataType.BOOL) is False
+        assert parse_field("", DataType.INT64) is None
+        with pytest.raises(LoadingError):
+            parse_field("abc", DataType.INT64)
+        with pytest.raises(LoadingError):
+            parse_field("maybe", DataType.BOOL)
+
+    def test_infer_field_type(self):
+        assert infer_field_type(["1", "2"]) is DataType.INT64
+        assert infer_field_type(["1", "2.5"]) is DataType.FLOAT64
+        assert infer_field_type(["true", "false"]) is DataType.BOOL
+        assert infer_field_type(["x"]) is DataType.STRING
+        assert infer_field_type(["", ""]) is DataType.STRING
+
+    def test_roundtrip_with_nulls(self, tmp_path):
+        table = Table.from_dict({"a": [1, None, 3], "s": ["x", "y", None]})
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        back = read_csv(path)
+        assert back.column("a").to_list() == [1, None, 3]
+        assert back.column("s").to_list() == ["x", "y", None]
+
+    def test_read_header_and_scan_lines(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1,x\n2,y\n")
+        assert read_header(path) == ["a", "b"]
+        lines = list(scan_lines(path))
+        assert len(lines) == 2
+        assert lines[0][1] == "1,x"
+        # byte offsets point at line starts
+        assert lines[0][0] == 4
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(LoadingError):
+            read_header(path)
+        with pytest.raises(LoadingError):
+            read_csv(path)
+
+    def test_quoted_fields(self, tmp_path):
+        path = tmp_path / "q.csv"
+        path.write_text('a,s\n1,"hello, world"\n')
+        table = read_csv(path)
+        assert table.column("s").to_list() == ["hello, world"]
+        assert split_line('1,"hello, world"') == ["1", "hello, world"]
+
+    def test_explicit_dtypes(self, tmp_path):
+        path = tmp_path / "d.csv"
+        path.write_text("a\n1\n2\n")
+        table = read_csv(path, dtypes=[DataType.FLOAT64])
+        assert table.column("a").dtype is DataType.FLOAT64
+        with pytest.raises(LoadingError):
+            read_csv(path, dtypes=[DataType.INT64, DataType.INT64])

@@ -1,0 +1,464 @@
+"""Tests for the exploration assistants: AIDE, QBO, SeeDB, facets,
+diversification, suggestion, windows, refinement, segmentation, VizDeck."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Table, col
+from repro.explore import (
+    AideExplorer,
+    FacetRecommender,
+    ImpreciseQueryRefiner,
+    QueryByOutput,
+    QuerySuggester,
+    SeeDB,
+    SemanticWindowExplorer,
+    VizDeck,
+    diversity_score,
+    mmr_diversify,
+    segment_column,
+    swap_diversify,
+)
+from repro.explore.diversify import topk_relevance
+from repro.explore.segment import suggest_segmentations
+from repro.workloads import grid_table, sales_table
+
+
+class TestAide:
+    def _setup(self, seed=0):
+        rng = np.random.default_rng(seed)
+        features = rng.uniform(0, 100, size=(3000, 2))
+        truth = (
+            (features[:, 0] >= 30)
+            & (features[:, 0] <= 55)
+            & (features[:, 1] >= 20)
+            & (features[:, 1] <= 60)
+        ).astype(int)
+        return features, truth
+
+    def test_f1_improves_with_labels(self):
+        features, truth = self._setup()
+        explorer = AideExplorer(
+            features, oracle=lambda i: int(truth[i]), samples_per_round=30, seed=1
+        )
+        result = explorer.run(max_iterations=12, truth=truth)
+        history = [f for f in result.f1_history if f > 0]
+        assert history, "expected the classifier to find the region"
+        assert history[-1] > 0.5
+        assert max(history) >= history[0]
+
+    def test_fewer_labels_than_full_scan(self):
+        features, truth = self._setup(seed=2)
+        explorer = AideExplorer(features, oracle=lambda i: int(truth[i]), seed=3)
+        result = explorer.run(max_iterations=10, truth=truth)
+        assert result.samples_labeled < len(features) / 4
+
+    def test_predicate_sql_mentions_features(self):
+        features, truth = self._setup(seed=4)
+        explorer = AideExplorer(
+            features, oracle=lambda i: int(truth[i]), samples_per_round=40, seed=5
+        )
+        result = explorer.run(max_iterations=10, truth=truth, stop_f1=0.6)
+        sql = result.predicate_sql(["mag", "depth"])
+        assert "mag" in sql or "depth" in sql
+
+
+class TestQueryByOutput:
+    @pytest.fixture()
+    def table(self):
+        rng = np.random.default_rng(6)
+        return Table.from_dict(
+            {
+                "a": rng.uniform(0, 100, size=2000),
+                "b": rng.uniform(0, 100, size=2000),
+            }
+        )
+
+    def test_recovers_range_query(self, table):
+        a = np.asarray(table.column("a").data)
+        examples = np.flatnonzero((a >= 20) & (a <= 40)).tolist()
+        qbo = QueryByOutput(table)
+        recovered = qbo.discover(examples)
+        assert recovered.f1 > 0.9
+        assert "a" in recovered.where_sql
+
+    def test_conjunctive_only_single_box(self, table):
+        a = np.asarray(table.column("a").data)
+        b = np.asarray(table.column("b").data)
+        examples = np.flatnonzero((a >= 10) & (a <= 30) & (b >= 50)).tolist()
+        recovered = QueryByOutput(table).discover(examples, conjunctive_only=True)
+        assert len(recovered.boxes) == 1
+        assert recovered.f1 > 0.7
+
+    def test_no_examples_raises(self, table):
+        with pytest.raises(ValueError):
+            QueryByOutput(table).discover([])
+
+    def test_needs_numeric_columns(self):
+        table = Table.from_dict({"s": ["x", "y"]})
+        with pytest.raises(ValueError):
+            QueryByOutput(table)
+
+
+class TestSeeDB:
+    @pytest.fixture()
+    def seedb(self):
+        table = sales_table(8000, seed=7)
+        return SeeDB(
+            table,
+            dimensions=["region", "category"],
+            measures=["price", "quantity", "revenue", "discount"],
+        )
+
+    def test_candidate_space_size(self, seedb):
+        assert len(seedb.candidate_views()) == 2 * 4 * 3
+
+    def test_exact_topk_sorted(self, seedb):
+        views = seedb.recommend(col("region") == "north", k=4, prune=False)
+        assert len(views) == 4
+        utilities = [v.utility for v in views]
+        assert utilities == sorted(utilities, reverse=True)
+
+    def test_pruning_preserves_top1(self, seedb):
+        target = col("category") == "tools"
+        exact = seedb.recommend(target, k=3, prune=False)
+        pruned = seedb.recommend(target, k=3, prune=True, num_phases=8)
+        assert pruned[0].spec == exact[0].spec
+
+    def test_pruning_reduces_work(self, seedb):
+        target = col("region") == "south"
+        seedb.recommend(target, k=2, prune=True, num_phases=8)
+        total = len(seedb.candidate_views())
+        assert seedb.views_pruned > 0
+        assert seedb.views_evaluated_fully < total
+
+    def test_degenerate_target_raises(self, seedb):
+        with pytest.raises(ValueError):
+            seedb.recommend(col("region") == "nonexistent", k=2)
+
+
+class TestDiversify:
+    @pytest.fixture()
+    def clustered_points(self):
+        rng = np.random.default_rng(8)
+        centers = np.asarray([[0, 0], [10, 10], [20, 0]])
+        points = np.concatenate(
+            [center + rng.normal(0, 0.5, size=(50, 2)) for center in centers]
+        )
+        relevance = rng.uniform(0.5, 1.0, size=len(points))
+        relevance[:50] += 1.0  # first cluster is most relevant
+        return points, relevance
+
+    def test_mmr_more_diverse_than_topk(self, clustered_points):
+        points, relevance = clustered_points
+        top = topk_relevance(relevance, 10)
+        diverse = mmr_diversify(points, relevance, 10, trade_off=0.3)
+        assert diversity_score(points, diverse) > diversity_score(points, top)
+
+    def test_lambda_one_is_pure_relevance(self, clustered_points):
+        points, relevance = clustered_points
+        selected = mmr_diversify(points, relevance, 5, trade_off=1.0)
+        top = topk_relevance(relevance, 5)
+        assert set(selected.tolist()) == set(top.tolist())
+
+    def test_swap_improves_diversity(self, clustered_points):
+        points, relevance = clustered_points
+        top = topk_relevance(relevance, 8)
+        swapped = swap_diversify(points, relevance, 8, min_relevance_fraction=0.3)
+        assert diversity_score(points, swapped) >= diversity_score(points, top)
+
+    def test_k_larger_than_n(self):
+        points = np.asarray([[0.0, 0.0], [1.0, 1.0]])
+        selected = mmr_diversify(points, np.asarray([1.0, 2.0]), 10)
+        assert len(selected) == 2
+
+    def test_mmr_spreads_across_clusters(self, clustered_points):
+        points, relevance = clustered_points
+        selected = mmr_diversify(points, relevance, 6, trade_off=0.2)
+        clusters = {int(points[i, 0] // 7) for i in selected}
+        assert len(clusters) >= 2
+
+
+class TestFacets:
+    @pytest.fixture()
+    def table(self):
+        return sales_table(5000, seed=9)
+
+    def test_facets_of_biased_result(self, table):
+        # high revenue rows skew toward expensive regions
+        recommender = FacetRecommender(table)
+        revenue = np.asarray(table.column("revenue").data)
+        threshold = float(np.quantile(revenue, 0.9))
+        facets = recommender.interesting_facets(
+            col("revenue") > threshold, min_ratio=1.2
+        )
+        assert facets
+        assert all(f.relevance_ratio >= 1.2 for f in facets)
+
+    def test_recommended_tuples_outside_result(self, table):
+        recommender = FacetRecommender(table)
+        revenue = np.asarray(table.column("revenue").data)
+        threshold = float(np.quantile(revenue, 0.9))
+        predicate = col("revenue") > threshold
+        recommended = recommender.recommend_tuples(predicate, k=10, min_ratio=1.2)
+        if recommended.num_rows:
+            assert max(recommended.column("revenue").to_list()) <= threshold
+
+    def test_empty_result_gives_no_facets(self, table):
+        recommender = FacetRecommender(table)
+        assert recommender.interesting_facets(col("revenue") < -1) == []
+
+
+class TestSuggester:
+    Q_SCAN = "SELECT * FROM t WHERE a > 1"
+    Q_PROJECT = "SELECT b FROM t WHERE a > 1"
+    Q_GROUP = "SELECT b, COUNT(*) AS n FROM t GROUP BY b"
+    SESSIONS = [
+        [Q_SCAN, Q_PROJECT, Q_GROUP],
+        [Q_SCAN, Q_PROJECT, Q_GROUP],
+        [Q_SCAN, Q_PROJECT],
+    ]
+
+    def test_predicts_common_followup(self):
+        suggester = QuerySuggester()
+        for session in self.SESSIONS:
+            suggester.observe_session(session)
+        suggestions = suggester.suggest(["SELECT b FROM t WHERE a > 9"], k=2)
+        assert any("GROUP BY b" in s.query for s in suggestions)
+
+    def test_cold_start_uses_popularity(self):
+        suggester = QuerySuggester()
+        for session in self.SESSIONS:
+            suggester.observe_session(session)
+        suggestions = suggester.suggest([], k=1)
+        assert suggestions
+
+    def test_hit_rate_beats_zero(self):
+        suggester = QuerySuggester()
+        for session in self.SESSIONS[:2]:
+            suggester.observe_session(session)
+        assert suggester.hit_rate([self.SESSIONS[2]], k=3) > 0
+
+    def test_already_seen_not_suggested(self):
+        suggester = QuerySuggester()
+        for session in self.SESSIONS:
+            suggester.observe_session(session)
+        history = [self.Q_SCAN, self.Q_PROJECT]
+        suggestions = suggester.suggest(history, k=5)
+        assert all(s.query not in history for s in suggestions)
+
+
+class TestSemanticWindows:
+    @pytest.fixture()
+    def explorer(self):
+        table = grid_table(side=64, value_fn="hotspots", num_hotspots=3, seed=10)
+        return SemanticWindowExplorer(table, window_size=4, threshold=1.5)
+
+    def test_exhaustive_finds_all(self, explorer):
+        results = explorer.find_exhaustive()
+        assert results
+        for window in results:
+            assert window.average >= explorer.threshold
+
+    def test_online_matches_threshold(self, explorer):
+        results = explorer.find_online(k=3, num_probes=128, seed=11)
+        for window in results:
+            assert window.average >= explorer.threshold
+
+    def test_online_cheaper_for_first_result(self):
+        table = grid_table(side=96, value_fn="hotspots", num_hotspots=2, seed=12)
+        online = SemanticWindowExplorer(table, window_size=4, threshold=1.5)
+        exhaustive = SemanticWindowExplorer(table, window_size=4, threshold=1.5)
+        online_results = online.find_online(k=1, num_probes=200, seed=13)
+        exhaustive_results = exhaustive.find_exhaustive(k=1)
+        if online_results and exhaustive_results:
+            assert online.windows_inspected <= exhaustive.windows_inspected * 2
+
+    def test_window_average_matches_numpy(self, explorer):
+        import numpy as np
+
+        x, y = 5, 9
+        w = explorer.window_size
+        expected = float(explorer._grid[x : x + w, y : y + w].mean())
+        assert explorer.window_average(x, y) == pytest.approx(expected)
+
+
+class TestRefinement:
+    @pytest.fixture()
+    def refiner(self):
+        rng = np.random.default_rng(14)
+        table = Table.from_dict(
+            {
+                "mag": rng.uniform(0, 10, size=5000),
+                "depth": rng.uniform(0, 100, size=5000),
+            }
+        )
+        return ImpreciseQueryRefiner(table)
+
+    def test_hits_cardinality_band(self, refiner):
+        result = refiner.refine_to_cardinality(
+            {"mag": (4.0, 6.0), "depth": (40.0, 60.0)}, target=(100, 300)
+        )
+        assert 100 <= result.cardinality <= 300
+
+    def test_expands_when_too_few(self, refiner):
+        result = refiner.refine_to_cardinality(
+            {"mag": (5.0, 5.01), "depth": (50.0, 50.1)}, target=(500, 800)
+        )
+        assert result.scale > 1.0
+        assert result.cardinality >= 400  # close to band even if not exact
+
+    def test_contracts_when_too_many(self, refiner):
+        result = refiner.refine_to_cardinality(
+            {"mag": (0.0, 10.0), "depth": (0.0, 100.0)}, target=(50, 150)
+        )
+        assert result.scale < 1.0
+        assert 50 <= result.cardinality <= 150
+
+    def test_expand_to_include(self, refiner):
+        result = refiner.expand_to_include(
+            {"mag": (4.0, 5.0), "depth": (40.0, 50.0)}, required_rows=[0, 1, 2]
+        )
+        matrix = np.column_stack(
+            [
+                np.asarray(refiner.table.column("mag").data),
+                np.asarray(refiner.table.column("depth").data),
+            ]
+        )
+        for row in (0, 1, 2):
+            assert result.ranges["mag"][0] <= matrix[row, 0] <= result.ranges["mag"][1]
+            assert result.ranges["depth"][0] <= matrix[row, 1] <= result.ranges["depth"][1]
+
+    def test_sql_rendering(self, refiner):
+        result = refiner.refine_to_cardinality(
+            {"mag": (4.0, 6.0)}, target=(10, 5000)
+        )
+        assert "BETWEEN" in result.to_sql()
+
+
+class TestSegmentation:
+    def test_finds_natural_breaks(self):
+        rng = np.random.default_rng(15)
+        values = np.concatenate(
+            [rng.normal(0, 0.5, 500), rng.normal(10, 0.5, 500), rng.normal(20, 0.5, 500)]
+        )
+        segmentation = segment_column(values, 3)
+        assert segmentation.num_segments == 3
+        means = sorted(segmentation.means)
+        assert abs(means[0] - 0) < 1.5
+        assert abs(means[1] - 10) < 1.5
+        assert abs(means[2] - 20) < 1.5
+
+    def test_variance_decreases_with_k(self):
+        rng = np.random.default_rng(16)
+        values = rng.uniform(0, 100, size=2000)
+        v2 = segment_column(values, 2).within_variance
+        v5 = segment_column(values, 5).within_variance
+        assert v5 < v2
+
+    def test_counts_sum_to_total(self):
+        values = np.random.default_rng(17).normal(size=1000)
+        segmentation = segment_column(values, 4)
+        assert sum(segmentation.counts) == 1000
+
+    def test_suggest_orders_by_gain(self):
+        rng = np.random.default_rng(18)
+        values = np.concatenate([rng.normal(0, 1, 400), rng.normal(50, 1, 400)])
+        proposals = suggest_segmentations(values, max_segments=5)
+        # the 2-segment split captures almost all the structure
+        assert proposals[0].num_segments == 2
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            segment_column(np.empty(0), 2)
+
+
+class TestVizDeck:
+    def test_ranks_skewed_over_uniform_histogram(self):
+        rng = np.random.default_rng(19)
+        table = Table.from_dict(
+            {
+                "uniform": rng.uniform(0, 1, size=3000),
+                "skewed": rng.lognormal(0, 1.5, size=3000),
+            }
+        )
+        deck = VizDeck(table)
+        candidates = {c.describe(): c.score for c in deck.candidates()}
+        assert candidates["histogram(skewed)"] > candidates["histogram(uniform)"]
+
+    def test_correlated_scatter_ranks_high(self):
+        rng = np.random.default_rng(20)
+        x = rng.normal(size=2000)
+        table = Table.from_dict(
+            {
+                "x": x,
+                "y_corr": x * 2 + rng.normal(0, 0.1, size=2000),
+                "y_noise": rng.normal(size=2000),
+            }
+        )
+        deck = VizDeck(table)
+        scores = {c.describe(): c.score for c in deck.candidates()}
+        assert scores["scatter(x, y_corr)"] > scores["scatter(x, y_noise)"]
+
+    def test_feedback_shifts_ranking(self):
+        rng = np.random.default_rng(21)
+        table = Table.from_dict(
+            {
+                "a": rng.lognormal(0, 2, size=500),
+                "cat": rng.choice(["u", "v", "w"], size=500).tolist(),
+            }
+        )
+        deck = VizDeck(table)
+        for _ in range(10):
+            deck.feedback("histogram", positive=False)
+            deck.feedback("bar", positive=True)
+        ranked = deck.rank(k=2)
+        assert ranked[0].kind == "bar"
+
+    def test_unknown_feedback_kind_raises(self):
+        deck = VizDeck(Table.from_dict({"a": [1.0, 2.0]}))
+        with pytest.raises(ValueError):
+            deck.feedback("sparkline", True)
+
+
+class TestCachedDiversify:
+    """DivIDE [41]: the diversification / cache-reuse interplay."""
+
+    @pytest.fixture()
+    def candidates(self):
+        rng = np.random.default_rng(30)
+        points = rng.uniform(0, 10, size=(120, 2))
+        relevance = rng.uniform(0.5, 1.0, size=120)
+        cached = np.zeros(120, dtype=bool)
+        cached[:40] = True  # an earlier query cached a third of the items
+        return points, relevance, cached
+
+    def test_penalty_pulls_selection_toward_cache(self, candidates):
+        from repro.explore import cached_diversify
+
+        points, relevance, cached = candidates
+        free = cached_diversify(points, relevance, cached, k=10, fetch_penalty=0.0)
+        costly = cached_diversify(points, relevance, cached, k=10, fetch_penalty=1.0)
+        assert cached[costly].sum() >= cached[free].sum()
+        assert cached[costly].sum() == 10  # prohibitive penalty: cache only
+
+    def test_zero_penalty_recovers_mmr(self, candidates):
+        from repro.explore import cached_diversify, mmr_diversify
+
+        points, relevance, cached = candidates
+        a = cached_diversify(points, relevance, cached, k=8, fetch_penalty=0.0)
+        b = mmr_diversify(points, relevance, k=8)
+        assert a.tolist() == b.tolist()
+
+    def test_diversity_degrades_gracefully_with_penalty(self, candidates):
+        from repro.explore import cached_diversify, diversity_score
+
+        points, relevance, cached = candidates
+        scores = []
+        for penalty in (0.0, 0.2, 1.0):
+            chosen = cached_diversify(
+                points, relevance, cached, k=10, trade_off=0.4, fetch_penalty=penalty
+            )
+            scores.append(diversity_score(points, chosen))
+        # diversity never *improves* as the cache constraint tightens
+        assert scores[0] >= scores[2] - 1e-9

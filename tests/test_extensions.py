@@ -1,0 +1,265 @@
+"""Tests for the extension modules: ripple join, discovery-driven OLAP,
+concurrent cracking, semantic range cache."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Table
+from repro.errors import ApproximationError
+from repro.explore import CubeExplorer, best_views_by_exceptions
+from repro.indexing import ConcurrentCrackingSimulator
+from repro.prefetch import SemanticRangeCache
+from repro.sampling import RippleJoin
+from repro.workloads import RangeQuery, random_range_queries, uniform_column
+
+
+def true_join_count(left, right) -> int:
+    from collections import Counter
+
+    counts = Counter(right.tolist())
+    return sum(counts[v] for v in left.tolist())
+
+
+class TestRippleJoin:
+    @pytest.fixture()
+    def tables(self):
+        rng = np.random.default_rng(0)
+        left = rng.integers(0, 200, size=5_000)
+        right = rng.integers(0, 200, size=4_000)
+        return left, right
+
+    def test_exhausted_estimate_is_exact(self, tables):
+        left, right = tables
+        join = RippleJoin(left, right, batch_size=1_000, seed=1)
+        snapshot = None
+        for snapshot in join.run():
+            pass
+        assert snapshot.estimate == pytest.approx(true_join_count(left, right))
+        assert snapshot.half_width == 0.0
+
+    def test_estimate_converges(self, tables):
+        left, right = tables
+        truth = true_join_count(left, right)
+        join = RippleJoin(left, right, batch_size=250, seed=2)
+        errors = []
+        for snapshot in join.run():
+            errors.append(abs(snapshot.estimate - truth) / truth)
+        assert np.mean(errors[-3:]) < np.mean(errors[:3])
+        assert errors[-1] < 0.02
+
+    def test_interval_shrinks(self, tables):
+        left, right = tables
+        join = RippleJoin(left, right, batch_size=200, seed=3)
+        first = join.step()
+        for _ in range(8):
+            later = join.step()
+        assert later.half_width < first.half_width
+
+    def test_run_until_budget(self, tables):
+        left, right = tables
+        join = RippleJoin(left, right, batch_size=100, seed=4)
+        snapshot = join.run_until(max_rows_per_side=500)
+        assert snapshot.rows_read_left <= 500
+
+    def test_sum_aggregate(self, tables):
+        left, right = tables
+        rng = np.random.default_rng(5)
+        values = rng.uniform(0, 10, size=len(left))
+        # truth: each left row contributes value * (matches in right)
+        from collections import Counter
+
+        counts = Counter(right.tolist())
+        truth = float(sum(v * counts[k] for k, v in zip(left.tolist(), values)))
+        join = RippleJoin(left, right, values=values, aggregate="sum", batch_size=1_000)
+        snapshot = None
+        for snapshot in join.run():
+            pass
+        assert snapshot.estimate == pytest.approx(truth, rel=1e-9)
+
+    def test_invalid_configs(self, tables):
+        left, right = tables
+        with pytest.raises(ApproximationError):
+            RippleJoin(left, right, aggregate="median")
+        with pytest.raises(ApproximationError):
+            RippleJoin(left, right, aggregate="sum")  # no values
+        with pytest.raises(ApproximationError):
+            RippleJoin(left, right).run_until()
+
+    def test_coverage_of_intervals(self, tables):
+        """CIs should cover the truth most of the time mid-stream."""
+        left, right = tables
+        truth = true_join_count(left, right)
+        covered = 0
+        trials = 20
+        for seed in range(trials):
+            join = RippleJoin(left, right, batch_size=400, seed=seed)
+            join.step()
+            snapshot = join.step()
+            low = snapshot.estimate - snapshot.half_width
+            high = snapshot.estimate + snapshot.half_width
+            covered += low <= truth <= high
+        assert covered / trials >= 0.8
+
+
+class TestCubeExplorer:
+    @pytest.fixture()
+    def table(self):
+        rng = np.random.default_rng(6)
+        rows, columns, values = [], [], []
+        for region in ("n", "s", "e", "w"):
+            for product in ("a", "b", "c"):
+                base = {"n": 10, "s": 20, "e": 30, "w": 40}[region] + {
+                    "a": 0, "b": 5, "c": 10,
+                }[product]
+                for _ in range(50):
+                    rows.append(region)
+                    columns.append(product)
+                    values.append(base + rng.normal(0, 0.5))
+        # plant one exception: region 's', product 'c' is way off-model
+        for _ in range(50):
+            rows.append("s")
+            columns.append("c")
+            values.append(90.0 + rng.normal(0, 0.5))
+        return Table.from_dict({"region": rows, "product": columns, "v": values})
+
+    def test_exception_found(self, table):
+        explorer = CubeExplorer(table, "region", "product", "v")
+        exceptions = explorer.exceptions(threshold=2.0)
+        assert exceptions
+        top = exceptions[0]
+        assert (top.row_value, top.column_value) == ("s", "c")
+
+    def test_additive_cells_not_flagged(self):
+        rng = np.random.default_rng(7)
+        rows, cols, values = [], [], []
+        for r in ("x", "y"):
+            for c in ("p", "q"):
+                base = {"x": 0, "y": 10}[r] + {"p": 0, "q": 5}[c]
+                for _ in range(40):
+                    rows.append(r)
+                    cols.append(c)
+                    values.append(base + rng.normal(0, 0.1))
+        table = Table.from_dict({"r": rows, "c": cols, "v": values})
+        explorer = CubeExplorer(table, "r", "c", "v")
+        assert explorer.exceptions(threshold=2.5) == []
+
+    def test_drill_path_scores_highlight_exception_row(self, table):
+        explorer = CubeExplorer(table, "region", "product", "v")
+        scores = explorer.drill_path_scores()
+        assert max(scores, key=scores.get) == "s"
+
+    def test_best_views_ranking(self, table):
+        views = best_views_by_exceptions(table, ["region", "product"], "v", top_k=1)
+        assert views[0][:2] == ("region", "product")
+
+
+class TestConcurrentCracking:
+    def test_all_queries_execute(self):
+        values = uniform_column(20_000, 0, 1_000_000, seed=0)
+        simulator = ConcurrentCrackingSimulator(values, num_clients=4, seed=1)
+        queues = [
+            random_range_queries(30, (0, 1_000_000), selectivity=0.01, seed=10 + c)
+            for c in range(4)
+        ]
+        rounds = simulator.run(queues)
+        assert sum(r.executed for r in rounds) == 4 * 30
+
+    def test_results_stay_correct_under_concurrency(self):
+        values = uniform_column(5_000, 0, 100_000, seed=2)
+        simulator = ConcurrentCrackingSimulator(values, num_clients=3, seed=3)
+        queues = [
+            random_range_queries(10, (0, 100_000), selectivity=0.02, seed=20 + c)
+            for c in range(3)
+        ]
+        simulator.run(queues)
+        # after the concurrent run the index still answers correctly
+        query = RangeQuery(10_000, 20_000)
+        got = set(simulator.index.lookup_range(query.low, query.high, True, False).tolist())
+        expected = {
+            i for i, v in enumerate(values) if query.low <= v <= query.high
+        }
+        assert got == expected
+        assert simulator.index.is_consistent()
+
+    def test_contention_decreases_over_time(self):
+        values = uniform_column(50_000, 0, 1_000_000, seed=4)
+        simulator = ConcurrentCrackingSimulator(values, num_clients=8, seed=5)
+        queues = [
+            random_range_queries(40, (0, 1_000_000), selectivity=0.005, seed=30 + c)
+            for c in range(8)
+        ]
+        simulator.run(queues)
+        early = simulator.conflict_rate(0, 3)
+        late = simulator.conflict_rate(-10, None)
+        assert early > late, "contention must evaporate as pieces multiply"
+
+    def test_existing_boundary_is_latch_free(self):
+        values = uniform_column(1_000, 0, 10_000, seed=6)
+        simulator = ConcurrentCrackingSimulator(values, num_clients=1)
+        query = RangeQuery(1_000, 2_000)
+        assert simulator.touched_pieces(query)  # first time: cracks needed
+        simulator.index.lookup_range(query.low, query.high, True, False)
+        assert simulator.touched_pieces(query) == set()  # now read-only
+
+
+class TestSemanticRangeCache:
+    @pytest.fixture()
+    def setup(self):
+        rng = np.random.default_rng(8)
+        values = rng.uniform(0, 1000, size=20_000)
+        fetches = {"count": 0, "rows": 0}
+
+        def fetch(low, high):
+            fetches["count"] += 1
+            hits = np.flatnonzero((values >= low) & (values < high))
+            fetches["rows"] += len(hits)
+            return hits
+
+        return values, fetch, fetches
+
+    def test_correctness(self, setup):
+        values, fetch, _ = setup
+        cache = SemanticRangeCache(fetch)
+        for low, high in [(0, 100), (50, 150), (140, 300), (0, 300)]:
+            got = set(cache.query_filtered(low, high, values).tolist())
+            expected = set(np.flatnonzero((values >= low) & (values < high)).tolist())
+            assert got == expected
+
+    def test_subsumed_query_fetches_nothing(self, setup):
+        values, fetch, fetches = setup
+        cache = SemanticRangeCache(fetch)
+        cache.query(0, 500)
+        before = fetches["rows"]
+        cache.query(100, 400)
+        assert fetches["rows"] == before
+
+    def test_partial_overlap_fetches_only_gap(self, setup):
+        values, fetch, fetches = setup
+        cache = SemanticRangeCache(fetch)
+        cache.query(0, 500)
+        before = fetches["rows"]
+        cache.query(400, 600)
+        gap_rows = int(((values >= 500) & (values < 600)).sum())
+        assert fetches["rows"] - before == gap_rows
+
+    def test_intervals_coalesce(self, setup):
+        values, fetch, _ = setup
+        cache = SemanticRangeCache(fetch)
+        cache.query(0, 100)
+        cache.query(200, 300)
+        assert len(cache.coverage()) == 2
+        cache.query(50, 250)  # bridges the gap
+        assert len(cache.coverage()) == 1
+
+    def test_stats_track_cache_fraction(self, setup):
+        values, fetch, _ = setup
+        cache = SemanticRangeCache(fetch)
+        cache.query(0, 500)
+        cache.query(0, 500)
+        assert cache.stats.cache_fraction > 0.4
+
+    def test_empty_range(self, setup):
+        _, fetch, fetches = setup
+        cache = SemanticRangeCache(fetch)
+        assert len(cache.query(10, 10)) == 0
+        assert fetches["count"] == 0

@@ -1,0 +1,290 @@
+"""Tests for the second extension wave: GK quantiles, partitioned
+adaptive indexing, and the declarative exploration language."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ExplorationLanguage, ExplorationSession
+from repro.errors import ParseError
+from repro.indexing import CrackerIndex, PartitionedAdaptiveIndex
+from repro.synopses import GKQuantileSketch
+from repro.workloads import clustered_column, random_range_queries, sales_table, uniform_column
+
+
+class TestGKQuantiles:
+    def test_rank_error_within_epsilon(self):
+        rng = np.random.default_rng(0)
+        data = rng.lognormal(0, 1, size=30_000)
+        sketch = GKQuantileSketch(epsilon=0.01)
+        sketch.extend(data.tolist())
+        for q in (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99):
+            estimate = sketch.quantile(q)
+            true_rank = float((data <= estimate).mean())
+            assert abs(true_rank - q) <= 0.03  # 3 * epsilon headroom
+
+    def test_space_is_sublinear(self):
+        sketch = GKQuantileSketch(epsilon=0.01)
+        sketch.extend(float(i) for i in range(50_000))
+        assert sketch.num_entries < 1_000
+
+    def test_sorted_and_reversed_inputs(self):
+        for order in (range(5_000), reversed(range(5_000))):
+            sketch = GKQuantileSketch(epsilon=0.02)
+            sketch.extend(float(v) for v in order)
+            median = sketch.quantile(0.5)
+            assert abs(median - 2_500) < 250
+
+    def test_extremes(self):
+        sketch = GKQuantileSketch(epsilon=0.05)
+        sketch.extend([1.0, 2.0, 3.0])
+        assert sketch.quantile(0.0) in (1.0, 2.0, 3.0)
+        assert sketch.quantile(1.0) == 3.0
+
+    def test_empty_and_invalid(self):
+        sketch = GKQuantileSketch()
+        with pytest.raises(ValueError):
+            sketch.quantile(0.5)
+        sketch.add(1.0)
+        with pytest.raises(ValueError):
+            sketch.quantile(1.5)
+        with pytest.raises(ValueError):
+            GKQuantileSketch(epsilon=2.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=400))
+    def test_property_quantiles_are_observed_values(self, values):
+        sketch = GKQuantileSketch(epsilon=0.05)
+        sketch.extend(values)
+        assert sketch.quantile(0.5) in values
+
+
+class TestPartitionedIndex:
+    @pytest.fixture()
+    def clustered(self):
+        # clustered data gives zone maps something to prune
+        return np.sort(uniform_column(100_000, 0, 1_000_000, seed=0))
+
+    def test_correctness(self, clustered):
+        index = PartitionedAdaptiveIndex(clustered, partition_size=10_000)
+        for query in random_range_queries(20, (0, 1_000_000), 0.01, seed=1):
+            got = set(index.lookup_range(query.low, query.high, True, False).tolist())
+            expected = set(
+                np.flatnonzero(
+                    (clustered >= query.low) & (clustered < query.high)
+                ).tolist()
+            )
+            assert got == expected
+
+    def test_zone_map_prunes_on_sorted_data(self, clustered):
+        index = PartitionedAdaptiveIndex(clustered, partition_size=10_000)
+        index.lookup_range(0, 50_000, True, False)  # hits 1 partition
+        assert index.partitions_pruned >= index.num_partitions - 2
+        assert index.partitions_indexed <= 2
+
+    def test_cold_partitions_build_nothing(self, clustered):
+        index = PartitionedAdaptiveIndex(clustered, partition_size=10_000)
+        for _ in range(5):
+            index.lookup_range(0, 40_000, True, False)
+        assert index.partitions_indexed <= 1
+        hot = index.hot_partitions(k=1)[0]
+        assert hot.start == 0
+
+    def test_unsorted_data_still_correct(self):
+        values = clustered_column(30_000, num_clusters=5, seed=2)
+        index = PartitionedAdaptiveIndex(values, partition_size=4_096)
+        for query in random_range_queries(10, (0, 1_000_000), 0.01, seed=3):
+            got = set(index.lookup_range(query.low, query.high, True, False).tolist())
+            expected = set(
+                np.flatnonzero((values >= query.low) & (values < query.high)).tolist()
+            )
+            assert got == expected
+
+    def test_pruning_saves_work_vs_monolithic(self, clustered):
+        partitioned = PartitionedAdaptiveIndex(clustered, partition_size=10_000)
+        monolithic = CrackerIndex(clustered.copy())
+        for query in random_range_queries(30, (0, 1_000_000), 0.005, seed=4):
+            partitioned.lookup_range(query.low, query.high, True, False)
+            monolithic.lookup_range(query.low, query.high, True, False)
+        # first-touch cost: partitioned only ever cracked the touched blocks
+        assert partitioned.work_touched < monolithic.work_touched
+
+
+class TestExplorationLanguage:
+    @pytest.fixture()
+    def language(self):
+        session = ExplorationSession()
+        session.load_table("sales", sales_table(8_000, seed=5))
+        return ExplorationLanguage(session)
+
+    def test_explore(self, language):
+        result = language.run("EXPLORE sales")
+        assert "8,000 rows" in result.text or "8000 rows" in result.text
+        assert "suggested charts" in result.text
+
+    def test_steer(self, language):
+        result = language.run("STEER sales TOP 2")
+        assert len(result.payload) == 2
+        for suggestion in result.payload:
+            assert language.session.db.sql(suggestion.sql).num_rows >= 0
+
+    def test_facets(self, language):
+        result = language.run("FACETS sales WHERE revenue > 400 RATIO 1.2")
+        assert result.payload
+        assert "over-represented" in result.text
+
+    def test_recommend_views(self, language):
+        result = language.run("RECOMMEND VIEWS sales FOR region = 'north' TOP 2")
+        assert len(result.payload) == 2
+        assert "GROUP BY" in result.text
+
+    def test_segment(self, language):
+        result = language.run("SEGMENT sales.price INTO 4")
+        assert result.payload.num_segments == 4
+
+    def test_approx_with_rows(self, language):
+        result = language.run("APPROX AVG(revenue) FROM sales ROWS 800")
+        assert result.payload.rows_scanned <= 800
+        assert "±" in result.text
+
+    def test_approx_count_star_where(self, language):
+        result = language.run("APPROX COUNT(*) FROM sales WHERE quantity >= 5")
+        table = language.session.db.get_table("sales")
+        quantity = np.asarray(table.column("quantity").data)
+        truth = int((quantity >= 5).sum())
+        assert abs(result.payload.estimate.value - truth) / truth < 0.3
+
+    def test_diversify(self, language):
+        result = language.run(
+            "DIVERSIFY sales BY price, quantity RELEVANCE revenue TOP 4"
+        )
+        assert result.payload.num_rows == 4
+
+    def test_case_insensitive(self, language):
+        result = language.run("steer sales top 1")
+        assert len(result.payload) == 1
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "FROBNICATE sales",
+            "EXPLORE",
+            "SEGMENT sales INTO 3",
+            "APPROX MEDIAN(x) FROM sales",
+            "DIVERSIFY sales BY price",
+        ],
+    )
+    def test_bad_commands_raise(self, language, bad):
+        with pytest.raises(ParseError):
+            language.run(bad)
+
+
+class TestJoinInference:
+    @pytest.fixture()
+    def db(self):
+        from repro.engine import Database
+
+        rng = np.random.default_rng(7)
+        database = Database()
+        n = 300
+        database.create_table(
+            "orders",
+            {
+                "order_id": list(range(n)),
+                "customer_id": rng.integers(0, 40, size=n).tolist(),
+                "amount": rng.integers(0, 40, size=n).tolist(),  # decoy, same type
+            },
+        )
+        database.create_table(
+            "customers",
+            {
+                "customer_id": list(range(40)),
+                "loyalty": rng.integers(0, 40, size=40).tolist(),  # decoy
+                "name": [f"c{i}" for i in range(40)],
+            },
+        )
+        return database
+
+    def _oracle(self, db):
+        orders = db.get_table("orders")
+        customers = db.get_table("customers")
+
+        def oracle(left_row: int, right_row: int) -> bool:
+            return (
+                orders.column("customer_id")[left_row]
+                == customers.column("customer_id")[right_row]
+            )
+
+        return oracle
+
+    def test_resolves_intended_join(self, db):
+        from repro.explore import JoinInferencer
+
+        inferencer = JoinInferencer(db, "orders", "customers", self._oracle(db), seed=1)
+        assert len(inferencer.candidates) > 1  # decoys present
+        result = inferencer.run(max_labels=40)
+        assert result.resolved
+        assert result.join.left_column == "customer_id"
+        assert result.join.right_column == "customer_id"
+
+    def test_labels_far_below_exhaustive(self, db):
+        from repro.explore import JoinInferencer
+
+        inferencer = JoinInferencer(db, "orders", "customers", self._oracle(db), seed=2)
+        result = inferencer.run(max_labels=40)
+        assert result.labels_used <= 15  # halving converges fast
+
+    def test_inferred_sql_runs(self, db):
+        from repro.explore import JoinInferencer
+
+        inferencer = JoinInferencer(db, "orders", "customers", self._oracle(db), seed=3)
+        result = inferencer.run()
+        sql = inferencer.inferred_sql(result, projection="order_id, name")
+        output = db.sql(sql)
+        assert output.num_rows == 300  # every order has a matching customer
+
+    def test_all_false_oracle_keeps_some_candidate(self, db):
+        from repro.explore import JoinInferencer
+
+        inferencer = JoinInferencer(db, "orders", "customers", lambda a, b: False, seed=4)
+        result = inferencer.run(max_labels=30)
+        assert result.candidates_remaining  # never eliminates everything
+
+    def test_contradictory_label_raises(self, db, monkeypatch):
+        from repro.errors import ReproError
+        from repro.explore import JoinInferencer
+
+        inferencer = JoinInferencer(db, "orders", "customers", lambda a, b: True, seed=5)
+        # force a probe pair that satisfies NO candidate, with answer True:
+        # every candidate becomes inconsistent at once
+        orders = db.get_table("orders")
+        customers = db.get_table("customers")
+        dead_pair = None
+        for left_row in range(orders.num_rows):
+            for right_row in range(customers.num_rows):
+                if not any(
+                    inferencer._pair_satisfies(c, left_row, right_row)
+                    for c in inferencer.candidates
+                ):
+                    dead_pair = (left_row, right_row)
+                    break
+            if dead_pair:
+                break
+        assert dead_pair is not None
+        monkeypatch.setattr(
+            inferencer, "_best_probe", lambda candidates, budget=400: dead_pair
+        )
+        with pytest.raises(ReproError):
+            inferencer.run(max_labels=5)
+
+    def test_no_compatible_columns_raise(self):
+        from repro.engine import Database
+        from repro.errors import ReproError
+        from repro.explore import JoinInferencer
+
+        database = Database()
+        database.create_table("a", {"x": [1, 2]})
+        database.create_table("b", {"y": ["u", "v"]})
+        with pytest.raises(ReproError):
+            JoinInferencer(database, "a", "b", lambda i, j: True)

@@ -1,0 +1,125 @@
+"""Tests for the third extension wave: BlinkDB sample selection and the
+ForeCache-style hybrid predictor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ApproximationError
+from repro.prefetch import (
+    CubeNavigator,
+    HybridRegionPredictor,
+    MarkovPredictor,
+    SpeculativeExecutor,
+    TileCache,
+)
+from repro.sampling import ApproximateQueryEngine, WorkloadEntry, choose_samples
+from repro.sampling.selection import candidate_column_sets
+from repro.workloads import CubeSessionGenerator, SessionConfig, generate_sessions, sales_table
+
+
+class TestSampleSelection:
+    @pytest.fixture()
+    def table(self):
+        return sales_table(20_000, seed=0)
+
+    WORKLOAD = [
+        WorkloadEntry.make(["region"], frequency=10),
+        WorkloadEntry.make(["category"], frequency=5),
+        WorkloadEntry.make(["region", "category"], frequency=1),
+        WorkloadEntry.make([], frequency=3),  # ungrouped aggregates
+    ]
+
+    def test_candidates_are_observed_sets(self):
+        candidates = candidate_column_sets(self.WORKLOAD)
+        assert frozenset(["region"]) in candidates
+        assert frozenset([]) not in candidates
+        assert len(candidates) == 3
+
+    def test_budget_respected(self, table):
+        catalog, report = choose_samples(table, self.WORKLOAD, budget_rows=3_000, cap=200)
+        assert report.within_budget
+        assert catalog.storage_rows() <= 3_000 + 50  # uniform rounding slack
+
+    def test_frequent_qcs_chosen_first(self, table):
+        # a budget that can only hold one stratified sample
+        catalog, report = choose_samples(table, self.WORKLOAD, budget_rows=1_100, cap=200)
+        assert report.chosen_column_sets
+        assert report.chosen_column_sets[0] == ("region",)
+
+    def test_larger_budget_covers_more(self, table):
+        _, small = choose_samples(table, self.WORKLOAD, budget_rows=1_100, cap=200)
+        _, large = choose_samples(table, self.WORKLOAD, budget_rows=20_000, cap=200)
+        assert large.workload_coverage >= small.workload_coverage
+        assert large.workload_coverage > 0.8
+
+    def test_catalog_answers_covered_queries(self, table):
+        catalog, report = choose_samples(table, self.WORKLOAD, budget_rows=5_000, cap=300)
+        engine = ApproximateQueryEngine(table, catalog)
+        answer = engine.query("avg", "revenue", group_by=["region"])
+        assert len(answer.group_estimates) >= 4
+
+    def test_impossible_budget_raises(self, table):
+        with pytest.raises(ApproximationError):
+            choose_samples(table, self.WORKLOAD, budget_rows=0)
+
+    def test_tiny_budget_falls_back_to_uniform(self, table):
+        catalog, report = choose_samples(table, self.WORKLOAD, budget_rows=120, cap=500)
+        kinds = {s.kind for s in catalog.samples()}
+        assert kinds == {"uniform"}
+        assert report.chosen_column_sets == []
+
+
+class TestHybridPredictor:
+    def _setup(self, mix: float, seed: int = 0):
+        table = sales_table(3_000, seed=seed)
+        navigator = CubeNavigator(table, "price", "quantity", "revenue", levels=3, base_tiles=4)
+        model = MarkovPredictor(order=1)
+        for session in generate_sessions(10, SessionConfig(length=50, persistence=0.85), seed=seed + 50):
+            model.observe_sequence([s.move for s in session[1:]])
+        return navigator, HybridRegionPredictor(navigator, model, mix=mix)
+
+    def test_predictions_are_valid_neighbours(self):
+        navigator, predictor = self._setup(mix=0.6)
+        recent = [(0, 0, 0), (0, 1, 0)]
+        for region in predictor.predict(recent, k=3):
+            assert navigator.region_is_valid(region)
+            assert region in navigator.neighbours(recent[-1])
+
+    def test_pure_action_mode_matches_markov_adapter(self):
+        navigator, predictor = self._setup(mix=1.0)
+        recent = [(1, 2, 2), (1, 3, 2), (1, 4, 2)]  # panning right
+        top = predictor.predict(recent, k=1)
+        assert top == [(1, 5, 2)]
+
+    def test_data_mode_prefers_similar_tiles(self):
+        navigator, predictor = self._setup(mix=0.0)
+        recent = [(1, 3, 3), (1, 4, 3)]
+        # seed the tile cache: recent dwell level ~10; one neighbour matches
+        predictor.observe_tile((1, 3, 3), 10.0)
+        predictor.observe_tile((1, 4, 3), 10.0)
+        predictor.observe_tile((1, 5, 3), 10.2)   # similar
+        predictor.observe_tile((1, 4, 2), 500.0)  # very different
+        ranked = predictor.predict(recent, k=10)  # rank all neighbours
+        assert ranked.index((1, 5, 3)) < ranked.index((1, 4, 2))
+
+    def test_invalid_mix_raises(self):
+        navigator, _ = self._setup(mix=0.5)
+        with pytest.raises(ValueError):
+            HybridRegionPredictor(navigator, MarkovPredictor(), mix=1.5)
+
+    def test_hybrid_drives_speculation(self):
+        navigator, predictor = self._setup(mix=0.6, seed=3)
+        cache = TileCache(capacity=128)
+
+        def compute(region):
+            tile = navigator.compute_tile(region)
+            predictor.observe_tile(region, tile.aggregate)
+            return tile
+
+        executor = SpeculativeExecutor(compute, cache, predictor, fanout=3)
+        generator = CubeSessionGenerator(
+            SessionConfig(length=80, grid_side=16, levels=3, persistence=0.85), seed=4
+        )
+        for step in generator.session():
+            executor.request(step.region)
+        assert executor.hit_rate > 0.5

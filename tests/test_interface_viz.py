@@ -1,0 +1,284 @@
+"""Tests for the novel interfaces and the visualization optimisations."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Database, Table
+from repro.errors import InterfaceError, ReproError
+from repro.interface import (
+    DbTouch,
+    GestureClassifier,
+    GestureQuerySession,
+    KeywordSearchEngine,
+    TouchPoint,
+)
+from repro.interface.keyword import ForeignKey
+from repro.viz import OrderedSampler, VizSpec, compile_spec, m4_reduce, reduction_error
+
+
+class TestDbTouch:
+    @pytest.fixture()
+    def touch(self):
+        rng = np.random.default_rng(0)
+        table = Table.from_dict({"v": rng.uniform(0, 100, size=10_000)})
+        return DbTouch(table, slice_rows=50)
+
+    def test_touch_processes_one_slice(self, touch):
+        summary = touch.touch("v", 0.5)
+        assert summary.rows_seen == 50
+        assert touch.rows_touched == 50
+
+    def test_retouching_is_free(self, touch):
+        touch.touch("v", 0.5)
+        touch.touch("v", 0.5)
+        assert touch.rows_touched == 50
+
+    def test_slide_covers_range(self, touch):
+        summary = touch.slide("v", 0.0, 0.2, steps=20)
+        assert summary.rows_seen > 50
+        assert summary.fraction_explored < 0.5
+
+    def test_work_proportional_to_interaction_not_data(self):
+        rng = np.random.default_rng(1)
+        small = DbTouch(Table.from_dict({"v": rng.uniform(size=1000)}), slice_rows=10)
+        large = DbTouch(Table.from_dict({"v": rng.uniform(size=100_000)}), slice_rows=10)
+        small.touch("v", 0.3)
+        large.touch("v", 0.3)
+        assert small.rows_touched == large.rows_touched == 10
+
+    def test_stats_match_touched_data(self, touch):
+        touch.slide("v", 0.0, 1.0, steps=300)  # touch essentially everything
+        summary = touch.summary("v")
+        values = np.asarray(touch.table.column("v").data)
+        if summary.fraction_explored > 0.99:
+            assert summary.mean == pytest.approx(float(values.mean()), rel=0.01)
+
+    def test_non_numeric_column_raises(self):
+        touch = DbTouch(Table.from_dict({"s": ["a", "b"]}))
+        with pytest.raises(InterfaceError):
+            touch.touch("s", 0.5)
+
+    def test_bad_position_raises(self, touch):
+        with pytest.raises(InterfaceError):
+            touch.touch("v", 1.5)
+
+
+def _swipe(direction: int) -> list[TouchPoint]:
+    xs = np.linspace(0.5, 0.5 + 0.3 * direction, 10)
+    return [TouchPoint(float(x), 0.5, i * 0.01) for i, x in enumerate(xs)]
+
+
+class TestGestures:
+    def test_tap_classification(self):
+        trace = [TouchPoint(0.5, 0.5, 0.0), TouchPoint(0.501, 0.5, 0.05)]
+        assert GestureClassifier().classify(trace).kind == "tap"
+
+    def test_swipe_directions(self):
+        classifier = GestureClassifier()
+        assert classifier.classify(_swipe(+1)).kind == "swipe-right"
+        assert classifier.classify(_swipe(-1)).kind == "swipe-left"
+
+    def test_pinch_and_spread(self):
+        classifier = GestureClassifier()
+        pinch = [
+            TouchPoint(0.2, 0.5, 0.0, finger=0),
+            TouchPoint(0.8, 0.5, 0.0, finger=1),
+            TouchPoint(0.45, 0.5, 0.2, finger=0),
+            TouchPoint(0.55, 0.5, 0.2, finger=1),
+        ]
+        assert classifier.classify(pinch).kind == "pinch"
+        spread = [
+            TouchPoint(0.45, 0.5, 0.0, finger=0),
+            TouchPoint(0.55, 0.5, 0.0, finger=1),
+            TouchPoint(0.2, 0.5, 0.2, finger=0),
+            TouchPoint(0.8, 0.5, 0.2, finger=1),
+        ]
+        assert classifier.classify(spread).kind == "spread"
+
+    def test_ranking_is_complete(self):
+        gesture = GestureClassifier().classify(_swipe(+1))
+        assert len(gesture.ranking) == len(GestureClassifier.VOCABULARY)
+
+    def test_session_sort_and_undo(self):
+        table = Table.from_dict({"a": [3, 1, 2], "b": ["x", "y", "z"]})
+        session = GestureQuerySession(table)
+        session.apply_gesture("swipe-right", "a")
+        assert session.current.column("a").to_list() == [1, 2, 3]
+        session.apply_gesture("spread", "a")
+        assert session.current.column("a").to_list() == [3, 1, 2]
+
+    def test_session_group_by(self):
+        table = Table.from_dict({"cat": ["u", "v", "u", "u"]})
+        session = GestureQuerySession(table)
+        message = session.apply_gesture("pinch", "cat")
+        assert "2 groups" in message
+        assert session.current.num_rows == 2
+
+    def test_unknown_column_raises(self):
+        session = GestureQuerySession(Table.from_dict({"a": [1]}))
+        with pytest.raises(InterfaceError):
+            session.apply_gesture("tap", "zzz")
+
+
+class TestKeywordSearch:
+    @pytest.fixture()
+    def engine(self):
+        db = Database()
+        db.create_table(
+            "authors",
+            {
+                "author_id": [1, 2, 3],
+                "name": ["Ada Lovelace", "Alan Turing", "Grace Hopper"],
+            },
+        )
+        db.create_table(
+            "papers",
+            {
+                "paper_id": [10, 11, 12],
+                "author_id": [1, 2, 2],
+                "title": [
+                    "Notes on the Analytical Engine",
+                    "On Computable Numbers",
+                    "Computing Machinery and Intelligence",
+                ],
+            },
+        )
+        db.create_table(
+            "venues",
+            {"venue_id": [100], "venue": ["Mind Journal"]},
+        )
+        fks = [ForeignKey("papers", "author_id", "authors", "author_id")]
+        return KeywordSearchEngine(db, fks)
+
+    def test_single_table_answer(self, engine):
+        results = engine.search(["Turing"])
+        assert results
+        assert results[0].tables == ("authors",)
+
+    def test_cross_table_answer(self, engine):
+        results = engine.search(["Turing", "Computable"])
+        assert results
+        best = results[0]
+        assert set(best.tables) == {"authors", "papers"}
+        assert best.rows.num_rows == 1
+
+    def test_compact_networks_rank_first(self, engine):
+        results = engine.search(["Computing"])
+        assert results[0].tables == ("papers",)
+
+    def test_no_match_gives_empty(self, engine):
+        assert engine.search(["xylophone"]) == []
+
+    def test_empty_keywords_raise(self, engine):
+        with pytest.raises(InterfaceError):
+            engine.search([])
+
+
+class TestM4:
+    def test_reduction_size_bounded(self):
+        rng = np.random.default_rng(2)
+        x = np.arange(50_000, dtype=float)
+        y = np.cumsum(rng.normal(size=50_000))
+        rx, ry = m4_reduce(x, y, width=100)
+        assert len(rx) <= 4 * 100
+        assert len(rx) == len(ry)
+
+    def test_small_series_unchanged(self):
+        x = np.arange(10, dtype=float)
+        y = x * 2
+        rx, ry = m4_reduce(x, y, width=100)
+        assert len(rx) == 10
+
+    def test_extremes_preserved(self):
+        x = np.arange(10_000, dtype=float)
+        y = np.sin(x / 100.0)
+        y[5000] = 50.0  # a spike
+        rx, ry = m4_reduce(x, y, width=50)
+        assert 50.0 in ry
+
+    def test_m4_beats_uniform_sampling(self):
+        rng = np.random.default_rng(3)
+        x = np.arange(20_000, dtype=float)
+        y = np.cumsum(rng.normal(size=20_000))
+        width = 100
+        m4x, m4y = m4_reduce(x, y, width)
+        stride = max(1, len(x) // len(m4x))
+        ux, uy = x[::stride], y[::stride]
+        m4_error = reduction_error(x, y, m4x, m4y, width=width)
+        uniform_error = reduction_error(x, y, ux, uy, width=width)
+        assert m4_error <= uniform_error
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            m4_reduce(np.arange(3), np.arange(4), 10)
+
+
+class TestOrderedSampler:
+    def _make(self, gaps, per_group=5000, seed=4):
+        rng = np.random.default_rng(seed)
+        groups, values = [], []
+        for i, mean in enumerate(np.cumsum(gaps)):
+            groups.extend([f"g{i}"] * per_group)
+            values.extend(rng.normal(mean, 1.0, size=per_group).tolist())
+        return OrderedSampler(groups, np.asarray(values), seed=seed)
+
+    def test_recovers_true_order_with_wide_gaps(self):
+        sampler = self._make([0, 10, 10, 10])
+        result = sampler.run()
+        assert result.order == sampler.true_order()
+
+    def test_samples_far_below_full_scan(self):
+        sampler = self._make([0, 8, 8, 8])
+        result = sampler.run()
+        assert result.total_samples < 4 * 5000 * 0.2
+
+    def test_close_groups_need_more_samples(self):
+        wide = self._make([0, 20], seed=5).run()
+        narrow = self._make([0, 0.1], seed=5).run()
+        assert narrow.total_samples > wide.total_samples
+
+
+class TestVizSpec:
+    def test_aggregate_bar_compiles_to_group_by(self):
+        spec = VizSpec(mark="bar", table="sales", x="region", y="revenue", aggregate="avg")
+        compiled = compile_spec(spec)
+        assert "GROUP BY region" in compiled.sql
+        assert "AVG(revenue)" in compiled.sql
+        assert not compiled.needs_m4
+
+    def test_raw_line_flags_m4(self):
+        spec = VizSpec(mark="line", table="ticks", x="t", y="price")
+        compiled = compile_spec(spec)
+        assert compiled.needs_m4
+
+    def test_count_bar_without_y(self):
+        spec = VizSpec(mark="bar", table="sales", x="region", aggregate="count")
+        assert "COUNT(*)" in compile_spec(spec).sql
+
+    def test_where_and_limit(self):
+        spec = VizSpec(
+            mark="bar", table="t", x="a", y="b", aggregate="sum",
+            where="b > 10", limit=5, descending=True,
+        )
+        sql = compile_spec(spec).sql
+        assert "WHERE b > 10" in sql and "LIMIT 5" in sql and "DESC" in sql
+
+    def test_compiled_sql_actually_runs(self):
+        db = Database()
+        db.create_table("t", {"a": ["x", "y", "x"], "b": [1.0, 2.0, 3.0]})
+        spec = VizSpec(mark="bar", table="t", x="a", y="b", aggregate="sum")
+        result = db.sql(compile_spec(spec).sql)
+        assert result.num_rows == 2
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            VizSpec(mark="sparkline", table="t", x="a"),  # type: ignore[arg-type]
+            VizSpec(mark="line", table="t", x="a"),
+            VizSpec(mark="bar", table="t", x="", aggregate="count"),
+            VizSpec(mark="bar", table="t", x="a", aggregate="median"),  # type: ignore[arg-type]
+        ],
+    )
+    def test_invalid_specs_raise(self, spec):
+        with pytest.raises(ReproError):
+            compile_spec(spec)

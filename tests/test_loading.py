@@ -1,0 +1,177 @@
+"""Tests for adaptive loading (NoDB / invisible loading)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Database, Table, write_csv
+from repro.errors import LoadingError
+from repro.loading import InvisibleLoader, RawTable, full_load
+
+
+@pytest.fixture()
+def csv_path(tmp_path):
+    table = Table.from_dict(
+        {
+            "a": list(range(100)),
+            "b": [i * 1.5 for i in range(100)],
+            "c": [f"name_{i % 7}" for i in range(100)],
+            "d": [i % 2 == 0 for i in range(100)],
+        }
+    )
+    path = tmp_path / "data.csv"
+    write_csv(table, path)
+    return path
+
+
+class TestRawTable:
+    def test_header_and_rows(self, csv_path):
+        raw = RawTable(csv_path)
+        assert raw.column_names == ["a", "b", "c", "d"]
+        assert raw.num_rows == 100
+
+    def test_fetch_single_column(self, csv_path):
+        raw = RawTable(csv_path)
+        column = raw.fetch_column("b")
+        assert column.to_list()[:3] == [0.0, 1.5, 3.0]
+
+    def test_type_inference(self, csv_path):
+        raw = RawTable(csv_path)
+        assert raw.fetch_column("a").dtype.name == "INT64"
+        assert raw.fetch_column("c").dtype.name == "STRING"
+        assert raw.fetch_column("d").dtype.name == "BOOL"
+
+    def test_parsing_is_lazy_and_cached(self, csv_path):
+        raw = RawTable(csv_path)
+        raw.fetch_column("a")
+        first = raw.fields_parsed
+        assert first == 100  # only column a parsed
+        raw.fetch_column("a")
+        assert raw.fields_parsed == first  # cache hit
+
+    def test_positional_map_reuses_tokenization(self, csv_path):
+        raw = RawTable(csv_path)
+        raw.fetch_column("b")  # tokenizes fields 0..1 (+1 lookahead)
+        tokens_after_b = raw.fields_tokenized
+        raw.fetch_column("a")  # already tokenized
+        assert raw.fields_tokenized == tokens_after_b
+
+    def test_later_column_resumes_tokenization(self, csv_path):
+        raw = RawTable(csv_path)
+        raw.fetch_column("a")
+        first = raw.fields_tokenized
+        raw.fetch_column("c")
+        assert raw.fields_tokenized > first
+
+    def test_full_table_matches_eager_load(self, csv_path):
+        raw = RawTable(csv_path)
+        table = raw.to_table()
+        db = Database()
+        loaded, _ = full_load(db, "t", csv_path)
+        assert table == loaded
+
+    def test_missing_column_raises(self, csv_path):
+        raw = RawTable(csv_path)
+        with pytest.raises(LoadingError):
+            raw.fetch_column("nope")
+
+    def test_sql_over_parses_only_needed(self, csv_path):
+        db = Database()
+        raw = RawTable(csv_path)
+        result = raw.sql_over(db, "t", "SELECT a FROM t WHERE a < 10")
+        assert result.num_rows == 10
+        assert raw.columns_parsed == ["a"]
+
+
+class TestInvisibleLoading:
+    def test_progress_grows_with_queries(self, csv_path):
+        db = Database()
+        loader = InvisibleLoader(db, "t", csv_path)
+        loader.query("SELECT a FROM t WHERE a < 5")
+        assert loader.progress().columns_loaded == 1
+        loader.query("SELECT b FROM t WHERE b > 3")
+        assert loader.progress().columns_loaded == 2
+        loader.query("SELECT * FROM t LIMIT 1")
+        assert loader.progress().fraction_loaded == 1.0
+
+    def test_repeat_queries_get_cheaper(self, csv_path):
+        db = Database()
+        loader = InvisibleLoader(db, "t", csv_path)
+        loader.query("SELECT a FROM t WHERE a < 5")
+        loader.query("SELECT a FROM t WHERE a < 50")
+        assert loader.query_costs[1] < loader.query_costs[0]
+
+    def test_results_match_full_load(self, csv_path):
+        db1, db2 = Database(), Database()
+        loader = InvisibleLoader(db1, "t", csv_path)
+        full_load(db2, "t", csv_path)
+        q = "SELECT c, COUNT(*) AS n FROM t WHERE a >= 10 GROUP BY c ORDER BY c"
+        assert loader.query(q).to_dicts() == db2.sql(q).to_dicts()
+
+    def test_cumulative_cost_below_full_load_for_narrow_workload(self, csv_path):
+        db1, db2 = Database(), Database()
+        loader = InvisibleLoader(db1, "t", csv_path)
+        for low in range(0, 50, 10):
+            loader.query(f"SELECT a FROM t WHERE a >= {low}")
+        _, full_cost = full_load(db2, "t", csv_path)
+        assert sum(loader.query_costs) < full_cost
+
+
+def test_raw_table_handles_quoted_commas(tmp_path):
+    path = tmp_path / "quoted.csv"
+    path.write_text('a,s,b\n1,"hello, world",10\n2,plain,20\n')
+    raw = RawTable(path)
+    assert raw.fetch_column("s").to_list() == ["hello, world", "plain"]
+    assert raw.fetch_column("b").to_list() == [10, 20]
+
+
+class TestSpeculativeLoading:
+    def test_hinted_columns_preloaded(self, csv_path):
+        from repro.loading import SpeculativeLoader
+
+        db = Database()
+        loader = SpeculativeLoader(
+            db, "t", csv_path, speculation_budget=1, workload_hint=["b"]
+        )
+        loader.query("SELECT a FROM t WHERE a < 10")  # speculates on b
+        assert "b" in loader.raw.columns_parsed
+        cost = loader.foreground_costs
+        loader.query("SELECT b FROM t WHERE b > 3")  # should be a hit
+        assert loader.speculative_hits == 1
+        assert loader.foreground_costs[-1] < cost[0] / 5
+
+    def test_background_work_accounted(self, csv_path):
+        from repro.loading import SpeculativeLoader
+
+        db = Database()
+        loader = SpeculativeLoader(db, "t", csv_path, speculation_budget=2)
+        loader.query("SELECT c FROM t")
+        assert loader.background_cost > 0
+        assert loader.fraction_loaded > 0.5
+
+    def test_tokenisation_free_columns_first(self, csv_path):
+        from repro.loading import SpeculativeLoader
+
+        db = Database()
+        loader = SpeculativeLoader(db, "t", csv_path, speculation_budget=1)
+        loader.query("SELECT c FROM t")  # tokenises fields 0..2
+        # speculation should have picked a or b (already tokenised), not d
+        speculated = set(loader.raw.columns_parsed) - {"c"}
+        assert speculated <= {"a", "b"}
+
+    def test_results_identical_to_plain_loader(self, csv_path):
+        from repro.loading import SpeculativeLoader
+
+        db1, db2 = Database(), Database()
+        speculative = SpeculativeLoader(db1, "t", csv_path, speculation_budget=2)
+        plain = InvisibleLoader(db2, "t", csv_path)
+        q = "SELECT c, COUNT(*) AS n FROM t WHERE a >= 50 GROUP BY c ORDER BY c"
+        assert speculative.query(q).to_dicts() == plain.query(q).to_dicts()
+
+    def test_no_speculation_budget_means_plain_nodb(self, csv_path):
+        from repro.loading import SpeculativeLoader
+
+        db = Database()
+        loader = SpeculativeLoader(db, "t", csv_path, speculation_budget=0)
+        loader.query("SELECT a FROM t")
+        assert loader.background_cost == 0
+        assert loader.raw.columns_parsed == ["a"]

@@ -1,0 +1,201 @@
+"""Tests for the prefetching middleware."""
+
+import numpy as np
+import pytest
+
+from repro.prefetch import (
+    CubeNavigator,
+    MarkovPredictor,
+    SpeculativeExecutor,
+    TileCache,
+    TrajectoryIndex,
+)
+from repro.prefetch.cube import MoveBasedRegionPredictor
+from repro.workloads import (
+    SessionConfig,
+    CubeSessionGenerator,
+    generate_sessions,
+    sales_table,
+)
+
+
+class TestTileCache:
+    def test_put_get(self):
+        cache = TileCache(capacity=2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats.hits == 1
+
+    def test_miss_counted(self):
+        cache = TileCache(capacity=2)
+        assert cache.get("zzz") is None
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction(self):
+        cache = TileCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a
+        cache.put("c", 3)  # evicts b
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_peek_does_not_affect_stats(self):
+        cache = TileCache(capacity=2)
+        cache.put("a", 1)
+        cache.peek("a")
+        cache.peek("zzz")
+        assert cache.stats.requests == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            TileCache(capacity=0)
+
+
+class TestMarkov:
+    def test_learns_deterministic_sequence(self):
+        predictor = MarkovPredictor(order=1)
+        predictor.observe_sequence(["a", "b", "a", "b", "a", "b"] * 10)
+        assert predictor.predict(["a"], k=1) == ["b"]
+        assert predictor.predict(["b"], k=1) == ["a"]
+
+    def test_order2_disambiguates(self):
+        # after (a, b) -> c; after (x, b) -> d
+        predictor = MarkovPredictor(order=2)
+        for _ in range(10):
+            predictor.observe_sequence(["a", "b", "c"])
+            predictor.observe_sequence(["x", "b", "d"])
+        assert predictor.predict(["a", "b"], k=1) == ["c"]
+        assert predictor.predict(["x", "b"], k=1) == ["d"]
+
+    def test_accuracy_on_persistent_sessions(self):
+        sessions = generate_sessions(
+            20, SessionConfig(length=40, persistence=0.9), seed=0
+        )
+        move_sessions = [[s.move for s in session[1:]] for session in sessions]
+        predictor = MarkovPredictor(order=1)
+        for session in move_sessions[:15]:
+            predictor.observe_sequence(session)
+        accuracy = predictor.accuracy(move_sessions[15:])
+        assert accuracy > 0.5  # persistence 0.9 makes repetition dominant
+
+    def test_empty_model_predicts_nothing(self):
+        assert MarkovPredictor().predict(["a"], k=1) == []
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            MarkovPredictor(order=0)
+
+
+class TestTrajectoryIndex:
+    def test_predicts_shared_continuation(self):
+        index = TrajectoryIndex(max_suffix=2)
+        for _ in range(5):
+            index.index_trajectory(["r1", "r2", "r3", "r4"])
+        assert index.predict(["r2", "r3"], k=1) == ["r4"]
+
+    def test_longer_suffix_wins(self):
+        index = TrajectoryIndex(max_suffix=2)
+        for _ in range(10):
+            index.index_trajectory(["a", "b", "c"])
+        for _ in range(3):
+            index.index_trajectory(["z", "b", "d"])
+        # context (a, b) should predict c despite (b,) votes being mixed
+        assert index.predict(["a", "b"], k=1) == ["c"]
+
+    def test_unknown_path_gives_nothing(self):
+        index = TrajectoryIndex()
+        index.index_trajectory(["a", "b"])
+        assert index.predict(["zzz"], k=1) == []
+
+
+class TestCubeNavigator:
+    @pytest.fixture()
+    def navigator(self):
+        table = sales_table(5000, seed=1)
+        return CubeNavigator(
+            table, "price", "quantity", "revenue", levels=3, base_tiles=4
+        )
+
+    def test_tile_aggregate_matches_numpy(self, navigator):
+        tile = navigator.compute_tile((0, 0, 0))
+        (x_lo, x_hi), (y_lo, y_hi) = navigator.tile_bounds((0, 0, 0))
+        mask = (
+            (navigator._x >= x_lo)
+            & (navigator._x <= x_hi)
+            & (navigator._y >= y_lo)
+            & (navigator._y <= y_hi)
+        )
+        assert tile.row_count == int(mask.sum())
+        if tile.row_count:
+            assert tile.aggregate == pytest.approx(
+                float(navigator._measure[mask].mean())
+            )
+
+    def test_invalid_region_raises(self, navigator):
+        with pytest.raises(ValueError):
+            navigator.compute_tile((9, 0, 0))
+
+    def test_moves_round_trip(self, navigator):
+        region = (1, 3, 3)
+        drilled = navigator.apply_move(region, "drill")
+        assert drilled[0] == 2
+        rolled = navigator.apply_move(drilled, "roll")
+        assert rolled == region
+
+    def test_infer_move_inverse_of_apply(self, navigator):
+        region = (1, 4, 4)
+        for move in ("left", "right", "up", "down", "drill", "roll"):
+            target = navigator.apply_move(region, move)
+            if target != region:
+                assert navigator.infer_move(region, target) == move
+
+    def test_neighbours_are_valid(self, navigator):
+        for neighbour in navigator.neighbours((1, 0, 0)):
+            assert navigator.region_is_valid(neighbour)
+
+
+class TestSpeculativeExecution:
+    def _run_session(self, predictor, fanout, seed=2):
+        table = sales_table(3000, seed=seed)
+        navigator = CubeNavigator(
+            table, "price", "quantity", "revenue", levels=4, base_tiles=4
+        )
+        cache = TileCache(capacity=128)
+        executor = SpeculativeExecutor(
+            compute=navigator.compute_tile,
+            cache=cache,
+            predictor=predictor(navigator) if predictor else None,
+            fanout=fanout,
+        )
+        config = SessionConfig(length=80, grid_side=32, levels=4, persistence=0.85)
+        generator = CubeSessionGenerator(config, seed=seed)
+        session = generator.session()
+        for step in session:
+            executor.request(step.region)
+        return executor
+
+    def test_prefetching_beats_no_prefetching(self):
+        def make_predictor(navigator):
+            model = MarkovPredictor(order=1)
+            # pre-train on similar sessions
+            for session in generate_sessions(
+                10, SessionConfig(length=60, persistence=0.85), seed=9
+            ):
+                model.observe_sequence([s.move for s in session[1:]])
+            return MoveBasedRegionPredictor(navigator, model)
+
+        with_prefetch = self._run_session(make_predictor, fanout=3)
+        without = self._run_session(None, fanout=0)
+        assert with_prefetch.hit_rate > without.hit_rate
+
+    def test_background_work_is_accounted(self):
+        def make_predictor(navigator):
+            model = MarkovPredictor(order=1)
+            model.observe_sequence(["right"] * 20)
+            return MoveBasedRegionPredictor(navigator, model)
+
+        executor = self._run_session(make_predictor, fanout=2)
+        assert executor.background_cost > 0
+        assert executor.foreground_cost > 0

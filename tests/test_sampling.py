@@ -1,0 +1,293 @@
+"""Tests for the approximate-query-processing layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import col
+from repro.errors import ApproximationError
+from repro.sampling import (
+    ApproximateQueryEngine,
+    OnlineAggregator,
+    ReservoirSampler,
+    SampleCatalog,
+    WeightedSampler,
+    bootstrap_ci,
+    build_stratified_sample,
+    reservoir_sample,
+    srs_estimate,
+)
+from repro.sampling.bootstrap import bootstrap_diagnostic
+from repro.workloads import sales_table
+
+
+class TestEstimators:
+    def test_avg_estimate_near_truth(self):
+        rng = np.random.default_rng(0)
+        population = rng.normal(50, 10, size=100_000)
+        sample = rng.choice(population, size=2000, replace=False)
+        estimate = srs_estimate(sample, len(population), "avg")
+        assert estimate.contains(float(population.mean()))
+
+    def test_sum_scales_by_population(self):
+        sample = np.asarray([1.0, 2.0, 3.0])
+        estimate = srs_estimate(sample, 300, "sum")
+        assert estimate.value == pytest.approx(600.0)
+
+    def test_count_from_indicators(self):
+        rng = np.random.default_rng(1)
+        indicators = (rng.random(5000) < 0.3).astype(float)
+        estimate = srs_estimate(indicators, 100_000, "count")
+        assert 25_000 < estimate.value < 35_000
+
+    def test_full_sample_has_zero_width(self):
+        values = np.arange(100, dtype=float)
+        estimate = srs_estimate(values, 100, "avg")
+        assert estimate.half_width == 0.0
+
+    def test_interval_narrows_with_sample_size(self):
+        rng = np.random.default_rng(2)
+        population = rng.normal(size=100_000)
+        small = srs_estimate(population[:100], 100_000, "avg")
+        large = srs_estimate(population[:10_000], 100_000, "avg")
+        assert large.half_width < small.half_width
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(ApproximationError):
+            srs_estimate(np.empty(0), 10, "avg")
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=200))
+    def test_property_interval_is_symmetric_and_finite(self, values):
+        estimate = srs_estimate(np.asarray(values), 10_000, "avg")
+        assert np.isfinite(estimate.value)
+        assert estimate.half_width >= 0
+        assert estimate.low <= estimate.value <= estimate.high
+
+    def test_coverage_is_approximately_nominal(self):
+        """95% intervals should cover the truth ~95% of the time."""
+        rng = np.random.default_rng(3)
+        population = rng.exponential(scale=10.0, size=50_000)
+        truth = float(population.mean())
+        hits = 0
+        trials = 200
+        for _ in range(trials):
+            sample = rng.choice(population, size=500, replace=False)
+            if srs_estimate(sample, len(population), "avg").contains(truth):
+                hits += 1
+        assert hits / trials > 0.88
+
+
+class TestOnlineAggregation:
+    def test_interval_shrinks(self):
+        rng = np.random.default_rng(4)
+        values = rng.normal(100, 20, size=50_000)
+        agg = OnlineAggregator(values, "avg", batch_size=500)
+        first = agg.step().estimate
+        for _ in range(20):
+            last = agg.step().estimate
+        assert last.half_width < first.half_width
+
+    def test_exhaustion_gives_exact_answer(self):
+        values = np.arange(1000, dtype=float)
+        agg = OnlineAggregator(values, "avg", batch_size=100)
+        result = None
+        for result in agg.run():
+            pass
+        assert result.estimate.value == pytest.approx(values.mean())
+        assert result.estimate.half_width == 0.0
+
+    def test_run_until_relative_error(self):
+        rng = np.random.default_rng(5)
+        values = rng.normal(100, 5, size=100_000)
+        agg = OnlineAggregator(values, "avg", batch_size=200)
+        result = agg.run_until(relative_error=0.01)
+        assert result.estimate.relative_error <= 0.01
+        assert result.rows_processed < len(values)
+
+    def test_grouped_estimates(self):
+        rng = np.random.default_rng(6)
+        groups = rng.choice(["x", "y"], size=20_000)
+        values = np.where(groups == "x", 10.0, 20.0) + rng.normal(size=20_000)
+        agg = OnlineAggregator(values, "avg", groups=groups, batch_size=1000)
+        result = agg.step()
+        assert abs(result.group_estimates["x"].value - 10.0) < 1.0
+        assert abs(result.group_estimates["y"].value - 20.0) < 1.0
+
+    def test_run_until_requires_a_condition(self):
+        agg = OnlineAggregator(np.arange(10.0), "avg")
+        with pytest.raises(ApproximationError):
+            agg.run_until()
+
+    def test_count_aggregate(self):
+        rng = np.random.default_rng(7)
+        indicators = (rng.random(10_000) < 0.25).astype(float)
+        agg = OnlineAggregator(indicators, "count", batch_size=1000)
+        result = agg.run_until(max_rows=4000)
+        assert 2000 < result.estimate.value < 3000
+
+
+class TestReservoir:
+    def test_reservoir_size(self):
+        sample = reservoir_sample(range(10_000), k=50, seed=0)
+        assert len(sample) == 50
+        assert all(0 <= x < 10_000 for x in sample)
+
+    def test_small_stream_kept_entirely(self):
+        assert sorted(reservoir_sample(range(5), k=50)) == [0, 1, 2, 3, 4]
+
+    def test_uniformity(self):
+        counts = np.zeros(10)
+        for seed in range(300):
+            for item in reservoir_sample(range(10), k=3, seed=seed):
+                counts[item] += 1
+        # each item should appear ~90 times (300 * 3/10)
+        assert counts.min() > 50 and counts.max() < 140
+
+    def test_algorithm_l_matches_r_statistically(self):
+        fast = ReservoirSampler(20, seed=1, fast=True)
+        fast.extend(range(5000))
+        assert len(fast.sample()) == 20
+        assert fast.seen == 5000
+        # means should be near the stream mean for both algorithms
+        assert abs(np.mean(fast.sample()) - 2500) < 900
+
+
+class TestStratified:
+    @pytest.fixture()
+    def table(self):
+        return sales_table(20_000, seed=0)
+
+    def test_caps_respected(self, table):
+        sample = build_stratified_sample(table, ["region"], cap=100)
+        assert all(s.taken <= 100 for s in sample.strata.values())
+
+    def test_rare_groups_fully_kept(self, table):
+        sample = build_stratified_sample(table, ["region"], cap=100)
+        sizes = {key: s.population for key, s in sample.strata.items()}
+        rare = min(sizes, key=sizes.get)
+        if sizes[rare] <= 100:
+            assert sample.strata[rare].taken == sizes[rare]
+
+    def test_grouped_estimates_near_truth(self, table):
+        sample = build_stratified_sample(table, ["region"], cap=500, seed=1)
+        estimates = sample.estimate_grouped(table, "revenue", "avg")
+        # compute the truth per region
+        regions = table.column("region").to_list()
+        revenue = np.asarray(table.column("revenue").data, dtype=float)
+        for (region,), estimate in estimates.items():
+            mask = np.asarray([r == region for r in regions])
+            truth = float(revenue[mask].mean())
+            assert abs(estimate.value - truth) / truth < 0.25
+
+    def test_count_is_exact_per_group(self, table):
+        sample = build_stratified_sample(table, ["region"], cap=50)
+        estimates = sample.estimate_grouped(table, None, "count")
+        regions = table.column("region").to_list()
+        for (region,), estimate in estimates.items():
+            assert estimate.value == regions.count(region)
+            assert estimate.half_width == 0.0
+
+    def test_cannot_answer_uncovered_grouping(self, table):
+        sample = build_stratified_sample(table, ["region"], cap=50)
+        with pytest.raises(ApproximationError):
+            sample.estimate_grouped(table, "revenue", "avg", ["category"])
+
+
+class TestApproximateQueryEngine:
+    @pytest.fixture()
+    def engine(self):
+        table = sales_table(30_000, seed=2)
+        catalog = SampleCatalog(table)
+        catalog.add_uniform(0.01, seed=3)
+        catalog.add_uniform(0.1, seed=4)
+        catalog.add_stratified(["region"], cap=400, seed=5)
+        return ApproximateQueryEngine(table, catalog)
+
+    def test_global_avg(self, engine):
+        answer = engine.query("avg", "revenue")
+        revenue = np.asarray(engine.table.column("revenue").data, dtype=float)
+        assert abs(answer.estimate.value - revenue.mean()) / revenue.mean() < 0.1
+
+    def test_time_bound_picks_small_sample(self, engine):
+        answer = engine.query("avg", "revenue", time_bound_rows=500)
+        assert answer.rows_scanned <= 500
+
+    def test_error_bound_picks_larger_sample(self, engine):
+        loose = engine.query("avg", "revenue", error_bound=0.5)
+        tight = engine.query("avg", "revenue", error_bound=0.01)
+        assert tight.rows_scanned >= loose.rows_scanned
+
+    def test_impossible_time_bound_raises(self, engine):
+        with pytest.raises(ApproximationError):
+            engine.query("avg", "revenue", time_bound_rows=1)
+
+    def test_grouped_query_uses_stratified(self, engine):
+        answer = engine.query("avg", "revenue", group_by=["region"])
+        assert "stratified" in answer.sample_used
+        assert len(answer.group_estimates) >= 4
+
+    def test_count_with_predicate(self, engine):
+        answer = engine.query("count", where=col("quantity") >= 5)
+        quantity = np.asarray(engine.table.column("quantity").data)
+        truth = int((quantity >= 5).sum())
+        assert abs(answer.estimate.value - truth) / truth < 0.2
+
+
+class TestBootstrap:
+    def test_ci_covers_median(self):
+        rng = np.random.default_rng(8)
+        sample = rng.normal(10, 2, size=500)
+        estimate = bootstrap_ci(sample, np.median, seed=9)
+        assert estimate.low < 10 < estimate.high
+
+    def test_diagnostic_flags_unstable_statistic(self):
+        rng = np.random.default_rng(10)
+        # max() of a heavy-tailed sample is notoriously unstable
+        sample = rng.pareto(1.1, size=1000)
+        result = bootstrap_diagnostic(sample, np.max, tolerance=0.2, seed=11)
+        assert not result.reliable
+
+    def test_diagnostic_accepts_stable_statistic(self):
+        rng = np.random.default_rng(12)
+        sample = rng.normal(10.0, 1.0, size=2000)
+        result = bootstrap_diagnostic(sample, np.mean, tolerance=0.5, seed=13)
+        assert result.reliable
+
+
+class TestWeightedSampling:
+    def test_bias_focuses_on_heavy_rows(self):
+        weights = np.concatenate([np.full(9000, 0.1), np.full(1000, 10.0)])
+        focused = WeightedSampler(weights, bias=1.0, seed=0).build(500)
+        uniform = WeightedSampler(weights, bias=0.0, seed=0).build(500)
+        interesting = np.arange(10_000) >= 9000
+        focused_hits = int(interesting[focused.row_indices].sum())
+        uniform_hits = int(interesting[uniform.row_indices].sum())
+        assert focused_hits > 3 * max(1, uniform_hits)
+
+    def test_budget_respected(self):
+        sampler = WeightedSampler(np.ones(1000), seed=1)
+        assert sampler.build(100).size == 100
+        assert sampler.build(5000).size == 1000  # capped at table size
+
+    def test_horvitz_thompson_roughly_unbiased(self):
+        rng = np.random.default_rng(14)
+        values = rng.uniform(0, 100, size=5000)
+        weights = values + 1.0  # bias toward large values
+        sampler = WeightedSampler(weights, bias=1.0, seed=15)
+        estimates = []
+        for seed in range(30):
+            sampler = WeightedSampler(weights, bias=1.0, seed=seed)
+            impression = sampler.build(500)
+            estimates.append(
+                impression.horvitz_thompson_sum(values[impression.row_indices])
+            )
+        truth = values.sum()
+        assert abs(np.mean(estimates) - truth) / truth < 0.15
+
+    def test_invalid_weights_raise(self):
+        with pytest.raises(ApproximationError):
+            WeightedSampler(np.asarray([-1.0, 2.0]))
+        with pytest.raises(ApproximationError):
+            WeightedSampler(np.empty(0))

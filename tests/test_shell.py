@@ -1,0 +1,84 @@
+"""Tests for the interactive exploration shell (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import Shell, main
+from repro.engine import write_csv
+from repro.workloads import sales_table
+
+
+@pytest.fixture()
+def shell():
+    s = Shell()
+    s.execute("\\demo 2000")
+    return s
+
+
+class TestShell:
+    def test_demo_loads(self, shell):
+        assert shell.session.db.has_table("sales")
+        assert "sales: 2000 rows" in shell.execute("\\tables")
+
+    def test_select_renders_table(self, shell):
+        output = shell.execute("SELECT COUNT(*) AS n FROM sales")
+        assert "2000" in output.replace(",", "")
+        assert "(1 rows)" in output
+
+    def test_dml(self, shell):
+        shell.execute("CREATE TABLE notes (body TEXT)")
+        assert "1 rows affected" in shell.execute("INSERT INTO notes VALUES ('hi')")
+        assert "hi" in shell.execute("SELECT body FROM notes")
+
+    def test_language_commands(self, shell):
+        assert "over-represented" in shell.execute(
+            "FACETS sales WHERE revenue > 300 RATIO 1.1"
+        ) or "(no facets)" in shell.execute(
+            "FACETS sales WHERE revenue > 300 RATIO 1.1"
+        )
+        assert "±" in shell.execute("APPROX AVG(revenue) FROM sales ROWS 400")
+
+    def test_explain(self, shell):
+        output = shell.execute("\\explain SELECT region FROM sales WHERE price > 10")
+        assert "Scan(sales" in output
+
+    def test_load_csv(self, shell, tmp_path):
+        path = tmp_path / "extra.csv"
+        write_csv(sales_table(50, seed=1), path)
+        output = shell.execute(f"\\load {path} AS extra")
+        assert "50 rows" in output
+        assert shell.session.db.has_table("extra")
+
+    def test_unknown_command(self, shell):
+        assert "unrecognised" in shell.execute("WIBBLE 42")
+
+    def test_errors_are_caught_in_run_loop(self, shell, capsys):
+        import io
+
+        shell.run(io.StringIO("SELECT zzz FROM missing\n"), interactive=False)
+        captured = capsys.readouterr()
+        assert "error:" in captured.out
+
+    def test_help(self, shell):
+        assert "EXPLORE" in shell.execute("\\help")
+
+    def test_empty_line(self, shell):
+        assert shell.execute("   ") == ""
+
+    def test_quit_raises_eof(self, shell):
+        with pytest.raises(EOFError):
+            shell.execute("\\quit")
+
+
+class TestMainEntry:
+    def test_dash_c(self, capsys):
+        code = main(["-c", "CREATE TABLE t (a INT)"])
+        assert code == 0
+        assert "0 rows affected" in capsys.readouterr().out
+
+    def test_dash_c_missing_arg(self, capsys):
+        assert main(["-c"]) == 2
+
+    def test_dash_c_error(self, capsys):
+        code = main(["-c", "SELECT a FROM nope"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err

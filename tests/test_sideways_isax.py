@@ -1,0 +1,162 @@
+"""Tests for sideways cracking and the iSAX data-series index."""
+
+import numpy as np
+import pytest
+
+from repro.indexing import ISAXIndex, SidewaysCracker, paa_transform, sax_symbols
+from repro.indexing.sax import sax_lower_bound_distance
+from repro.indexing.sideways import CrackerMap
+from repro.workloads import random_walk_series
+
+
+class TestSidewaysCracking:
+    @pytest.fixture()
+    def data(self):
+        rng = np.random.default_rng(0)
+        head = rng.integers(0, 1000, size=2000)
+        tails = {
+            "b": rng.normal(size=2000),
+            "c": rng.integers(0, 50, size=2000),
+        }
+        return head, tails
+
+    def test_select_project_correct(self, data):
+        head, tails = data
+        cracker = SidewaysCracker(head, tails)
+        got = cracker.select_project(100, 300, ["b"])["b"]
+        expected = tails["b"][(head >= 100) & (head <= 300)]
+        assert sorted(got.tolist()) == sorted(expected.tolist())
+
+    def test_maps_created_lazily(self, data):
+        head, tails = data
+        cracker = SidewaysCracker(head, tails)
+        assert cracker.maps_created == 0
+        cracker.select_project(0, 100, ["b"])
+        assert cracker.maps_created == 1
+        cracker.select_project(0, 100, ["b", "c"])
+        assert cracker.maps_created == 2
+
+    def test_repeated_queries_converge(self, data):
+        head, tails = data
+        cracker = SidewaysCracker(head, tails)
+        rng = np.random.default_rng(1)
+        costs = []
+        for _ in range(40):
+            low = int(rng.integers(0, 900))
+            before = cracker.work_touched
+            cracker.select_project(low, low + 50, ["b"])
+            costs.append(cracker.work_touched - before)
+        assert np.mean(costs[-10:]) < np.mean(costs[:5]) / 2
+
+    def test_unknown_tail_raises(self, data):
+        head, tails = data
+        cracker = SidewaysCracker(head, tails)
+        with pytest.raises(KeyError):
+            cracker.select_project(0, 10, ["zzz"])
+
+    def test_map_consistency_invariant(self, data):
+        head, tails = data
+        cracker_map = CrackerMap(head, tails["b"])
+        rng = np.random.default_rng(2)
+        for _ in range(30):
+            low = int(rng.integers(0, 950))
+            cracker_map.lookup(low, low + 40)
+            assert cracker_map.is_consistent()
+
+
+class TestSAX:
+    def test_paa_shape_and_means(self):
+        series = np.asarray([1.0, 1.0, 3.0, 3.0])
+        assert paa_transform(series, 2).tolist() == [1.0, 3.0]
+
+    def test_paa_uneven_lengths(self):
+        series = np.arange(10, dtype=float)
+        paa = paa_transform(series, 3)
+        assert len(paa) == 3
+        assert paa[0] < paa[1] < paa[2]
+
+    def test_sax_symbols_ordered(self):
+        paa = np.asarray([-2.0, 0.0, 2.0])
+        symbols = sax_symbols(paa, 4)
+        assert symbols[0] < symbols[1] <= symbols[2]
+
+    def test_lower_bound_property(self):
+        """MINDIST must never exceed the true Euclidean distance."""
+        rng = np.random.default_rng(3)
+        series = random_walk_series(50, 128, seed=4)
+        word_length, cardinality = 8, 16
+        paa = paa_transform(series, word_length)
+        words = sax_symbols(paa, cardinality)
+        for _ in range(20):
+            query = series[int(rng.integers(0, 50))] + rng.normal(0, 0.1, size=128)
+            query_paa = paa_transform(query, word_length)
+            for i in range(50):
+                true_distance = float(np.linalg.norm(series[i] - query))
+                bound = sax_lower_bound_distance(
+                    query_paa, words[i], cardinality, 128
+                )
+                assert bound <= true_distance + 1e-9
+
+
+class TestISAX:
+    @pytest.fixture()
+    def series(self):
+        return random_walk_series(400, 128, seed=5)
+
+    def test_all_series_indexed(self, series):
+        index = ISAXIndex(series, word_length=8, leaf_capacity=32)
+        total = sum(len(leaf.series_ids) for leaf in index.leaves())
+        assert total == len(series)
+
+    def test_leaves_respect_capacity_mostly(self, series):
+        index = ISAXIndex(series, word_length=8, leaf_capacity=32)
+        oversized = [l for l in index.leaves() if len(l.series_ids) > 32]
+        # only leaves that cannot be split further may exceed capacity
+        assert len(oversized) <= 2
+
+    def test_approximate_search_returns_valid_ids(self, series):
+        index = ISAXIndex(series, leaf_capacity=16)
+        results = index.approximate_search(series[7], k=3)
+        assert len(results) >= 1
+        for series_id, distance in results:
+            assert 0 <= series_id < len(series)
+            assert distance >= 0
+
+    def test_exact_search_finds_true_nearest(self, series):
+        index = ISAXIndex(series, leaf_capacity=16)
+        rng = np.random.default_rng(6)
+        for _ in range(10):
+            target = int(rng.integers(0, len(series)))
+            query = series[target] + rng.normal(0, 0.01, size=series.shape[1])
+            distances = np.linalg.norm(series - query, axis=1)
+            truth = int(np.argmin(distances))
+            (found, _), = index.exact_search(query, k=1)
+            assert found == truth
+
+    def test_exact_search_prunes(self, series):
+        index = ISAXIndex(series, leaf_capacity=16)
+        index.reset_counters()
+        index.exact_search(series[0] + 0.01, k=1)
+        assert index.distance_computations < len(series)
+
+    def test_exact_knn_matches_brute_force(self, series):
+        index = ISAXIndex(series, leaf_capacity=16)
+        query = random_walk_series(1, 128, seed=9)[0]
+        distances = np.linalg.norm(series - query, axis=1)
+        truth = set(np.argsort(distances)[:5].tolist())
+        found = {sid for sid, _ in index.exact_search(query, k=5)}
+        assert found == truth
+
+    def test_exact_knn_results_are_distinct(self, series):
+        index = ISAXIndex(series, leaf_capacity=16)
+        query = series[5] + 0.01
+        found = [sid for sid, _ in index.exact_search(query, k=5)]
+        assert len(found) == len(set(found)) == 5
+
+    def test_adaptive_mode_defers_splits(self, series):
+        eager = ISAXIndex(series, leaf_capacity=16, adaptive=False)
+        lazy = ISAXIndex(series, leaf_capacity=16, adaptive=True)
+        assert lazy.num_leaves < eager.num_leaves  # work deferred
+        lazy.approximate_search(series[0], k=1)  # a query triggers splitting
+        results = lazy.exact_search(series[3], k=1)
+        assert results[0][0] == 3

@@ -1,0 +1,244 @@
+"""Detailed tests of the SQL lexer, parser, expressions and planner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Database, Table, col, lit
+from repro.engine.expressions import truth_mask
+from repro.engine.sql import parse, tokenize, TokenType
+from repro.errors import BindError, LexerError, ParseError
+
+
+class TestLexer:
+    def test_keywords_uppercased(self):
+        tokens = tokenize("select FROM Where")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 1e3 2.5E-2")
+        values = [t.value for t in tokens[:-1]]
+        assert values == [1, 2.5, 1000.0, 0.025]
+        assert isinstance(values[0], int)
+
+    def test_string_escapes(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError):
+            tokenize("'oops")
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT -- a comment\n a")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "a"]
+
+    def test_neq_normalised(self):
+        tokens = tokenize("a != b")
+        assert tokens[1].value == "<>"
+
+    def test_bad_character(self):
+        with pytest.raises(LexerError):
+            tokenize("SELECT @a")
+
+    def test_eof_token(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].type is TokenType.EOF
+
+
+class TestParser:
+    def test_roundtrip_simple(self):
+        statement = parse("SELECT a, b FROM t WHERE a > 5 ORDER BY b DESC LIMIT 3")
+        again = parse(statement.to_sql())
+        assert again.to_sql() == statement.to_sql()
+
+    def test_aggregates(self):
+        statement = parse("SELECT COUNT(*), AVG(x) AS m FROM t")
+        assert statement.is_aggregate
+        names = [item.output_name() for item in statement.items]
+        assert names == ["count_star", "m"]
+
+    def test_count_distinct(self):
+        statement = parse("SELECT COUNT(DISTINCT a) FROM t")
+        assert statement.items[0].aggregate.distinct
+
+    def test_having_rewrites_aggregates(self):
+        statement = parse(
+            "SELECT a, SUM(b) FROM t GROUP BY a HAVING SUM(b) > 10 AND COUNT(*) > 1"
+        )
+        assert len(statement.having_aggregates) == 2
+        assert statement.having is not None
+
+    def test_between_expansion(self):
+        statement = parse("SELECT a FROM t WHERE a BETWEEN 1 AND 5")
+        sql = statement.where.to_sql()
+        assert ">=" in sql and "<=" in sql
+
+    def test_not_in(self):
+        statement = parse("SELECT a FROM t WHERE a NOT IN (1, 2)")
+        assert "NOT" in statement.where.to_sql()
+
+    def test_join_parsing(self):
+        statement = parse("SELECT a FROM t JOIN u ON t.k = u.k")
+        assert len(statement.joins) == 1
+        assert statement.joins[0].kind == "inner"
+
+    def test_left_join(self):
+        statement = parse("SELECT a FROM t LEFT JOIN u ON t.k = u.k")
+        assert statement.joins[0].kind == "left"
+
+    def test_operator_precedence(self):
+        statement = parse("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        # AND binds tighter: a=1 OR (b=2 AND c=3)
+        sql = statement.where.to_sql()
+        assert sql.startswith("((a = 1) OR")
+
+    def test_arithmetic_precedence(self):
+        statement = parse("SELECT a + b * 2 FROM t")
+        assert statement.items[0].expression.to_sql() == "(a + (b * 2))"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT",
+            "SELECT FROM t",
+            "SELECT a FROM",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t LIMIT -1",
+            "SELECT a FROM t GROUP",
+            "SELECT a FROM t trailing nonsense extra",
+            "SELECT SUM(a) FROM t WHERE SUM(a) > 1",
+        ],
+    )
+    def test_bad_queries_raise(self, bad):
+        with pytest.raises(ParseError):
+            parse(bad)
+
+    def test_trailing_semicolon_ok(self):
+        assert parse("SELECT a FROM t;").table == "t"
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        column=st.sampled_from(["a", "b", "c"]),
+        value=st.integers(-1000, 1000),
+        op=st.sampled_from(["=", "<", "<=", ">", ">=", "<>"]),
+        limit=st.integers(0, 100),
+    )
+    def test_property_roundtrip(self, column, value, op, limit):
+        sql = f"SELECT {column} FROM t WHERE {column} {op} {value} LIMIT {limit}"
+        statement = parse(sql)
+        assert parse(statement.to_sql()).to_sql() == statement.to_sql()
+
+
+class TestExpressions:
+    @pytest.fixture()
+    def table(self):
+        return Table.from_dict({"a": [1, 2, 3, None], "b": [1.0, None, 3.0, 4.0]})
+
+    def test_kleene_and(self, table):
+        # NULL AND FALSE = FALSE (known), NULL AND TRUE = NULL
+        predicate = (col("a") > 0) & (col("b") > 0)
+        mask = truth_mask(predicate, table)
+        assert mask.tolist() == [True, False, True, False]
+
+    def test_kleene_or(self, table):
+        predicate = (col("a") > 2) | (col("b") > 2)
+        mask = truth_mask(predicate, table)
+        # row1: F|F=F; row2: F|NULL=NULL->drop; row3: T; row4: NULL|T=T
+        assert mask.tolist() == [False, False, True, True]
+
+    def test_not_null_propagates(self, table):
+        predicate = ~(col("a") > 2)
+        mask = truth_mask(predicate, table)
+        assert mask.tolist() == [True, True, False, False]
+
+    def test_is_null(self, table):
+        assert truth_mask(col("a").is_null(), table).tolist() == [
+            False, False, False, True,
+        ]
+        assert truth_mask(col("b").is_not_null(), table).tolist() == [
+            True, False, True, True,
+        ]
+
+    def test_between_and_isin(self, table):
+        assert truth_mask(col("a").between(2, 3), table).tolist() == [
+            False, True, True, False,
+        ]
+        assert truth_mask(col("a").isin([1, 3]), table).tolist() == [
+            True, False, True, False,
+        ]
+
+    def test_arithmetic_nulls(self, table):
+        result = (col("a") + col("b")).evaluate(table)
+        assert result.to_list() == [2.0, None, 6.0, None]
+
+    def test_string_comparison(self):
+        table = Table.from_dict({"s": ["apple", "banana", "cherry"]})
+        mask = truth_mask(col("s") >= "banana", table)
+        assert mask.tolist() == [False, True, True]
+
+    def test_literal_rendering(self):
+        assert lit("it's").to_sql() == "'it''s'"
+        assert lit(None).to_sql() == "NULL"
+        assert lit(True).to_sql() == "TRUE"
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        values=st.lists(st.integers(-100, 100), min_size=1, max_size=50),
+        low=st.integers(-100, 100),
+        width=st.integers(0, 100),
+    )
+    def test_property_between_matches_python(self, values, low, width):
+        table = Table.from_dict({"v": values})
+        mask = truth_mask(col("v").between(low, low + width), table)
+        expected = [low <= v <= low + width for v in values]
+        assert mask.tolist() == expected
+
+
+class TestPlanner:
+    @pytest.fixture()
+    def db(self):
+        database = Database()
+        database.create_table("t", {"a": list(range(100)), "b": list(range(100))})
+        database.create_table("u", {"a": [1, 2], "label": ["x", "y"]})
+        return database
+
+    def test_index_probe_selected(self, db):
+        from repro.indexing import CrackerIndex
+
+        values = np.asarray(db.get_table("t").column("a").data)
+        db.register_index("t", "a", CrackerIndex(values))
+        plan = db.plan("SELECT b FROM t WHERE a >= 10 AND a <= 20")
+        assert "index" in plan.explain()
+        result = db.sql("SELECT b FROM t WHERE a >= 10 AND a <= 20 ORDER BY b")
+        assert result.column("b").to_list() == list(range(10, 21))
+
+    def test_no_index_no_probe(self, db):
+        plan = db.plan("SELECT b FROM t WHERE a >= 10")
+        assert "index" not in plan.explain()
+
+    def test_pushdown_with_join(self, db):
+        plan = db.plan(
+            "SELECT label FROM t JOIN u ON t.a = u.a WHERE b < 50 AND label = 'x'"
+        )
+        text = plan.explain()
+        # b < 50 pushed into the scan; label filter above the join
+        assert "Scan(t, filter: (b < 50))" in text
+        assert "Filter((label = 'x'))" in text
+
+    def test_bind_error_unknown_qualifier(self, db):
+        with pytest.raises(BindError):
+            db.sql("SELECT zzz.a FROM t")
+
+    def test_bind_error_unknown_join_column(self, db):
+        with pytest.raises(BindError):
+            db.sql("SELECT a FROM t JOIN u ON t.zzz = u.a")
+
+    def test_reversed_on_clause(self, db):
+        result = db.sql("SELECT label FROM t JOIN u ON u.a = t.a ORDER BY label")
+        assert result.column("label").to_list() == ["x", "y"]
+
+    def test_join_name_clash_renamed(self, db):
+        result = db.sql("SELECT a, right_a FROM t JOIN u ON t.a = u.a ORDER BY a")
+        assert result.column("a").to_list() == result.column("right_a").to_list()

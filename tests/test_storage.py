@@ -1,0 +1,138 @@
+"""Tests for adaptive storage layouts."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.storage import (
+    AdaptiveStore,
+    ColumnGroupLayout,
+    ColumnLayout,
+    QueryProfile,
+    RowLayout,
+    WorkloadMonitor,
+    parse_layout_spec,
+)
+
+COLUMNS = ["a", "b", "c", "d", "e", "f"]
+N = 10_000
+
+
+def scan_profile() -> QueryProfile:
+    """OLAP-ish: filter one column, project one, low selectivity."""
+    return QueryProfile.make(["a"], ["b"], selectivity=0.01)
+
+
+def tuple_profile() -> QueryProfile:
+    """OLTP-ish: materialise whole tuples for a large fraction of rows,
+    where column-store reconstruction costs dominate."""
+    return QueryProfile.make(["a"], COLUMNS, selectivity=0.6)
+
+
+class TestCostModel:
+    def test_column_beats_row_on_narrow_scan(self):
+        p = scan_profile()
+        assert ColumnLayout(COLUMNS).scan_cost(p, N) < RowLayout(COLUMNS).scan_cost(p, N)
+
+    def test_row_cost_independent_of_projection(self):
+        row = RowLayout(COLUMNS)
+        assert row.scan_cost(scan_profile(), N) == row.scan_cost(tuple_profile(), N)
+
+    def test_groups_interpolate(self):
+        p = QueryProfile.make(["a"], ["a", "b"], selectivity=0.05)
+        grouped = ColumnGroupLayout([["a", "b"], ["c", "d", "e", "f"]])
+        row_cost = RowLayout(COLUMNS).scan_cost(p, N)
+        assert grouped.scan_cost(p, N) < row_cost
+        # reading group {a,b} for the filter costs 2 columns
+        assert grouped.scan_cost(p, N) == 2 * N
+
+    def test_groups_must_be_disjoint(self):
+        with pytest.raises(ValueError):
+            ColumnGroupLayout([["a", "b"], ["b", "c"]])
+
+
+class TestWorkloadMonitor:
+    def test_affinity_counts(self):
+        monitor = WorkloadMonitor(COLUMNS)
+        monitor.record(QueryProfile.make(["a"], ["b"]))
+        monitor.record(QueryProfile.make(["a"], ["b"]))
+        monitor.record(QueryProfile.make(["c"], ["d"]))
+        affinity = monitor.affinity()
+        assert affinity[("a", "b")] == 2
+        assert affinity[("c", "d")] == 1
+
+    def test_suggest_groups_clusters_coaccessed(self):
+        monitor = WorkloadMonitor(COLUMNS, window=10)
+        for _ in range(8):
+            monitor.record(QueryProfile.make(["a"], ["b"]))
+        groups = monitor.suggest_groups(min_affinity_fraction=0.5)
+        grouped = next(g for g in groups if "a" in g)
+        assert set(grouped) == {"a", "b"}
+
+    def test_window_forgets(self):
+        monitor = WorkloadMonitor(COLUMNS, window=3)
+        monitor.record(QueryProfile.make(["a"], ["b"]))
+        for _ in range(3):
+            monitor.record(QueryProfile.make(["c"], ["d"]))
+        assert ("a", "b") not in monitor.affinity()
+
+
+class TestAdaptiveStore:
+    def test_adapts_to_scan_workload(self):
+        store = AdaptiveStore(COLUMNS, N, evaluation_interval=5)
+        for _ in range(30):
+            store.execute(scan_profile())
+        assert isinstance(store.layout, (ColumnLayout, ColumnGroupLayout))
+        assert store.events, "expected at least one adaptation event"
+
+    def test_stays_row_for_tuple_workload(self):
+        store = AdaptiveStore(COLUMNS, N, evaluation_interval=5)
+        for _ in range(30):
+            store.execute(tuple_profile())
+        assert isinstance(store.layout, RowLayout)
+
+    def test_tracks_phase_shift(self):
+        store = AdaptiveStore(COLUMNS, N, evaluation_interval=5, window=10)
+        for _ in range(25):
+            store.execute(scan_profile())
+        first_layout = store.layout.describe()
+        for _ in range(25):
+            store.execute(tuple_profile())
+        assert store.layout.describe() != first_layout
+
+    def test_beats_worst_static_layout(self):
+        adaptive = AdaptiveStore(COLUMNS, N, evaluation_interval=5)
+        static_row = RowLayout(COLUMNS)
+        static_cost = 0.0
+        for _ in range(60):
+            p = scan_profile()
+            adaptive.execute(p)
+            static_cost += static_row.scan_cost(p, N)
+        assert adaptive.total_cost < static_cost
+
+
+class TestDeclarativeSpecs:
+    def test_row_spec(self):
+        layout = parse_layout_spec("row(a, b, c)")
+        assert isinstance(layout, RowLayout)
+        assert layout.columns == ["a", "b", "c"]
+
+    def test_column_spec(self):
+        assert isinstance(parse_layout_spec("column(x, y)"), ColumnLayout)
+
+    def test_groups_spec(self):
+        layout = parse_layout_spec("groups({a, b}; {c})")
+        assert isinstance(layout, ColumnGroupLayout)
+        assert layout.groups == [["a", "b"], ["c"]]
+
+    def test_roundtrip(self):
+        layout = parse_layout_spec("groups({a, b}; {c})")
+        again = parse_layout_spec(layout.describe())
+        assert again.describe() == layout.describe()
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "pile(a)", "row()", "groups(a, b)", "groups({a}; {a})", "row(1bad)"],
+    )
+    def test_bad_specs_raise(self, bad):
+        with pytest.raises(ParseError):
+            parse_layout_spec(bad)

@@ -1,0 +1,227 @@
+"""Tests for synopses: histograms, wavelets, sketches, samples."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synopses import (
+    AMSSketch,
+    BloomFilter,
+    CountMinSketch,
+    EquiDepthHistogram,
+    EquiWidthHistogram,
+    HaarWaveletSynopsis,
+    HyperLogLog,
+    MaxDiffHistogram,
+    SampleSynopsis,
+)
+from repro.synopses.wavelet import haar_transform, inverse_haar_transform
+from repro.workloads import zipfian_column
+
+
+@pytest.fixture()
+def uniform_values():
+    return np.random.default_rng(0).uniform(0, 1000, size=50_000)
+
+
+@pytest.fixture()
+def skewed_values():
+    return zipfian_column(50_000, num_values=1000, skew=1.3, seed=1).astype(float)
+
+
+class TestHistograms:
+    @pytest.mark.parametrize(
+        "cls", [EquiWidthHistogram, EquiDepthHistogram, MaxDiffHistogram]
+    )
+    def test_total_count_preserved(self, cls, uniform_values):
+        histogram = cls(uniform_values, num_buckets=32)
+        full = histogram.estimate_range_count(-1, 1001)
+        assert full == pytest.approx(len(uniform_values), rel=0.01)
+
+    @pytest.mark.parametrize(
+        "cls", [EquiWidthHistogram, EquiDepthHistogram, MaxDiffHistogram]
+    )
+    def test_range_estimates_reasonable_on_uniform(self, cls, uniform_values):
+        histogram = cls(uniform_values, num_buckets=64)
+        estimate = histogram.estimate_range_count(100, 200)
+        truth = int(((uniform_values >= 100) & (uniform_values <= 200)).sum())
+        assert abs(estimate - truth) / truth < 0.1
+
+    def test_equidepth_beats_equiwidth_on_skew(self, skewed_values):
+        buckets = 16
+        ew = EquiWidthHistogram(skewed_values, num_buckets=buckets)
+        ed = EquiDepthHistogram(skewed_values, num_buckets=buckets)
+
+        def total_error(histogram):
+            error = 0.0
+            for low in range(0, 100, 5):
+                high = low + 5
+                truth = float(((skewed_values >= low) & (skewed_values <= high)).sum())
+                error += abs(histogram.estimate_range_count(low, high) - truth)
+            return error
+
+        assert total_error(ed) < total_error(ew)
+
+    def test_selectivity_in_unit_range(self, uniform_values):
+        histogram = EquiWidthHistogram(uniform_values)
+        s = histogram.estimate_selectivity(0, 500)
+        assert 0.0 <= s <= 1.0
+        assert s == pytest.approx(0.5, abs=0.05)
+
+    def test_empty_input(self):
+        histogram = EquiWidthHistogram(np.empty(0))
+        assert histogram.estimate_range_count(0, 10) == 0.0
+
+    def test_maxdiff_exact_on_few_distinct(self):
+        values = np.asarray([1.0] * 50 + [2.0] * 30 + [5.0] * 20)
+        histogram = MaxDiffHistogram(values, num_buckets=8)
+        assert histogram.estimate_range_count(1, 1) == pytest.approx(50)
+        assert histogram.estimate_range_count(5, 5) == pytest.approx(20)
+
+
+class TestWavelets:
+    def test_haar_roundtrip(self):
+        rng = np.random.default_rng(2)
+        vector = rng.normal(size=64)
+        assert np.allclose(inverse_haar_transform(haar_transform(vector)), vector)
+
+    def test_haar_preserves_energy(self):
+        rng = np.random.default_rng(3)
+        vector = rng.normal(size=128)
+        transformed = haar_transform(vector)
+        assert np.sum(vector**2) == pytest.approx(np.sum(transformed**2))
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            haar_transform(np.zeros(100))
+
+    def test_full_coefficients_are_exact(self, uniform_values):
+        synopsis = HaarWaveletSynopsis(uniform_values, num_coefficients=256, grid_size=256)
+        truth = int(((uniform_values >= 100) & (uniform_values <= 200)).sum())
+        # full coefficient set: only gridding error remains
+        assert abs(synopsis.estimate_range_count(100, 200) - truth) / truth < 0.05
+
+    def test_more_coefficients_less_error(self, skewed_values):
+        small = HaarWaveletSynopsis(skewed_values, num_coefficients=8, grid_size=512)
+        large = HaarWaveletSynopsis(skewed_values, num_coefficients=128, grid_size=512)
+
+        def total_error(synopsis):
+            error = 0.0
+            for low in range(0, 200, 20):
+                truth = float(
+                    ((skewed_values >= low) & (skewed_values <= low + 20)).sum()
+                )
+                error += abs(synopsis.estimate_range_count(low, low + 20) - truth)
+            return error
+
+        assert total_error(large) < total_error(small)
+
+    def test_size_scales_with_coefficients(self, uniform_values):
+        small = HaarWaveletSynopsis(uniform_values, num_coefficients=8)
+        large = HaarWaveletSynopsis(uniform_values, num_coefficients=64)
+        assert large.size_bytes > small.size_bytes
+
+
+class TestCountMin:
+    def test_never_underestimates(self):
+        sketch = CountMinSketch(epsilon=0.01, delta=0.01)
+        rng = np.random.default_rng(4)
+        items = rng.integers(0, 100, size=5000)
+        sketch.extend(items.tolist())
+        counts = np.bincount(items, minlength=100)
+        for item in range(100):
+            assert sketch.estimate(item) >= counts[item]
+
+    def test_heavy_hitters_accurate(self):
+        sketch = CountMinSketch(epsilon=0.001, delta=0.01)
+        items = zipfian_column(20_000, num_values=500, skew=1.5, seed=5)
+        sketch.extend(items.tolist())
+        counts = np.bincount(items, minlength=500)
+        top = int(np.argmax(counts))
+        assert sketch.estimate(top) <= counts[top] + 0.01 * len(items)
+
+    def test_merge(self):
+        a = CountMinSketch(epsilon=0.01, delta=0.1)
+        b = CountMinSketch(epsilon=0.01, delta=0.1)
+        a.add("x", 5)
+        b.add("x", 7)
+        merged = a.merge(b)
+        assert merged.estimate("x") >= 12
+
+    def test_merge_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(0.01, 0.1).merge(CountMinSketch(0.1, 0.1))
+
+
+class TestAMS:
+    def test_f2_estimate(self):
+        items = zipfian_column(5000, num_values=100, skew=1.2, seed=6)
+        sketch = AMSSketch(num_counters=512, seed=7)
+        sketch.extend(items.tolist())
+        counts = np.bincount(items, minlength=100)
+        truth = float(np.sum(counts.astype(np.float64) ** 2))
+        assert abs(sketch.estimate_f2() - truth) / truth < 0.3
+
+
+class TestHyperLogLog:
+    def test_distinct_count_accuracy(self):
+        hll = HyperLogLog(precision=12)
+        hll.extend(range(50_000))
+        estimate = hll.estimate()
+        assert abs(estimate - 50_000) / 50_000 < 0.05
+
+    def test_duplicates_do_not_inflate(self):
+        hll = HyperLogLog(precision=12)
+        for _ in range(10):
+            hll.extend(range(1000))
+        assert abs(hll.estimate() - 1000) / 1000 < 0.1
+
+    def test_merge_unions(self):
+        a, b = HyperLogLog(10), HyperLogLog(10)
+        a.extend(range(0, 10_000))
+        b.extend(range(5_000, 15_000))
+        merged = a.merge(b)
+        assert abs(merged.estimate() - 15_000) / 15_000 < 0.1
+
+    def test_invalid_precision(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(precision=2)
+
+
+class TestBloom:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(capacity=1000, false_positive_rate=0.01)
+        members = [f"key_{i}" for i in range(1000)]
+        bloom.extend(members)
+        assert all(m in bloom for m in members)
+
+    def test_false_positive_rate_bounded(self):
+        bloom = BloomFilter(capacity=1000, false_positive_rate=0.01)
+        bloom.extend(f"key_{i}" for i in range(1000))
+        false_positives = sum(f"other_{i}" in bloom for i in range(10_000))
+        assert false_positives / 10_000 < 0.05
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.text(max_size=10), max_size=50))
+    def test_property_members_always_found(self, items):
+        bloom = BloomFilter(capacity=100)
+        bloom.extend(items)
+        assert all(item in bloom for item in items)
+
+
+class TestSampleSynopsis:
+    def test_range_count(self, uniform_values):
+        synopsis = SampleSynopsis(uniform_values, sample_size=5000, seed=8)
+        truth = int(((uniform_values >= 200) & (uniform_values <= 400)).sum())
+        assert abs(synopsis.estimate_range_count(200, 400) - truth) / truth < 0.1
+
+    def test_mean(self, uniform_values):
+        synopsis = SampleSynopsis(uniform_values, sample_size=5000, seed=9)
+        assert synopsis.estimate_mean() == pytest.approx(
+            float(uniform_values.mean()), rel=0.05
+        )
+
+    def test_size_accounting(self, uniform_values):
+        synopsis = SampleSynopsis(uniform_values, sample_size=100)
+        assert synopsis.size_bytes == 800

@@ -1,0 +1,164 @@
+"""Tests for the synthetic data and workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    RangeQuery,
+    SessionConfig,
+    clustered_column,
+    correlated_columns,
+    generate_sessions,
+    grid_table,
+    random_range_queries,
+    random_walk_series,
+    sales_table,
+    sequential_range_queries,
+    shifting_focus_queries,
+    uniform_column,
+    zipfian_column,
+    zoom_in_queries,
+)
+from repro.workloads.queries import query_stream
+
+
+class TestDataGenerators:
+    def test_uniform_bounds(self):
+        values = uniform_column(10_000, low=5, high=50, seed=0)
+        assert values.min() >= 5 and values.max() < 50
+
+    def test_reproducible(self):
+        a = uniform_column(100, seed=42)
+        b = uniform_column(100, seed=42)
+        assert np.array_equal(a, b)
+
+    def test_zipfian_skew(self):
+        values = zipfian_column(50_000, num_values=100, skew=1.5, seed=1)
+        counts = np.bincount(values, minlength=100)
+        assert counts[0] > 10 * max(1, counts[50])
+
+    def test_clustered_concentration(self):
+        values = clustered_column(10_000, num_clusters=3, cluster_std=100, seed=2)
+        histogram, _ = np.histogram(values, bins=100)
+        # most mass in few bins
+        top5 = np.sort(histogram)[-5:].sum()
+        assert top5 > 0.5 * len(values)
+
+    def test_correlation_level(self):
+        x, y = correlated_columns(50_000, correlation=0.8, seed=3)
+        observed = float(np.corrcoef(x, y)[0, 1])
+        assert abs(observed - 0.8) < 0.05
+
+    def test_random_walks_znormalised(self):
+        series = random_walk_series(10, 256, seed=4)
+        assert series.shape == (10, 256)
+        assert np.allclose(series.mean(axis=1), 0, atol=1e-9)
+        assert np.allclose(series.std(axis=1), 1, atol=1e-6)
+
+    def test_grid_table_shapes(self):
+        table = grid_table(16, value_fn="gradient")
+        assert table.num_rows == 256
+        assert set(table.column_names) == {"x", "y", "value"}
+
+    def test_grid_hotspots_have_peaks(self):
+        table = grid_table(32, value_fn="hotspots", num_hotspots=2, seed=5)
+        values = np.asarray(table.column("value").data)
+        assert values.max() > 2.0
+
+    def test_grid_unknown_fn_raises(self):
+        with pytest.raises(ValueError):
+            grid_table(8, value_fn="mystery")
+
+    def test_sales_table_schema_and_consistency(self):
+        table = sales_table(2000, seed=6)
+        assert table.num_rows == 2000
+        revenue = np.asarray(table.column("revenue").data)
+        price = np.asarray(table.column("price").data)
+        quantity = np.asarray(table.column("quantity").data)
+        discount = np.asarray(table.column("discount").data)
+        assert np.allclose(revenue, np.round(price * quantity * (1 - discount), 2))
+
+
+class TestQueryWorkloads:
+    DOMAIN = (0, 1_000_000)
+
+    def test_range_query_validation(self):
+        with pytest.raises(ValueError):
+            RangeQuery(10, 5)
+
+    def test_random_widths(self):
+        queries = random_range_queries(100, self.DOMAIN, selectivity=0.01, seed=0)
+        assert len(queries) == 100
+        assert all(q.width == 10_000 for q in queries)
+
+    def test_sequential_sweeps(self):
+        queries = sequential_range_queries(10, self.DOMAIN, selectivity=0.05)
+        starts = [q.low for q in queries]
+        assert starts == sorted(starts)
+        for a, b in zip(queries[:-1], queries[1:]):
+            assert b.low == a.high
+
+    def test_shifting_focus_has_phases(self):
+        queries = shifting_focus_queries(
+            100, self.DOMAIN, selectivity=0.001, num_phases=4, seed=1
+        )
+        assert len(queries) == 100
+        # within a phase, queries stay inside a narrow region
+        phase = [q.low for q in queries[:25]]
+        assert max(phase) - min(phase) < 0.2 * self.DOMAIN[1]
+
+    def test_zoom_in_shrinks(self):
+        queries = zoom_in_queries(10, self.DOMAIN, shrink=0.5, seed=2)
+        widths = [q.width for q in queries]
+        assert widths == sorted(widths, reverse=True)
+
+    def test_query_sql_rendering(self):
+        q = RangeQuery(10, 20)
+        sql = q.to_sql("v", "data")
+        assert "v >= 10" in sql and "v < 20" in sql
+
+    def test_stream_dispatch(self):
+        for pattern in ("random", "sequential", "shifting", "zoom"):
+            queries = list(query_stream(pattern, 5, self.DOMAIN))
+            assert len(queries) == 5
+        with pytest.raises(ValueError):
+            list(query_stream("mystery", 5, self.DOMAIN))
+
+
+class TestSessions:
+    def test_session_length(self):
+        sessions = generate_sessions(3, SessionConfig(length=25), seed=0)
+        assert len(sessions) == 3
+        assert all(len(s) == 25 for s in sessions)
+
+    def test_regions_valid(self):
+        config = SessionConfig(length=100, grid_side=16, levels=3)
+        for session in generate_sessions(5, config, seed=1):
+            for step in session:
+                level, x, y = step.region
+                assert 0 <= level < config.levels
+                side = max(1, config.grid_side >> (config.levels - 1 - level))
+                assert 0 <= x < side and 0 <= y < side
+
+    def test_persistence_increases_repetition(self):
+        def repeat_rate(persistence, seed=2):
+            sessions = generate_sessions(
+                10, SessionConfig(length=80, persistence=persistence), seed=seed
+            )
+            repeats = total = 0
+            for session in sessions:
+                moves = [s.move for s in session[1:]]
+                repeats += sum(a == b for a, b in zip(moves[:-1], moves[1:]))
+                total += len(moves) - 1
+            return repeats / total
+
+        assert repeat_rate(0.9) > repeat_rate(0.1) + 0.2
+
+    def test_moves_consistent_with_regions(self):
+        config = SessionConfig(length=60, persistence=0.5)
+        for session in generate_sessions(3, config, seed=3):
+            for a, b in zip(session[:-1], session[1:]):
+                if b.move == "drill":
+                    assert b.region[0] == a.region[0] + 1
+                elif b.move == "roll":
+                    assert b.region[0] == a.region[0] - 1
