@@ -5,15 +5,27 @@ per-experiment index: it defines a ``run_experiment()`` that returns the
 printed series, a pytest-benchmark test that times the core operation and
 asserts the *shape* claims, and a ``__main__`` hook so
 ``python benchmarks/bench_x.py`` prints the full table.
+
+Results are no longer print-only: every table rendered through
+:func:`print_table` is also recorded into the process-wide metrics
+registry (``repro.obs``), so a run's combined results can be dumped as
+one structured JSON document via :func:`metrics_snapshot`.
 """
 
 from __future__ import annotations
 
 from typing import Any, Sequence
 
+from repro.obs.metrics import get_registry
+
 
 def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
-    """Render and print a fixed-width results table; returns the text."""
+    """Render and print a fixed-width results table; returns the text.
+
+    The raw (unformatted) rows are also recorded in the metrics registry
+    under the table title, for structured consumption.
+    """
+    get_registry().record_table(title, headers, rows)
     rendered = [[_format(cell) for cell in row] for row in rows]
     widths = [
         max(len(headers[i]), *(len(row[i]) for row in rendered)) if rendered else len(headers[i])
@@ -37,6 +49,11 @@ def _format(cell: Any) -> str:
     if isinstance(cell, int):
         return f"{cell:,}"
     return str(cell)
+
+
+def metrics_snapshot(indent: int | None = 2) -> str:
+    """The metrics registry (benchmark tables included) as a JSON string."""
+    return get_registry().to_json(indent=indent)
 
 
 def geometric_mean(values: Sequence[float]) -> float:

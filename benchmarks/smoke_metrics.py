@@ -1,0 +1,103 @@
+"""Smoke benchmark: run a tiny cross-layer workload and assert that the
+metrics-registry JSON snapshot is well-formed.
+
+Exercises every observability surface in one pass — SQL execution
+counters/timers, EXPLAIN ANALYZE profiling, a cracker index, the tile
+and semantic caches, the adaptive store, and a recorded benchmark table
+— then round-trips the snapshot through JSON and checks its shape.
+CI runs this after the test suite (``python benchmarks/smoke_metrics.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+from common import metrics_snapshot, print_table
+
+from repro.engine.catalog import Database
+from repro.indexing import CrackerIndex
+from repro.obs import get_registry
+from repro.prefetch import SemanticRangeCache, TileCache
+from repro.storage import AdaptiveStore, QueryProfile
+
+
+def run_workload() -> tuple:
+    """Touch every instrumented subsystem at least once.
+
+    Returns the instrumented objects so the caller can keep them alive
+    until the snapshot is taken (stat sources are weakly referenced).
+    """
+    db = Database()
+    rng = np.random.default_rng(0)
+    db.create_table(
+        "sales",
+        {
+            "region": [f"r{i % 5}" for i in range(1000)],
+            "amount": rng.uniform(0, 100, 1000).tolist(),
+        },
+    )
+    db.sql("SELECT region, SUM(amount) AS total FROM sales GROUP BY region")
+    report = db.explain_analyze(
+        "SELECT DISTINCT region FROM sales WHERE amount > 50 ORDER BY region LIMIT 3"
+    )
+    assert report.total_s >= 0 and report.root.rows_out <= 3
+
+    values = rng.uniform(0, 1000, 10_000)
+    index = CrackerIndex(values)
+    for low in (100, 400, 700):
+        index.lookup_range(low, low + 50, True, False)
+
+    tiles = TileCache(capacity=4)
+    for key in (1, 2, 1, 3):
+        if tiles.get(key) is None:
+            tiles.put(key, f"tile-{key}")
+
+    cache = SemanticRangeCache(
+        fetch=lambda low, high: np.flatnonzero((values >= low) & (values < high))
+    )
+    cache.query(0, 100)
+    cache.query(50, 150)
+
+    store = AdaptiveStore(columns=["a", "b", "c"], num_rows=1000)
+    for _ in range(20):
+        store.execute(QueryProfile.make(filters=["a"], projects=["a", "b"]))
+
+    print_table("smoke: row counts", ["step", "rows"], [["sales", 1000]])
+    return index, tiles, cache, store
+
+
+def main() -> int:
+    keepalive = run_workload()
+    snapshot = json.loads(metrics_snapshot())
+    assert keepalive is not None
+
+    for section in ("counters", "gauges", "timers", "sources", "benchmarks"):
+        assert section in snapshot, f"snapshot is missing section {section!r}"
+    assert snapshot["counters"].get("engine.queries", 0) >= 1
+    assert snapshot["counters"].get("engine.queries_profiled", 0) >= 1
+    assert snapshot["timers"]["engine.query_time"]["count"] >= 2
+    sources = snapshot["sources"]
+    for prefix in (
+        "indexing.cracker",
+        "prefetch.tile_cache",
+        "prefetch.semantic_cache",
+        "storage.adaptive_store",
+    ):
+        assert any(
+            name == prefix or name.startswith(prefix + "#") for name in sources
+        ), f"no stat source matching {prefix!r}: {sorted(sources)}"
+    assert "smoke: row counts" in snapshot["benchmarks"]
+
+    get_registry().reset()
+    print("metrics smoke ok:", len(sources), "stat sources,",
+          len(snapshot["benchmarks"]), "benchmark tables")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,9 +16,12 @@ three-layer organisation:
   :mod:`repro.interface` (dbtouch, gestures, keyword search).
 - :mod:`repro.core` — the ExplorationSession facade and the paper's
   Table 1 taxonomy.
+- :mod:`repro.obs` — observability: metrics registry, span tracing,
+  ``EXPLAIN ANALYZE`` profiling.
 """
 
 from repro.engine import Column, Database, DataType, Table, col, lit
+from repro.obs import enable_tracing, get_registry, get_tracer, trace
 
 __version__ = "1.0.0"
 
@@ -29,5 +32,9 @@ __all__ = [
     "Table",
     "col",
     "lit",
+    "enable_tracing",
+    "get_registry",
+    "get_tracer",
+    "trace",
     "__version__",
 ]

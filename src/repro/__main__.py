@@ -1,18 +1,22 @@
 """An interactive exploration shell: ``python -m repro``.
 
-Accepts both plain SQL (SELECT / CREATE / INSERT / UPDATE / DELETE / DROP)
-and the declarative exploration language (EXPLORE / STEER / FACETS /
-RECOMMEND VIEWS / SEGMENT / APPROX / DIVERSIFY), plus a few shell
-meta-commands:
+Accepts both plain SQL (SELECT / CREATE / INSERT / UPDATE / DELETE / DROP
+/ EXPLAIN [ANALYZE]) and the declarative exploration language (EXPLORE /
+STEER / FACETS / RECOMMEND VIEWS / SEGMENT / APPROX / DIVERSIFY), plus a
+few shell meta-commands:
 
 =================  ===================================================
 ``\\tables``        list tables
 ``\\demo [n]``      load the synthetic sales demo table (default 20k rows)
 ``\\load f AS t``   NoDB-load a CSV file as table ``t`` (lazy, adaptive)
 ``\\explain q``     show the plan for a SELECT
+``\\metrics``       dump the metrics-registry snapshot as JSON
 ``\\help``          this text
 ``\\quit``          exit
 =================  ===================================================
+
+``EXPLAIN ANALYZE SELECT ...`` runs the query under the profiler and
+prints per-plan-node wall time, row counts and bytes touched.
 
 Non-interactive use: pipe commands on stdin, or pass a single command
 with ``python -m repro -c "<command>"``.
@@ -29,7 +33,7 @@ from repro.errors import ReproError
 _LANGUAGE_HEADS = (
     "EXPLORE", "STEER", "FACETS", "RECOMMEND", "SEGMENT", "APPROX", "DIVERSIFY",
 )
-_SQL_HEADS = ("SELECT", "CREATE", "INSERT", "UPDATE", "DELETE", "DROP")
+_SQL_HEADS = ("SELECT", "CREATE", "INSERT", "UPDATE", "DELETE", "DROP", "EXPLAIN")
 
 
 class Shell:
@@ -76,6 +80,10 @@ class Shell:
         if command == "explain":
             sql = line[1:].split(None, 1)[1]
             return self.session.db.explain(sql)
+        if command == "metrics":
+            from repro.obs import get_registry
+
+            return get_registry().to_json(indent=2)
         if command in ("quit", "exit", "q"):
             raise EOFError
         return __doc__ or ""
@@ -97,6 +105,10 @@ class Shell:
                 result = self.session.sql(stripped)
                 footer = f"({result.num_rows} rows)"
                 return result.pretty() + "\n" + footer
+            if head == "EXPLAIN":
+                plan = self.session.db.execute(stripped)
+                assert isinstance(plan, Table)
+                return "\n".join(str(v) for v in plan.column("plan").to_list())
             affected = self.session.db.execute(stripped)
             if isinstance(affected, Table):  # pragma: no cover - defensive
                 return affected.pretty()

@@ -16,6 +16,8 @@ from repro.engine.sql.parser import parse
 from repro.engine.statistics import TableStatistics
 from repro.engine.table import Table
 from repro.errors import CatalogError
+from repro.obs.metrics import get_registry
+from repro.obs.profile import ExplainAnalyzeReport, PlanProfiler
 
 
 class RangeIndex(Protocol):
@@ -156,7 +158,31 @@ class Database:
 
         plan = self.plan(query)
         self.queries_executed += 1
-        return execute_plan(plan, self)
+        registry = get_registry()
+        registry.counter("engine.queries").inc()
+        with registry.timer("engine.query_time").time():
+            return execute_plan(plan, self)
+
+    def explain_analyze(self, query: str) -> ExplainAnalyzeReport:
+        """Execute a SELECT under the profiler and return the report.
+
+        The report carries per-plan-node wall time, input/output row
+        counts and bytes touched; render it with
+        :meth:`~repro.obs.profile.ExplainAnalyzeReport.render`.
+        """
+        return self._profile_plan(self.plan(query))
+
+    def _profile_plan(self, plan: Plan) -> ExplainAnalyzeReport:
+        from repro.engine.executor import execute_plan
+
+        profiler = PlanProfiler()
+        self.queries_executed += 1
+        registry = get_registry()
+        registry.counter("engine.queries_profiled").inc()
+        with registry.timer("engine.query_time").time():
+            execute_plan(plan, self, profiler=profiler)
+        assert profiler.root is not None
+        return ExplainAnalyzeReport(root=profiler.root, notes=list(plan.notes))
 
     def execute(self, statement_sql: str) -> Table | int:
         """Execute any supported statement.
@@ -170,6 +196,7 @@ class Database:
             CreateTableStatement,
             DeleteStatement,
             DropTableStatement,
+            ExplainStatement,
             InsertStatement,
             SelectStatement,
             UpdateStatement,
@@ -179,6 +206,8 @@ class Database:
         statement = parse_statement(statement_sql)
         if isinstance(statement, SelectStatement):
             return self.sql(statement_sql)
+        if isinstance(statement, ExplainStatement):
+            return self._execute_explain(statement)
         if isinstance(statement, CreateTableStatement):
             self.create_table(statement.table, _empty_table(statement.columns))
             return 0
@@ -192,6 +221,20 @@ class Database:
         if isinstance(statement, UpdateStatement):
             return self._execute_update(statement)
         raise CatalogError(f"unsupported statement {type(statement).__name__}")
+
+    def _execute_explain(self, statement) -> Table:
+        """EXPLAIN [ANALYZE]: the plan (and measurements) as a one-column
+        table of report lines, the way conventional engines present it."""
+        from repro.engine.column import Column
+        from repro.engine.types import DataType
+
+        plan = plan_statement(statement.statement, self)
+        if statement.analyze:
+            lines = self._profile_plan(plan).lines()
+        else:
+            lines = plan.explain().split("\n")
+            lines.extend(f"note: {note}" for note in plan.notes)
+        return Table([("plan", Column(lines, dtype=DataType.STRING))])
 
     def _execute_insert(self, statement) -> int:
         from repro.engine.column import Column

@@ -1,4 +1,11 @@
-"""Plan execution: walks the logical plan bottom-up over in-memory tables."""
+"""Plan execution: walks the logical plan bottom-up over in-memory tables.
+
+Execution has two modes sharing one dispatch: the default mode runs the
+plan with no measurement overhead at all, while passing a
+:class:`~repro.obs.profile.PlanProfiler` brackets every node with
+wall-time, row-count and byte accounting — the substrate of ``EXPLAIN
+ANALYZE``.
+"""
 
 from __future__ import annotations
 
@@ -20,23 +27,48 @@ from repro.engine.planner import (
 )
 from repro.engine.table import Table
 from repro.errors import ExecutionError
+from repro.obs.profile import PlanProfiler, table_nbytes
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.catalog import Database
 
 
-def execute_plan(plan: Plan, database: "Database") -> Table:
-    """Execute a logical plan and return the result table."""
-    return _execute(plan.root, database)
+def execute_plan(
+    plan: Plan, database: "Database", profiler: PlanProfiler | None = None
+) -> Table:
+    """Execute a logical plan and return the result table.
+
+    Args:
+        plan: the logical plan to run.
+        database: catalog resolving table and index references.
+        profiler: when given, every node's wall time, input/output row
+            counts and bytes touched are recorded into it.
+    """
+    return _execute(plan.root, database, profiler)
 
 
-def _execute(node: PlanNode, database: "Database") -> Table:
+def _execute(
+    node: PlanNode, database: "Database", profiler: PlanProfiler | None = None
+) -> Table:
+    if profiler is None:
+        return _run_node(node, database, None)
+    profiler.enter(node)
+    result = _run_node(node, database, profiler)
+    profiler.exit(node, result)
+    return result
+
+
+def _run_node(
+    node: PlanNode, database: "Database", profiler: PlanProfiler | None
+) -> Table:
     if isinstance(node, ScanNode):
-        return _execute_scan(node, database)
+        return _execute_scan(node, database, profiler)
     if isinstance(node, JoinNode):
-        left = _execute(node.child, database)
+        left = _execute(node.child, database, profiler)
         right = database.get_table(node.clause.table)
+        if profiler is not None:
+            profiler.note_input(right.num_rows, table_nbytes(right))
         return ops.hash_join(
             left,
             right,
@@ -45,32 +77,29 @@ def _execute(node: PlanNode, database: "Database") -> Table:
             kind=node.clause.kind,
         )
     if isinstance(node, FilterNode):
-        return ops.filter_table(_execute(node.child, database), node.predicate)
+        return ops.filter_table(_execute(node.child, database, profiler), node.predicate)
     if isinstance(node, AggregateNode):
-        child = _execute(node.child, database)
+        child = _execute(node.child, database, profiler)
         return ops.hash_aggregate(
             child, node.group_exprs, node.aggregates, node.group_names
         )
     if isinstance(node, ProjectNode):
-        return ops.project(_execute(node.child, database), node.items)
+        return ops.project(_execute(node.child, database, profiler), node.items)
     if isinstance(node, DistinctNode):
-        child = _execute(node.child, database)
-        seen: set[tuple] = set()
-        keep: list[int] = []
-        for i, row in enumerate(child.rows()):
-            if row not in seen:
-                seen.add(row)
-                keep.append(i)
-        return child.take(np.asarray(keep, dtype=np.int64))
+        return ops.distinct(_execute(node.child, database, profiler))
     if isinstance(node, SortNode):
-        return ops.sort_table(_execute(node.child, database), node.order_by)
+        return ops.sort_table(_execute(node.child, database, profiler), node.order_by)
     if isinstance(node, LimitNode):
-        return ops.limit(_execute(node.child, database), node.count)
+        return ops.limit(_execute(node.child, database, profiler), node.count)
     raise ExecutionError(f"unknown plan node {type(node).__name__}")
 
 
-def _execute_scan(node: ScanNode, database: "Database") -> Table:
+def _execute_scan(
+    node: ScanNode, database: "Database", profiler: PlanProfiler | None
+) -> Table:
     table = database.get_table(node.table)
+    if profiler is not None:
+        profiler.note_input(table.num_rows, table_nbytes(table))
     if node.probe is not None:
         index = database.index_for(node.table, node.probe.column)
         if index is None:

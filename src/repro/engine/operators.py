@@ -16,11 +16,13 @@ from repro.engine.sql.ast import AggregateCall, OrderItem, SelectItem
 from repro.engine.table import Table
 from repro.engine.types import DataType
 from repro.errors import ExecutionError
+from repro.obs.tracing import trace
 
 
 def filter_table(table: Table, predicate: Expression) -> Table:
     """Keep rows where ``predicate`` is strictly TRUE (SQL WHERE rule)."""
-    return table.filter(truth_mask(predicate, table))
+    with trace("op.filter", rows=table.num_rows):
+        return table.filter(truth_mask(predicate, table))
 
 
 def project(table: Table, items: Sequence[SelectItem]) -> Table:
@@ -38,40 +40,104 @@ def project(table: Table, items: Sequence[SelectItem]) -> Table:
 
 
 def limit(table: Table, n: int) -> Table:
-    """First ``n`` rows."""
-    return table.slice(0, min(n, table.num_rows))
+    """First ``n`` rows; a negative ``n`` behaves like LIMIT 0."""
+    return table.slice(0, min(max(0, n), table.num_rows))
+
+
+# -- deduplication -----------------------------------------------------------------
+
+
+def distinct(table: Table) -> Table:
+    """Drop duplicate rows, keeping the first occurrence of each (in order).
+
+    Equality semantics: NULL equals NULL and NaN equals NaN, so at most
+    one all-NULL duplicate and one NaN duplicate survive per key
+    combination; NULL, NaN and real values are mutually distinct.
+    """
+    if table.num_rows <= 1:
+        return table
+    with trace("op.distinct", rows=table.num_rows):
+        codes = np.empty((table.num_rows, table.num_columns), dtype=np.int64)
+        for j, name in enumerate(table.column_names):
+            codes[:, j] = _distinct_codes(table.column(name))
+        _, first_seen = np.unique(codes, axis=0, return_index=True)
+        return table.take(np.sort(first_seen))
+
+
+def _distinct_codes(column: Column) -> np.ndarray:
+    """Integer codes with equal codes iff values are DISTINCT-equal.
+
+    Code 0 marks NULL and code 1 marks NaN; real values get dense codes
+    from 2 upward, so the special values never collide with payloads.
+    """
+    null = column.is_null_mask()
+    if column.dtype is DataType.STRING:
+        data = np.asarray(
+            ["" if v is None else str(v) for v in column.data], dtype=str
+        )
+        _, inverse = np.unique(data, return_inverse=True)
+        codes = inverse.astype(np.int64) + 2
+        codes[null] = 0
+        return codes
+    data = column.data.astype(np.float64, copy=False)
+    nan = np.isnan(data) & ~null
+    _, inverse = np.unique(np.where(nan | null, 0.0, data), return_inverse=True)
+    codes = inverse.astype(np.int64) + 2
+    codes[nan] = 1
+    codes[null] = 0
+    return codes
 
 
 # -- sorting -----------------------------------------------------------------------
 
 
 def _sort_key_array(column: Column) -> np.ndarray:
-    """An array usable by argsort; nulls order first via a sentinel."""
+    """A comparable payload array for argsort.
+
+    Null slots hold harmless placeholder payloads; their ordering is
+    decided separately from the validity mask (see
+    :func:`_argsort_with_nulls`), so real ``-inf`` floats and real empty
+    strings sort correctly relative to NULL.
+    """
     if column.dtype is DataType.STRING:
         return np.asarray(
             ["" if v is None else str(v) for v in column.to_list()], dtype=str
         )
-    data = column.data.astype(np.float64, copy=True)
-    if column.validity is not None:
-        data[~column.validity] = -np.inf
-    return data
+    return column.data.astype(np.float64, copy=False)
+
+
+def _argsort_with_nulls(
+    keys: np.ndarray, nulls: np.ndarray, ascending: bool
+) -> np.ndarray:
+    """Stable argsort that orders NULL below every real value.
+
+    NULLs come first under ASC and last under DESC, keeping their
+    original relative order; valid keys are sorted stably.
+    """
+    null_idx = np.flatnonzero(nulls)
+    valid_idx = np.flatnonzero(~nulls)
+    order = valid_idx[np.argsort(keys[valid_idx], kind="stable")]
+    if ascending:
+        return np.concatenate([null_idx, order])
+    order = order[::-1]
+    # keep equal keys in stable (original) order under DESC
+    order = _stabilise_descending(keys, order)
+    return np.concatenate([order, null_idx])
 
 
 def sort_table(table: Table, order_by: Sequence[OrderItem]) -> Table:
     """Stable multi-key sort."""
     if not order_by:
         return table
-    indices = np.arange(table.num_rows)
-    # numpy's stable sort applied from the least-significant key backwards
-    for item in reversed(list(order_by)):
-        keys = _sort_key_array(item.expression.evaluate(table))[indices]
-        order = np.argsort(keys, kind="stable")
-        if not item.ascending:
-            order = order[::-1]
-            # keep equal keys in stable (original) order under DESC
-            order = _stabilise_descending(keys, order)
-        indices = indices[order]
-    return table.take(indices)
+    with trace("op.sort", rows=table.num_rows, keys=len(order_by)):
+        indices = np.arange(table.num_rows)
+        # numpy's stable sort applied from the least-significant key backwards
+        for item in reversed(list(order_by)):
+            column = item.expression.evaluate(table)
+            keys = _sort_key_array(column)[indices]
+            nulls = column.is_null_mask()[indices]
+            indices = indices[_argsort_with_nulls(keys, nulls, item.ascending)]
+        return table.take(indices)
 
 
 def _stabilise_descending(keys: np.ndarray, order: np.ndarray) -> np.ndarray:
@@ -108,38 +174,39 @@ def hash_join(
     """
     if kind not in ("inner", "left"):
         raise ExecutionError(f"unsupported join kind {kind!r}")
-    left_idx, right_idx = _match_join_keys(
-        left.column(left_key), right.column(right_key), kind
-    )
-    out: list[tuple[str, Column]] = [
-        (name, left.column(name).take(left_idx)) for name in left.column_names
-    ]
-    pad_mask = right_idx < 0
-    safe_right_idx = np.where(pad_mask, 0, right_idx)
-    for name in right.column_names:
-        out_name = name if name not in left.column_names else f"right_{name}"
-        source = right.column(name)
-        if len(right) == 0:
-            # all output rows (if any) are left-join padding: emit nulls
-            taken = column_from_parts(
-                np.zeros(len(left_idx), dtype=source.dtype.numpy_dtype),
-                source.dtype,
-                np.zeros(len(left_idx), dtype=bool) if len(left_idx) else None,
-            )
+    with trace("op.hash_join", left_rows=left.num_rows, right_rows=right.num_rows, kind=kind):
+        left_idx, right_idx = _match_join_keys(
+            left.column(left_key), right.column(right_key), kind
+        )
+        out: list[tuple[str, Column]] = [
+            (name, left.column(name).take(left_idx)) for name in left.column_names
+        ]
+        pad_mask = right_idx < 0
+        safe_right_idx = np.where(pad_mask, 0, right_idx)
+        for name in right.column_names:
+            out_name = name if name not in left.column_names else f"right_{name}"
+            source = right.column(name)
+            if len(right) == 0:
+                # all output rows (if any) are left-join padding: emit nulls
+                taken = column_from_parts(
+                    np.zeros(len(left_idx), dtype=source.dtype.numpy_dtype),
+                    source.dtype,
+                    np.zeros(len(left_idx), dtype=bool) if len(left_idx) else None,
+                )
+                out.append((out_name, taken))
+                continue
+            taken = source.take(safe_right_idx)
+            if pad_mask.any():
+                validity = (
+                    taken.validity.copy() if taken.validity is not None
+                    else np.ones(len(taken), bool)
+                )
+                validity[pad_mask] = False
+                taken = column_from_parts(taken.data, taken.dtype, validity)
             out.append((out_name, taken))
-            continue
-        taken = source.take(safe_right_idx)
-        if pad_mask.any():
-            validity = (
-                taken.validity.copy() if taken.validity is not None
-                else np.ones(len(taken), bool)
-            )
-            validity[pad_mask] = False
-            taken = column_from_parts(taken.data, taken.dtype, validity)
-        out.append((out_name, taken))
-    if left.num_rows and not out:
-        raise ExecutionError("join produced no columns")
-    return Table(out) if out else left
+        if left.num_rows and not out:
+            raise ExecutionError("join produced no columns")
+        return Table(out) if out else left
 
 
 def _join_key_array(column: Column) -> np.ndarray:
@@ -276,33 +343,34 @@ def hash_aggregate(
     Returns:
         One row per group: key columns first, aggregate columns after.
     """
-    names = list(group_names) if group_names is not None else [
-        e.to_sql().strip("()") for e in group_exprs
-    ]
-    key_columns = [expr.evaluate(table) for expr in group_exprs]
-    arg_columns: dict[int, Column] = {}
-    for i, (_, call) in enumerate(aggregates):
-        if call.argument is not None:
-            arg_columns[i] = call.argument.evaluate(table)
-
-    if not group_exprs:
-        row: list[Any] = []
+    with trace("op.hash_aggregate", rows=table.num_rows, keys=len(group_exprs)):
+        names = list(group_names) if group_names is not None else [
+            e.to_sql().strip("()") for e in group_exprs
+        ]
+        key_columns = [expr.evaluate(table) for expr in group_exprs]
+        arg_columns: dict[int, Column] = {}
         for i, (_, call) in enumerate(aggregates):
-            row.append(_aggregate_values(call, arg_columns.get(i), table.num_rows))
-        return Table.from_rows([tuple(row)], [name for name, _ in aggregates])
+            if call.argument is not None:
+                arg_columns[i] = call.argument.evaluate(table)
 
-    grouped = _group_rows(key_columns, table.num_rows)
+        if not group_exprs:
+            row: list[Any] = []
+            for i, (_, call) in enumerate(aggregates):
+                row.append(_aggregate_values(call, arg_columns.get(i), table.num_rows))
+            return Table.from_rows([tuple(row)], [name for name, _ in aggregates])
 
-    out_rows: list[tuple[Any, ...]] = []
-    for key, idx in grouped:
-        row_values: list[Any] = list(key)
-        for i, (_, call) in enumerate(aggregates):
-            arg = arg_columns.get(i)
-            sliced = arg.take(idx) if arg is not None else None
-            row_values.append(_aggregate_values(call, sliced, len(idx)))
-        out_rows.append(tuple(row_values))
-    out_names = names + [name for name, _ in aggregates]
-    return Table.from_rows(out_rows, out_names)
+        grouped = _group_rows(key_columns, table.num_rows)
+
+        out_rows: list[tuple[Any, ...]] = []
+        for key, idx in grouped:
+            row_values: list[Any] = list(key)
+            for i, (_, call) in enumerate(aggregates):
+                arg = arg_columns.get(i)
+                sliced = arg.take(idx) if arg is not None else None
+                row_values.append(_aggregate_values(call, sliced, len(idx)))
+            out_rows.append(tuple(row_values))
+        out_names = names + [name for name, _ in aggregates]
+        return Table.from_rows(out_rows, out_names)
 
 
 def _group_rows(

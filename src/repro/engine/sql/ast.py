@@ -214,6 +214,23 @@ class UpdateStatement:
         return f"UPDATE {self.table} SET {sets}{suffix}"
 
 
+@dataclass
+class ExplainStatement:
+    """``EXPLAIN [ANALYZE] <select>``.
+
+    Plain EXPLAIN renders the plan; ANALYZE also executes it and reports
+    per-node wall time, row counts and bytes touched.
+    """
+
+    statement: SelectStatement
+    analyze: bool = False
+
+    def to_sql(self) -> str:
+        """Render back to SQL text."""
+        keyword = "EXPLAIN ANALYZE" if self.analyze else "EXPLAIN"
+        return f"{keyword} {self.statement.to_sql()}"
+
+
 Statement = (
     SelectStatement
     | CreateTableStatement
@@ -221,4 +238,5 @@ Statement = (
     | InsertStatement
     | DeleteStatement
     | UpdateStatement
+    | ExplainStatement
 )

@@ -29,7 +29,7 @@ KEYWORDS = frozenset(
         "COUNT", "SUM", "AVG", "MIN", "MAX",
         "LIKE", "CASE", "WHEN", "THEN", "ELSE", "END",
         "INSERT", "INTO", "VALUES", "CREATE", "TABLE", "DELETE", "UPDATE",
-        "SET", "DROP",
+        "SET", "DROP", "EXPLAIN", "ANALYZE",
     }
 )
 

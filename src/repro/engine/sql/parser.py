@@ -123,9 +123,18 @@ class _Parser:
             return self._parse_delete()
         if token.matches(TokenType.KEYWORD, "UPDATE"):
             return self._parse_update()
+        if token.matches(TokenType.KEYWORD, "EXPLAIN"):
+            return self._parse_explain()
         raise ParseError(
             f"expected a statement but found {token.value!r} at position {token.position}"
         )
+
+    def _parse_explain(self):
+        from repro.engine.sql.ast import ExplainStatement
+
+        self._expect(TokenType.KEYWORD, "EXPLAIN")
+        analyze = bool(self._accept(TokenType.KEYWORD, "ANALYZE"))
+        return ExplainStatement(statement=self.parse_select(), analyze=analyze)
 
     def _parse_create(self):
         from repro.engine.sql.ast import CreateTableStatement

@@ -34,6 +34,9 @@ from typing import Any
 
 import numpy as np
 
+from repro.obs.metrics import register_stats_source
+from repro.obs.tracing import trace
+
 
 class CrackingVariant(enum.Enum):
     """Pivot-selection strategy used when cracking a piece."""
@@ -78,8 +81,21 @@ class CrackerIndex:
         self._cracks: list[tuple[Any, int, int]] = []
         self.work_touched = 0
         self.cracks_performed = 0
+        register_stats_source("indexing.cracker", self)
 
     # -- public API -----------------------------------------------------------------
+
+    def metrics(self) -> dict[str, Any]:
+        """Convergence state and work counters for the metrics registry."""
+        pieces = self.num_pieces
+        return {
+            "variant": self.variant.value,
+            "size": len(self._values),
+            "num_pieces": pieces,
+            "mean_piece_size": len(self._values) / pieces if pieces else 0.0,
+            "cracks_performed": self.cracks_performed,
+            "work_touched": self.work_touched,
+        }
 
     def __len__(self) -> int:
         return len(self._values)
@@ -107,18 +123,19 @@ class CrackerIndex:
 
         ``low``/``high`` of None mean unbounded on that side.
         """
-        start = 0
-        end = len(self._values)
-        if low is not None:
-            # boundary such that everything before it is < low (inclusive
-            # lookup) or <= low (exclusive lookup)
-            start = self._crack(low, kind=0 if low_inclusive else 1)
-        if high is not None:
-            end = self._crack(high, kind=1 if high_inclusive else 0)
-        if end < start:
-            end = start
-        self.work_touched += end - start
-        return self._positions[start:end].copy()
+        with trace("index.crack_lookup", low=low, high=high):
+            start = 0
+            end = len(self._values)
+            if low is not None:
+                # boundary such that everything before it is < low (inclusive
+                # lookup) or <= low (exclusive lookup)
+                start = self._crack(low, kind=0 if low_inclusive else 1)
+            if high is not None:
+                end = self._crack(high, kind=1 if high_inclusive else 0)
+            if end < start:
+                end = start
+            self.work_touched += end - start
+            return self._positions[start:end].copy()
 
     def values_in_range(
         self,

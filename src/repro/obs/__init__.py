@@ -1,0 +1,50 @@
+"""Unified observability: metrics, span tracing, profiled execution.
+
+One import point for the three measurement surfaces the system exposes:
+
+- :mod:`repro.obs.metrics` — the process-wide :class:`MetricsRegistry`
+  of counters/gauges/timers plus weakly-registered component stats;
+- :mod:`repro.obs.tracing` — nestable spans with a near-zero-cost
+  disabled path (``with trace("hash_join", rows=n): ...``);
+- :mod:`repro.obs.profile` — per-plan-node profiling behind the
+  executor, rendered as an ``EXPLAIN ANALYZE`` report.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    Timer,
+    get_registry,
+    register_stats_source,
+    set_registry,
+)
+from repro.obs.profile import ExplainAnalyzeReport, NodeProfile, PlanProfiler, table_nbytes
+from repro.obs.tracing import (
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "Timer",
+    "get_registry",
+    "register_stats_source",
+    "set_registry",
+    "ExplainAnalyzeReport",
+    "NodeProfile",
+    "PlanProfiler",
+    "table_nbytes",
+    "Span",
+    "Tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "get_tracer",
+    "trace",
+]

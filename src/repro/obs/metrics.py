@@ -1,0 +1,265 @@
+"""A process-wide metrics registry: counters, gauges, timers, stat sources.
+
+The registry is the single sink for everything the system measures.  Three
+primitive instrument kinds cover the usual needs:
+
+- :class:`Counter` — monotonically increasing event counts;
+- :class:`Gauge` — last-write-wins point-in-time values;
+- :class:`Timer` — wall-time accumulators with count/total/min/max.
+
+Components that already keep their own statistics objects (cache hit
+rates, cracking convergence counters, adaptive-store events, …) register
+themselves as *stat sources*: any object with a ``metrics() -> dict``
+method, held by weak reference so registration never extends a lifetime.
+``MetricsRegistry.snapshot()`` folds instruments, live sources and
+recorded benchmark tables into one JSON-serialisable dict.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import weakref
+from typing import Any, Callable, Sequence
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be non-negative) to the count."""
+        if n < 0:
+            raise ValueError("counters only go up; use a Gauge instead")
+        self._value += n
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value; the last write wins."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Adjust the current value by ``delta`` (either sign)."""
+        self._value += float(delta)
+
+    @property
+    def value(self) -> float:
+        """Most recently recorded value."""
+        return self._value
+
+
+class Timer:
+    """Accumulates wall-time observations.
+
+    Use either ``with timer.time(): ...`` or ``timer.observe(seconds)``.
+    """
+
+    __slots__ = ("name", "count", "total_s", "min_s", "max_s")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s = float("inf")
+        self.max_s = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one duration in seconds."""
+        self.count += 1
+        self.total_s += seconds
+        if seconds < self.min_s:
+            self.min_s = seconds
+        if seconds > self.max_s:
+            self.max_s = seconds
+
+    def time(self) -> "_TimerContext":
+        """Context manager that observes the enclosed block's wall time."""
+        return _TimerContext(self)
+
+    @property
+    def mean_s(self) -> float:
+        """Mean observed duration (0 when nothing was observed)."""
+        return self.total_s / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-ready summary of the observations."""
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "mean_s": self.mean_s,
+            "min_s": self.min_s if self.count else 0.0,
+            "max_s": self.max_s,
+        }
+
+
+class _TimerContext:
+    __slots__ = ("_timer", "_start")
+
+    def __init__(self, timer: Timer) -> None:
+        self._timer = timer
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self._timer.observe(time.perf_counter() - self._start)
+
+
+class MetricsRegistry:
+    """A named collection of instruments plus weakly-held stat sources."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._timers: dict[str, Timer] = {}
+        self._sources: dict[str, Callable[[], Any]] = {}
+        self._tables: dict[str, dict[str, Any]] = {}
+
+    # -- instruments -----------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The named counter, created on first use."""
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter(name)
+            return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """The named gauge, created on first use."""
+        with self._lock:
+            if name not in self._gauges:
+                self._gauges[name] = Gauge(name)
+            return self._gauges[name]
+
+    def timer(self, name: str) -> Timer:
+        """The named timer, created on first use."""
+        with self._lock:
+            if name not in self._timers:
+                self._timers[name] = Timer(name)
+            return self._timers[name]
+
+    # -- stat sources ------------------------------------------------------------------
+
+    def register_source(self, name: str, obj: Any) -> str:
+        """Register an object exposing ``metrics() -> dict`` under ``name``.
+
+        The object is held weakly; dead sources disappear from snapshots.
+        Name collisions get a ``#<n>`` suffix so repeated construction of
+        the same component (benchmark loops, tests) never clobbers
+        anything.  Returns the name actually used.
+        """
+        with self._lock:
+            self._prune_locked()
+            unique = name
+            n = 2
+            while unique in self._sources:
+                unique = f"{name}#{n}"
+                n += 1
+            ref = weakref.ref(obj)
+
+            def pull(ref: "weakref.ref[Any]" = ref) -> Any:
+                target = ref()
+                return None if target is None else target.metrics()
+
+            self._sources[unique] = pull
+            return unique
+
+    def unregister_source(self, name: str) -> None:
+        """Remove a stat source (no-op when absent)."""
+        with self._lock:
+            self._sources.pop(name, None)
+
+    def _prune_locked(self) -> None:
+        dead = [name for name, pull in self._sources.items() if pull() is None]
+        for name in dead:
+            del self._sources[name]
+
+    # -- benchmark tables --------------------------------------------------------------
+
+    def record_table(
+        self, title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]
+    ) -> None:
+        """Store one structured benchmark result table under its title."""
+        with self._lock:
+            self._tables[title] = {
+                "headers": list(headers),
+                "rows": [list(row) for row in rows],
+            }
+
+    # -- output -----------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """One coherent, JSON-serialisable view of everything registered."""
+        with self._lock:
+            self._prune_locked()
+            sources: dict[str, Any] = {}
+            for name, pull in self._sources.items():
+                data = pull()
+                if data is not None:
+                    sources[name] = data
+            return {
+                "counters": {n: c.value for n, c in self._counters.items()},
+                "gauges": {n: g.value for n, g in self._gauges.items()},
+                "timers": {n: t.as_dict() for n, t in self._timers.items()},
+                "sources": sources,
+                "benchmarks": {
+                    title: dict(table) for title, table in self._tables.items()
+                },
+            }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """The snapshot rendered as a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent, default=str)
+
+    def reset(self) -> None:
+        """Drop every instrument, source and recorded table."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
+            self._sources.clear()
+            self._tables.clear()
+
+
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry (returns the old one); for tests."""
+    global _registry
+    old = _registry
+    _registry = registry
+    return old
+
+
+def register_stats_source(name: str, obj: Any) -> str:
+    """Register ``obj`` (with a ``metrics()`` method) on the default registry."""
+    return _registry.register_source(name, obj)

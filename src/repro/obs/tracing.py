@@ -1,0 +1,151 @@
+"""Lightweight span tracing.
+
+``with trace("hash_join", rows=n): ...`` opens a span; spans nest via a
+per-tracer stack, so a trace of one query execution comes back as a tree.
+Tracing is **off by default** and the disabled path is a single attribute
+check returning a shared no-op context manager — cheap enough to leave
+``trace()`` calls in hot operators permanently.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) traced region."""
+
+    name: str
+    attrs: dict[str, Any]
+    start_s: float
+    end_s: float = 0.0
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration_s(self) -> float:
+        """Wall time between enter and exit."""
+        return self.end_s - self.start_s
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and all descendants, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready rendering of the subtree."""
+        return {
+            "name": self.name,
+            "duration_s": self.duration_s,
+            "attrs": self.attrs,
+            "children": [c.as_dict() for c in self.children],
+        }
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+class _ActiveSpan:
+    """Context manager that records one span on the owning tracer."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._stack.append(self._span)
+        self._span.start_s = time.perf_counter()
+        return self._span
+
+    def __exit__(self, *exc: Any) -> None:
+        span = self._span
+        span.end_s = time.perf_counter()
+        tracer = self._tracer
+        stack = tracer._stack
+        # tolerate a tracer disabled mid-span: only pop what we pushed
+        if stack and stack[-1] is span:
+            stack.pop()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            tracer.finished.append(span)
+
+
+class Tracer:
+    """Collects span trees while enabled.
+
+    Attributes:
+        enabled: gate checked by :meth:`span`; flip via
+            :meth:`enable`/:meth:`disable`.
+        finished: completed *root* spans, oldest first.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.finished: list[Span] = []
+        self._stack: list[Span] = []
+
+    def span(self, name: str, **attrs: Any):
+        """Open a span (or a no-op when disabled); use as a context manager."""
+        if not self.enabled:
+            return _NOOP
+        return _ActiveSpan(self, Span(name=name, attrs=attrs, start_s=0.0))
+
+    def enable(self) -> None:
+        """Start recording spans."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop recording spans (already-collected spans are kept)."""
+        self.enabled = False
+
+    def clear(self) -> None:
+        """Drop collected spans and any dangling stack state."""
+        self.finished.clear()
+        self._stack.clear()
+
+    def all_spans(self) -> list[Span]:
+        """Every finished span, flattened depth-first across roots."""
+        return [span for root in self.finished for span in root.walk()]
+
+
+_tracer = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer."""
+    return _tracer
+
+
+def trace(name: str, **attrs: Any):
+    """Open a span on the default tracer (no-op while tracing is disabled)."""
+    if not _tracer.enabled:
+        return _NOOP
+    return _ActiveSpan(_tracer, Span(name=name, attrs=attrs, start_s=0.0))
+
+
+def enable_tracing() -> None:
+    """Turn the default tracer on."""
+    _tracer.enable()
+
+
+def disable_tracing() -> None:
+    """Turn the default tracer off."""
+    _tracer.disable()

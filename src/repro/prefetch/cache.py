@@ -6,6 +6,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Hashable
 
+from repro.obs.metrics import register_stats_source
+
 
 @dataclass
 class CacheStats:
@@ -42,6 +44,19 @@ class TileCache:
         self.capacity = capacity
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
         self.stats = CacheStats()
+        register_stats_source("prefetch.tile_cache", self)
+
+    def metrics(self) -> dict[str, Any]:
+        """Snapshot for the metrics registry."""
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._entries),
+            "hits": self.stats.hits,
+            "misses": self.stats.misses,
+            "evictions": self.stats.evictions,
+            "prefetch_insertions": self.stats.prefetch_insertions,
+            "hit_rate": self.stats.hit_rate,
+        }
 
     def __len__(self) -> int:
         return len(self._entries)

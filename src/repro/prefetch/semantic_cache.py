@@ -17,6 +17,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.obs.metrics import register_stats_source
+
 
 @dataclass
 class SemanticCacheStats:
@@ -50,6 +52,18 @@ class SemanticRangeCache:
         # disjoint sorted intervals with their cached row ids
         self._intervals: list[tuple[float, float, np.ndarray]] = []
         self.stats = SemanticCacheStats()
+        register_stats_source("prefetch.semantic_cache", self)
+
+    def metrics(self) -> dict[str, float]:
+        """Snapshot for the metrics registry."""
+        return {
+            "queries": self.stats.queries,
+            "rows_from_cache": self.stats.rows_from_cache,
+            "rows_fetched": self.stats.rows_fetched,
+            "remainder_queries": self.stats.remainder_queries,
+            "cache_fraction": self.stats.cache_fraction,
+            "intervals": len(self._intervals),
+        }
 
     # -- interval arithmetic ------------------------------------------------------------
 

@@ -16,8 +16,9 @@ is currently best, paying brief reorganisation spikes at phase changes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
 
+from repro.obs.metrics import register_stats_source
 from repro.storage.layouts import (
     ColumnGroupLayout,
     ColumnLayout,
@@ -67,6 +68,16 @@ class AdaptiveStore:
         self.total_cost = 0.0
         self.query_costs: list[float] = []
         self.events: list[AdaptationEvent] = []
+        register_stats_source("storage.adaptive_store", self)
+
+    def metrics(self) -> dict[str, Any]:
+        """Snapshot for the metrics registry."""
+        return {
+            "layout": self.layout.describe(),
+            "queries_seen": self.queries_seen,
+            "total_cost": self.total_cost,
+            "adaptations": len(self.events),
+        }
 
     def execute(self, profile: QueryProfile) -> float:
         """Charge one query; returns its cost (including any reorganisation

@@ -1,0 +1,133 @@
+"""Regression tests for sort/limit/distinct correctness fixes.
+
+Covers the three bugs fixed alongside the observability PR: NULL
+ordering no longer collides with real ``-inf`` / empty-string payloads,
+negative LIMIT clamps to zero rows, and DISTINCT dedupes NaN and NULL
+rows with defined semantics.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.engine import operators as ops
+from repro.engine.catalog import Database
+from repro.engine.table import Table
+from repro.errors import ParseError
+
+
+@pytest.fixture()
+def db() -> Database:
+    return Database()
+
+
+# -- NULL vs sentinel ordering ---------------------------------------------------------
+
+
+class TestSortNullOrdering:
+    def test_null_sorts_before_real_negative_infinity_asc(self, db: Database) -> None:
+        db.create_table("t", {"x": [1.0, -math.inf, None, 0.0]})
+        result = db.sql("SELECT x FROM t ORDER BY x ASC")
+        assert result.column("x").to_list() == [None, -math.inf, 0.0, 1.0]
+
+    def test_real_negative_infinity_sorts_before_null_desc(self, db: Database) -> None:
+        db.create_table("t", {"x": [1.0, -math.inf, None, 0.0]})
+        result = db.sql("SELECT x FROM t ORDER BY x DESC")
+        assert result.column("x").to_list() == [1.0, 0.0, -math.inf, None]
+
+    def test_null_sorts_before_real_empty_string_asc(self, db: Database) -> None:
+        db.create_table("t", {"s": ["b", "", None, "a"]})
+        result = db.sql("SELECT s FROM t ORDER BY s ASC")
+        assert result.column("s").to_list() == [None, "", "a", "b"]
+
+    def test_empty_string_sorts_before_null_desc(self, db: Database) -> None:
+        db.create_table("t", {"s": ["b", "", None, "a"]})
+        result = db.sql("SELECT s FROM t ORDER BY s DESC")
+        assert result.column("s").to_list() == ["b", "a", "", None]
+
+    def test_nulls_keep_relative_order_under_multi_key_sort(self, db: Database) -> None:
+        # secondary key orders the rows; primary key is NULL for all of
+        # them, so the secondary order must survive the primary pass
+        db.create_table(
+            "t", {"k": [None, None, None], "v": [3, 1, 2]}
+        )
+        result = db.sql("SELECT k, v FROM t ORDER BY k ASC, v ASC")
+        assert result.column("v").to_list() == [1, 2, 3]
+
+    def test_desc_is_stable_for_equal_keys(self, db: Database) -> None:
+        db.create_table("t", {"k": [1, 1, 1], "v": [10, 20, 30]})
+        result = db.sql("SELECT v FROM t ORDER BY k DESC")
+        assert result.column("v").to_list() == [10, 20, 30]
+
+
+# -- LIMIT clamping --------------------------------------------------------------------
+
+
+class TestLimit:
+    def _table(self) -> Table:
+        return Table.from_dict({"x": [1, 2, 3, 4]})
+
+    def test_negative_limit_returns_no_rows(self) -> None:
+        assert ops.limit(self._table(), -1).num_rows == 0
+        assert ops.limit(self._table(), -100).num_rows == 0
+
+    def test_zero_limit_returns_no_rows(self) -> None:
+        assert ops.limit(self._table(), 0).num_rows == 0
+
+    def test_limit_zero_via_sql(self, db: Database) -> None:
+        db.create_table("t", {"x": [1, 2, 3]})
+        assert db.sql("SELECT x FROM t LIMIT 0").num_rows == 0
+
+    def test_negative_limit_rejected_at_parse_time(self, db: Database) -> None:
+        db.create_table("t", {"x": [1, 2, 3]})
+        with pytest.raises(ParseError):
+            db.sql("SELECT x FROM t LIMIT -3")
+
+    def test_oversized_limit_returns_everything(self) -> None:
+        assert ops.limit(self._table(), 100).num_rows == 4
+
+
+# -- DISTINCT with NaN and NULL --------------------------------------------------------
+
+
+class TestDistinct:
+    def test_nan_rows_dedupe_to_one(self, db: Database) -> None:
+        db.create_table("t", {"x": [float("nan"), float("nan"), 1.0, float("nan")]})
+        result = db.sql("SELECT DISTINCT x FROM t")
+        values = result.column("x").to_list()
+        assert len(values) == 2
+        assert sum(1 for v in values if isinstance(v, float) and math.isnan(v)) == 1
+
+    def test_null_nan_and_real_values_are_mutually_distinct(self, db: Database) -> None:
+        db.create_table("t", {"x": [None, float("nan"), 0.0, None, float("nan"), 0.0]})
+        result = db.sql("SELECT DISTINCT x FROM t")
+        assert result.num_rows == 3
+
+    def test_first_occurrence_wins(self, db: Database) -> None:
+        db.create_table("t", {"x": [2, 1, 2, 3, 1]})
+        result = db.sql("SELECT DISTINCT x FROM t")
+        assert result.column("x").to_list() == [2, 1, 3]
+
+    def test_multi_column_keys(self, db: Database) -> None:
+        db.create_table(
+            "t",
+            {
+                "a": [1, 1, 1, 2, None, None],
+                "b": ["x", "x", "y", "x", None, None],
+            },
+        )
+        result = db.sql("SELECT DISTINCT a, b FROM t")
+        assert result.num_rows == 4  # (1,x), (1,y), (2,x), (NULL,NULL)
+
+    def test_null_string_distinct_from_empty_string(self) -> None:
+        table = Table.from_dict({"s": [None, "", None, ""]})
+        result = ops.distinct(table)
+        assert result.column("s").to_list() == [None, ""]
+
+    def test_distinct_matches_python_reference_on_clean_data(self) -> None:
+        rng = np.random.default_rng(7)
+        values = rng.integers(0, 5, size=200).tolist()
+        table = Table.from_dict({"x": values})
+        expected = list(dict.fromkeys(values))
+        assert ops.distinct(table).column("x").to_list() == expected
