@@ -1,0 +1,117 @@
+"""Morsel-driven parallel execution: speedup curve over worker counts.
+
+Runs a filter + grouped-aggregate workload over a 1M-row table at
+1/2/4/8 workers and records wall time, speedup vs the serial baseline
+and morsel fan-out via the benchmark-metrics export (``print_table``
+feeds the metrics registry).
+
+The absolute speedup depends on the host's core count — on a single-core
+container the curve is flat; the shape assertion therefore only checks
+that parallel mode stays within a sane overhead envelope of serial while
+remaining bit-identical to it.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+from common import print_table
+
+from repro.engine import Database, parallel
+from repro.workloads import sales_table
+
+N = 1_000_000
+WORKERS = (1, 2, 4, 8)
+QUERY = (
+    "SELECT region, COUNT(*) AS n, SUM(quantity) AS total_quantity, "
+    "AVG(price) AS avg_price, MAX(price) AS max_price "
+    "FROM sales WHERE price > 50 GROUP BY region"
+)
+
+
+def _run_query(db: Database, threads: int, repeats: int = 3) -> tuple[float, object]:
+    parallel.configure(threads=threads)
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = db.sql(QUERY)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_experiment(n: int = N, workers: tuple[int, ...] = WORKERS):
+    db = Database()
+    db.create_table("sales", sales_table(n, seed=0))
+    try:
+        serial_s, serial_result = _run_query(db, threads=0)
+        morsels = parallel.morsel_count(n)
+        rows = [["serial", f"{serial_s * 1e3:.1f}", "1.00", 0]]
+        results = {"serial": serial_result}
+        for w in workers:
+            wall_s, result = _run_query(db, threads=w)
+            rows.append(
+                [f"{w} workers", f"{wall_s * 1e3:.1f}", f"{serial_s / wall_s:.2f}", morsels]
+            )
+            results[w] = result
+        return rows, results
+    finally:
+        parallel.configure(threads=0)
+        parallel.shutdown_pool()
+
+
+def _identical(a, b) -> bool:
+    for name in a.column_names:
+        ca, cb = a.column(name), b.column(name)
+        va = ca.validity if ca.validity is not None else np.ones(len(ca), bool)
+        vb = cb.validity if cb.validity is not None else np.ones(len(cb), bool)
+        if not np.array_equal(va, vb):
+            return False
+        if ca.data.dtype == object:
+            if list(ca.data[va]) != list(cb.data[vb]):
+                return False
+        elif ca.data[va].tobytes() != cb.data[vb].tobytes():
+            return False
+    return True
+
+
+def test_bench_parallel_speedup(benchmark) -> None:
+    rows, results = run_experiment(n=200_000, workers=(2, 4))
+    print_table(
+        "Parallel executor: filter + aggregate speedup curve",
+        ["mode", "best ms", "speedup", "morsels"],
+        rows,
+    )
+    serial = results["serial"]
+    for w, result in results.items():
+        if w == "serial":
+            continue
+        assert _identical(serial, result), f"{w}-worker result drifted from serial"
+    # parallel mode must not be pathologically slower than serial even on
+    # a single-core host (pool + merge overhead stays bounded)
+    serial_ms = float(rows[0][1])
+    four_ms = float(rows[-1][1])
+    assert four_ms < serial_ms * 5, "parallel overhead out of envelope"
+
+    db = Database()
+    db.create_table("sales", sales_table(100_000, seed=1))
+    parallel.configure(threads=4)
+    try:
+        benchmark(lambda: db.sql(QUERY))
+    finally:
+        parallel.configure(threads=0)
+        parallel.shutdown_pool()
+
+
+if __name__ == "__main__":
+    rows, _ = run_experiment()
+    print_table(
+        "Parallel executor: filter + aggregate speedup curve",
+        ["mode", "best ms", "speedup", "morsels"],
+        rows,
+    )

@@ -10,10 +10,14 @@ few shell meta-commands:
 ``\\demo [n]``      load the synthetic sales demo table (default 20k rows)
 ``\\load f AS t``   NoDB-load a CSV file as table ``t`` (lazy, adaptive)
 ``\\explain q``     show the plan for a SELECT
+``\\threads [n]``   show or set the parallel worker count (0 = serial)
 ``\\metrics``       dump the metrics-registry snapshot as JSON
 ``\\help``          this text
 ``\\quit``          exit
 =================  ===================================================
+
+``PRAGMA threads=N`` / ``PRAGMA morsel_rows=N`` tune the morsel-driven
+parallel executor from SQL; ``\\threads`` is the shell shorthand.
 
 ``EXPLAIN ANALYZE SELECT ...`` runs the query under the profiler and
 prints per-plan-node wall time, row counts and bytes touched.
@@ -33,7 +37,9 @@ from repro.errors import ReproError
 _LANGUAGE_HEADS = (
     "EXPLORE", "STEER", "FACETS", "RECOMMEND", "SEGMENT", "APPROX", "DIVERSIFY",
 )
-_SQL_HEADS = ("SELECT", "CREATE", "INSERT", "UPDATE", "DELETE", "DROP", "EXPLAIN")
+_SQL_HEADS = (
+    "SELECT", "CREATE", "INSERT", "UPDATE", "DELETE", "DROP", "EXPLAIN", "PRAGMA",
+)
 
 
 class Shell:
@@ -80,6 +86,21 @@ class Shell:
         if command == "explain":
             sql = line[1:].split(None, 1)[1]
             return self.session.db.explain(sql)
+        if command == "threads":
+            from repro.engine import parallel
+
+            if len(parts) > 1:
+                try:
+                    parallel.set_threads(int(parts[1]))
+                except ValueError:
+                    return "usage: \\threads [n]   (n >= 0; 0 = serial)"
+            config = parallel.get_config()
+            mode = "serial" if config.threads < 2 else "parallel"
+            return (
+                f"threads = {config.threads} ({mode}), "
+                f"morsel_rows = {config.morsel_rows}, "
+                f"min_parallel_rows = {config.min_parallel_rows}"
+            )
         if command == "metrics":
             from repro.obs import get_registry
 
@@ -110,8 +131,10 @@ class Shell:
                 assert isinstance(plan, Table)
                 return "\n".join(str(v) for v in plan.column("plan").to_list())
             affected = self.session.db.execute(stripped)
-            if isinstance(affected, Table):  # pragma: no cover - defensive
+            if isinstance(affected, Table):  # e.g. the PRAGMA read form
                 return affected.pretty()
+            if head == "PRAGMA":
+                return "ok"
             return f"ok ({affected} rows affected)"
         return (
             f"unrecognised command {head!r}; enter SQL, an exploration "

@@ -13,6 +13,12 @@ from repro.engine.catalog import Database, RangeIndex
 from repro.engine.column import Column
 from repro.engine.csv_io import read_csv, write_csv
 from repro.engine.expressions import Expression, col, lit, truth_mask
+from repro.engine.parallel import (
+    ParallelConfig,
+    configure as configure_parallel,
+    get_threads,
+    set_threads,
+)
 from repro.engine.planner import Plan, RangeProbe
 from repro.engine.statistics import ColumnStatistics, TableStatistics
 from repro.engine.table import Schema, Table
@@ -24,6 +30,7 @@ __all__ = [
     "Database",
     "DataType",
     "Expression",
+    "ParallelConfig",
     "Plan",
     "RangeIndex",
     "RangeProbe",
@@ -31,8 +38,11 @@ __all__ = [
     "Table",
     "TableStatistics",
     "col",
+    "configure_parallel",
+    "get_threads",
     "lit",
     "read_csv",
+    "set_threads",
     "truth_mask",
     "write_csv",
 ]

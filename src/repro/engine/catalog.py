@@ -191,6 +191,10 @@ class Database:
         the number of rows affected; DDL statements return 0.  Mutating a
         table drops its cached statistics and any registered indexes,
         since both describe the old contents.
+
+        ``PRAGMA threads[=N]`` and ``PRAGMA morsel_rows[=N]`` read or set
+        the morsel-driven parallel executor's knobs; the read form
+        returns a one-row settings table.
         """
         from repro.engine.sql.ast import (
             CreateTableStatement,
@@ -203,6 +207,9 @@ class Database:
         )
         from repro.engine.sql.parser import parse_statement
 
+        stripped = statement_sql.strip().rstrip(";").strip()
+        if stripped[:6].upper() == "PRAGMA":
+            return self._execute_pragma(stripped[6:].strip())
         statement = parse_statement(statement_sql)
         if isinstance(statement, SelectStatement):
             return self.sql(statement_sql)
@@ -221,6 +228,35 @@ class Database:
         if isinstance(statement, UpdateStatement):
             return self._execute_update(statement)
         raise CatalogError(f"unsupported statement {type(statement).__name__}")
+
+    def _execute_pragma(self, body: str) -> Table | int:
+        """``PRAGMA <name>[=<value>]``: parallel-execution knobs.
+
+        The set form returns 0 (like DDL); the read form returns a
+        one-row table with the current setting.
+        """
+        from repro.engine import parallel
+
+        name, _, value = body.partition("=")
+        name = name.strip().lower()
+        value = value.strip()
+        settable = {"threads", "morsel_rows", "min_parallel_rows"}
+        if name not in settable:
+            raise CatalogError(
+                f"unknown pragma {name!r}; expected one of {sorted(settable)}"
+            )
+        if value:
+            try:
+                parsed = int(value)
+            except ValueError:
+                raise CatalogError(f"PRAGMA {name} expects an integer, got {value!r}") from None
+            try:
+                parallel.configure(**{name: parsed})
+            except ValueError as exc:
+                raise CatalogError(str(exc)) from None
+            return 0
+        config = parallel.get_config()
+        return Table.from_rows([(name, getattr(config, name))], ["pragma", "value"])
 
     def _execute_explain(self, statement) -> Table:
         """EXPLAIN [ANALYZE]: the plan (and measurements) as a one-column

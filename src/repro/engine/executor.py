@@ -5,6 +5,13 @@ plan with no measurement overhead at all, while passing a
 :class:`~repro.obs.profile.PlanProfiler` brackets every node with
 wall-time, row-count and byte accounting — the substrate of ``EXPLAIN
 ANALYZE``.
+
+Orthogonally, the data-parallel operators (filter, scan predicates,
+hash aggregation, sort) route through the morsel-driven worker pool of
+:mod:`repro.engine.parallel` whenever it is enabled (``PRAGMA
+threads=N`` / ``REPRO_THREADS``) and the input is large enough; small
+inputs always take the serial path.  Serial and parallel execution are
+bit-identical by construction (see the parallel module docstring).
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.engine import operators as ops
+from repro.engine import parallel
 from repro.engine.expressions import truth_mask
 from repro.engine.planner import (
     AggregateNode,
@@ -59,6 +67,15 @@ def _execute(
     return result
 
 
+def _note_fanout(profiler: PlanProfiler | None, num_rows: int) -> None:
+    """Record the morsel fan-out of a parallel operator on the profiler."""
+    if profiler is not None:
+        profiler.annotate(
+            f"parallel: {parallel.morsel_count(num_rows)} morsels "
+            f"x {parallel.get_threads()} threads"
+        )
+
+
 def _run_node(
     node: PlanNode, database: "Database", profiler: PlanProfiler | None
 ) -> Table:
@@ -77,9 +94,18 @@ def _run_node(
             kind=node.clause.kind,
         )
     if isinstance(node, FilterNode):
-        return ops.filter_table(_execute(node.child, database, profiler), node.predicate)
+        child = _execute(node.child, database, profiler)
+        if parallel.should_parallelize(child.num_rows):
+            _note_fanout(profiler, child.num_rows)
+            return parallel.parallel_filter(child, node.predicate)
+        return ops.filter_table(child, node.predicate)
     if isinstance(node, AggregateNode):
         child = _execute(node.child, database, profiler)
+        if parallel.should_parallelize(child.num_rows):
+            _note_fanout(profiler, child.num_rows)
+            return parallel.parallel_hash_aggregate(
+                child, node.group_exprs, node.aggregates, node.group_names
+            )
         return ops.hash_aggregate(
             child, node.group_exprs, node.aggregates, node.group_names
         )
@@ -88,7 +114,11 @@ def _run_node(
     if isinstance(node, DistinctNode):
         return ops.distinct(_execute(node.child, database, profiler))
     if isinstance(node, SortNode):
-        return ops.sort_table(_execute(node.child, database, profiler), node.order_by)
+        child = _execute(node.child, database, profiler)
+        if parallel.should_parallelize(child.num_rows):
+            _note_fanout(profiler, child.num_rows)
+            return parallel.parallel_sort(child, node.order_by)
+        return ops.sort_table(child, node.order_by)
     if isinstance(node, LimitNode):
         return ops.limit(_execute(node.child, database, profiler), node.count)
     raise ExecutionError(f"unknown plan node {type(node).__name__}")
@@ -114,5 +144,9 @@ def _execute_scan(
         )
         table = table.take(np.asarray(positions, dtype=np.int64))
     if node.predicate is not None:
-        table = table.filter(truth_mask(node.predicate, table))
+        if parallel.should_parallelize(table.num_rows):
+            _note_fanout(profiler, table.num_rows)
+            table = table.filter(parallel.parallel_truth_mask(node.predicate, table))
+        else:
+            table = table.filter(truth_mask(node.predicate, table))
     return table

@@ -70,6 +70,18 @@ class Expression(abc.ABC):
     def __hash__(self) -> int:
         return hash(self.to_sql())
 
+    def same_as(self, other: Any) -> bool:
+        """Structural equality by rendered SQL.
+
+        ``__eq__`` is operator sugar — ``a == b`` builds a
+        :class:`Comparison` node rather than answering a boolean — so
+        Python's ``in``/``set``/``dict`` membership over expressions is
+        meaningless (any containment test is truthy).  Use ``same_as``
+        (or ``any(e.same_as(x) for x in xs)``) wherever two expressions
+        must be compared for semantic identity.
+        """
+        return isinstance(other, Expression) and self.to_sql() == other.to_sql()
+
     def __add__(self, other: Any) -> "Expression":
         return Arithmetic("+", self, _lift(other))
 

@@ -125,19 +125,46 @@ def _argsort_with_nulls(
     return np.concatenate([order, null_idx])
 
 
+def order_keys(
+    table: Table, order_by: Sequence[OrderItem]
+) -> list[tuple[np.ndarray, np.ndarray, bool]]:
+    """Evaluate ORDER BY keys to ``(payload, null_mask, ascending)`` triples.
+
+    The payload/null arrays are positionally aligned with ``table``; they
+    are the unit the morsel-parallel sort shards and merges.
+    """
+    keys = []
+    for item in order_by:
+        column = item.expression.evaluate(table)
+        keys.append((_sort_key_array(column), column.is_null_mask(), item.ascending))
+    return keys
+
+
+def sort_positions(
+    keys: Sequence[tuple[np.ndarray, np.ndarray, bool]], positions: np.ndarray
+) -> np.ndarray:
+    """Stable multi-key sort of a row subset, returned as row positions.
+
+    ``positions`` selects (and orders) the rows to sort; key arrays are
+    indexed globally, so disjoint position ranges can be sorted
+    independently and merged.
+    """
+    indices = positions
+    # numpy's stable sort applied from the least-significant key backwards
+    for key_arr, nulls, ascending in reversed(list(keys)):
+        indices = indices[_argsort_with_nulls(key_arr[indices], nulls[indices], ascending)]
+    return indices
+
+
 def sort_table(table: Table, order_by: Sequence[OrderItem]) -> Table:
     """Stable multi-key sort."""
     if not order_by:
         return table
     with trace("op.sort", rows=table.num_rows, keys=len(order_by)):
-        indices = np.arange(table.num_rows)
-        # numpy's stable sort applied from the least-significant key backwards
-        for item in reversed(list(order_by)):
-            column = item.expression.evaluate(table)
-            keys = _sort_key_array(column)[indices]
-            nulls = column.is_null_mask()[indices]
-            indices = indices[_argsort_with_nulls(keys, nulls, item.ascending)]
-        return table.take(indices)
+        positions = sort_positions(
+            order_keys(table, order_by), np.arange(table.num_rows)
+        )
+        return table.take(positions)
 
 
 def _stabilise_descending(keys: np.ndarray, order: np.ndarray) -> np.ndarray:
@@ -169,7 +196,10 @@ def hash_join(
     """Equi-join two tables on one key column each.
 
     Columns of the right table that clash with left column names are
-    prefixed with ``right_`` in the output.  ``kind`` is ``inner`` or
+    prefixed with ``right_`` in the output; if the prefixed name is
+    itself taken (a left column literally named ``right_<x>``), further
+    ``right_`` prefixes are prepended until the name is unique, so the
+    output never carries duplicate columns.  ``kind`` is ``inner`` or
     ``left``; a left join emits unmatched left rows with NULL right columns.
     """
     if kind not in ("inner", "left"):
@@ -183,8 +213,12 @@ def hash_join(
         ]
         pad_mask = right_idx < 0
         safe_right_idx = np.where(pad_mask, 0, right_idx)
+        used_names = set(left.column_names)
         for name in right.column_names:
-            out_name = name if name not in left.column_names else f"right_{name}"
+            out_name = name
+            while out_name in used_names:
+                out_name = f"right_{out_name}"
+            used_names.add(out_name)
             source = right.column(name)
             if len(right) == 0:
                 # all output rows (if any) are left-join padding: emit nulls

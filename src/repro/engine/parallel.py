@@ -1,0 +1,515 @@
+"""Morsel-driven parallel query execution.
+
+Tables are split into fixed-size row *morsels* (Leis et al., SIGMOD'14)
+and the data-parallel kernels — predicate evaluation, per-morsel
+grouping for hash aggregation, per-morsel sorting — run across a shared
+``concurrent.futures`` worker pool.  The kernels are numpy-heavy and
+release the GIL, so the default pool is thread-based; an experimental
+process pool sits behind ``pool_kind="process"`` for workloads that are
+dominated by Python-level work.
+
+Correctness contract: **serial and parallel execution produce
+bit-identical results.**  Every kernel is organised so that the final
+combining step performs exactly the arithmetic the serial operator would
+have performed:
+
+- filters evaluate the predicate mask per morsel and concatenate — mask
+  evaluation is row-local, so the concatenated mask equals the serial
+  mask bit for bit;
+- aggregation computes partial states per morsel and merges them.
+  COUNT/COUNT(x) partials are integer counts (addition is exact),
+  MIN/MAX partials recombine by min/max (exact, NaN-propagating), and
+  integer SUM partials recombine by addition.  Float SUM/AVG and
+  DISTINCT aggregates keep *row-index* partials instead and evaluate the
+  final aggregate over the merged group exactly like the serial
+  operator, preserving numpy's pairwise-summation rounding;
+- sorts sort each morsel with the serial multi-key routine and k-way
+  merge the runs with a comparator that mirrors the serial null/ASC/DESC
+  ordering; ties fall back to morsel order, which reproduces the serial
+  stable sort.  Runs whose sort keys contain NaN fall back to the serial
+  path (the serial DESC ordering of NaN runs is not reproducible by a
+  stable merge).
+
+Small inputs skip the pool entirely: below ``min_parallel_rows`` the
+executor uses the serial operators, so interactive point queries never
+pay the fan-out overhead.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import os
+import threading
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from functools import cmp_to_key
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.engine import operators as ops
+from repro.engine.column import Column
+from repro.engine.expressions import Expression, truth_mask
+from repro.engine.sql.ast import AggregateCall, OrderItem
+from repro.engine.table import Table
+from repro.engine.types import DataType
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import trace
+
+DEFAULT_MORSEL_ROWS = 65_536
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, "") or default)
+    except ValueError:
+        return default
+
+
+class ParallelConfig:
+    """Tunables of the parallel executor (one process-wide instance).
+
+    Attributes:
+        threads: worker count; 0 or 1 means serial execution.
+        morsel_rows: rows per morsel.
+        min_parallel_rows: inputs smaller than this run serially.
+        pool_kind: ``"thread"`` (default) or ``"process"`` (experimental;
+            requires picklable plans and pays per-task serialisation).
+    """
+
+    __slots__ = ("threads", "morsel_rows", "min_parallel_rows", "pool_kind")
+
+    def __init__(self) -> None:
+        self.threads = max(0, _env_int("REPRO_THREADS", 0))
+        self.morsel_rows = max(1, _env_int("REPRO_MORSEL_ROWS", DEFAULT_MORSEL_ROWS))
+        self.min_parallel_rows = max(
+            1, _env_int("REPRO_PARALLEL_MIN_ROWS", 2 * self.morsel_rows)
+        )
+        self.pool_kind = os.environ.get("REPRO_POOL", "thread")
+
+
+_config = ParallelConfig()
+_pool_lock = threading.Lock()
+_pool: Executor | None = None
+_pool_signature: tuple[int, str] | None = None
+
+
+def get_config() -> ParallelConfig:
+    """The process-wide parallel-execution configuration."""
+    return _config
+
+
+def configure(
+    threads: int | None = None,
+    morsel_rows: int | None = None,
+    min_parallel_rows: int | None = None,
+    pool_kind: str | None = None,
+) -> ParallelConfig:
+    """Update the parallel configuration; omitted fields keep their value.
+
+    Setting ``morsel_rows`` without ``min_parallel_rows`` re-derives the
+    serial-fallback threshold as ``2 * morsel_rows``.
+    """
+    if threads is not None:
+        if threads < 0:
+            raise ValueError("threads must be >= 0")
+        _config.threads = threads
+    if morsel_rows is not None:
+        if morsel_rows < 1:
+            raise ValueError("morsel_rows must be >= 1")
+        _config.morsel_rows = morsel_rows
+        if min_parallel_rows is None:
+            _config.min_parallel_rows = 2 * morsel_rows
+    if min_parallel_rows is not None:
+        if min_parallel_rows < 1:
+            raise ValueError("min_parallel_rows must be >= 1")
+        _config.min_parallel_rows = min_parallel_rows
+    if pool_kind is not None:
+        if pool_kind not in ("thread", "process"):
+            raise ValueError("pool_kind must be 'thread' or 'process'")
+        _config.pool_kind = pool_kind
+    return _config
+
+
+def set_threads(n: int) -> None:
+    """Set the worker count (0 or 1 = serial execution)."""
+    configure(threads=n)
+
+
+def get_threads() -> int:
+    """The configured worker count."""
+    return _config.threads
+
+
+def should_parallelize(num_rows: int) -> bool:
+    """True when an operator over ``num_rows`` rows should use the pool."""
+    return _config.threads >= 2 and num_rows >= _config.min_parallel_rows
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared worker pool (it is rebuilt lazily)."""
+    global _pool, _pool_signature
+    with _pool_lock:
+        if _pool is not None:
+            _pool.shutdown(wait=True)
+        _pool = None
+        _pool_signature = None
+
+
+def _get_pool() -> Executor:
+    """The shared executor, (re)built when threads/pool_kind change."""
+    global _pool, _pool_signature
+    signature = (_config.threads, _config.pool_kind)
+    with _pool_lock:
+        if _pool is None or _pool_signature != signature:
+            if _pool is not None:
+                _pool.shutdown(wait=True)
+            if _config.pool_kind == "process":
+                _pool = ProcessPoolExecutor(max_workers=_config.threads)
+            else:
+                _pool = ThreadPoolExecutor(
+                    max_workers=_config.threads,
+                    thread_name_prefix="repro-morsel",
+                )
+            _pool_signature = signature
+        return _pool
+
+
+def morsel_ranges(num_rows: int, morsel_rows: int | None = None) -> list[tuple[int, int]]:
+    """Split ``[0, num_rows)`` into contiguous ``[start, stop)`` morsels."""
+    size = morsel_rows if morsel_rows is not None else _config.morsel_rows
+    if num_rows <= 0:
+        return []
+    return [(start, min(start + size, num_rows)) for start in range(0, num_rows, size)]
+
+
+def morsel_count(num_rows: int) -> int:
+    """Number of morsels the current configuration splits ``num_rows`` into."""
+    return len(morsel_ranges(num_rows))
+
+
+def _run_tasks(fn: Callable[..., Any], arg_tuples: Sequence[tuple]) -> list[Any]:
+    """Run ``fn(*args)`` for every tuple on the pool; results in order.
+
+    Records the ``parallel.*`` metrics family: morsel and batch counts,
+    the configured worker gauge, and batch wall time.
+    """
+    registry = get_registry()
+    registry.counter("parallel.morsels").inc(len(arg_tuples))
+    registry.counter("parallel.batches").inc()
+    registry.gauge("parallel.workers").set(_config.threads)
+    pool = _get_pool()
+    with registry.timer("parallel.batch_time").time():
+        futures = [pool.submit(_traced_task, fn, args) for args in arg_tuples]
+        return [f.result() for f in futures]
+
+
+def _traced_task(fn: Callable[..., Any], args: tuple) -> Any:
+    """One worker-side task: a per-worker span around the kernel call."""
+    with trace(
+        "parallel.morsel", kernel=fn.__name__, worker=threading.current_thread().name
+    ):
+        return fn(*args)
+
+
+# -- filter / scan-predicate kernels ------------------------------------------------
+
+
+def _mask_morsel(predicate: Expression, table: Table, start: int, stop: int) -> np.ndarray:
+    return truth_mask(predicate, table.slice(start, stop))
+
+
+def parallel_truth_mask(predicate: Expression, table: Table) -> np.ndarray:
+    """Evaluate a predicate mask morsel-wise; equals the serial mask."""
+    ranges = morsel_ranges(table.num_rows)
+    masks = _run_tasks(_mask_morsel, [(predicate, table, s, e) for s, e in ranges])
+    return np.concatenate(masks) if masks else np.zeros(0, dtype=bool)
+
+
+def parallel_filter(table: Table, predicate: Expression) -> Table:
+    """Morsel-parallel WHERE: keep rows whose predicate is strictly TRUE."""
+    with trace("op.filter", rows=table.num_rows, parallel=True, morsels=morsel_count(table.num_rows)):
+        return table.filter(parallel_truth_mask(predicate, table))
+
+
+# -- aggregation ---------------------------------------------------------------------
+
+#: Partial-state modes; see module docstring for the recombination rules.
+_MODE_COUNT_STAR = "count_star"
+_MODE_COUNT = "count"
+_MODE_MINMAX = "minmax"
+_MODE_SUM_INT = "sum_int"
+_MODE_GATHER = "gather"
+
+
+def _partial_modes(
+    table: Table, aggregates: Sequence[tuple[str, AggregateCall]]
+) -> list[str]:
+    modes = []
+    for _, call in aggregates:
+        if call.argument is None:
+            modes.append(_MODE_COUNT_STAR)
+        elif call.distinct:
+            modes.append(_MODE_GATHER)
+        elif call.function == "COUNT":
+            modes.append(_MODE_COUNT)
+        elif call.function in ("MIN", "MAX"):
+            modes.append(_MODE_MINMAX)
+        elif call.function == "SUM" and call.argument.output_type(table) is not DataType.FLOAT64:
+            modes.append(_MODE_SUM_INT)
+        else:  # float SUM, AVG: keep indices to preserve pairwise summation
+            modes.append(_MODE_GATHER)
+    return modes
+
+
+def _canonical_key(key: tuple) -> tuple:
+    """A mergeable group key: NULL and NaN get stable sentinels."""
+    parts = []
+    for value in key:
+        if value is None:
+            parts.append((0, None))
+        elif isinstance(value, float) and math.isnan(value):
+            parts.append((1, None))
+        else:
+            parts.append((2, value))
+    return tuple(parts)
+
+
+def _aggregate_morsel(
+    table: Table,
+    start: int,
+    stop: int,
+    group_exprs: Sequence[Expression],
+    aggregates: Sequence[tuple[str, AggregateCall]],
+    modes: Sequence[str],
+) -> tuple[list[tuple], dict[int, Column]]:
+    """Partial aggregation of one morsel.
+
+    Returns ``(groups, gather_columns)`` where each group entry is
+    ``(canonical_key, display_key, global_row_indices, size, partials)``
+    and ``gather_columns`` holds this morsel's evaluated argument columns
+    for gather-mode aggregates (concatenated by the merge step).
+    """
+    morsel = table.slice(start, stop)
+    key_columns = [expr.evaluate(morsel) for expr in group_exprs]
+    arg_columns: dict[int, Column] = {}
+    for i, (_, call) in enumerate(aggregates):
+        if call.argument is not None:
+            arg_columns[i] = call.argument.evaluate(morsel)
+    if group_exprs:
+        grouped = ops._group_rows(key_columns, morsel.num_rows)
+    else:
+        grouped = [((), np.arange(morsel.num_rows, dtype=np.int64))]
+    groups: list[tuple] = []
+    for key, idx in grouped:
+        size = len(idx)
+        partials: list[Any] = []
+        for i, (_, call) in enumerate(aggregates):
+            mode = modes[i]
+            if mode == _MODE_COUNT_STAR:
+                partials.append(size)
+                continue
+            if mode == _MODE_GATHER:
+                partials.append(None)  # merged via row indices instead
+                continue
+            sliced = arg_columns[i].take(idx)
+            if mode == _MODE_COUNT:
+                partials.append(size - sliced.null_count())
+            else:  # minmax / sum_int: the serial kernel is an exact partial
+                partials.append(ops._aggregate_values(call, sliced, size))
+        groups.append((_canonical_key(key), key, idx + start, size, partials))
+    gather_columns = {
+        i: arg_columns[i] for i, mode in enumerate(modes) if mode == _MODE_GATHER
+    }
+    return groups, gather_columns
+
+
+def _merge_minmax(parts: list[Any], is_min: bool) -> Any:
+    values = [p for p in parts if p is not None]
+    if not values:
+        return None
+    for value in values:
+        if isinstance(value, float) and math.isnan(value):
+            return value  # serial np.min/np.max propagate NaN
+    return min(values) if is_min else max(values)
+
+
+def _merge_sum(parts: list[Any]) -> Any:
+    values = [p for p in parts if p is not None]
+    if not values:
+        return None
+    return sum(values)
+
+
+def parallel_hash_aggregate(
+    table: Table,
+    group_exprs: Sequence[Expression],
+    aggregates: Sequence[tuple[str, AggregateCall]],
+    group_names: Sequence[str] | None = None,
+) -> Table:
+    """Morsel-parallel GROUP BY: per-morsel partials + a merge step.
+
+    Produces exactly the rows (values, order and names) of
+    :func:`repro.engine.operators.hash_aggregate`.
+    """
+    num_rows = table.num_rows
+    with trace(
+        "op.hash_aggregate",
+        rows=num_rows,
+        keys=len(group_exprs),
+        parallel=True,
+        morsels=morsel_count(num_rows),
+    ):
+        ranges = morsel_ranges(num_rows)
+        if not ranges:
+            return ops.hash_aggregate(table, group_exprs, aggregates, group_names)
+        names = list(group_names) if group_names is not None else [
+            e.to_sql().strip("()") for e in group_exprs
+        ]
+        modes = _partial_modes(table, aggregates)
+        results = _run_tasks(
+            _aggregate_morsel,
+            [(table, s, e, group_exprs, aggregates, modes) for s, e in ranges],
+        )
+
+        # merge: first-appearance order across morsels == serial group order
+        merged: dict[tuple, dict[str, Any]] = {}
+        gather_parts: dict[int, list[Column]] = {
+            i: [] for i, mode in enumerate(modes) if mode == _MODE_GATHER
+        }
+        for groups, gather_columns in results:
+            for i, column in gather_columns.items():
+                gather_parts[i].append(column)
+            for ckey, key, idx, size, partials in groups:
+                entry = merged.get(ckey)
+                if entry is None:
+                    merged[ckey] = {
+                        "key": key,
+                        "idx": [idx],
+                        "size": size,
+                        "partials": [[p] for p in partials],
+                    }
+                else:
+                    entry["idx"].append(idx)
+                    entry["size"] += size
+                    for i, partial in enumerate(partials):
+                        entry["partials"][i].append(partial)
+        gather_columns_full: dict[int, Column] = {}
+        for i, parts in gather_parts.items():
+            column = parts[0]
+            for part in parts[1:]:
+                column = column.concat(part)
+            gather_columns_full[i] = column
+
+        out_rows: list[tuple[Any, ...]] = []
+        for entry in merged.values():
+            row_values: list[Any] = list(entry["key"])
+            for i, (_, call) in enumerate(aggregates):
+                mode = modes[i]
+                parts = entry["partials"][i]
+                if mode in (_MODE_COUNT_STAR, _MODE_COUNT):
+                    row_values.append(sum(parts))
+                elif mode == _MODE_MINMAX:
+                    row_values.append(_merge_minmax(parts, call.function == "MIN"))
+                elif mode == _MODE_SUM_INT:
+                    row_values.append(_merge_sum(parts))
+                else:  # gather: evaluate over the merged group like serial
+                    idx = np.concatenate(entry["idx"])
+                    sliced = gather_columns_full[i].take(idx)
+                    row_values.append(ops._aggregate_values(call, sliced, entry["size"]))
+            out_rows.append(tuple(row_values))
+
+        if not group_exprs:
+            # a global aggregate always emits exactly one row
+            out_names = [name for name, _ in aggregates]
+            return Table.from_rows(out_rows, out_names)
+        out_names = names + [name for name, _ in aggregates]
+        return Table.from_rows(out_rows, out_names)
+
+
+# -- sorting -------------------------------------------------------------------------
+
+
+def _sort_morsel(
+    keys: list[tuple[np.ndarray, np.ndarray, bool]], start: int, stop: int
+) -> np.ndarray:
+    return ops.sort_positions(keys, np.arange(start, stop, dtype=np.int64))
+
+
+def _eval_sort_keys_morsel(
+    table: Table, order_by: Sequence[OrderItem], start: int, stop: int
+) -> list[tuple[np.ndarray, np.ndarray, bool]]:
+    return ops.order_keys(table.slice(start, stop), order_by)
+
+
+def parallel_sort(table: Table, order_by: Sequence[OrderItem]) -> Table:
+    """Morsel-parallel ORDER BY: per-morsel sort runs + a stable k-way merge.
+
+    Falls back to the serial sort when a key column contains NaN among
+    its valid values (see module docstring).
+    """
+    if not order_by:
+        return table
+    num_rows = table.num_rows
+    with trace(
+        "op.sort",
+        rows=num_rows,
+        keys=len(order_by),
+        parallel=True,
+        morsels=morsel_count(num_rows),
+    ):
+        ranges = morsel_ranges(num_rows)
+        if not ranges:
+            return table
+        # evaluate the key expressions morsel-wise (row-local, so the
+        # concatenation equals full-table evaluation)
+        key_parts = _run_tasks(
+            _eval_sort_keys_morsel, [(table, order_by, s, e) for s, e in ranges]
+        )
+        keys: list[tuple[np.ndarray, np.ndarray, bool]] = []
+        for item_index in range(len(order_by)):
+            key_arr = np.concatenate([part[item_index][0] for part in key_parts])
+            nulls = np.concatenate([part[item_index][1] for part in key_parts])
+            keys.append((key_arr, nulls, key_parts[0][item_index][2]))
+        for key_arr, nulls, _ in keys:
+            if key_arr.dtype.kind == "f" and bool(np.isnan(key_arr[~nulls]).any()):
+                return ops.sort_table(table, order_by)
+        runs = _run_tasks(_sort_morsel, [(keys, s, e) for s, e in ranges])
+        order = _merge_sorted_runs(runs, keys)
+        return table.take(order)
+
+
+def _merge_sorted_runs(
+    runs: list[np.ndarray], keys: list[tuple[np.ndarray, np.ndarray, bool]]
+) -> np.ndarray:
+    """Stable k-way merge of sorted row-index runs.
+
+    The comparator mirrors the serial ordering: NULLs before every valid
+    value under ASC and after under DESC; ties preserve original row
+    order (guaranteed by ``heapq.merge`` taking earlier runs first).
+    """
+    if len(runs) == 1:
+        return runs[0]
+
+    def compare(i: int, j: int) -> int:
+        for key_arr, nulls, ascending in keys:
+            ni = bool(nulls[i])
+            nj = bool(nulls[j])
+            if ni or nj:
+                if ni and nj:
+                    continue
+                # one NULL: first under ASC, last under DESC
+                if ni:
+                    return -1 if ascending else 1
+                return 1 if ascending else -1
+            ki = key_arr[i]
+            kj = key_arr[j]
+            if ki == kj:
+                continue
+            if ki < kj:
+                return -1 if ascending else 1
+            return 1 if ascending else -1
+        return 0
+
+    merged = heapq.merge(*runs, key=cmp_to_key(compare))
+    return np.fromiter(merged, dtype=np.int64, count=sum(len(r) for r in runs))

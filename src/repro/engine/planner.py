@@ -301,12 +301,16 @@ def plan_statement(statement: SelectStatement, database: "Database") -> Plan:
 
 
 def _group_output_name(expr: ex.Expression, items: list[SelectItem]) -> str:
-    """Output column name for a group key, honouring select-list aliases."""
-    sql = expr.to_sql()
+    """Output column name for a group key, honouring select-list aliases.
+
+    Matching must go through :meth:`~repro.engine.expressions.Expression.same_as`
+    (never ``==`` or ``in``, which build comparison nodes instead of
+    answering membership).
+    """
     for item in items:
-        if item.expression is not None and item.expression.to_sql() == sql:
+        if item.expression is not None and item.expression.same_as(expr):
             return item.output_name()
-    return sql.strip("()")
+    return expr.to_sql().strip("()")
 
 
 def _split_conjuncts(predicate: ex.Expression) -> list[ex.Expression]:

@@ -51,6 +51,7 @@ class NodeProfile:
     bytes_in: int
     bytes_out: int
     children: list["NodeProfile"] = field(default_factory=list)
+    annotations: list[str] = field(default_factory=list)
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-ready rendering of the subtree."""
@@ -62,12 +63,16 @@ class NodeProfile:
             "rows_out": self.rows_out,
             "bytes_in": self.bytes_in,
             "bytes_out": self.bytes_out,
+            "annotations": list(self.annotations),
             "children": [c.as_dict() for c in self.children],
         }
 
 
 class _Frame:
-    __slots__ = ("node", "start_s", "child_wall_s", "rows_in", "bytes_in", "children")
+    __slots__ = (
+        "node", "start_s", "child_wall_s", "rows_in", "bytes_in", "children",
+        "annotations",
+    )
 
     def __init__(self, node: Any) -> None:
         self.node = node
@@ -76,6 +81,7 @@ class _Frame:
         self.rows_in = 0
         self.bytes_in = 0
         self.children: list[NodeProfile] = []
+        self.annotations: list[str] = []
 
 
 class PlanProfiler:
@@ -108,6 +114,7 @@ class PlanProfiler:
             bytes_in=frame.bytes_in,
             bytes_out=bytes_out,
             children=frame.children,
+            annotations=frame.annotations,
         )
         if self._stack:
             parent = self._stack[-1]
@@ -125,6 +132,13 @@ class PlanProfiler:
             frame = self._stack[-1]
             frame.rows_in += rows
             frame.bytes_in += nbytes
+
+    def annotate(self, text: str) -> None:
+        """Attach a free-form note to the current node (e.g. the morsel
+        fan-out of a parallel operator); rendered after the node's
+        measurements in the EXPLAIN ANALYZE report."""
+        if self._stack:
+            self._stack[-1].annotations.append(text)
 
 
 @dataclass
@@ -144,12 +158,14 @@ class ExplainAnalyzeReport:
         out: list[str] = []
 
         def walk(profile: NodeProfile, depth: int) -> None:
+            suffix = "".join(f" [{a}]" for a in profile.annotations)
             out.append(
                 "  " * depth
                 + f"{profile.label}  "
                 + f"(time={profile.wall_s * 1e3:.3f}ms self={profile.self_s * 1e3:.3f}ms "
                 + f"rows={profile.rows_in}->{profile.rows_out} "
                 + f"bytes={profile.bytes_in}->{profile.bytes_out})"
+                + suffix
             )
             for child in profile.children:
                 walk(child, depth + 1)

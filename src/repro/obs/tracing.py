@@ -1,14 +1,21 @@
 """Lightweight span tracing.
 
 ``with trace("hash_join", rows=n): ...`` opens a span; spans nest via a
-per-tracer stack, so a trace of one query execution comes back as a tree.
+per-thread stack, so a trace of one query execution comes back as a tree.
 Tracing is **off by default** and the disabled path is a single attribute
 check returning a shared no-op context manager — cheap enough to leave
 ``trace()`` calls in hot operators permanently.
+
+Span stacks are thread-local: the morsel-driven parallel executor opens
+spans from worker-pool threads, and each worker's spans nest among
+themselves and land in :attr:`Tracer.finished` as their own roots
+(appending is lock-protected) instead of corrupting another thread's
+stack.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Iterator
@@ -85,7 +92,8 @@ class _ActiveSpan:
         if stack:
             stack[-1].children.append(span)
         else:
-            tracer.finished.append(span)
+            with tracer._finished_lock:
+                tracer.finished.append(span)
 
 
 class Tracer:
@@ -94,13 +102,23 @@ class Tracer:
     Attributes:
         enabled: gate checked by :meth:`span`; flip via
             :meth:`enable`/:meth:`disable`.
-        finished: completed *root* spans, oldest first.
+        finished: completed *root* spans, oldest first (across threads,
+            in completion order).
     """
 
     def __init__(self, enabled: bool = False) -> None:
         self.enabled = enabled
         self.finished: list[Span] = []
-        self._stack: list[Span] = []
+        self._local = threading.local()
+        self._finished_lock = threading.Lock()
+
+    @property
+    def _stack(self) -> list[Span]:
+        """The calling thread's open-span stack."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def span(self, name: str, **attrs: Any):
         """Open a span (or a no-op when disabled); use as a context manager."""
@@ -117,8 +135,9 @@ class Tracer:
         self.enabled = False
 
     def clear(self) -> None:
-        """Drop collected spans and any dangling stack state."""
-        self.finished.clear()
+        """Drop collected spans and the calling thread's dangling stack."""
+        with self._finished_lock:
+            self.finished.clear()
         self._stack.clear()
 
     def all_spans(self) -> list[Span]:

@@ -1,0 +1,163 @@
+"""Regression tests for engine correctness fixes shipped with the
+parallel-executor PR.
+
+Covers: the ``Expression.same_as`` structural-equality contract (plain
+``==`` builds a ``Comparison`` node, so ``in`` / set / dict membership
+silently misbehave on expressions), hash-join output-name dedup when the
+left table already owns a ``right_<x>`` column, SQL division semantics
+(``x / 0`` is NULL, never an error or warning), and join edge cases
+around empty inputs, key-type coercion and NULL keys.
+"""
+
+import warnings
+
+import pytest
+
+from repro.engine import operators as ops
+from repro.engine.catalog import Database
+from repro.engine.expressions import Comparison, col, lit
+from repro.engine.table import Table
+
+
+@pytest.fixture()
+def db() -> Database:
+    return Database()
+
+
+# -- Expression equality contract ------------------------------------------------------
+
+
+class TestExpressionSameAs:
+    def test_double_equals_builds_a_node_not_a_bool(self) -> None:
+        result = col("a") == col("a")
+        assert isinstance(result, Comparison)
+
+    def test_membership_via_double_equals_is_meaningless(self) -> None:
+        # `in` calls __eq__, which returns a (truthy) Comparison node, so
+        # ANY expression appears to be a member of ANY non-empty list.
+        # This is exactly why equality-sensitive code must use same_as().
+        assert (col("b") > 7) in [col("a") > 5]
+
+    def test_same_as_true_for_identical_structure(self) -> None:
+        assert (col("a") > lit(5)).same_as(col("a") > lit(5))
+        assert col("x").same_as(col("x"))
+
+    def test_same_as_false_for_different_structure(self) -> None:
+        assert not (col("a") > lit(5)).same_as(col("a") > lit(6))
+        assert not (col("a") > lit(5)).same_as(col("b") > lit(5))
+        assert not col("x").same_as(col("y"))
+
+    def test_same_as_false_for_non_expressions(self) -> None:
+        assert not col("x").same_as("x")
+        assert not col("x").same_as(None)
+
+    def test_planner_dedups_group_keys_with_same_as(self, db: Database) -> None:
+        # GROUP BY expression matching a select item must reuse its alias,
+        # which requires structural (not node-building) equality.
+        db.create_table("t", {"g": ["a", "b", "a"], "x": [1, 2, 3]})
+        result = db.sql("SELECT g AS grp, SUM(x) AS s FROM t GROUP BY g")
+        assert result.column_names == ("grp", "s")
+        assert sorted(result.to_dicts(), key=lambda r: r["grp"]) == [
+            {"grp": "a", "s": 4},
+            {"grp": "b", "s": 2},
+        ]
+
+
+# -- hash_join output-name dedup -------------------------------------------------------
+
+
+class TestJoinNameCollision:
+    def test_prefix_repeats_until_unique(self) -> None:
+        left = Table.from_dict({"x": [1], "right_x": [2]})
+        right = Table.from_dict({"x": [1], "y": [3]})
+        out = ops.hash_join(left, right, "x", "x")
+        assert out.column_names == ("x", "right_x", "right_right_x", "y")
+        assert out.to_dicts() == [{"x": 1, "right_x": 2, "right_right_x": 1, "y": 3}]
+
+    def test_double_collision(self) -> None:
+        left = Table.from_dict({"k": [1], "right_k": [2], "right_right_k": [3]})
+        right = Table.from_dict({"k": [1]})
+        out = ops.hash_join(left, right, "k", "k")
+        assert out.column_names == ("k", "right_k", "right_right_k", "right_right_right_k")
+
+    def test_no_collision_keeps_plain_names(self) -> None:
+        left = Table.from_dict({"k": [1], "v": [10]})
+        right = Table.from_dict({"k": [1], "w": [20]})
+        out = ops.hash_join(left, right, "k", "k")
+        assert out.column_names == ("k", "v", "right_k", "w")
+
+
+# -- division semantics ----------------------------------------------------------------
+
+
+class TestDivisionByZero:
+    def test_zero_divisor_yields_null_not_warning(self, db: Database) -> None:
+        db.create_table("t", {"a": [10, 0, None, 7], "b": [0, 0, 0, 2]})
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result = db.sql("SELECT a / b AS q FROM t")
+        assert result.column("q").to_list() == [None, None, None, 3.5]
+
+    def test_zero_over_zero_is_null_not_nan(self, db: Database) -> None:
+        db.create_table("t", {"a": [0], "b": [0]})
+        assert db.sql("SELECT a / b AS q FROM t").column("q").to_list() == [None]
+
+    def test_modulo_by_zero_is_null(self, db: Database) -> None:
+        db.create_table("t", {"a": [10, 7], "b": [0, 2]})
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result = db.sql("SELECT a % b AS m FROM t")
+        assert result.column("m").to_list() == [None, 1]
+
+    def test_float_zero_divisor_is_null(self, db: Database) -> None:
+        db.create_table("t", {"a": [1.5, 3.0], "b": [0.0, 1.5]})
+        assert db.sql("SELECT a / b AS q FROM t").column("q").to_list() == [None, 2.0]
+
+
+# -- join edge cases -------------------------------------------------------------------
+
+
+class TestJoinEdgeCases:
+    def test_left_join_against_empty_right_pads_with_nulls(self) -> None:
+        left = Table.from_dict({"k": [1, 2], "v": [10, 20]})
+        empty = Table.from_dict({"k": [], "w": []})
+        out = ops.hash_join(left, empty, "k", "k", kind="left")
+        assert out.num_rows == 2
+        assert out.to_dicts() == [
+            {"k": 1, "v": 10, "right_k": None, "w": None},
+            {"k": 2, "v": 20, "right_k": None, "w": None},
+        ]
+
+    def test_inner_join_against_empty_right_is_empty(self) -> None:
+        left = Table.from_dict({"k": [1, 2], "v": [10, 20]})
+        empty = Table.from_dict({"k": [], "w": []})
+        out = ops.hash_join(left, empty, "k", "k")
+        assert out.num_rows == 0
+        assert out.column_names == ("k", "v", "right_k", "w")
+
+    def test_int_keys_match_equal_float_keys(self) -> None:
+        left = Table.from_dict({"k": [1, 2], "v": [10, 20]})
+        right = Table.from_dict({"k": [2.0, 3.0], "w": ["a", "b"]})
+        out = ops.hash_join(left, right, "k", "k")
+        assert out.to_dicts() == [{"k": 2, "v": 20, "right_k": 2.0, "w": "a"}]
+
+    def test_string_keys_never_match_numeric_keys(self) -> None:
+        left = Table.from_dict({"k": [1, 2], "v": [10, 20]})
+        right = Table.from_dict({"k": ["1", "2"], "w": ["a", "b"]})
+        assert ops.hash_join(left, right, "k", "k").num_rows == 0
+
+    def test_null_keys_never_match(self) -> None:
+        left = Table.from_dict({"k": [1, None, 3], "v": [1, 2, 3]})
+        right = Table.from_dict({"k": [None, 3], "w": [9, 8]})
+        inner = ops.hash_join(left, right, "k", "k")
+        assert inner.to_dicts() == [{"k": 3, "v": 3, "right_k": 3, "w": 8}]
+
+    def test_null_left_key_survives_left_join_unmatched(self) -> None:
+        left = Table.from_dict({"k": [1, None, 3], "v": [1, 2, 3]})
+        right = Table.from_dict({"k": [None, 3], "w": [9, 8]})
+        out = ops.hash_join(left, right, "k", "k", kind="left")
+        assert out.to_dicts() == [
+            {"k": 1, "v": 1, "right_k": None, "w": None},
+            {"k": None, "v": 2, "right_k": None, "w": None},
+            {"k": 3, "v": 3, "right_k": 3, "w": 8},
+        ]

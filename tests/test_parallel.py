@@ -1,0 +1,319 @@
+"""Tests for morsel-driven parallel execution (repro.engine.parallel).
+
+The load-bearing guarantee is that serial and parallel execution are
+**bit-identical**: the property-style corpus test below replays the SQL
+differential-test corpus in both modes and compares raw column payloads
+byte for byte, not just normalised values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import Database, Table
+from repro.engine import parallel
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.obs.profile import PlanProfiler
+from repro.obs.tracing import get_tracer
+from tests.test_sql_differential import random_query, random_table
+
+
+@pytest.fixture()
+def parallel_mode():
+    """Force the parallel path (tiny morsels, no serial fallback)."""
+    parallel.configure(threads=4, morsel_rows=7, min_parallel_rows=1)
+    yield parallel.get_config()
+    parallel.configure(threads=0, morsel_rows=parallel.DEFAULT_MORSEL_ROWS)
+    parallel.shutdown_pool()
+
+
+@pytest.fixture()
+def serial_mode():
+    parallel.configure(threads=0)
+    yield
+    parallel.configure(threads=0, morsel_rows=parallel.DEFAULT_MORSEL_ROWS)
+
+
+def tables_bit_identical(a: Table, b: Table) -> None:
+    """Assert schema, validity and raw payload bytes all match."""
+    assert a.column_names == b.column_names
+    assert a.schema.types == b.schema.types
+    assert a.num_rows == b.num_rows
+    for name in a.column_names:
+        ca, cb = a.column(name), b.column(name)
+        va = ca.validity if ca.validity is not None else np.ones(len(ca), bool)
+        vb = cb.validity if cb.validity is not None else np.ones(len(cb), bool)
+        assert np.array_equal(va, vb), f"validity differs in {name!r}"
+        if ca.data.dtype == object or ca.data.dtype.kind in ("U", "S"):
+            assert list(ca.data[va]) == list(cb.data[vb]), f"payload differs in {name!r}"
+        else:
+            assert ca.data[va].tobytes() == cb.data[vb].tobytes(), (
+                f"payload differs in {name!r}"
+            )
+
+
+def run_both_modes(table: Table, sql: str) -> tuple[Table, Table]:
+    db = Database()
+    db.create_table("t", table)
+    parallel.configure(threads=0)
+    serial = db.sql(sql)
+    parallel.configure(threads=4, morsel_rows=7, min_parallel_rows=1)
+    try:
+        par = db.sql(sql)
+    finally:
+        parallel.configure(threads=0)
+    return serial, par
+
+
+# -- morsel iterator ------------------------------------------------------------------
+
+
+class TestMorselRanges:
+    def test_covers_all_rows_without_overlap(self) -> None:
+        ranges = parallel.morsel_ranges(10, 3)
+        assert ranges == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_exact_multiple(self) -> None:
+        assert parallel.morsel_ranges(6, 3) == [(0, 3), (3, 6)]
+
+    def test_empty_input(self) -> None:
+        assert parallel.morsel_ranges(0, 3) == []
+
+    def test_single_morsel_when_smaller_than_size(self) -> None:
+        assert parallel.morsel_ranges(2, 100) == [(0, 2)]
+
+
+class TestConfig:
+    def test_threads_gate_parallelism(self) -> None:
+        parallel.configure(threads=0, min_parallel_rows=1)
+        assert not parallel.should_parallelize(10_000)
+        parallel.configure(threads=1)
+        assert not parallel.should_parallelize(10_000)
+        parallel.configure(threads=2)
+        assert parallel.should_parallelize(10_000)
+        parallel.configure(threads=0, morsel_rows=parallel.DEFAULT_MORSEL_ROWS)
+
+    def test_small_inputs_fall_back_to_serial(self) -> None:
+        parallel.configure(threads=4, morsel_rows=100)  # min derived = 200
+        assert not parallel.should_parallelize(199)
+        assert parallel.should_parallelize(200)
+        parallel.configure(threads=0, morsel_rows=parallel.DEFAULT_MORSEL_ROWS)
+
+    def test_rejects_bad_values(self) -> None:
+        with pytest.raises(ValueError):
+            parallel.configure(threads=-1)
+        with pytest.raises(ValueError):
+            parallel.configure(morsel_rows=0)
+        with pytest.raises(ValueError):
+            parallel.configure(pool_kind="fibers")
+
+
+# -- kernel-level bit-identity --------------------------------------------------------
+
+
+class TestKernels:
+    def _table(self, n: int = 200, seed: int = 0) -> Table:
+        rng = np.random.default_rng(seed)
+        return Table.from_dict(
+            {
+                "g": [["a", "b", "c"][i] for i in rng.integers(0, 3, n)],
+                "x": [int(v) if v % 7 else None for v in rng.integers(-50, 50, n)],
+                "y": [float(v) if v < 1 else None for v in rng.normal(size=n)],
+            }
+        )
+
+    def test_filter_mask_identical(self, parallel_mode) -> None:
+        from repro.engine.expressions import col, truth_mask
+
+        table = self._table()
+        predicate = (col("x") > 0) & (col("y") < 0.5)
+        serial = truth_mask(predicate, table)
+        par = parallel.parallel_truth_mask(predicate, table)
+        assert np.array_equal(serial, par)
+
+    def test_aggregate_partials_recombine(self, parallel_mode) -> None:
+        table = self._table(500, seed=3)
+        serial, par = run_both_modes(
+            table,
+            "SELECT g, COUNT(*) AS n, COUNT(x) AS cx, SUM(x) AS sx, "
+            "AVG(y) AS my, MIN(y) AS lo, MAX(y) AS hi, "
+            "COUNT(DISTINCT x) AS dx FROM t GROUP BY g",
+        )
+        tables_bit_identical(serial, par)
+
+    def test_global_aggregate(self, parallel_mode) -> None:
+        table = self._table(300, seed=4)
+        serial, par = run_both_modes(
+            table, "SELECT COUNT(*) AS n, SUM(y) AS sy, AVG(x) AS mx FROM t"
+        )
+        tables_bit_identical(serial, par)
+
+    def test_sum_float_preserves_pairwise_summation(self, parallel_mode) -> None:
+        # float addition is not associative: naive partial-sum merging
+        # would drift from numpy's pairwise summation on adversarial data
+        values = [1e16, 1.0, -1e16, 1.0] * 64
+        table = Table.from_dict({"y": values, "g": ["k"] * len(values)})
+        serial, par = run_both_modes(table, "SELECT g, SUM(y) AS s, AVG(y) AS m FROM t GROUP BY g")
+        tables_bit_identical(serial, par)
+
+    def test_sort_multi_key_with_nulls(self, parallel_mode) -> None:
+        table = self._table(300, seed=5)
+        serial, par = run_both_modes(
+            table, "SELECT g, x, y FROM t ORDER BY g, x DESC, y"
+        )
+        tables_bit_identical(serial, par)
+
+    def test_sort_desc_stability_matches_serial(self, parallel_mode) -> None:
+        table = Table.from_dict(
+            {"k": [1, 1, 2, 2, 1, 2, 1, 2, 1, 1], "i": list(range(10))}
+        )
+        serial, par = run_both_modes(table, "SELECT k, i FROM t ORDER BY k DESC")
+        tables_bit_identical(serial, par)
+        # equal keys keep original (ascending i) order under DESC
+        assert par.column("i").to_list()[:4] == [2, 3, 5, 7]
+
+    def test_sort_with_nan_keys_falls_back_to_serial(self, parallel_mode) -> None:
+        table = Table.from_dict({"y": [float("nan"), 1.0, 0.5, float("nan"), 2.0] * 4})
+        serial, par = run_both_modes(table, "SELECT y FROM t ORDER BY y DESC")
+        tables_bit_identical(serial, par)
+
+    def test_string_sort_keys(self, parallel_mode) -> None:
+        table = self._table(150, seed=6)
+        serial, par = run_both_modes(table, "SELECT g, x FROM t ORDER BY g DESC, x")
+        tables_bit_identical(serial, par)
+
+
+# -- property-style corpus test -------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_corpus_serial_and_parallel_bit_identical(seed: int) -> None:
+    """Replay the SQL differential corpus in both modes; results must be
+    bit-identical (payload bytes, validity masks and schemas)."""
+    rng = np.random.default_rng(1000 + seed)
+    table, _ = random_table(rng, n=int(rng.integers(20, 120)))
+    db = Database()
+    db.create_table("t", table)
+    try:
+        for _ in range(10):
+            sql = random_query(rng)
+            parallel.configure(threads=0)
+            serial = db.sql(sql)
+            parallel.configure(threads=4, morsel_rows=7, min_parallel_rows=1)
+            par = db.sql(sql)
+            try:
+                tables_bit_identical(serial, par)
+            except AssertionError as exc:  # pragma: no cover - diagnostic
+                raise AssertionError(f"modes disagree on {sql!r}: {exc}") from exc
+    finally:
+        parallel.configure(threads=0, morsel_rows=parallel.DEFAULT_MORSEL_ROWS)
+        parallel.shutdown_pool()
+
+
+# -- observability --------------------------------------------------------------------
+
+
+class TestObservability:
+    def test_parallel_metrics_family_recorded(self, parallel_mode) -> None:
+        old = set_registry(MetricsRegistry())
+        try:
+            db = Database()
+            db.create_table("t", {"x": list(range(100))})
+            db.sql("SELECT x FROM t WHERE x > 10")
+            snapshot = set_registry(old).snapshot()
+        finally:
+            set_registry(old)
+        assert snapshot["counters"]["parallel.morsels"] > 1
+        assert snapshot["counters"]["parallel.batches"] >= 1
+        assert snapshot["gauges"]["parallel.workers"] == 4
+        assert snapshot["timers"]["parallel.batch_time"]["count"] >= 1
+
+    def test_explain_analyze_shows_fanout(self, parallel_mode) -> None:
+        db = Database()
+        db.create_table("t", {"x": list(range(100)), "g": ["a", "b"] * 50})
+        report = db.explain_analyze(
+            "SELECT g, COUNT(*) AS n FROM t WHERE x > 5 GROUP BY g"
+        )
+        text = report.render()
+        assert "morsels x 4 threads" in text
+        assert any(node.annotations for node in _walk_profiles(report.root))
+
+    def test_per_worker_spans_collected(self, parallel_mode) -> None:
+        tracer = get_tracer()
+        tracer.clear()
+        tracer.enable()
+        try:
+            db = Database()
+            db.create_table("t", {"x": list(range(64))})
+            db.sql("SELECT x FROM t WHERE x > 3")
+        finally:
+            tracer.disable()
+        names = [s.name for s in tracer.all_spans()]
+        assert "parallel.morsel" in names
+        workers = {
+            s.attrs.get("worker")
+            for s in tracer.all_spans()
+            if s.name == "parallel.morsel"
+        }
+        assert all(w for w in workers)
+        tracer.clear()
+
+    def test_profiler_serial_runs_have_no_fanout_annotation(self, serial_mode) -> None:
+        db = Database()
+        db.create_table("t", {"x": list(range(100))})
+        report = db.explain_analyze("SELECT x FROM t WHERE x > 5")
+        assert "morsels" not in report.render()
+
+
+def _walk_profiles(root):
+    yield root
+    for child in root.children:
+        yield from _walk_profiles(child)
+
+
+# -- knobs ----------------------------------------------------------------------------
+
+
+class TestKnobs:
+    def test_pragma_threads_roundtrip(self) -> None:
+        db = Database()
+        assert db.execute("PRAGMA threads=2") == 0
+        assert parallel.get_threads() == 2
+        readback = db.execute("PRAGMA threads")
+        assert readback.to_dicts() == [{"pragma": "threads", "value": 2}]
+        assert db.execute("PRAGMA threads=0") == 0
+        assert parallel.get_threads() == 0
+
+    def test_pragma_morsel_rows_rederives_threshold(self) -> None:
+        db = Database()
+        db.execute("PRAGMA morsel_rows=500")
+        config = parallel.get_config()
+        assert config.morsel_rows == 500
+        assert config.min_parallel_rows == 1000
+        parallel.configure(threads=0, morsel_rows=parallel.DEFAULT_MORSEL_ROWS)
+
+    def test_pragma_rejects_unknown_and_garbage(self) -> None:
+        from repro.errors import CatalogError
+
+        db = Database()
+        with pytest.raises(CatalogError):
+            db.execute("PRAGMA bogus=1")
+        with pytest.raises(CatalogError):
+            db.execute("PRAGMA threads=abc")
+        with pytest.raises(CatalogError):
+            db.execute("PRAGMA threads=-2")
+
+    def test_shell_threads_command(self) -> None:
+        from repro.__main__ import Shell
+
+        shell = Shell()
+        out = shell.execute("\\threads 3")
+        assert "threads = 3" in out
+        assert "parallel" in out
+        out = shell.execute("\\threads 0")
+        assert "threads = 0" in out and "serial" in out
+        out = shell.execute("PRAGMA threads=2")
+        assert out == "ok"
+        assert "threads | 2" in shell.execute("PRAGMA threads")
+        shell.execute("PRAGMA threads=0")
