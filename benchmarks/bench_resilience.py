@@ -1,0 +1,172 @@
+"""Query governor: cancellation latency and degraded-answer quality.
+
+Two experiments over the resilience layer:
+
+1. **Cancellation latency vs morsel size** — with every morsel slowed by
+   a fixed injected delay and a deadline far below the total work, the
+   overshoot past the deadline is bounded by roughly the work in flight
+   at the checkpoint (one morsel per worker): smaller morsels mean finer
+   checkpoints and tighter cancellation.
+2. **Degraded-answer error/latency curve** — the sampling-based
+   approximate answer at growing sample budgets, against the exact
+   aggregate: wall time, relative error and CI width all shrink toward
+   the exact answer as the budget grows.
+
+Both tables feed the benchmark-metrics export via ``print_table``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+from common import print_table
+
+from repro import resilience
+from repro.engine import Database, parallel
+from repro.errors import QueryTimeoutError
+from repro.resilience.degrade import degraded_answer
+from repro.workloads import sales_table
+
+QUERY = (
+    "SELECT region, COUNT(*) AS n, SUM(quantity) AS sq, AVG(price) AS ap "
+    "FROM sales GROUP BY region"
+)
+SLOW_MS = 20.0
+DEADLINE_MS = 60
+
+
+def _reset() -> None:
+    resilience.configure(timeout_ms=0, faults="off", degrade=0)
+    parallel.configure(threads=0, morsel_rows=parallel.DEFAULT_MORSEL_ROWS)
+    parallel.shutdown_pool()
+
+
+def run_latency_experiment(
+    n: int = 8_000, morsel_sizes: tuple[int, ...] = (100, 400, 1_600)
+):
+    """Overshoot past the deadline for each morsel granularity."""
+    db = Database()
+    db.create_table("sales", sales_table(n, seed=0))
+    rows = []
+    overshoots = {}
+    try:
+        for morsel_rows in morsel_sizes:
+            parallel.configure(threads=2, morsel_rows=morsel_rows, min_parallel_rows=1)
+            resilience.configure(
+                timeout_ms=DEADLINE_MS, faults=f"slow_morsel:1.0:{SLOW_MS}"
+            )
+            morsels = parallel.morsel_count(n)
+            start = time.perf_counter()
+            try:
+                db.sql(QUERY)
+                outcome = "finished"
+            except QueryTimeoutError:
+                outcome = "timeout"
+            wall_ms = (time.perf_counter() - start) * 1e3
+            overshoot_ms = max(0.0, wall_ms - DEADLINE_MS)
+            overshoots[morsel_rows] = overshoot_ms
+            rows.append(
+                [morsel_rows, morsels, f"{wall_ms:.1f}", f"{overshoot_ms:.1f}", outcome]
+            )
+    finally:
+        _reset()
+    return rows, overshoots
+
+
+def run_degradation_experiment(
+    n: int = 200_000, sample_sizes: tuple[int, ...] = (1_000, 5_000, 25_000)
+):
+    """Error and latency of the degraded answer at growing sample budgets."""
+    db = Database()
+    db.create_table("sales", sales_table(n, seed=0))
+    start = time.perf_counter()
+    exact = db.sql(QUERY)
+    exact_ms = (time.perf_counter() - start) * 1e3
+    exact_sq = {
+        exact.column("region")[i]: exact.column("sq")[i] for i in range(exact.num_rows)
+    }
+    plan = db.plan(QUERY)
+    rows = [["exact", f"{exact_ms:.1f}", "0.000%", "—", ""]]
+    errors = {}
+    try:
+        for size in sample_sizes:
+            start = time.perf_counter()
+            approx = degraded_answer(plan, db, max_rows=size, reason="benchmark")
+            wall_ms = (time.perf_counter() - start) * 1e3
+            rel_errors, ci_widths, covered = [], [], 0
+            for i in range(approx.num_rows):
+                region = approx.column("region")[i]
+                truth = exact_sq[region]
+                est = approx.column("sq")[i]
+                lo = approx.column("sq_lo")[i]
+                hi = approx.column("sq_hi")[i]
+                rel_errors.append(abs(est - truth) / abs(truth))
+                ci_widths.append((hi - lo) / abs(truth))
+                covered += int(lo <= truth <= hi)
+            mean_err = float(np.mean(rel_errors))
+            errors[size] = mean_err
+            rows.append(
+                [
+                    f"sample {size}",
+                    f"{wall_ms:.1f}",
+                    f"{mean_err:.3%}",
+                    f"{float(np.mean(ci_widths)):.3%}",
+                    f"{covered}/{approx.num_rows} in CI",
+                ]
+            )
+    finally:
+        _reset()
+    return rows, errors
+
+
+def test_bench_resilience(benchmark) -> None:
+    latency_rows, overshoots = run_latency_experiment(
+        n=2_000, morsel_sizes=(50, 200, 800)
+    )
+    print_table(
+        "Governor: cancellation latency vs morsel size (injected 20 ms/morsel)",
+        ["morsel_rows", "morsels", "wall ms", "overshoot ms", "outcome"],
+        latency_rows,
+    )
+    # fine morsels keep the overshoot within a handful of slow morsels'
+    # work; generous bound so single-core CI hosts don't flake
+    assert overshoots[50] < SLOW_MS * 10
+
+    degrade_rows, errors = run_degradation_experiment(
+        n=50_000, sample_sizes=(1_000, 10_000)
+    )
+    print_table(
+        "Governor: degraded-answer error/latency curve (SUM per group)",
+        ["mode", "wall ms", "mean rel error", "mean CI width", "coverage"],
+        degrade_rows,
+    )
+    # more sample budget must not make the estimate worse (deterministic seed)
+    assert errors[10_000] <= errors[1_000]
+
+    db = Database()
+    db.create_table("sales", sales_table(20_000, seed=1))
+    plan = db.plan(QUERY)
+    try:
+        benchmark(lambda: degraded_answer(plan, db, max_rows=2_000, reason="bench"))
+    finally:
+        _reset()
+
+
+if __name__ == "__main__":
+    rows, _ = run_latency_experiment()
+    print_table(
+        "Governor: cancellation latency vs morsel size (injected 20 ms/morsel)",
+        ["morsel_rows", "morsels", "wall ms", "overshoot ms", "outcome"],
+        rows,
+    )
+    rows, _ = run_degradation_experiment()
+    print_table(
+        "Governor: degraded-answer error/latency curve (SUM per group)",
+        ["mode", "wall ms", "mean rel error", "mean CI width", "coverage"],
+        rows,
+    )

@@ -18,6 +18,9 @@ three-layer organisation:
   Table 1 taxonomy.
 - :mod:`repro.obs` — observability: metrics registry, span tracing,
   ``EXPLAIN ANALYZE`` profiling.
+- :mod:`repro.resilience` — the query governor: deadlines, cancellation,
+  memory budgets, graceful degradation to approximate answers, and a
+  deterministic fault-injection harness.
 """
 
 from repro.engine import Column, Database, DataType, Table, col, lit

@@ -11,6 +11,7 @@ few shell meta-commands:
 ``\\load f AS t``   NoDB-load a CSV file as table ``t`` (lazy, adaptive)
 ``\\explain q``     show the plan for a SELECT
 ``\\threads [n]``   show or set the parallel worker count (0 = serial)
+``\\timeout [ms]``  show or set the per-query deadline (0 = off)
 ``\\metrics``       dump the metrics-registry snapshot as JSON
 ``\\help``          this text
 ``\\quit``          exit
@@ -18,6 +19,11 @@ few shell meta-commands:
 
 ``PRAGMA threads=N`` / ``PRAGMA morsel_rows=N`` tune the morsel-driven
 parallel executor from SQL; ``\\threads`` is the shell shorthand.
+``PRAGMA timeout_ms/memory_budget_kb/degrade/faults=...`` tune the query
+governor; ``\\timeout`` is the shorthand for the deadline.  With ``PRAGMA
+degrade=1`` a query that blows its budget returns an approximate answer
+(flagged under the result) instead of an error.  Ctrl-C cancels the
+running query and returns to the prompt; the session stays usable.
 
 ``EXPLAIN ANALYZE SELECT ...`` runs the query under the profiler and
 prints per-plan-node wall time, row counts and bytes touched.
@@ -101,6 +107,16 @@ class Shell:
                 f"morsel_rows = {config.morsel_rows}, "
                 f"min_parallel_rows = {config.min_parallel_rows}"
             )
+        if command == "timeout":
+            from repro import resilience
+
+            if len(parts) > 1:
+                try:
+                    resilience.configure(timeout_ms=int(parts[1]))
+                except ValueError:
+                    return "usage: \\timeout [ms]   (ms >= 0; 0 = no deadline)"
+            timeout_ms = resilience.get_config().timeout_ms
+            return f"timeout = {f'{timeout_ms} ms' if timeout_ms else 'off'}"
         if command == "metrics":
             from repro.obs import get_registry
 
@@ -125,6 +141,12 @@ class Shell:
             if head == "SELECT":
                 result = self.session.sql(stripped)
                 footer = f"({result.num_rows} rows)"
+                if getattr(result, "degraded", False):
+                    footer += (
+                        f"\n(approximate: sampled {result.sample_rows} of "
+                        f"{result.total_rows} rows at "
+                        f"{result.confidence:.0%} confidence — {result.reason})"
+                    )
                 return result.pretty() + "\n" + footer
             if head == "EXPLAIN":
                 plan = self.session.db.execute(stripped)
@@ -156,6 +178,15 @@ class Shell:
                 output = self.execute(line)
             except EOFError:
                 break
+            except KeyboardInterrupt:
+                # Ctrl-C mid-query: the engine normally converts this to
+                # QueryCancelledError (a ReproError), but an interrupt
+                # outside governed execution can still land here.  Close
+                # any spans the interrupt abandoned and keep the session.
+                from repro.obs.tracing import get_tracer
+
+                get_tracer().unwind()
+                output = "(cancelled)"
             except ReproError as exc:
                 output = f"error: {exc}"
             if output:

@@ -153,15 +153,74 @@ class Database:
         return self.plan(sql).explain()
 
     def sql(self, query: str) -> Table:
-        """Parse, plan and execute a SELECT statement."""
-        from repro.engine.executor import execute_plan
+        """Parse, plan and execute a SELECT statement.
 
+        Execution runs under the query governor (:mod:`repro.resilience`):
+        ``PRAGMA timeout_ms`` / ``memory_budget_kb`` bound the query, a
+        Ctrl-C surfaces as a clean
+        :class:`~repro.errors.QueryCancelledError`, and with ``PRAGMA
+        degrade=1`` a degradable aggregate that blows its budget returns
+        an approximate answer with confidence bounds instead of failing.
+        """
         plan = self.plan(query)
         self.queries_executed += 1
         registry = get_registry()
         registry.counter("engine.queries").inc()
         with registry.timer("engine.query_time").time():
-            return execute_plan(plan, self)
+            return self._run_governed(plan)
+
+    def _run_governed(self, plan: Plan) -> Table:
+        """Execute a plan under a fresh :class:`~repro.resilience.QueryContext`.
+
+        A governor violation unwinds the tracer (abandoned spans are
+        closed, not leaked), bumps the matching ``resilience.*`` counter
+        and either re-raises or — when degradation is on and the plan
+        qualifies — re-routes through the sampling-based approximate
+        answer *outside* the expired context.
+        """
+        from repro import resilience
+        from repro.engine.executor import execute_plan
+        from repro.errors import (
+            MemoryBudgetError,
+            QueryCancelledError,
+            QueryTimeoutError,
+            ResourceError,
+        )
+        from repro.obs.tracing import get_tracer
+
+        registry = get_registry()
+        config = resilience.get_config()
+        context = resilience.context_from_config(config)
+        tracer = get_tracer()
+        depth = tracer.open_depth()
+        try:
+            with resilience.activate(context):
+                return execute_plan(plan, self)
+        except ResourceError as exc:
+            tracer.unwind(depth)
+            if isinstance(exc, QueryTimeoutError):
+                registry.counter("resilience.timeouts").inc()
+            elif isinstance(exc, QueryCancelledError):
+                registry.counter("resilience.cancellations").inc()
+            elif isinstance(exc, MemoryBudgetError):
+                registry.counter("resilience.memory_exceeded").inc()
+            if config.degrade and not context.cancelled:
+                from repro.resilience.degrade import degradable, degraded_answer
+
+                if degradable(plan):
+                    registry.counter("resilience.degradations").inc()
+                    return degraded_answer(
+                        plan,
+                        self,
+                        max_rows=config.degrade_rows,
+                        reason=str(exc),
+                    )
+            raise
+        except KeyboardInterrupt:
+            context.cancel()
+            tracer.unwind(depth)
+            registry.counter("resilience.cancellations").inc()
+            raise QueryCancelledError("query interrupted") from None
 
     def explain_analyze(self, query: str) -> ExplainAnalyzeReport:
         """Execute a SELECT under the profiler and return the report.
@@ -193,8 +252,10 @@ class Database:
         since both describe the old contents.
 
         ``PRAGMA threads[=N]`` and ``PRAGMA morsel_rows[=N]`` read or set
-        the morsel-driven parallel executor's knobs; the read form
-        returns a one-row settings table.
+        the morsel-driven parallel executor's knobs; ``PRAGMA
+        timeout_ms``, ``memory_budget_kb``, ``degrade``, ``max_retries``
+        and ``faults`` tune the query governor.  The read form returns a
+        one-row settings table.
         """
         from repro.engine.sql.ast import (
             CreateTableStatement,
@@ -229,22 +290,62 @@ class Database:
             return self._execute_update(statement)
         raise CatalogError(f"unsupported statement {type(statement).__name__}")
 
+    #: integer-valued governor pragmas routed to ``repro.resilience.configure``
+    _RESILIENCE_INT_PRAGMAS = frozenset(
+        {
+            "timeout_ms",
+            "memory_budget_kb",
+            "degrade",
+            "degrade_rows",
+            "max_retries",
+            "fault_seed",
+        }
+    )
+
     def _execute_pragma(self, body: str) -> Table | int:
-        """``PRAGMA <name>[=<value>]``: parallel-execution knobs.
+        """``PRAGMA <name>[=<value>]``: parallel-execution and governor knobs.
 
         The set form returns 0 (like DDL); the read form returns a
-        one-row table with the current setting.
+        one-row table with the current setting.  ``PRAGMA faults`` is the
+        one string-valued pragma (a fault-injection spec, or ``off``);
+        everything else takes an integer.
         """
+        from repro import resilience
         from repro.engine import parallel
 
         name, _, value = body.partition("=")
         name = name.strip().lower()
         value = value.strip()
-        settable = {"threads", "morsel_rows", "min_parallel_rows"}
-        if name not in settable:
-            raise CatalogError(
-                f"unknown pragma {name!r}; expected one of {sorted(settable)}"
+        parallel_knobs = {"threads", "morsel_rows", "min_parallel_rows"}
+        if name == "faults":
+            if value:
+                try:
+                    resilience.configure(faults=value.strip("'\"").strip())
+                except ValueError as exc:
+                    raise CatalogError(str(exc)) from None
+                return 0
+            current = resilience.get_config().faults or "off"
+            return Table.from_rows([(name, current)], ["pragma", "value"])
+        if name in self._RESILIENCE_INT_PRAGMAS:
+            if value:
+                try:
+                    parsed = int(value)
+                except ValueError:
+                    raise CatalogError(
+                        f"PRAGMA {name} expects an integer, got {value!r}"
+                    ) from None
+                try:
+                    resilience.configure(**{name: parsed})
+                except ValueError as exc:
+                    raise CatalogError(str(exc)) from None
+                return 0
+            current = getattr(resilience.get_config(), name)
+            return Table.from_rows([(name, int(current))], ["pragma", "value"])
+        if name not in parallel_knobs:
+            known = sorted(
+                parallel_knobs | self._RESILIENCE_INT_PRAGMAS | {"faults"}
             )
+            raise CatalogError(f"unknown pragma {name!r}; expected one of {known}")
         if value:
             try:
                 parsed = int(value)

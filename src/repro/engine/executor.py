@@ -12,6 +12,12 @@ hash aggregation, sort) route through the morsel-driven worker pool of
 threads=N`` / ``REPRO_THREADS``) and the input is large enough; small
 inputs always take the serial path.  Serial and parallel execution are
 bit-identical by construction (see the parallel module docstring).
+
+Execution is *governed*: when a :class:`~repro.resilience.QueryContext`
+is active, every plan node is a checkpoint — the deadline/cancellation
+token is checked before the node runs, and the node's output bytes are
+charged against the memory budget after.  The parallel module adds the
+finer-grained morsel-boundary checkpoints between nodes.
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ from repro.engine.planner import (
 from repro.engine.table import Table
 from repro.errors import ExecutionError
 from repro.obs.profile import PlanProfiler, table_nbytes
+from repro.resilience import current_context
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -59,11 +66,17 @@ def execute_plan(
 def _execute(
     node: PlanNode, database: "Database", profiler: PlanProfiler | None = None
 ) -> Table:
+    context = current_context()
+    if context is not None:
+        context.check()
     if profiler is None:
-        return _run_node(node, database, None)
-    profiler.enter(node)
-    result = _run_node(node, database, profiler)
-    profiler.exit(node, result)
+        result = _run_node(node, database, None)
+    else:
+        profiler.enter(node)
+        result = _run_node(node, database, profiler)
+        profiler.exit(node, result)
+    if context is not None and context.memory_budget_bytes is not None:
+        context.charge(table_nbytes(result), node.label())
     return result
 
 

@@ -33,15 +33,31 @@ have performed:
 Small inputs skip the pool entirely: below ``min_parallel_rows`` the
 executor uses the serial operators, so interactive point queries never
 pay the fan-out overhead.
+
+The pool is also where the query governor's fine-grained checkpoints
+live: every morsel task checks the active
+:class:`~repro.resilience.QueryContext` before running, and the batch
+loop re-checks after each completed morsel — so a deadline or a
+cancellation surfaces within roughly one morsel's work.  Fault
+tolerance is morsel-granular too: a worker exception (real or injected
+via :mod:`repro.resilience.faults`) is retried *serially* on the
+calling thread with bounded backoff instead of poisoning the query, and
+a broken/unpicklable process pool falls back to the thread pool once.
+Retries re-run exactly the kernel the worker would have run, so results
+stay bit-identical to serial execution.
 """
 
 from __future__ import annotations
 
 import heapq
+import itertools
 import math
 import os
+import pickle
 import threading
+import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from functools import cmp_to_key
 from typing import Any, Callable, Sequence
 
@@ -53,8 +69,16 @@ from repro.engine.expressions import Expression, truth_mask
 from repro.engine.sql.ast import AggregateCall, OrderItem
 from repro.engine.table import Table
 from repro.engine.types import DataType
+from repro.errors import ExecutionError, ResourceError
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import trace
+from repro.resilience import (
+    QueryContext,
+    current_context,
+    get_injector,
+)
+from repro.resilience import get_config as _resilience_config
+from repro.resilience.faults import FaultInjector
 
 DEFAULT_MORSEL_ROWS = 65_536
 
@@ -188,24 +212,169 @@ def morsel_count(num_rows: int) -> int:
     return len(morsel_ranges(num_rows))
 
 
+_batch_counter = itertools.count()
+
+
+class _PoolFailure(Exception):
+    """Internal: the pool itself (not a kernel) failed on a morsel."""
+
+    def __init__(self, morsel: tuple[int, int], cause: BaseException) -> None:
+        super().__init__(str(cause))
+        self.morsel = morsel
+        self.cause = cause
+
+
+def _is_pool_failure(exc: BaseException) -> bool:
+    """True for errors that indict the pool, not the kernel.
+
+    A broken process pool, or (process mode only) a pickling failure
+    while shipping the task/result across the process boundary.
+    """
+    if isinstance(exc, BrokenProcessPool):
+        return True
+    if _config.pool_kind != "process":
+        return False
+    return isinstance(exc, pickle.PicklingError) or "pickle" in str(exc).lower()
+
+
+def _cancel(futures: Sequence[Any]) -> None:
+    for future in futures:
+        future.cancel()
+
+
 def _run_tasks(fn: Callable[..., Any], arg_tuples: Sequence[tuple]) -> list[Any]:
     """Run ``fn(*args)`` for every tuple on the pool; results in order.
 
     Records the ``parallel.*`` metrics family: morsel and batch counts,
-    the configured worker gauge, and batch wall time.
+    the configured worker gauge, and batch wall time.  When the process
+    pool itself breaks (worker death, pickling failure) the batch falls
+    back to the thread pool once — a second failure surfaces as
+    :class:`~repro.errors.ExecutionError` naming the offending morsel.
     """
     registry = get_registry()
     registry.counter("parallel.morsels").inc(len(arg_tuples))
     registry.counter("parallel.batches").inc()
     registry.gauge("parallel.workers").set(_config.threads)
-    pool = _get_pool()
     with registry.timer("parallel.batch_time").time():
-        futures = [pool.submit(_traced_task, fn, args) for args in arg_tuples]
-        return [f.result() for f in futures]
+        try:
+            return _run_batch(fn, arg_tuples)
+        except _PoolFailure as failure:
+            if _config.pool_kind != "process":
+                raise ExecutionError(
+                    f"worker pool failed on morsel {failure.morsel[0]}:"
+                    f"{failure.morsel[1]}: {failure.cause}"
+                ) from failure.cause
+            registry.counter("resilience.pool_fallbacks").inc()
+            configure(pool_kind="thread")  # pool is rebuilt lazily
+            try:
+                return _run_batch(fn, arg_tuples)
+            except _PoolFailure as second:
+                raise ExecutionError(
+                    f"worker pool failed on morsel {second.morsel[0]}:"
+                    f"{second.morsel[1]} even after thread-pool fallback: "
+                    f"{second.cause}"
+                ) from second.cause
 
 
-def _traced_task(fn: Callable[..., Any], args: tuple) -> Any:
-    """One worker-side task: a per-worker span around the kernel call."""
+def _run_batch(fn: Callable[..., Any], arg_tuples: Sequence[tuple]) -> list[Any]:
+    """Submit one batch and collect results, enforcing the governor.
+
+    The active :class:`~repro.resilience.QueryContext` is re-checked
+    after every completed morsel, so a deadline/cancellation aborts the
+    batch within roughly one morsel's work.  Kernel exceptions are
+    retried serially; pool-level failures raise :class:`_PoolFailure`.
+    """
+    ctx = current_context()
+    injector = get_injector()
+    if _config.pool_kind == "process":
+        # thread-locals, events and injector state don't cross the
+        # process boundary; the collection loop below still enforces
+        # the governor between morsels.
+        task_ctx: QueryContext | None = None
+        task_injector: FaultInjector | None = None
+    else:
+        task_ctx, task_injector = ctx, injector
+    batch = next(_batch_counter)
+    pool = _get_pool()
+    futures: list[Any] = []
+    try:
+        for i, args in enumerate(arg_tuples):
+            futures.append(
+                pool.submit(_traced_task, fn, args, task_ctx, task_injector, (batch, i))
+            )
+    except BrokenProcessPool as exc:
+        _cancel(futures)
+        raise _PoolFailure((batch, len(futures)), exc) from exc
+    results: list[Any] = [None] * len(futures)
+    for i, future in enumerate(futures):
+        try:
+            results[i] = future.result()
+        except ResourceError:
+            _cancel(futures[i + 1 :])
+            raise
+        except Exception as exc:
+            if _is_pool_failure(exc):
+                _cancel(futures[i + 1 :])
+                raise _PoolFailure((batch, i), exc) from exc
+            results[i] = _retry_morsel_serially(fn, arg_tuples[i], (batch, i), exc)
+        if ctx is not None:
+            try:
+                ctx.check()
+            except ResourceError:
+                _cancel(futures[i + 1 :])
+                raise
+    return results
+
+
+def _retry_morsel_serially(
+    fn: Callable[..., Any], args: tuple, key: tuple[int, int], exc: BaseException
+) -> Any:
+    """Re-run a crashed morsel on the calling thread with bounded backoff.
+
+    Retries call the kernel directly — no pool, no fault injection — so
+    an injected (or transient) crash recovers to the exact result the
+    worker would have produced.  Exhausted retries surface as
+    :class:`~repro.errors.ExecutionError` chained to the last failure.
+    """
+    registry = get_registry()
+    registry.counter("resilience.morsel_failures").inc()
+    config = _resilience_config()
+    last: BaseException = exc
+    for attempt in range(config.max_retries):
+        if attempt:
+            time.sleep(config.retry_backoff_s * (2 ** (attempt - 1)))
+        registry.counter("resilience.retries").inc()
+        try:
+            with trace(
+                "resilience.retry",
+                kernel=fn.__name__,
+                morsel=f"{key[0]}:{key[1]}",
+                attempt=attempt + 1,
+            ):
+                return fn(*args)
+        except ResourceError:
+            raise
+        except Exception as retry_exc:
+            last = retry_exc
+    raise ExecutionError(
+        f"morsel {key[0]}:{key[1]} failed after {config.max_retries} "
+        f"retries: {last}"
+    ) from last
+
+
+def _traced_task(
+    fn: Callable[..., Any],
+    args: tuple,
+    ctx: QueryContext | None = None,
+    injector: FaultInjector | None = None,
+    key: tuple[int, int] | None = None,
+) -> Any:
+    """One worker-side task: governor checkpoint, fault sites, traced kernel."""
+    if ctx is not None:
+        ctx.check()
+    if injector is not None and key is not None:
+        injector.maybe_slow(key)
+        injector.maybe_crash(key)
     with trace(
         "parallel.morsel", kernel=fn.__name__, worker=threading.current_thread().name
     ):

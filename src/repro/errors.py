@@ -53,6 +53,29 @@ class ApproximationError(ReproError):
     """
 
 
+class ResourceError(ReproError):
+    """Base class for query-governor violations (time, cancellation, memory).
+
+    The governor (:mod:`repro.resilience`) raises these at morsel and
+    operator boundaries; they deliberately do **not** derive from
+    :class:`ExecutionError`, so resource exhaustion is distinguishable
+    from a genuinely broken plan.
+    """
+
+
+class QueryTimeoutError(ResourceError):
+    """Raised when a query runs past its deadline (``PRAGMA timeout_ms``)."""
+
+
+class QueryCancelledError(ResourceError):
+    """Raised when a query's cancellation token is triggered (shell
+    interrupt, explicit :meth:`~repro.resilience.CancellationToken.cancel`)."""
+
+
+class MemoryBudgetError(ResourceError):
+    """Raised when a query's estimated allocations exceed its memory budget."""
+
+
 class LoadingError(ReproError):
     """Raised by the adaptive (raw-file) loading layer for malformed input."""
 

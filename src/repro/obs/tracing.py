@@ -140,6 +140,33 @@ class Tracer:
             self.finished.clear()
         self._stack.clear()
 
+    def open_depth(self) -> int:
+        """Number of spans currently open on the calling thread."""
+        return len(self._stack)
+
+    def unwind(self, to_depth: int = 0) -> int:
+        """Close spans the calling thread abandoned; returns how many.
+
+        An interrupt (e.g. Ctrl-C mid-query) can abandon open spans on
+        the thread's stack; recording the depth before risky work and
+        unwinding back to it afterwards keeps the tracer consistent.
+        Each abandoned span is closed at the current wall time, so the
+        partial trace of the interrupted work is preserved.
+        """
+        stack = self._stack
+        closed = 0
+        now = time.perf_counter()
+        while len(stack) > to_depth:
+            span = stack.pop()
+            span.end_s = now
+            if stack:
+                stack[-1].children.append(span)
+            else:
+                with self._finished_lock:
+                    self.finished.append(span)
+            closed += 1
+        return closed
+
     def all_spans(self) -> list[Span]:
         """Every finished span, flattened depth-first across roots."""
         return [span for root in self.finished for span in root.walk()]

@@ -1,0 +1,315 @@
+"""Graceful degradation: re-route a doomed aggregate through sampling.
+
+When a query hits its deadline or memory budget and the degradation
+policy is on (``PRAGMA degrade=1``), the governor checks whether the
+plan is a *degradable aggregate* — a grouped or global COUNT/SUM/AVG
+over a single base table with an optional pushed-down predicate — and,
+if so, answers it from a bounded uniform sample instead of failing.
+This is the BlinkDB/online-aggregation posture from the survey's
+middleware layer: under resource pressure, a bounded-error answer now
+beats an exact answer never.
+
+The approximate answer is a :class:`DegradedTable`: alongside each
+aggregate column ``x`` it carries ``x_lo``/``x_hi`` confidence bounds
+(closed-form SRS estimators from :mod:`repro.sampling.estimators`), and
+the table object itself is tagged with ``degraded=True``, the sampled
+row count and the reason, so shells and clients can surface the
+approximation honestly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.engine import expressions as ex
+from repro.engine.expressions import truth_mask
+from repro.engine.planner import (
+    AggregateNode,
+    Plan,
+    ProjectNode,
+    RangeProbe,
+    ScanNode,
+)
+from repro.engine.table import Table
+from repro.errors import ApproximationError
+from repro.obs.tracing import trace
+from repro.sampling.estimators import Estimate, srs_estimate
+
+_SUPPORTED = ("COUNT", "SUM", "AVG")
+
+
+class DegradedTable(Table):
+    """A result table produced by degradation rather than exact execution.
+
+    Behaves exactly like a :class:`~repro.engine.table.Table`; the extra
+    attributes describe the approximation so callers can tell (and show)
+    that the answer is not exact.
+    """
+
+    degraded = True
+    reason = ""
+    sample_rows = 0
+    total_rows = 0
+    confidence = 0.95
+
+
+def degradable(plan: Plan) -> bool:
+    """True when the plan can be answered approximately by sampling."""
+    return _analyse(plan) is not None
+
+
+def _analyse(plan: Plan) -> tuple[AggregateNode, ScanNode, list[str]] | None:
+    """Decompose a degradable plan; None when the shape is unsupported.
+
+    Supported shape: ``[Project] -> Aggregate -> Scan`` where the project
+    only passes columns through, every group key is a plain column
+    reference, and every aggregate is a non-DISTINCT COUNT/SUM/AVG.
+    HAVING, ORDER BY, LIMIT, DISTINCT aggregates and joins are rejected:
+    their sampled semantics are not a drop-in for the exact answer.
+    """
+    node = plan.root
+    output: list[str] | None = None
+    if isinstance(node, ProjectNode):
+        items = node.items
+        if any(
+            item.star or not isinstance(item.expression, ex.ColumnRef)
+            for item in items
+        ):
+            return None
+        output = [item.output_name() for item in items]
+        node = node.child
+    if not isinstance(node, AggregateNode):
+        return None
+    scan = node.child
+    if not isinstance(scan, ScanNode):
+        return None
+    if any(not isinstance(expr, ex.ColumnRef) for expr in node.group_exprs):
+        return None
+    agg_names = {name for name, _ in node.aggregates}
+    for name, call in node.aggregates:
+        if call.distinct or call.function not in _SUPPORTED:
+            return None
+    if output is None:
+        output = list(node.group_names) + [name for name, _ in node.aggregates]
+    known = set(node.group_names) | agg_names
+    if any(name not in known for name in output):
+        return None
+    return node, scan, output
+
+
+def _probe_predicate(probe: RangeProbe) -> ex.Expression:
+    """Rebuild the filter an index probe stands for, for sampled evaluation."""
+    conjuncts: list[ex.Expression] = []
+    if probe.low is not None:
+        op = ">=" if probe.low_inclusive else ">"
+        conjuncts.append(
+            ex.Comparison(op, ex.ColumnRef(probe.column), ex.Literal(probe.low))
+        )
+    if probe.high is not None:
+        op = "<=" if probe.high_inclusive else "<"
+        conjuncts.append(
+            ex.Comparison(op, ex.ColumnRef(probe.column), ex.Literal(probe.high))
+        )
+    result = conjuncts[0]
+    for conj in conjuncts[1:]:
+        result = ex.And(result, conj)
+    return result
+
+
+def degraded_answer(
+    plan: Plan,
+    database: Any,
+    max_rows: int = 10_000,
+    confidence: float = 0.95,
+    seed: int = 0,
+    reason: str = "",
+) -> DegradedTable:
+    """Answer a degradable aggregate plan from a bounded uniform sample.
+
+    Args:
+        plan: a plan for which :func:`degradable` is True.
+        database: catalog resolving the scanned table.
+        max_rows: sample-size budget (the whole table when smaller).
+        confidence: CI level of the per-cell bounds.
+        seed: RNG seed of the uniform sample (deterministic by default).
+        reason: human-readable trigger, recorded on the result.
+
+    Raises:
+        ApproximationError: when the plan shape is not degradable.
+    """
+    analysed = _analyse(plan)
+    if analysed is None:
+        raise ApproximationError("plan is not a degradable aggregate")
+    agg_node, scan, output = analysed
+
+    base = database.get_table(scan.table)
+    n_population = base.num_rows
+    sample_size = min(n_population, max_rows)
+    with trace(
+        "resilience.degrade",
+        table=scan.table,
+        sample_rows=sample_size,
+        total_rows=n_population,
+        reason=reason,
+    ):
+        if sample_size == 0:
+            rows_idx = np.empty(0, dtype=np.int64)
+        else:
+            rng = np.random.default_rng(seed)
+            rows_idx = np.sort(
+                rng.choice(n_population, size=sample_size, replace=False)
+            )
+        subset = base.take(rows_idx)
+
+        predicate = scan.predicate
+        if scan.probe is not None:
+            probe_pred = _probe_predicate(scan.probe)
+            predicate = (
+                probe_pred if predicate is None else ex.And(probe_pred, predicate)
+            )
+        keep = (
+            truth_mask(predicate, subset)
+            if predicate is not None
+            else np.ones(sample_size, dtype=bool)
+        )
+
+        key_columns = [expr.evaluate(subset) for expr in agg_node.group_exprs]
+        arg_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for i, (_, call) in enumerate(agg_node.aggregates):
+            if call.argument is not None:
+                column = call.argument.evaluate(subset)
+                valid = ~column.is_null_mask()
+                if call.function == "COUNT":
+                    values = np.zeros(sample_size, dtype=np.float64)
+                else:
+                    values = np.where(
+                        valid, column.data.astype(np.float64, copy=False), 0.0
+                    )
+                arg_cache[i] = (values, valid)
+
+        if agg_node.group_exprs:
+            groups = _sample_groups(key_columns, keep)
+        else:
+            groups = [((), np.ones(sample_size, dtype=bool))]
+
+        estimates: list[tuple[tuple, list[Estimate | None]]] = []
+        for key, in_group in groups:
+            cells: list[Estimate | None] = []
+            for i, (_, call) in enumerate(agg_node.aggregates):
+                cells.append(
+                    _estimate_cell(
+                        call.function,
+                        call.argument is None,
+                        arg_cache.get(i),
+                        keep & in_group,
+                        sample_size,
+                        n_population,
+                        confidence,
+                    )
+                )
+            estimates.append((key, cells))
+
+        rows, names = _render(agg_node, output, estimates)
+        result = DegradedTable.from_rows(rows, names)
+        result.reason = reason or "resource budget exhausted"
+        result.sample_rows = int(sample_size)
+        result.total_rows = int(n_population)
+        result.confidence = confidence
+        return result
+
+
+def _sample_groups(
+    key_columns: list, keep: np.ndarray
+) -> list[tuple[tuple, np.ndarray]]:
+    """Group membership masks over the sample, first-appearance order.
+
+    Only rows satisfying the predicate define groups (like the exact
+    aggregate, which groups post-WHERE rows).
+    """
+    order: list[tuple] = []
+    masks: dict[tuple, np.ndarray] = {}
+    n = len(keep)
+    for row in range(n):
+        if not keep[row]:
+            continue
+        key = tuple(column[row] for column in key_columns)
+        mask = masks.get(key)
+        if mask is None:
+            mask = np.zeros(n, dtype=bool)
+            masks[key] = mask
+            order.append(key)
+        mask[row] = True
+    return [(key, masks[key]) for key in order]
+
+
+def _estimate_cell(
+    function: str,
+    is_star: bool,
+    arg: tuple[np.ndarray, np.ndarray] | None,
+    member: np.ndarray,
+    sample_size: int,
+    n_population: int,
+    confidence: float,
+) -> Estimate | None:
+    """SRS estimate of one aggregate cell from the full sample.
+
+    COUNT and SUM are estimated via per-row indicators/contributions over
+    the *entire* sample (scaled by N), so group shares and predicate
+    selectivity are part of the estimate; AVG averages the qualifying
+    values against an estimated group population.
+    """
+    if sample_size == 0:
+        return None
+    if function == "COUNT":
+        indicator = member.astype(np.float64)
+        if not is_star:
+            assert arg is not None
+            indicator = indicator * arg[1].astype(np.float64)
+        return srs_estimate(indicator, n_population, "count", confidence)
+    assert arg is not None
+    values, valid = arg
+    qualifying = member & valid
+    if function == "SUM":
+        contributions = np.where(qualifying, values, 0.0)
+        return srs_estimate(contributions, n_population, "sum", confidence)
+    # AVG: mean of qualifying values against the estimated group population
+    picked = values[qualifying]
+    if len(picked) == 0:
+        return None
+    share = len(picked) / sample_size
+    est_population = max(len(picked), int(round(n_population * share)))
+    return srs_estimate(picked, est_population, "avg", confidence)
+
+
+def _render(
+    agg_node: AggregateNode,
+    output: list[str],
+    estimates: list[tuple[tuple, list[Estimate | None]]],
+) -> tuple[list[tuple], list[str]]:
+    """Lay out result rows following the plan's projected column order.
+
+    Each aggregate column ``x`` is followed by ``x_lo``/``x_hi`` bounds.
+    """
+    group_pos = {name: i for i, name in enumerate(agg_node.group_names)}
+    agg_pos = {name: i for i, (name, _) in enumerate(agg_node.aggregates)}
+    names: list[str] = []
+    for name in output:
+        names.append(name)
+        if name in agg_pos:
+            names.extend((f"{name}_lo", f"{name}_hi"))
+    rows: list[tuple] = []
+    for key, cells in estimates:
+        row: list[Any] = []
+        for name in output:
+            if name in group_pos:
+                row.append(key[group_pos[name]])
+                continue
+            cell = cells[agg_pos[name]]
+            if cell is None:
+                row.extend((None, None, None))
+            else:
+                row.extend((cell.value, cell.low, cell.high))
+        rows.append(tuple(row))
+    return rows, names

@@ -69,6 +69,49 @@ class TestShell:
             shell.execute("\\quit")
 
 
+class TestShellResilience:
+    def test_timeout_meta_command(self, shell):
+        assert "off" in shell.execute("\\timeout")
+        assert "250 ms" in shell.execute("\\timeout 250")
+        assert "off" in shell.execute("\\timeout 0")
+
+    def test_timeout_usage_on_garbage(self, shell):
+        assert "usage" in shell.execute("\\timeout soon")
+        assert "usage" in shell.execute("\\timeout -5")
+
+    def test_interrupt_leaves_session_usable(self, shell, capsys, monkeypatch):
+        """Ctrl-C mid-query: the loop prints (cancelled), the next query
+        runs normally, and no spans dangle on the tracer stacks."""
+        import io
+        import json
+
+        from repro.obs.tracing import get_tracer
+
+        calls = {"n": 0}
+        real_sql = shell.session.sql
+
+        def interrupting_sql(query):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise KeyboardInterrupt
+            return real_sql(query)
+
+        monkeypatch.setattr(shell.session, "sql", interrupting_sql)
+        shell.run(
+            io.StringIO(
+                "SELECT COUNT(*) AS n FROM sales\n"
+                "SELECT COUNT(*) AS n FROM sales\n"
+            ),
+            interactive=False,
+        )
+        out = capsys.readouterr().out
+        assert "(cancelled)" in out
+        assert "(1 rows)" in out  # the follow-up query succeeded
+        assert get_tracer().open_depth() == 0
+        # the metrics snapshot is still well-formed after the interrupt
+        json.loads(shell.execute("\\metrics"))
+
+
 class TestMainEntry:
     def test_dash_c(self, capsys):
         code = main(["-c", "CREATE TABLE t (a INT)"])
