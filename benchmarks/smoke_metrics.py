@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 import sys
+import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
@@ -20,6 +21,8 @@ import numpy as np
 from common import metrics_snapshot, print_table
 
 from repro.engine.catalog import Database
+from repro.engine.column import Column
+from repro.engine.types import coerce_array, infer_type
 from repro.indexing import CrackerIndex
 from repro.obs import get_registry
 from repro.prefetch import SemanticRangeCache, TileCache
@@ -71,8 +74,44 @@ def run_workload() -> tuple:
     return index, tiles, cache, store
 
 
+def check_column_fast_path(n: int = 200_000, repeats: int = 3) -> float:
+    """Guard the vectorised ``Column.__init__`` fast path for plain number
+    lists: it must stay well ahead of the per-element scan it replaced
+    (reproduced inline below) while building the identical payload."""
+    values = list(range(n))
+
+    def slow_reference():
+        # the pre-fast-path construction: a per-element null scan, a
+        # per-element type inference pass, then list coercion
+        assert not any(v is None for v in values)
+        dtype = infer_type(values)
+        return coerce_array(values, dtype), dtype
+
+    fast_s, slow_s = float("inf"), float("inf")
+    column = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        column = Column(values)
+        fast_s = min(fast_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        slow_data, slow_dtype = slow_reference()
+        slow_s = min(slow_s, time.perf_counter() - start)
+
+    assert column.dtype is slow_dtype
+    assert column.validity is None
+    assert np.array_equal(column.data, slow_data)
+    speedup = slow_s / fast_s
+    # the honest ratio is ~2x (two python passes + asarray vs one asarray);
+    # 1.4x leaves noise headroom while still catching a lost fast path
+    assert speedup >= 1.4, (
+        f"Column fast path regressed: only {speedup:.1f}x over the element scan"
+    )
+    return speedup
+
+
 def main() -> int:
     keepalive = run_workload()
+    fast_path_speedup = check_column_fast_path()
     snapshot = json.loads(metrics_snapshot())
     assert keepalive is not None
 
@@ -95,7 +134,8 @@ def main() -> int:
 
     get_registry().reset()
     print("metrics smoke ok:", len(sources), "stat sources,",
-          len(snapshot["benchmarks"]), "benchmark tables")
+          len(snapshot["benchmarks"]), "benchmark tables,",
+          f"column fast path {fast_path_speedup:.1f}x")
     return 0
 
 

@@ -24,6 +24,10 @@ governor; ``\\timeout`` is the shorthand for the deadline.  With ``PRAGMA
 degrade=1`` a query that blows its budget returns an approximate answer
 (flagged under the result) instead of an error.  Ctrl-C cancels the
 running query and returns to the prompt; the session stays usable.
+``PRAGMA dict_encode/zone_rows/plan_cache/plan_cache_size=...`` tune the
+scan accelerators (dictionary-encoded strings, zone-map data skipping,
+the catalog-versioned plan cache) — all on by default and bit-identical
+to the plain path.
 
 ``EXPLAIN ANALYZE SELECT ...`` runs the query under the profiler and
 prints per-plan-node wall time, row counts and bytes touched.

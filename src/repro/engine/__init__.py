@@ -20,7 +20,11 @@ from repro.engine.parallel import (
     set_threads,
 )
 from repro.engine.planner import Plan, RangeProbe
-from repro.engine.statistics import ColumnStatistics, TableStatistics
+from repro.engine.scanopt import (
+    ScanAccelConfig,
+    configure as configure_scan_accel,
+)
+from repro.engine.statistics import ColumnStatistics, TableStatistics, ZoneMap
 from repro.engine.table import Schema, Table
 from repro.engine.types import DataType
 
@@ -34,11 +38,14 @@ __all__ = [
     "Plan",
     "RangeIndex",
     "RangeProbe",
+    "ScanAccelConfig",
     "Schema",
     "Table",
     "TableStatistics",
+    "ZoneMap",
     "col",
     "configure_parallel",
+    "configure_scan_accel",
     "get_threads",
     "lit",
     "read_csv",

@@ -7,14 +7,18 @@ adaptive cracker indexes of the paper's Database Layer), and executes SQL.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import Any, Mapping, Protocol, Sequence
 
 import numpy as np
 
+from repro.engine import scanopt
 from repro.engine.planner import Plan, plan_statement
 from repro.engine.sql.parser import parse
-from repro.engine.statistics import TableStatistics
+from repro.engine.statistics import TableStatistics, ZoneMap
 from repro.engine.table import Table
+from repro.engine.types import DataType
 from repro.errors import CatalogError
 from repro.obs.metrics import get_registry
 from repro.obs.profile import ExplainAnalyzeReport, PlanProfiler
@@ -46,9 +50,42 @@ class Database:
     def __init__(self, name: str = "db") -> None:
         self.name = name
         self._tables: dict[str, Table] = {}
-        self._statistics: dict[str, TableStatistics] = {}
+        self._statistics: dict[str, tuple[int, TableStatistics]] = {}
         self._indexes: dict[tuple[str, str], RangeIndex] = {}
+        self._catalog_version = 0
+        self._table_versions: dict[str, int] = {}
+        self._plan_cache: OrderedDict[str, tuple[int, Plan]] = OrderedDict()
+        self._plan_cache_lock = threading.Lock()
         self.queries_executed = 0
+
+    # -- versioning ----------------------------------------------------------------
+
+    @property
+    def catalog_version(self) -> int:
+        """Monotonic counter bumped by every DDL / table replacement /
+        index (un)registration; cached plans and statistics are valid
+        only for the version they were built under."""
+        return self._catalog_version
+
+    def _bump_catalog(self, table: str | None = None) -> None:
+        """Advance the catalog version (naming the changed table, if any)
+        and drop every cached plan — the catalog they were bound against
+        no longer exists."""
+        self._catalog_version += 1
+        if table is not None:
+            self._table_versions[table] = self._catalog_version
+        with self._plan_cache_lock:
+            self._plan_cache.clear()
+
+    @staticmethod
+    def _encode_strings(table: Table) -> None:
+        """Eagerly dictionary-encode the STRING columns of a table."""
+        if not scanopt.get_config().dict_encode:
+            return
+        for name in table.column_names:
+            column = table.column(name)
+            if column.dtype is DataType.STRING:
+                column.encode_dictionary()
 
     # -- DDL ---------------------------------------------------------------------
 
@@ -65,7 +102,9 @@ class Database:
             raise CatalogError(f"table {name!r} already exists")
         if not isinstance(table, Table):
             table = Table.from_dict(table)
+        self._encode_strings(table)
         self._tables[name] = table
+        self._bump_catalog(name)
         return table
 
     def drop_table(self, name: str) -> None:
@@ -74,8 +113,10 @@ class Database:
             raise CatalogError(f"unknown table {name!r}")
         del self._tables[name]
         self._statistics.pop(name, None)
+        self._table_versions.pop(name, None)
         for key in [k for k in self._indexes if k[0] == name]:
             del self._indexes[key]
+        self._bump_catalog()
 
     def replace_table(self, name: str, table: Table) -> None:
         """Swap the contents of an existing table.
@@ -85,10 +126,12 @@ class Database:
         """
         if name not in self._tables:
             raise CatalogError(f"unknown table {name!r}")
+        self._encode_strings(table)
         self._tables[name] = table
         self._statistics.pop(name, None)
         for key in [k for k in self._indexes if k[0] == name]:
             del self._indexes[key]
+        self._bump_catalog(name)
 
     def table_names(self) -> list[str]:
         """Registered table names, sorted."""
@@ -112,14 +155,33 @@ class Database:
     # -- statistics ---------------------------------------------------------------
 
     def statistics(self, name: str) -> TableStatistics:
-        """Statistics for a table, computed lazily and cached."""
-        if name not in self._statistics:
-            self._statistics[name] = TableStatistics.from_table(self.get_table(name))
-        return self._statistics[name]
+        """Statistics for a table, computed lazily and cached.
+
+        The cache entry carries the table version it was computed under;
+        replacing the table (directly or via INSERT/UPDATE/DELETE) bumps
+        the version, so stale statistics can never be served.
+        """
+        table = self.get_table(name)
+        version = self._table_versions.get(name, 0)
+        entry = self._statistics.get(name)
+        if entry is None or entry[0] != version:
+            entry = (version, TableStatistics.from_table(table))
+            self._statistics[name] = entry
+        return entry[1]
 
     def invalidate_statistics(self, name: str) -> None:
         """Drop cached statistics (e.g. after the table was replaced)."""
         self._statistics.pop(name, None)
+
+    def zone_map(self, name: str) -> ZoneMap:
+        """Zone map of a table at the configured ``zone_rows`` granularity.
+
+        Cached inside the (version-checked) statistics entry, so a
+        replaced table always gets fresh zones.
+        """
+        return self.statistics(name).zone_map(
+            self.get_table(name), scanopt.get_config().zone_rows
+        )
 
     # -- indexes -------------------------------------------------------------------
 
@@ -133,10 +195,12 @@ class Database:
         if column not in self.get_table(table).schema:
             raise CatalogError(f"table {table!r} has no column {column!r}")
         self._indexes[(table, column)] = index
+        self._bump_catalog()  # cached plans may now prefer an index probe
 
     def unregister_index(self, table: str, column: str) -> None:
         """Detach the index on ``table.column`` if present."""
-        self._indexes.pop((table, column), None)
+        if self._indexes.pop((table, column), None) is not None:
+            self._bump_catalog()  # cached plans may reference the index
 
     def index_for(self, table: str, column: str) -> RangeIndex | None:
         """The registered index on ``table.column``, or None."""
@@ -145,8 +209,37 @@ class Database:
     # -- query execution --------------------------------------------------------------
 
     def plan(self, sql: str) -> Plan:
-        """Parse and plan a query without executing it."""
-        return plan_statement(parse(sql), self)
+        """Parse and plan a query without executing it (plan-cache aware)."""
+        return self._plan_cached(sql)[0]
+
+    def _plan_cached(self, sql: str) -> tuple[Plan, bool]:
+        """``(plan, cache_hit)`` for a SQL string.
+
+        The cache is an LRU keyed on the exact SQL text; each entry
+        remembers the catalog version it was planned under and is only
+        served while that version is current (DDL, table replacement and
+        index changes bump the version and clear the cache).  Exploration
+        workloads re-issue the same statements constantly, so repeat
+        queries skip parse/bind/plan entirely.
+        """
+        config = scanopt.get_config()
+        if not config.plan_cache:
+            return plan_statement(parse(sql), self), False
+        registry = get_registry()
+        with self._plan_cache_lock:
+            entry = self._plan_cache.get(sql)
+            if entry is not None and entry[0] == self._catalog_version:
+                self._plan_cache.move_to_end(sql)
+                registry.counter("plan_cache.hits").inc()
+                return entry[1], True
+        plan = plan_statement(parse(sql), self)
+        registry.counter("plan_cache.misses").inc()
+        with self._plan_cache_lock:
+            self._plan_cache[sql] = (self._catalog_version, plan)
+            self._plan_cache.move_to_end(sql)
+            while len(self._plan_cache) > config.plan_cache_size:
+                self._plan_cache.popitem(last=False)
+        return plan, False
 
     def explain(self, sql: str) -> str:
         """Textual plan for a query (like EXPLAIN)."""
@@ -229,7 +322,11 @@ class Database:
         counts and bytes touched; render it with
         :meth:`~repro.obs.profile.ExplainAnalyzeReport.render`.
         """
-        return self._profile_plan(self.plan(query))
+        plan, hit = self._plan_cached(query)
+        report = self._profile_plan(plan)
+        if hit:
+            report.notes.append("plan cache: hit")
+        return report
 
     def _profile_plan(self, plan: Plan) -> ExplainAnalyzeReport:
         from repro.engine.executor import execute_plan
@@ -254,8 +351,10 @@ class Database:
         ``PRAGMA threads[=N]`` and ``PRAGMA morsel_rows[=N]`` read or set
         the morsel-driven parallel executor's knobs; ``PRAGMA
         timeout_ms``, ``memory_budget_kb``, ``degrade``, ``max_retries``
-        and ``faults`` tune the query governor.  The read form returns a
-        one-row settings table.
+        and ``faults`` tune the query governor; ``PRAGMA dict_encode``,
+        ``zone_rows``, ``plan_cache`` and ``plan_cache_size`` tune the
+        scan-acceleration layer.  The read form returns a one-row
+        settings table.
         """
         from repro.engine.sql.ast import (
             CreateTableStatement,
@@ -275,7 +374,7 @@ class Database:
         if isinstance(statement, SelectStatement):
             return self.sql(statement_sql)
         if isinstance(statement, ExplainStatement):
-            return self._execute_explain(statement)
+            return self._execute_explain(statement, stripped)
         if isinstance(statement, CreateTableStatement):
             self.create_table(statement.table, _empty_table(statement.columns))
             return 0
@@ -317,6 +416,26 @@ class Database:
         name = name.strip().lower()
         value = value.strip()
         parallel_knobs = {"threads", "morsel_rows", "min_parallel_rows"}
+        scanopt_knobs = {"dict_encode", "zone_rows", "plan_cache", "plan_cache_size"}
+        if name in scanopt_knobs:
+            if value:
+                try:
+                    parsed = int(value)
+                except ValueError:
+                    raise CatalogError(
+                        f"PRAGMA {name} expects an integer, got {value!r}"
+                    ) from None
+                try:
+                    scanopt.configure(**{name: parsed})
+                except ValueError as exc:
+                    raise CatalogError(str(exc)) from None
+                if name == "dict_encode" and parsed:
+                    # encode tables registered while the knob was off
+                    for table in self._tables.values():
+                        self._encode_strings(table)
+                return 0
+            current = getattr(scanopt.get_config(), name)
+            return Table.from_rows([(name, int(current))], ["pragma", "value"])
         if name == "faults":
             if value:
                 try:
@@ -343,7 +462,10 @@ class Database:
             return Table.from_rows([(name, int(current))], ["pragma", "value"])
         if name not in parallel_knobs:
             known = sorted(
-                parallel_knobs | self._RESILIENCE_INT_PRAGMAS | {"faults"}
+                parallel_knobs
+                | scanopt_knobs
+                | self._RESILIENCE_INT_PRAGMAS
+                | {"faults"}
             )
             raise CatalogError(f"unknown pragma {name!r}; expected one of {known}")
         if value:
@@ -359,16 +481,23 @@ class Database:
         config = parallel.get_config()
         return Table.from_rows([(name, getattr(config, name))], ["pragma", "value"])
 
-    def _execute_explain(self, statement) -> Table:
+    def _execute_explain(self, statement, statement_sql: str) -> Table:
         """EXPLAIN [ANALYZE]: the plan (and measurements) as a one-column
         table of report lines, the way conventional engines present it."""
+        import re
+
         from repro.engine.column import Column
         from repro.engine.types import DataType
 
-        plan = plan_statement(statement.statement, self)
         if statement.analyze:
-            lines = self._profile_plan(plan).lines()
+            # route through the plan-cache-aware path (keyed on the inner
+            # SELECT text) so repeat EXPLAIN ANALYZE skips planning too
+            inner = re.sub(
+                r"^\s*EXPLAIN\s+ANALYZE\s+", "", statement_sql, flags=re.IGNORECASE
+            )
+            lines = self.explain_analyze(inner).lines()
         else:
+            plan = plan_statement(statement.statement, self)
             lines = plan.explain().split("\n")
             lines.extend(f"note: {note}" for note in plan.notes)
         return Table([("plan", Column(lines, dtype=DataType.STRING))])

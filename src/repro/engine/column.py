@@ -18,6 +18,14 @@ from repro.errors import TypeMismatchError
 class Column:
     """An immutable typed column of values with optional nulls.
 
+    STRING columns may additionally carry a *dictionary encoding*: an
+    int32 code per row (−1 in null slots) indexing a sorted array of
+    distinct values.  Codes are order-isomorphic to the strings they
+    stand for, so comparisons, DISTINCT, group keys and sort keys can
+    operate on the codes without materialising Python strings.  The
+    encoding is a cache — it never changes the column's logical value —
+    and is propagated for free through ``take``/``filter``/``slice``.
+
     Args:
         values: payload values; ``None`` entries become nulls.
         dtype: logical type; inferred from the data when omitted.
@@ -25,7 +33,7 @@ class Column:
             it is derived from ``None`` entries in ``values``.
     """
 
-    __slots__ = ("_data", "_validity", "_dtype")
+    __slots__ = ("_data", "_validity", "_dtype", "_codes", "_dict")
 
     def __init__(
         self,
@@ -39,11 +47,33 @@ class Column:
             inferred_validity = None
         else:
             values_list = list(values)
-            has_null = any(v is None for v in values_list)
-            if has_null:
-                inferred_validity = np.array([v is not None for v in values_list], dtype=bool)
-            else:
+            # Fast path for lists of plain numbers/bools: one vectorised
+            # conversion instead of a per-element scan.  A list containing
+            # None (or strings/mixed kinds) lands on object/str dtype and
+            # falls through to the general per-element path below.
+            fast = None
+            if dtype is None or dtype is not DataType.STRING:
+                try:
+                    candidate = np.asarray(values_list)
+                except (ValueError, TypeError, OverflowError):
+                    candidate = None
+                if (
+                    candidate is not None
+                    and candidate.ndim == 1
+                    and candidate.dtype.kind in "biuf"
+                ):
+                    fast = candidate
+            if fast is not None:
+                values_list = fast
                 inferred_validity = None
+            else:
+                has_null = any(v is None for v in values_list)
+                if has_null:
+                    inferred_validity = np.array(
+                        [v is not None for v in values_list], dtype=bool
+                    )
+                else:
+                    inferred_validity = None
 
         if dtype is None:
             non_null = (
@@ -73,6 +103,50 @@ class Column:
         self._data = data
         self._validity = validity
         self._dtype = dtype
+        self._codes = None
+        self._dict = None
+
+    # -- dictionary encoding ---------------------------------------------------
+
+    def dictionary(self) -> tuple[np.ndarray, np.ndarray] | None:
+        """The ``(codes, values)`` dictionary view, or None when unencoded.
+
+        ``codes`` is an int32 array aligned with the column (−1 in null
+        slots); ``values`` is the sorted object array of distinct payload
+        strings, so ``values[codes[i]]`` reproduces row ``i`` and code
+        order equals string order.
+        """
+        if self._codes is None:
+            return None
+        return self._codes, self._dict
+
+    def encode_dictionary(self) -> bool:
+        """Build (and cache) the dictionary encoding of a STRING column.
+
+        Returns True when an encoding is present afterwards.  Non-STRING
+        columns, and pathological payloads that fail to sort, are left
+        unencoded — the encoding is an optimisation, never a requirement.
+        """
+        if self._codes is not None:
+            return True
+        if self._dtype is not DataType.STRING:
+            return False
+        data = self._data
+        if self._validity is not None:
+            # null slots may hold None payloads; park a harmless string
+            # there so np.unique can sort the array.
+            data = data.copy()
+            data[~self._validity] = ""
+        try:
+            values, inverse = np.unique(data, return_inverse=True)
+        except TypeError:
+            return False
+        codes = inverse.astype(np.int32).reshape(-1)
+        if self._validity is not None:
+            codes[~self._validity] = -1
+        self._codes = codes
+        self._dict = values
+        return True
 
     # -- construction helpers -------------------------------------------------
 
@@ -160,19 +234,22 @@ class Column:
         """Gather rows by position."""
         data = self._data[indices]
         validity = self._validity[indices] if self._validity is not None else None
-        return _wrap(data, self._dtype, validity)
+        codes = self._codes[indices] if self._codes is not None else None
+        return _wrap(data, self._dtype, validity, codes, self._dict)
 
     def filter(self, mask: np.ndarray) -> "Column":
         """Keep rows where ``mask`` is True."""
         data = self._data[mask]
         validity = self._validity[mask] if self._validity is not None else None
-        return _wrap(data, self._dtype, validity)
+        codes = self._codes[mask] if self._codes is not None else None
+        return _wrap(data, self._dtype, validity, codes, self._dict)
 
     def slice(self, start: int, stop: int) -> "Column":
         """Contiguous row range ``[start, stop)``."""
         data = self._data[start:stop]
         validity = self._validity[start:stop] if self._validity is not None else None
-        return _wrap(data, self._dtype, validity)
+        codes = self._codes[start:stop] if self._codes is not None else None
+        return _wrap(data, self._dtype, validity, codes, self._dict)
 
     def is_null_mask(self) -> np.ndarray:
         """Boolean array, True where the value is null."""
@@ -213,6 +290,11 @@ class Column:
 
     def distinct_count(self) -> int:
         """Number of distinct valid values."""
+        if self._codes is not None:
+            valid_codes = (
+                self._codes if self._validity is None else self._codes[self._validity]
+            )
+            return len(np.unique(valid_codes))
         valid = self.valid_data()
         if self._dtype is DataType.STRING:
             return len(set(valid))
@@ -228,7 +310,13 @@ def _null_fill_value(dtype: DataType) -> Any:
     return 0
 
 
-def _wrap(data: np.ndarray, dtype: DataType, validity: np.ndarray | None) -> Column:
+def _wrap(
+    data: np.ndarray,
+    dtype: DataType,
+    validity: np.ndarray | None,
+    codes: np.ndarray | None = None,
+    dictionary: np.ndarray | None = None,
+) -> Column:
     """Build a Column around prepared arrays without re-inference."""
     col = Column.__new__(Column)
     if validity is not None and bool(validity.all()):
@@ -236,6 +324,8 @@ def _wrap(data: np.ndarray, dtype: DataType, validity: np.ndarray | None) -> Col
     col._data = data
     col._validity = validity
     col._dtype = dtype
+    col._codes = codes
+    col._dict = dictionary
     return col
 
 

@@ -23,6 +23,7 @@ import io
 from pathlib import Path
 from typing import Any, Iterator, Sequence
 
+from repro.engine import scanopt
 from repro.engine.column import Column
 from repro.engine.table import Table
 from repro.engine.types import DataType
@@ -146,8 +147,12 @@ def read_csv(
     if skipped:
         get_registry().counter("loading.rows_skipped").inc(skipped)
     columns = []
+    encode = scanopt.get_config().dict_encode
     for i, (name, dtype) in enumerate(zip(names, dtypes)):
-        columns.append((name, Column([row[i] for row in parsed], dtype=dtype)))
+        column = Column([row[i] for row in parsed], dtype=dtype)
+        if encode and dtype is DataType.STRING:
+            column.encode_dictionary()
+        columns.append((name, column))
     return Table(columns)
 
 

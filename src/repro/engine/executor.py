@@ -25,7 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.engine import operators as ops
-from repro.engine import parallel
+from repro.engine import parallel, scanopt, zonemap
 from repro.engine.expressions import truth_mask
 from repro.engine.planner import (
     AggregateNode,
@@ -41,6 +41,7 @@ from repro.engine.planner import (
 )
 from repro.engine.table import Table
 from repro.errors import ExecutionError
+from repro.obs.metrics import get_registry
 from repro.obs.profile import PlanProfiler, table_nbytes
 from repro.resilience import current_context
 from typing import TYPE_CHECKING
@@ -157,6 +158,24 @@ def _execute_scan(
         )
         table = table.take(np.asarray(positions, dtype=np.int64))
     if node.predicate is not None:
+        config = scanopt.get_config()
+        if (
+            node.probe is None  # index probes re-order rows; zones would misalign
+            and config.zone_rows > 0
+            and table.num_rows > config.zone_rows
+        ):
+            zones = database.zone_map(node.table)
+            mask, pruned, passed, num_zones = zonemap.pruned_truth_mask(
+                node.predicate, table, zones
+            )
+            registry = get_registry()
+            registry.counter("scan.zones_pruned").inc(pruned)
+            registry.counter("scan.zones_passed").inc(passed)
+            if profiler is not None and num_zones:
+                profiler.annotate(
+                    f"zones: {pruned} pruned, {passed} passed of {num_zones}"
+                )
+            return table.filter(mask)
         if parallel.should_parallelize(table.num_rows):
             _note_fanout(profiler, table.num_rows)
             table = table.filter(parallel.parallel_truth_mask(node.predicate, table))

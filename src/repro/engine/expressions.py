@@ -16,10 +16,12 @@ from typing import Any, Callable, Iterable
 
 import numpy as np
 
+from repro.engine import scanopt
 from repro.engine.column import Column, column_from_parts
 from repro.engine.table import Table
 from repro.engine.types import DataType, common_type, python_value
 from repro.errors import TypeMismatchError
+from repro.obs.metrics import get_registry
 
 
 class Expression(abc.ABC):
@@ -206,6 +208,33 @@ _COMPARATORS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
 }
 
 
+def _compare_codes(
+    encoded: tuple[np.ndarray, np.ndarray], value: str, op: str
+) -> np.ndarray:
+    """Compare dictionary codes against a string literal.
+
+    Codes are order-isomorphic to the strings, so the literal's slot in
+    the sorted dictionary (via ``searchsorted``) turns every comparison
+    into an int32 compare.  Null slots hold code -1 and produce arbitrary
+    payload bits, masked out by validity exactly like the string path.
+    """
+    codes, values = encoded
+    lo = int(np.searchsorted(values, value, side="left"))
+    hi = int(np.searchsorted(values, value, side="right"))
+    present = hi > lo
+    if op == "=":
+        return codes == lo if present else np.zeros(len(codes), dtype=bool)
+    if op == "<>":
+        return codes != lo if present else np.ones(len(codes), dtype=bool)
+    if op == "<":
+        return codes < lo
+    if op == "<=":
+        return codes < hi
+    if op == ">":
+        return codes >= hi
+    return codes >= lo  # >=
+
+
 def _combined_validity(left: Column, right: Column) -> np.ndarray | None:
     if left.validity is None and right.validity is None:
         return None
@@ -224,7 +253,34 @@ class Comparison(Expression):
         self.left = left
         self.right = right
 
+    _FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "<>": "<>"}
+
+    def _scalar_operand(self) -> tuple[Expression, Any, str] | None:
+        """``(column_side, literal_value, op)`` when exactly one side is a
+        non-NULL literal — the shape the scalar fast path handles.  The
+        op is flipped when the literal is on the left."""
+        if isinstance(self.right, Literal) and not isinstance(self.left, Literal):
+            if self.right.value is not None:
+                return self.left, self.right.value, self.op
+        elif isinstance(self.left, Literal) and not isinstance(self.right, Literal):
+            if self.left.value is not None:
+                return self.right, self.left.value, self._FLIPPED[self.op]
+        return None
+
+    @staticmethod
+    def _literal_dtype(value: Any) -> DataType:
+        if isinstance(value, bool):
+            return DataType.BOOL
+        if isinstance(value, int):
+            return DataType.INT64
+        if isinstance(value, float):
+            return DataType.FLOAT64
+        return DataType.STRING
+
     def evaluate(self, table: Table) -> Column:
+        scalar = self._scalar_operand()
+        if scalar is not None:
+            return self._evaluate_scalar(table, *scalar)
         lcol = self.left.evaluate(table)
         rcol = self.right.evaluate(table)
         ltype, rtype = lcol.dtype, rcol.dtype
@@ -247,6 +303,39 @@ class Comparison(Expression):
             result = _COMPARATORS[self.op](ldata, rdata)
         validity = _combined_validity(lcol, rcol)
         return column_from_parts(np.asarray(result, dtype=bool), DataType.BOOL, validity)
+
+    def _evaluate_scalar(
+        self, table: Table, side: Expression, value: Any, op: str
+    ) -> Column:
+        """Column-vs-literal comparison without materialising the literal.
+
+        Produces the same bits as the general path: identical payload at
+        valid slots, identical validity.  String columns carrying a
+        dictionary compare int32 codes against the literal's position in
+        the sorted dictionary instead of materialising string arrays.
+        """
+        inner = side.evaluate(table)
+        target = common_type(inner.dtype, self._literal_dtype(value))
+        if target.is_numeric:
+            data = inner.data.astype(target.numpy_dtype, copy=False)
+            result = _COMPARATORS[op](data, target.numpy_dtype.type(value))
+        elif target is DataType.STRING:
+            encoded = inner.dictionary() if scanopt.get_config().dict_encode else None
+            if encoded is not None:
+                result = _compare_codes(encoded, str(value), op)
+                get_registry().counter("scan.dict_filters").inc()
+            else:
+                data = np.asarray(
+                    [v if v is not None else "" for v in inner.data], dtype=str
+                )
+                result = _COMPARATORS[op](data, value)
+        else:  # BOOL
+            if op not in ("=", "<>"):
+                raise TypeMismatchError("booleans only support = and <>")
+            result = _COMPARATORS[op](inner.data, bool(value))
+        return column_from_parts(
+            np.asarray(result, dtype=bool), DataType.BOOL, inner.validity
+        )
 
     def output_type(self, table: Table) -> DataType:
         common_type(self.left.output_type(table), self.right.output_type(table))

@@ -10,6 +10,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.engine import scanopt
 from repro.engine.column import Column, column_from_parts
 from repro.engine.expressions import Expression, truth_mask
 from repro.engine.sql.ast import AggregateCall, OrderItem, SelectItem
@@ -64,6 +65,19 @@ def distinct(table: Table) -> Table:
         return table.take(np.sort(first_seen))
 
 
+def _string_codes(column: Column) -> np.ndarray | None:
+    """Dictionary codes of a STRING column, when encoded and enabled.
+
+    Codes are order-isomorphic to the strings they stand for (equal codes
+    iff equal strings, code order = string order), so they substitute for
+    the payload in equality- and order-based operators.
+    """
+    if not scanopt.get_config().dict_encode:
+        return None
+    encoded = column.dictionary()
+    return encoded[0] if encoded is not None else None
+
+
 def _distinct_codes(column: Column) -> np.ndarray:
     """Integer codes with equal codes iff values are DISTINCT-equal.
 
@@ -72,6 +86,11 @@ def _distinct_codes(column: Column) -> np.ndarray:
     """
     null = column.is_null_mask()
     if column.dtype is DataType.STRING:
+        dict_codes = _string_codes(column)
+        if dict_codes is not None:
+            codes = dict_codes.astype(np.int64) + 2
+            codes[null] = 0
+            return codes
         data = np.asarray(
             ["" if v is None else str(v) for v in column.data], dtype=str
         )
@@ -100,6 +119,10 @@ def _sort_key_array(column: Column) -> np.ndarray:
     strings sort correctly relative to NULL.
     """
     if column.dtype is DataType.STRING:
+        dict_codes = _string_codes(column)
+        if dict_codes is not None:
+            # order-isomorphic to the strings, so argsort order matches
+            return dict_codes
         return np.asarray(
             ["" if v is None else str(v) for v in column.to_list()], dtype=str
         )
@@ -421,9 +444,13 @@ def _group_rows(
         codes = np.zeros(num_rows, dtype=np.int64)
         for column in key_columns:
             if column.dtype is DataType.STRING:
-                data = np.asarray(
-                    ["" if v is None else str(v) for v in column.data], dtype=str
-                )
+                dict_codes = _string_codes(column)
+                if dict_codes is not None:
+                    data = dict_codes
+                else:
+                    data = np.asarray(
+                        ["" if v is None else str(v) for v in column.data], dtype=str
+                    )
             else:
                 data = column.data
             _, inverse = np.unique(data, return_inverse=True)

@@ -395,6 +395,18 @@ def parallel_truth_mask(predicate: Expression, table: Table) -> np.ndarray:
     return np.concatenate(masks) if masks else np.zeros(0, dtype=bool)
 
 
+def mask_ranges(
+    predicate: Expression, table: Table, ranges: Sequence[tuple[int, int]]
+) -> list[np.ndarray]:
+    """Predicate masks for explicit row ranges, one array per range.
+
+    Used by zone-map pruning to evaluate only the maybe-zones of a scan
+    on the pool; each range runs as one task with the usual governor
+    checkpoints and fault-tolerant retries.
+    """
+    return _run_tasks(_mask_morsel, [(predicate, table, s, e) for s, e in ranges])
+
+
 def parallel_filter(table: Table, predicate: Expression) -> Table:
     """Morsel-parallel WHERE: keep rows whose predicate is strictly TRUE."""
     with trace("op.filter", rows=table.num_rows, parallel=True, morsels=morsel_count(table.num_rows)):

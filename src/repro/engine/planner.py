@@ -228,7 +228,7 @@ def plan_statement(statement: SelectStatement, database: "Database") -> Plan:
     binder = _Binder(statement, database)
     statement = binder.bind()
 
-    conjuncts = _split_conjuncts(statement.where) if statement.where is not None else []
+    conjuncts = split_conjuncts(statement.where) if statement.where is not None else []
     base_columns = set(database.get_table(statement.table).column_names)
 
     pushed: list[ex.Expression] = []
@@ -313,10 +313,10 @@ def _group_output_name(expr: ex.Expression, items: list[SelectItem]) -> str:
     return expr.to_sql().strip("()")
 
 
-def _split_conjuncts(predicate: ex.Expression) -> list[ex.Expression]:
+def split_conjuncts(predicate: ex.Expression) -> list[ex.Expression]:
     """Flatten nested ANDs into a conjunct list."""
     if isinstance(predicate, ex.And):
-        return _split_conjuncts(predicate.left) + _split_conjuncts(predicate.right)
+        return split_conjuncts(predicate.left) + split_conjuncts(predicate.right)
     return [predicate]
 
 
@@ -335,7 +335,7 @@ def _select_index(
 ) -> tuple[RangeProbe | None, list[ex.Expression]]:
     """Pick at most one indexable conjunct; return the probe + the rest."""
     for i, conj in enumerate(conjuncts):
-        probe = _extract_probe(conj)
+        probe = extract_probe(conj)
         if probe is None:
             continue
         if database.index_for(table, probe.column) is None:
@@ -345,24 +345,36 @@ def _select_index(
     return None, conjuncts
 
 
-def _extract_probe(conj: ex.Expression) -> RangeProbe | None:
-    """Recognise ``col <op> literal`` / ``literal <op> col`` / BETWEEN shapes."""
+def extract_probe(
+    conj: ex.Expression, allow_strings: bool = False
+) -> RangeProbe | None:
+    """Recognise ``col <op> literal`` / ``literal <op> col`` / BETWEEN shapes.
+
+    Returns None for anything else — including NULL or NaN literals, which
+    no range can represent, and (unless ``allow_strings``) string
+    literals, which ordered numeric indexes cannot probe.  Also used by
+    zone-map pruning to read range conjuncts off a scan predicate.
+    """
     if isinstance(conj, ex.And):
-        left = _extract_probe(conj.left)
-        right = _extract_probe(conj.right)
+        left = extract_probe(conj.left, allow_strings)
+        right = extract_probe(conj.right, allow_strings)
         if left is not None and right is not None and left.column == right.column:
             merged = RangeProbe(column=left.column)
-            for part in (left, right):
-                if part.low is not None and (
-                    merged.low is None or part.low > merged.low
-                ):
-                    merged.low = part.low
-                    merged.low_inclusive = part.low_inclusive
-                if part.high is not None and (
-                    merged.high is None or part.high < merged.high
-                ):
-                    merged.high = part.high
-                    merged.high_inclusive = part.high_inclusive
+            try:
+                for part in (left, right):
+                    if part.low is not None and (
+                        merged.low is None or part.low > merged.low
+                    ):
+                        merged.low = part.low
+                        merged.low_inclusive = part.low_inclusive
+                    if part.high is not None and (
+                        merged.high is None or part.high < merged.high
+                    ):
+                        merged.high = part.high
+                        merged.high_inclusive = part.high_inclusive
+            except TypeError:
+                # mixed str/numeric bounds are not orderable; no probe
+                return None
             return merged
         return None
     if not isinstance(conj, ex.Comparison):
@@ -374,7 +386,11 @@ def _extract_probe(conj: ex.Expression) -> RangeProbe | None:
     if not (isinstance(left, ex.ColumnRef) and isinstance(right, ex.Literal)):
         return None
     value = right.value
-    if value is None or isinstance(value, str):
+    if value is None:
+        return None
+    if isinstance(value, str) and not allow_strings:
+        return None
+    if isinstance(value, float) and value != value:  # NaN bounds prove nothing
         return None
     name = left.name
     if op == "=":

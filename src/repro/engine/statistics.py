@@ -123,11 +123,103 @@ class ColumnStatistics:
 
 
 @dataclass
+class ColumnZones:
+    """Per-zone summaries of one numeric column.
+
+    ``mins``/``maxs`` stay in the column's native dtype (an int64 bound
+    cast to float64 could round across a probe value) and cover valid,
+    non-NaN values only; a zone with none has ``real_counts`` 0 and
+    meaningless bounds.  ``null_counts``/``nan_counts`` record how many
+    rows carry no comparable value.  NULL/NaN rows never satisfy a range
+    probe, so min/max disproof stays sound; proving a zone *passes*
+    additionally requires both counts to be zero.
+    """
+
+    mins: np.ndarray
+    maxs: np.ndarray
+    real_counts: np.ndarray
+    null_counts: np.ndarray
+    nan_counts: np.ndarray
+
+
+@dataclass
+class ZoneMap:
+    """Zone (a.k.a. morsel-granular) min/max/null summaries of a table.
+
+    Zones are contiguous ``zone_rows``-sized row ranges; the last zone may
+    be short.  Only numeric columns are summarised — string predicates go
+    through dictionary codes instead.
+    """
+
+    zone_rows: int
+    row_count: int
+    columns: dict[str, ColumnZones] = field(default_factory=dict)
+
+    @property
+    def num_zones(self) -> int:
+        if self.zone_rows <= 0 or self.row_count == 0:
+            return 0
+        return (self.row_count + self.zone_rows - 1) // self.zone_rows
+
+    def zone_bounds(self, zone: int) -> tuple[int, int]:
+        """Row range ``[start, stop)`` of one zone."""
+        start = zone * self.zone_rows
+        return start, min(start + self.zone_rows, self.row_count)
+
+    def column(self, name: str) -> ColumnZones | None:
+        """Zone summaries for one column, or None when not summarised."""
+        return self.columns.get(name)
+
+    @classmethod
+    def from_table(cls, table: Table, zone_rows: int) -> "ZoneMap":
+        """Summarise every numeric column of ``table`` zone by zone."""
+        n = table.num_rows
+        zone_map = cls(zone_rows=zone_rows, row_count=n)
+        if zone_rows <= 0 or n == 0:
+            return zone_map
+        starts = range(0, n, zone_rows)
+        num_zones = zone_map.num_zones
+        for name in table.column_names:
+            column = table.column(name)
+            if not column.dtype.is_numeric:
+                continue
+            data = column.data
+            validity = column.validity
+            mins = np.zeros(num_zones, dtype=data.dtype)
+            maxs = np.zeros(num_zones, dtype=data.dtype)
+            real_counts = np.zeros(num_zones, dtype=np.int64)
+            null_counts = np.zeros(num_zones, dtype=np.int64)
+            nan_counts = np.zeros(num_zones, dtype=np.int64)
+            is_float = data.dtype.kind == "f"
+            for zone, start in enumerate(starts):
+                stop = min(start + zone_rows, n)
+                chunk = data[start:stop]
+                if validity is not None:
+                    valid = validity[start:stop]
+                    null_counts[zone] = int((~valid).sum())
+                    chunk = chunk[valid]
+                if is_float:
+                    nan = np.isnan(chunk)
+                    if nan.any():
+                        nan_counts[zone] = int(nan.sum())
+                        chunk = chunk[~nan]
+                real_counts[zone] = len(chunk)
+                if len(chunk):
+                    mins[zone] = chunk.min()
+                    maxs[zone] = chunk.max()
+            zone_map.columns[name] = ColumnZones(
+                mins, maxs, real_counts, null_counts, nan_counts
+            )
+        return zone_map
+
+
+@dataclass
 class TableStatistics:
     """Statistics for every column of a table."""
 
     row_count: int
     columns: dict[str, ColumnStatistics] = field(default_factory=dict)
+    zone_maps: dict[int, ZoneMap] = field(default_factory=dict)
 
     @classmethod
     def from_table(cls, table: Table) -> "TableStatistics":
@@ -143,3 +235,16 @@ class TableStatistics:
     def column(self, name: str) -> ColumnStatistics | None:
         """Statistics for one column, or None if unknown."""
         return self.columns.get(name)
+
+    def zone_map(self, table: Table, zone_rows: int) -> ZoneMap:
+        """The zone map of ``table`` at ``zone_rows`` granularity (cached).
+
+        Recomputed when the cached map was built for a different row count
+        — the catalog additionally version-checks the whole statistics
+        object, so a stale map can never describe a replaced table.
+        """
+        zones = self.zone_maps.get(zone_rows)
+        if zones is None or zones.row_count != table.num_rows:
+            zones = ZoneMap.from_table(table, zone_rows)
+            self.zone_maps[zone_rows] = zones
+        return zones

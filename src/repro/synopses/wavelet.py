@@ -84,7 +84,9 @@ class HaarWaveletSynopsis:
             self._kept_values = np.empty(0)
             return
         lo, hi = float(values.min()), float(values.max())
-        if hi == lo:
+        # a span too small for n finite bins (including zero) degenerates
+        # to a unit domain; (hi - lo) / n underflows for subnormal spans
+        if hi == lo or (hi - lo) / n == 0.0:
             hi = lo + 1.0
         self.domain = (lo, hi)
         frequencies, _ = np.histogram(values, bins=n, range=(lo, hi))
