@@ -26,8 +26,10 @@ degrade=1`` a query that blows its budget returns an approximate answer
 running query and returns to the prompt; the session stays usable.
 ``PRAGMA dict_encode/zone_rows/plan_cache/plan_cache_size=...`` tune the
 scan accelerators (dictionary-encoded strings, zone-map data skipping,
-the catalog-versioned plan cache) — all on by default and bit-identical
-to the plain path.
+the catalog-versioned plan cache) and ``PRAGMA optimizer=0/1`` toggles
+the rule-based plan optimizer (constant folding, predicate pushdown,
+probe merging, projection pruning, join reordering, filter+aggregate
+fusion) — all on by default and bit-identical to the plain path.
 
 ``EXPLAIN ANALYZE SELECT ...`` runs the query under the profiler and
 prints per-plan-node wall time, row counts and bytes touched.

@@ -14,6 +14,7 @@ from typing import Any, Mapping, Protocol, Sequence
 import numpy as np
 
 from repro.engine import scanopt
+from repro.engine.optimizer import optimize_plan
 from repro.engine.planner import Plan, plan_statement
 from repro.engine.sql.parser import parse
 from repro.engine.statistics import TableStatistics, ZoneMap
@@ -54,7 +55,7 @@ class Database:
         self._indexes: dict[tuple[str, str], RangeIndex] = {}
         self._catalog_version = 0
         self._table_versions: dict[str, int] = {}
-        self._plan_cache: OrderedDict[str, tuple[int, Plan]] = OrderedDict()
+        self._plan_cache: OrderedDict[str, tuple[int, bool, Plan]] = OrderedDict()
         self._plan_cache_lock = threading.Lock()
         self.queries_executed = 0
 
@@ -216,26 +217,38 @@ class Database:
         """``(plan, cache_hit)`` for a SQL string.
 
         The cache is an LRU keyed on the exact SQL text; each entry
-        remembers the catalog version it was planned under and is only
-        served while that version is current (DDL, table replacement and
-        index changes bump the version and clear the cache).  Exploration
-        workloads re-issue the same statements constantly, so repeat
-        queries skip parse/bind/plan entirely.
+        remembers the catalog version *and* the optimizer setting it was
+        planned under and is only served while both are current (DDL,
+        table replacement and index changes bump the version and clear
+        the cache; toggling ``PRAGMA optimizer`` makes old entries
+        stale).  Exploration workloads re-issue the same statements
+        constantly, so repeat queries skip parse/bind/plan/optimize
+        entirely — what is cached is the fully *optimized* plan.
         """
         config = scanopt.get_config()
         if not config.plan_cache:
-            return plan_statement(parse(sql), self), False
+            plan = plan_statement(parse(sql), self)
+            if config.optimizer:
+                optimize_plan(plan, self)
+            return plan, False
         registry = get_registry()
+        optimized = bool(config.optimizer)
         with self._plan_cache_lock:
             entry = self._plan_cache.get(sql)
-            if entry is not None and entry[0] == self._catalog_version:
+            if (
+                entry is not None
+                and entry[0] == self._catalog_version
+                and entry[1] == optimized
+            ):
                 self._plan_cache.move_to_end(sql)
                 registry.counter("plan_cache.hits").inc()
-                return entry[1], True
+                return entry[2], True
         plan = plan_statement(parse(sql), self)
+        if optimized:
+            optimize_plan(plan, self)
         registry.counter("plan_cache.misses").inc()
         with self._plan_cache_lock:
-            self._plan_cache[sql] = (self._catalog_version, plan)
+            self._plan_cache[sql] = (self._catalog_version, optimized, plan)
             self._plan_cache.move_to_end(sql)
             while len(self._plan_cache) > config.plan_cache_size:
                 self._plan_cache.popitem(last=False)
@@ -352,9 +365,9 @@ class Database:
         the morsel-driven parallel executor's knobs; ``PRAGMA
         timeout_ms``, ``memory_budget_kb``, ``degrade``, ``max_retries``
         and ``faults`` tune the query governor; ``PRAGMA dict_encode``,
-        ``zone_rows``, ``plan_cache`` and ``plan_cache_size`` tune the
-        scan-acceleration layer.  The read form returns a one-row
-        settings table.
+        ``zone_rows``, ``plan_cache``, ``plan_cache_size`` and
+        ``optimizer`` tune the scan-acceleration layer and the rule-based
+        plan optimizer.  The read form returns a one-row settings table.
         """
         from repro.engine.sql.ast import (
             CreateTableStatement,
@@ -416,7 +429,13 @@ class Database:
         name = name.strip().lower()
         value = value.strip()
         parallel_knobs = {"threads", "morsel_rows", "min_parallel_rows"}
-        scanopt_knobs = {"dict_encode", "zone_rows", "plan_cache", "plan_cache_size"}
+        scanopt_knobs = {
+            "dict_encode",
+            "zone_rows",
+            "plan_cache",
+            "plan_cache_size",
+            "optimizer",
+        }
         if name in scanopt_knobs:
             if value:
                 try:
@@ -498,6 +517,8 @@ class Database:
             lines = self.explain_analyze(inner).lines()
         else:
             plan = plan_statement(statement.statement, self)
+            if scanopt.get_config().optimizer:
+                optimize_plan(plan, self)
             lines = plan.explain().split("\n")
             lines.extend(f"note: {note}" for note in plan.notes)
         return Table([("plan", Column(lines, dtype=DataType.STRING))])

@@ -31,6 +31,7 @@ from repro.engine.planner import (
     AggregateNode,
     DistinctNode,
     FilterNode,
+    FusedAggregateNode,
     JoinNode,
     LimitNode,
     Plan,
@@ -100,6 +101,16 @@ def _run_node(
         right = database.get_table(node.clause.table)
         if profiler is not None:
             profiler.note_input(right.num_rows, table_nbytes(right))
+        if node.right_predicate is not None:
+            if parallel.should_parallelize(right.num_rows):
+                _note_fanout(profiler, right.num_rows)
+                right = right.filter(
+                    parallel.parallel_truth_mask(node.right_predicate, right)
+                )
+            else:
+                right = right.filter(truth_mask(node.right_predicate, right))
+        if node.right_columns is not None:
+            right = right.select(node.right_columns)
         return ops.hash_join(
             left,
             right,
@@ -113,6 +124,8 @@ def _run_node(
             _note_fanout(profiler, child.num_rows)
             return parallel.parallel_filter(child, node.predicate)
         return ops.filter_table(child, node.predicate)
+    if isinstance(node, FusedAggregateNode):
+        return _execute_fused_aggregate(node, database, profiler)
     if isinstance(node, AggregateNode):
         child = _execute(node.child, database, profiler)
         if parallel.should_parallelize(child.num_rows):
@@ -144,6 +157,14 @@ def _execute_scan(
     table = database.get_table(node.table)
     if profiler is not None:
         profiler.note_input(table.num_rows, table_nbytes(table))
+    if node.columns is not None:
+        table = table.select(node.columns)
+    if node.empty:
+        # provably contradictory predicate: no rows, but dtype errors the
+        # unoptimized filter would raise must still surface
+        if node.predicate is not None:
+            truth_mask(node.predicate, table.slice(0, 0))
+        return table.slice(0, 0)
     if node.probe is not None:
         index = database.index_for(node.table, node.probe.column)
         if index is None:
@@ -182,3 +203,52 @@ def _execute_scan(
         else:
             table = table.filter(truth_mask(node.predicate, table))
     return table
+
+
+def _execute_fused_aggregate(
+    node: FusedAggregateNode, database: "Database", profiler: PlanProfiler | None
+) -> Table:
+    """Run the fused filter+aggregate pipeline over the node's base scan.
+
+    The scan predicate and the partial aggregation are evaluated morsel
+    by morsel without materialising the filtered table in between; the
+    zone map (same gating as the plain scan path) contributes the
+    FAIL/PASS/MAYBE range classification.
+    """
+    scan = node.child
+    assert isinstance(scan, ScanNode) and scan.predicate is not None
+    table = database.get_table(scan.table)
+    if profiler is not None:
+        profiler.note_input(table.num_rows, table_nbytes(table))
+    if scan.columns is not None:
+        table = table.select(scan.columns)
+    config = scanopt.get_config()
+    ranges = None
+    if config.zone_rows > 0 and table.num_rows > config.zone_rows:
+        zones = database.zone_map(scan.table)
+        statuses = zonemap.zone_statuses(scan.predicate, zones)
+        pruned = int((statuses == zonemap.FAIL).sum())
+        passed = int((statuses == zonemap.PASS).sum())
+        ranges = [
+            (*zones.zone_bounds(int(zone)), bool(statuses[zone] != zonemap.PASS))
+            for zone in np.flatnonzero(statuses != zonemap.FAIL)
+        ]
+        registry = get_registry()
+        registry.counter("scan.zones_pruned").inc(pruned)
+        registry.counter("scan.zones_passed").inc(passed)
+        if profiler is not None and zones.num_zones:
+            profiler.annotate(
+                f"zones: {pruned} pruned, {passed} passed of {zones.num_zones}"
+            )
+    if profiler is not None:
+        profiler.annotate("fused: filter + partial aggregate per morsel")
+    if parallel.should_parallelize(table.num_rows):
+        _note_fanout(profiler, table.num_rows)
+    return parallel.fused_filter_aggregate(
+        table,
+        scan.predicate,
+        node.group_exprs,
+        node.aggregates,
+        node.group_names,
+        ranges=ranges,
+    )

@@ -139,6 +139,28 @@ def lit(value: Any) -> "Literal":
     return Literal(value)
 
 
+def strip_outer_parens(text: str) -> str:
+    """Remove balanced outer parenthesis pairs from rendered SQL.
+
+    ``to_sql`` wraps every compound expression in parens; output-column
+    names derived from it want those outer pairs gone.  ``str.strip("()")``
+    is the wrong tool — it eats paren *characters* from both ends, turning
+    ``(a + b) * (c + d)`` into ``a + b) * (c + d``.  Only peel a leading
+    ``(`` whose matching ``)`` is the final character.
+    """
+    while len(text) >= 2 and text[0] == "(" and text[-1] == ")":
+        depth = 0
+        for position, char in enumerate(text):
+            if char == "(":
+                depth += 1
+            elif char == ")":
+                depth -= 1
+                if depth == 0 and position != len(text) - 1:
+                    return text
+        text = text[1:-1]
+    return text
+
+
 class ColumnRef(Expression):
     """Reference to a named column of the input table."""
 

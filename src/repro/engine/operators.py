@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.engine import scanopt
 from repro.engine.column import Column, column_from_parts
-from repro.engine.expressions import Expression, truth_mask
+from repro.engine.expressions import Expression, strip_outer_parens, truth_mask
 from repro.engine.sql.ast import AggregateCall, OrderItem, SelectItem
 from repro.engine.table import Table
 from repro.engine.types import DataType
@@ -402,7 +402,7 @@ def hash_aggregate(
     """
     with trace("op.hash_aggregate", rows=table.num_rows, keys=len(group_exprs)):
         names = list(group_names) if group_names is not None else [
-            e.to_sql().strip("()") for e in group_exprs
+            strip_outer_parens(e.to_sql()) for e in group_exprs
         ]
         key_columns = [expr.evaluate(table) for expr in group_exprs]
         arg_columns: dict[int, Column] = {}

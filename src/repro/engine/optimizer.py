@@ -1,0 +1,732 @@
+"""Rule-based logical plan optimizer.
+
+Sits between :func:`~repro.engine.planner.plan_statement` and the
+executor (gated by ``PRAGMA optimizer`` / ``REPRO_OPTIMIZER``, default
+on).  The bound plan is already a rewrite-friendly algebra — scans with
+residual predicates, join chains, filters, aggregates, projections — so
+optimization is a fixpoint of rule passes over that tree followed by
+three single-shot physical passes:
+
+Fixpoint rules (iterated until no rule fires):
+
+1. **constant folding / tautology & contradiction elimination** —
+   literal-only boolean subtrees collapse (Kleene semantics; never to a
+   bare NULL literal), conjuncts folded to TRUE are dropped, and a
+   conjunct folded to FALSE marks the scan provably empty;
+2. **redundant-conjunct dedup** — structurally identical conjuncts
+   (via :meth:`~repro.engine.expressions.Expression.same_as`) evaluate
+   once;
+3. **predicate pushdown** — residual filter conjuncts over base-table
+   columns move into the scan (where zone maps and dictionary filters
+   see them), and conjuncts over a single inner join's right table move
+   below that join, rewritten into the right table's own column names;
+4. **probe merging** — every range conjunct on the probed column is
+   intersected into the index probe (``_select_index`` picks only one),
+   and a pushed range conjunct on an indexed column becomes a probe; an
+   empty intersection marks the scan empty.
+
+Single-shot passes (after the fixpoint):
+
+5. **projection pruning** — scans and join right inputs materialise only
+   referenced columns, guarded by a join-output naming simulation so the
+   ``right_`` clash renames the binder assumed stay byte-identical;
+6. **statistics-driven join reordering** — under a global
+   order-insensitive aggregate (COUNT/MIN/MAX), join inputs are ordered
+   by estimated expansion ``rows / NDV(key)`` from
+   :mod:`repro.engine.statistics`;
+7. **filter+aggregate fusion** — ``Aggregate -> Scan(filter)`` becomes a
+   :class:`~repro.engine.planner.FusedAggregateNode`, whose executor
+   pipeline evaluates the predicate and the partial aggregation morsel
+   by morsel without materialising the filtered table.
+
+Every rewrite preserves bit-identity with the unoptimized plan: NULL
+literals are never folded away from predicate roots, conjuncts carrying
+column references are never dropped (so dtype errors still surface),
+empty scans type-check their predicate against an empty slice, pushdown
+and fusion are row-local, and join reordering fires only where row
+order is provably invisible.  Index probes are the one documented
+exception: a merged probe issues a different index lookup, and adaptive
+indexes answer range lookups in cracking order, which is already
+implementation-defined (zone maps are disabled on probe scans for the
+same reason).
+
+**Termination.**  Rules 1–2 strictly shrink the predicate (expression
+node count or conjunct count); rule 3 moves each conjunct at most once
+(scan and join predicates are never lifted back into a filter); rule 4
+strictly shrinks the scan's conjunct list.  The per-iteration measure
+(total conjuncts not yet at their final site + total expression nodes)
+is non-negative and strictly decreases whenever a rule fires, so the
+fixpoint terminates; ``_MAX_PASSES`` is a belt-and-braces bound.
+
+The rewrite trace lands in ``Plan.notes`` (rendered by ``EXPLAIN`` as
+``note: optimizer: ...`` lines and carried into ``EXPLAIN ANALYZE``)
+and in the ``optimizer.*`` metrics family.
+"""
+
+from __future__ import annotations
+
+import copy
+import operator
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.engine import expressions as ex
+from repro.engine.planner import (
+    AggregateNode,
+    DistinctNode,
+    FilterNode,
+    FusedAggregateNode,
+    JoinNode,
+    LimitNode,
+    Plan,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+    _conjoin,
+    extract_probe,
+    intersect_probes,
+    probe_is_empty,
+    split_conjuncts,
+)
+from repro.obs.metrics import get_registry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.catalog import Database
+
+_MAX_PASSES = 10
+
+#: Aggregate functions whose value cannot depend on input row order
+#: (exact, order-insensitive merges) — the join-reorder precondition.
+_ORDER_INSENSITIVE = ("COUNT", "MIN", "MAX")
+
+_MISSING = object()
+
+
+@dataclass
+class _Context:
+    """Mutable state threaded through the rule passes of one plan."""
+
+    database: "Database"
+    notes: list[str] = field(default_factory=list)
+    fired: set[str] = field(default_factory=set)
+    changed: bool = False
+
+    def record(self, rule: str, detail: str) -> None:
+        self.changed = True
+        self.fired.add(rule)
+        self.notes.append(f"{rule}: {detail}")
+        get_registry().counter(f"optimizer.{rule}").inc()
+
+
+def optimize_plan(plan: Plan, database: "Database") -> Plan:
+    """Rewrite ``plan`` in place through the rule passes; returns it."""
+    registry = get_registry()
+    registry.counter("optimizer.runs").inc()
+    ctx = _Context(database=database)
+    for _ in range(_MAX_PASSES):
+        ctx.changed = False
+        plan.root = _fold_pass(plan.root, ctx)
+        plan.root = _pushdown_pass(plan.root, ctx)
+        _probe_pass(plan.root, ctx)
+        if not ctx.changed:
+            break
+    _prune_pass(plan.root, None, ctx)
+    _reorder_pass(plan, ctx)
+    plan.root = _fuse_pass(plan.root, ctx)
+    if ctx.fired:
+        registry.counter("optimizer.rewrites").inc(len(ctx.notes))
+    plan.notes.extend(f"optimizer: {note}" for note in ctx.notes)
+    return plan
+
+
+# -- expression helpers ------------------------------------------------------------------
+
+
+def _iter_children(expr: ex.Expression) -> Iterator[ex.Expression]:
+    """Every direct sub-expression, across all expression shapes."""
+    for attr in ("left", "right", "operand"):
+        child = getattr(expr, attr, None)
+        if isinstance(child, ex.Expression):
+            yield child
+    for attr in ("options", "arguments"):
+        seq = getattr(expr, attr, None)
+        if seq:
+            yield from (item for item in seq if isinstance(item, ex.Expression))
+    branches = getattr(expr, "branches", None)
+    if branches:
+        for condition, value in branches:
+            yield condition
+            yield value
+    default = getattr(expr, "default", None)
+    if isinstance(default, ex.Expression):
+        yield default
+
+
+def _column_refs(expr: ex.Expression) -> Iterator[ex.ColumnRef]:
+    if isinstance(expr, ex.ColumnRef):
+        yield expr
+    for child in _iter_children(expr):
+        yield from _column_refs(child)
+
+
+def _literal_truth(expr: ex.Expression) -> Any:
+    """True/False/None for boolean-or-NULL literals, ``_MISSING`` otherwise."""
+    if isinstance(expr, ex.Literal):
+        if expr.value is None or isinstance(expr.value, bool):
+            return expr.value
+    return _MISSING
+
+
+_COMPARE = {
+    "=": operator.eq,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+def _fold_comparison(expr: ex.Comparison) -> ex.Literal | None:
+    """A literal-vs-literal comparison folded to TRUE/FALSE, else None.
+
+    Mixed string/numeric operands and boolean ordering are left alone:
+    they raise type errors at runtime, and folding would hide them.
+    NULL operands are never folded (the comparison yields NULL, and a
+    bare NULL literal is not a valid predicate root).
+    """
+    left, right = expr.left, expr.right
+    if not (isinstance(left, ex.Literal) and isinstance(right, ex.Literal)):
+        return None
+    lv, rv = left.value, right.value
+    if lv is None or rv is None:
+        return None
+    if isinstance(lv, bool) or isinstance(rv, bool):
+        if not (isinstance(lv, bool) and isinstance(rv, bool)):
+            return None
+        if expr.op not in ("=", "<>"):
+            return None
+    elif isinstance(lv, str) != isinstance(rv, str):
+        return None
+    return ex.Literal(bool(_COMPARE[expr.op](lv, rv)))
+
+
+def _fold(expr: ex.Expression) -> tuple[ex.Expression, bool]:
+    """Collapse literal-only boolean subtrees (Kleene semantics).
+
+    A node folds only when its operands are themselves literals, so no
+    column-referencing subtree is ever dropped — whatever the original
+    predicate would have evaluated (and whatever dtype errors it would
+    have raised) still evaluates.  Results are always strict TRUE/FALSE
+    literals; an unknown (NULL) outcome keeps the original node.
+    """
+    if isinstance(expr, (ex.And, ex.Or)):
+        left, left_changed = _fold(expr.left)
+        right, right_changed = _fold(expr.right)
+        changed = left_changed or right_changed
+        lt, rt = _literal_truth(left), _literal_truth(right)
+        if lt is not _MISSING and rt is not _MISSING:
+            if isinstance(expr, ex.And):
+                value = (
+                    False
+                    if lt is False or rt is False
+                    else (True if lt is True and rt is True else None)
+                )
+            else:
+                value = (
+                    True
+                    if lt is True or rt is True
+                    else (False if lt is False and rt is False else None)
+                )
+            if value is not None:
+                return ex.Literal(value), True
+        if changed:
+            return type(expr)(left, right), True
+        return expr, False
+    if isinstance(expr, ex.Not):
+        inner, changed = _fold(expr.operand)
+        truth = _literal_truth(inner)
+        if truth is True or truth is False:
+            return ex.Literal(not truth), True
+        if changed:
+            return ex.Not(inner), True
+        return expr, False
+    if isinstance(expr, ex.Comparison):
+        folded = _fold_comparison(expr)
+        if folded is not None:
+            return folded, True
+    return expr, False
+
+
+def _simplify_predicate(
+    predicate: ex.Expression,
+) -> tuple[ex.Expression | None, bool, bool, str]:
+    """``(new_predicate, changed, contradiction, detail)`` for one predicate.
+
+    Folds each conjunct, drops TRUE conjuncts and duplicates, and flags a
+    FALSE conjunct as a contradiction (the literal is *kept* so the
+    predicate still evaluates where it must).  Bails out untouched when a
+    conjunct is a bare NULL literal — dropping its TRUE siblings could
+    leave a non-boolean predicate root the unoptimized plan never had.
+    """
+    conjuncts = split_conjuncts(predicate)
+    folded_conjuncts: list[ex.Expression] = []
+    folded = 0
+    for conj in conjuncts:
+        new, changed = _fold(conj)
+        folded += int(changed)
+        folded_conjuncts.append(new)
+    if any(
+        isinstance(c, ex.Literal) and c.value is None for c in folded_conjuncts
+    ):
+        return predicate, False, False, ""
+    kept: list[ex.Expression] = []
+    dropped_true = dropped_dup = 0
+    contradiction = False
+    for conj in folded_conjuncts:
+        if _literal_truth(conj) is True:
+            dropped_true += 1
+            continue
+        if _literal_truth(conj) is False:
+            contradiction = True
+        if any(conj.same_as(seen) for seen in kept):
+            dropped_dup += 1
+            continue
+        kept.append(conj)
+    changed = bool(folded or dropped_true or dropped_dup)
+    parts = []
+    if folded:
+        parts.append(f"{folded} folded")
+    if dropped_true:
+        parts.append(f"{dropped_true} tautology dropped")
+    if dropped_dup:
+        parts.append(f"{dropped_dup} duplicate dropped")
+    return _conjoin(kept), changed, contradiction, ", ".join(parts)
+
+
+# -- rule 1+2: constant folding, tautology/contradiction, dedup --------------------------
+
+
+def _fold_pass(node: PlanNode, ctx: _Context) -> PlanNode:
+    child = getattr(node, "child", None)
+    if child is not None:
+        node.child = _fold_pass(child, ctx)
+    if isinstance(node, ScanNode) and node.predicate is not None and not node.empty:
+        new, changed, contradiction, detail = _simplify_predicate(node.predicate)
+        if changed:
+            node.predicate = new
+            ctx.record("constant_fold", f"scan({node.table}): {detail}")
+        if contradiction:
+            # keep the (simplified) predicate: the executor type-checks it
+            # against an empty slice so dtype errors still surface
+            node.empty = True
+            ctx.record("contradiction", f"scan({node.table}) is provably empty")
+    elif isinstance(node, FilterNode):
+        new, changed, _, detail = _simplify_predicate(node.predicate)
+        if changed:
+            ctx.record("constant_fold", f"filter: {detail}")
+            if new is None:
+                return node.child
+            node.predicate = new
+    elif isinstance(node, JoinNode) and node.right_predicate is not None:
+        new, changed, _, detail = _simplify_predicate(node.right_predicate)
+        if changed:
+            node.right_predicate = new
+            ctx.record("constant_fold", f"join({node.clause.table}): {detail}")
+    return node
+
+
+# -- rule 3: predicate pushdown ----------------------------------------------------------
+
+
+def _simulate_chain(
+    base_names: list[str],
+    joins: list[JoinNode],
+    database: "Database",
+    right_names_per_join: list[list[str]] | None = None,
+) -> tuple[dict[str, tuple[Any, str]], list[dict[str, str]]]:
+    """Replay the executor's join-output naming over a join chain.
+
+    Returns ``(producers, maps)``: ``producers`` maps every output column
+    name to ``("base", name)`` or ``(join_index, original_right_name)``;
+    ``maps[j]`` maps join ``j``'s right-table column names to their
+    output names (the ``right_`` clash renaming of ``hash_join``).
+    """
+    used = set(base_names)
+    producers: dict[str, tuple[Any, str]] = {
+        name: ("base", name) for name in base_names
+    }
+    maps: list[dict[str, str]] = []
+    for j, join in enumerate(joins):
+        if right_names_per_join is not None:
+            right_names = right_names_per_join[j]
+        elif join.right_columns is not None:
+            right_names = join.right_columns
+        else:
+            right_names = list(database.get_table(join.clause.table).column_names)
+        mapping: dict[str, str] = {}
+        for name in right_names:
+            out = name
+            while out in used:
+                out = f"right_{out}"
+            used.add(out)
+            mapping[name] = out
+            producers[out] = (j, name)
+        maps.append(mapping)
+    return producers, maps
+
+
+def _join_chain(node: PlanNode) -> tuple[list[JoinNode], ScanNode] | None:
+    """``(joins bottom-up, scan)`` when ``node`` heads a join chain."""
+    joins: list[JoinNode] = []
+    cursor = node
+    while isinstance(cursor, JoinNode):
+        joins.append(cursor)
+        cursor = cursor.child
+    if not joins or not isinstance(cursor, ScanNode):
+        return None
+    joins.reverse()
+    return joins, cursor
+
+
+def _rename_into_right(expr: ex.Expression, inverse: dict[str, str]) -> ex.Expression:
+    """A copy of ``expr`` with join-output names mapped back to the right
+    table's own column names (the statement keeps its bound originals)."""
+    clone = copy.deepcopy(expr)
+    for ref in _column_refs(clone):
+        ref.name = inverse[ref.name]
+    return clone
+
+
+def _pushdown_pass(node: PlanNode, ctx: _Context) -> PlanNode:
+    child = getattr(node, "child", None)
+    if child is not None:
+        node.child = _pushdown_pass(child, ctx)
+    if not (isinstance(node, FilterNode) and isinstance(node.child, JoinNode)):
+        return node
+    chain = _join_chain(node.child)
+    if chain is None:
+        return node
+    joins, scan = chain
+    base_names = list(ctx.database.get_table(scan.table).column_names)
+    producers, maps = _simulate_chain(base_names, joins, ctx.database)
+    remaining: list[ex.Expression] = []
+    to_scan = 0
+    to_join = 0
+    for conj in split_conjuncts(node.predicate):
+        refs = conj.referenced_columns()
+        resolved = [producers.get(name, _MISSING) for name in refs]
+        if _MISSING in resolved:
+            remaining.append(conj)
+            continue
+        owners = {owner for owner, _ in resolved}
+        if not refs or owners == {"base"}:
+            # base-only (or constant) conjuncts are row-local on the scan
+            scan.predicate = _conjoin(split_conjuncts(scan.predicate) + [conj]) if (
+                scan.predicate is not None
+            ) else conj
+            to_scan += 1
+            continue
+        if len(owners) == 1:
+            j = next(iter(owners))
+            if joins[j].clause.kind == "inner":
+                # a right-side filter below a LEFT join would drop padded
+                # rows the residual filter keeps; inner joins only
+                inverse = {out: orig for orig, out in maps[j].items()}
+                pushed = _rename_into_right(conj, inverse)
+                join = joins[j]
+                join.right_predicate = (
+                    pushed
+                    if join.right_predicate is None
+                    else ex.And(join.right_predicate, pushed)
+                )
+                to_join += 1
+                continue
+        remaining.append(conj)
+    if not (to_scan or to_join):
+        return node
+    parts = []
+    if to_scan:
+        parts.append(f"{to_scan} conjunct(s) to scan({scan.table})")
+    if to_join:
+        parts.append(f"{to_join} conjunct(s) below join")
+    ctx.record("pushdown", ", ".join(parts))
+    if not remaining:
+        return node.child
+    node.predicate = _conjoin(remaining)
+    return node
+
+
+# -- rule 4: probe merging ---------------------------------------------------------------
+
+
+def _probe_pass(node: PlanNode, ctx: _Context) -> None:
+    for child in node.children():
+        _probe_pass(child, ctx)
+    if not isinstance(node, ScanNode) or node.empty or node.predicate is None:
+        return
+    original = split_conjuncts(node.predicate)
+    probe = node.probe
+    remaining: list[ex.Expression] = []
+    merged = 0
+    for conj in original:
+        candidate = extract_probe(conj)
+        if candidate is not None:
+            if probe is None and ctx.database.index_for(
+                node.table, candidate.column
+            ) is not None:
+                probe = candidate
+                merged += 1
+                continue
+            if probe is not None and candidate.column == probe.column:
+                tightened = intersect_probes(probe, candidate)
+                if tightened is not None:
+                    probe = tightened
+                    merged += 1
+                    continue
+        remaining.append(conj)
+    if not merged or probe is None:
+        return
+    if probe_is_empty(probe):
+        # contradictory range: the scan is empty; keep the full predicate
+        # (and drop the probe) so dtype errors still type-check
+        node.empty = True
+        node.probe = None
+        node.predicate = _conjoin(original)
+        ctx.record(
+            "contradiction",
+            f"scan({node.table}): probe {probe.describe()} is empty",
+        )
+        return
+    node.probe = probe
+    node.predicate = _conjoin(remaining)
+    ctx.record(
+        "probe_merge",
+        f"scan({node.table}): {merged} conjunct(s) into {probe.describe()}",
+    )
+
+
+# -- rule 5: projection pruning ----------------------------------------------------------
+
+
+def _item_refs(items) -> set[str] | None:
+    """Columns a select-item list reads; None when ``*`` needs everything."""
+    refs: set[str] = set()
+    for item in items:
+        if item.star:
+            return None
+        if item.expression is not None:
+            refs |= item.expression.referenced_columns()
+        if item.aggregate is not None and item.aggregate.argument is not None:
+            refs |= item.aggregate.argument.referenced_columns()
+    return refs
+
+
+def _prune_pass(node: PlanNode, needed: set[str] | None, ctx: _Context) -> None:
+    """Thread required-column sets down the tree and prune scans/joins."""
+    if isinstance(node, (LimitNode, DistinctNode)):
+        _prune_pass(node.child, needed, ctx)
+    elif isinstance(node, SortNode):
+        if needed is not None:
+            needed = set(needed)
+            for item in node.order_by:
+                needed |= item.expression.referenced_columns()
+        _prune_pass(node.child, needed, ctx)
+    elif isinstance(node, ProjectNode):
+        _prune_pass(node.child, _item_refs(node.items), ctx)
+    elif isinstance(node, AggregateNode):  # includes FusedAggregateNode
+        refs: set[str] = set()
+        for expr in node.group_exprs:
+            refs |= expr.referenced_columns()
+        for _, call in node.aggregates:
+            if call.argument is not None:
+                refs |= call.argument.referenced_columns()
+        _prune_pass(node.child, refs, ctx)
+    elif isinstance(node, FilterNode):
+        if needed is not None:
+            needed = set(needed) | node.predicate.referenced_columns()
+        _prune_pass(node.child, needed, ctx)
+    elif isinstance(node, JoinNode):
+        _prune_join_chain(node, needed, ctx)
+    elif isinstance(node, ScanNode):
+        _prune_scan(node, needed, ctx)
+
+
+def _prune_scan(scan: ScanNode, needed: set[str] | None, ctx: _Context) -> None:
+    if needed is None or scan.columns is not None:
+        return
+    names = list(ctx.database.get_table(scan.table).column_names)
+    required = set(needed)
+    if scan.predicate is not None:
+        required |= scan.predicate.referenced_columns()
+    keep = [name for name in names if name in required]
+    if not keep:
+        keep = names[:1]  # row count must survive even a column-free scan
+    if len(keep) == len(names):
+        return
+    scan.columns = keep
+    ctx.record(
+        "prune", f"scan({scan.table}): {len(keep)} of {len(names)} column(s)"
+    )
+
+
+def _prune_join_chain(
+    top: JoinNode, needed: set[str] | None, ctx: _Context
+) -> None:
+    if needed is None:
+        return
+    chain = _join_chain(top)
+    if chain is None:
+        return
+    joins, scan = chain
+    if scan.columns is not None or any(j.right_columns is not None for j in joins):
+        return
+    database = ctx.database
+    base_names = list(database.get_table(scan.table).column_names)
+    _, full_maps = _simulate_chain(base_names, joins, database)
+
+    # walk the chain top-down, peeling each join's outputs off the
+    # required set and collecting which right-table columns survive
+    need = set(needed)
+    right_keeps: list[list[str]] = [[] for _ in joins]
+    for j in range(len(joins) - 1, -1, -1):
+        join = joins[j]
+        mapping = full_maps[j]
+        required_orig = {
+            orig for orig, out in mapping.items() if out in need
+        } | {join.clause.right_column}
+        if join.right_predicate is not None:
+            required_orig |= join.right_predicate.referenced_columns()
+        order = (
+            join.right_columns
+            if join.right_columns is not None
+            else list(database.get_table(join.clause.table).column_names)
+        )
+        right_keeps[j] = [name for name in order if name in required_orig]
+        need = (need - set(mapping.values())) | {join.clause.left_column}
+
+    scan_required = set(need)
+    if scan.predicate is not None:
+        scan_required |= scan.predicate.referenced_columns()
+    scan_keep = [name for name in base_names if name in scan_required]
+    if not scan_keep:
+        scan_keep = base_names[:1]
+
+    # naming guard: the binder resolved clash renames against the full
+    # schemas; pruning must not change any kept column's output name
+    _, pruned_maps = _simulate_chain(
+        scan_keep, joins, database, right_names_per_join=right_keeps
+    )
+    for j, keep in enumerate(right_keeps):
+        for orig in keep:
+            if pruned_maps[j][orig] != full_maps[j][orig]:
+                return
+    pruned_sites = 0
+    if len(scan_keep) < len(base_names):
+        scan.columns = scan_keep
+        pruned_sites += 1
+    for j, join in enumerate(joins):
+        full = (
+            len(database.get_table(join.clause.table).column_names)
+        )
+        if len(right_keeps[j]) < full:
+            join.right_columns = right_keeps[j]
+            pruned_sites += 1
+    if pruned_sites:
+        ctx.record("prune", f"{pruned_sites} input(s) pruned under join chain")
+
+
+# -- rule 6: statistics-driven join reordering -------------------------------------------
+
+
+def _reorder_pass(plan: Plan, ctx: _Context) -> None:
+    """Order join inputs by estimated expansion where row order is invisible.
+
+    Join output order is observable almost everywhere (projections emit
+    it, DISTINCT and GROUP BY keep first appearances, sorts break ties
+    stably, float SUM/AVG round in input order), so reordering fires
+    only under a global COUNT/MIN/MAX aggregate — the one shape whose
+    result provably cannot depend on input row order.
+    """
+    node: PlanNode = plan.root
+    while isinstance(node, (ProjectNode, SortNode, LimitNode, DistinctNode)) or (
+        isinstance(node, FilterNode) and not isinstance(node.child, JoinNode)
+    ):
+        node = node.child
+    if not isinstance(node, AggregateNode) or isinstance(node, FusedAggregateNode):
+        return
+    if node.group_exprs:
+        return
+    if any(call.function not in _ORDER_INSENSITIVE for _, call in node.aggregates):
+        return
+    parent: PlanNode = node
+    below = node.child
+    if isinstance(below, FilterNode):
+        parent = below
+        below = below.child
+    chain = _join_chain(below)
+    if chain is None or len(chain[0]) < 2:
+        return
+    joins, scan = chain
+    database = ctx.database
+    base_names = set(database.get_table(scan.table).column_names)
+    if any(
+        join.clause.kind != "inner" or join.clause.left_column not in base_names
+        for join in joins
+    ):
+        return
+
+    def expansion(join: JoinNode) -> float:
+        stats = database.statistics(join.clause.table)
+        column = stats.column(join.clause.right_column)
+        if column is None or column.distinct_count == 0:
+            return float(stats.row_count)
+        return stats.row_count / column.distinct_count
+
+    ranked = sorted(range(len(joins)), key=lambda i: (expansion(joins[i]), i))
+    if ranked == list(range(len(joins))):
+        return
+    reordered = [joins[i] for i in ranked]
+    # naming guard: every join must produce the same clash renames in
+    # the new order, else bound references upstream go stale
+    _, original_maps = _simulate_chain(
+        sorted(base_names), joins, database
+    )
+    _, new_maps = _simulate_chain(sorted(base_names), reordered, database)
+    new_position = {id(join): pos for pos, join in enumerate(reordered)}
+    for j, join in enumerate(joins):
+        if original_maps[j] != new_maps[new_position[id(join)]]:
+            return
+    cursor: PlanNode = scan
+    for join in reordered:
+        join.child = cursor
+        cursor = join
+    parent.child = cursor  # type: ignore[attr-defined]
+    order = ", ".join(join.clause.table for join in reordered)
+    ctx.record("join_reorder", f"by estimated expansion: {order}")
+
+
+# -- rule 7: filter+aggregate fusion -----------------------------------------------------
+
+
+def _fuse_pass(node: PlanNode, ctx: _Context) -> PlanNode:
+    child = getattr(node, "child", None)
+    if child is not None:
+        node.child = _fuse_pass(child, ctx)
+    if (
+        isinstance(node, AggregateNode)
+        and not isinstance(node, FusedAggregateNode)
+        and isinstance(node.child, ScanNode)
+        and node.child.predicate is not None
+        and node.child.probe is None
+        and not node.child.empty
+    ):
+        ctx.record("fuse", f"filter+aggregate over scan({node.child.table})")
+        return FusedAggregateNode(
+            child=node.child,
+            group_exprs=node.group_exprs,
+            group_names=node.group_names,
+            aggregates=node.aggregates,
+        )
+    return node

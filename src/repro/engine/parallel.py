@@ -65,7 +65,7 @@ import numpy as np
 
 from repro.engine import operators as ops
 from repro.engine.column import Column
-from repro.engine.expressions import Expression, truth_mask
+from repro.engine.expressions import Expression, strip_outer_parens, truth_mask
 from repro.engine.sql.ast import AggregateCall, OrderItem
 from repro.engine.table import Table
 from repro.engine.types import DataType
@@ -522,6 +522,73 @@ def _merge_sum(parts: list[Any]) -> Any:
     return sum(values)
 
 
+def _merge_partial_aggregates(
+    results: Sequence[tuple[list[tuple], dict[int, Column]]],
+    group_exprs: Sequence[Expression],
+    aggregates: Sequence[tuple[str, AggregateCall]],
+    modes: Sequence[str],
+    names: Sequence[str],
+) -> Table:
+    """Merge per-morsel partial groups into the final aggregate table.
+
+    Group row indices must address the concatenation of the gather
+    columns across ``results`` (in order).  First-appearance order across
+    morsels reproduces the serial group order, and gather-mode aggregates
+    re-evaluate the serial kernel over the merged group's rows — so the
+    output is bit-identical to the serial operator over the same input.
+    """
+    merged: dict[tuple, dict[str, Any]] = {}
+    gather_parts: dict[int, list[Column]] = {
+        i: [] for i, mode in enumerate(modes) if mode == _MODE_GATHER
+    }
+    for groups, gather_columns in results:
+        for i, column in gather_columns.items():
+            gather_parts[i].append(column)
+        for ckey, key, idx, size, partials in groups:
+            entry = merged.get(ckey)
+            if entry is None:
+                merged[ckey] = {
+                    "key": key,
+                    "idx": [idx],
+                    "size": size,
+                    "partials": [[p] for p in partials],
+                }
+            else:
+                entry["idx"].append(idx)
+                entry["size"] += size
+                for i, partial in enumerate(partials):
+                    entry["partials"][i].append(partial)
+    gather_columns_full: dict[int, Column] = {}
+    for i, parts in gather_parts.items():
+        column = parts[0]
+        for part in parts[1:]:
+            column = column.concat(part)
+        gather_columns_full[i] = column
+
+    out_rows: list[tuple[Any, ...]] = []
+    for entry in merged.values():
+        row_values: list[Any] = list(entry["key"])
+        for i, (_, call) in enumerate(aggregates):
+            mode = modes[i]
+            parts = entry["partials"][i]
+            if mode in (_MODE_COUNT_STAR, _MODE_COUNT):
+                row_values.append(sum(parts))
+            elif mode == _MODE_MINMAX:
+                row_values.append(_merge_minmax(parts, call.function == "MIN"))
+            elif mode == _MODE_SUM_INT:
+                row_values.append(_merge_sum(parts))
+            else:  # gather: evaluate over the merged group like serial
+                idx = np.concatenate(entry["idx"])
+                sliced = gather_columns_full[i].take(idx)
+                row_values.append(ops._aggregate_values(call, sliced, entry["size"]))
+        out_rows.append(tuple(row_values))
+
+    if not group_exprs:
+        # a global aggregate always emits exactly one row
+        return Table.from_rows(out_rows, [name for name, _ in aggregates])
+    return Table.from_rows(out_rows, list(names) + [name for name, _ in aggregates])
+
+
 def parallel_hash_aggregate(
     table: Table,
     group_exprs: Sequence[Expression],
@@ -545,67 +612,173 @@ def parallel_hash_aggregate(
         if not ranges:
             return ops.hash_aggregate(table, group_exprs, aggregates, group_names)
         names = list(group_names) if group_names is not None else [
-            e.to_sql().strip("()") for e in group_exprs
+            strip_outer_parens(e.to_sql()) for e in group_exprs
         ]
         modes = _partial_modes(table, aggregates)
         results = _run_tasks(
             _aggregate_morsel,
             [(table, s, e, group_exprs, aggregates, modes) for s, e in ranges],
         )
-
         # merge: first-appearance order across morsels == serial group order
-        merged: dict[tuple, dict[str, Any]] = {}
-        gather_parts: dict[int, list[Column]] = {
-            i: [] for i, mode in enumerate(modes) if mode == _MODE_GATHER
-        }
-        for groups, gather_columns in results:
-            for i, column in gather_columns.items():
-                gather_parts[i].append(column)
-            for ckey, key, idx, size, partials in groups:
-                entry = merged.get(ckey)
-                if entry is None:
-                    merged[ckey] = {
-                        "key": key,
-                        "idx": [idx],
-                        "size": size,
-                        "partials": [[p] for p in partials],
+        return _merge_partial_aggregates(results, group_exprs, aggregates, modes, names)
+
+
+def _fused_morsel(
+    table: Table,
+    start: int,
+    stop: int,
+    predicate: Expression | None,
+    group_exprs: Sequence[Expression],
+    aggregates: Sequence[tuple[str, AggregateCall]],
+    modes: Sequence[str],
+) -> tuple[list[tuple], dict[int, Column], int]:
+    """Filter + partial aggregation of one morsel, without materialising
+    the filtered table across morsels.
+
+    ``predicate`` of None means the morsel provably passes (a PASS zone).
+    Returns ``(groups, gather_columns, kept_rows)`` like
+    :func:`_aggregate_morsel`, except group row indices are *local* to
+    this morsel's filtered rows — the caller rebases them onto the
+    concatenation of all filtered morsels via the kept-row counts.
+    """
+    morsel = table.slice(start, stop)
+    if predicate is not None:
+        morsel = morsel.filter(truth_mask(predicate, morsel))
+    key_columns = [expr.evaluate(morsel) for expr in group_exprs]
+    arg_columns: dict[int, Column] = {}
+    for i, (_, call) in enumerate(aggregates):
+        if call.argument is not None:
+            arg_columns[i] = call.argument.evaluate(morsel)
+    if group_exprs:
+        grouped = ops._group_rows(key_columns, morsel.num_rows)
+    else:
+        grouped = [((), np.arange(morsel.num_rows, dtype=np.int64))]
+    groups: list[tuple] = []
+    for key, idx in grouped:
+        size = len(idx)
+        partials: list[Any] = []
+        for i, (_, call) in enumerate(aggregates):
+            mode = modes[i]
+            if mode == _MODE_COUNT_STAR:
+                partials.append(size)
+                continue
+            if mode == _MODE_GATHER:
+                partials.append(None)  # merged via row indices instead
+                continue
+            sliced = arg_columns[i].take(idx)
+            if mode == _MODE_COUNT:
+                partials.append(size - sliced.null_count())
+            else:  # minmax / sum_int: the serial kernel is an exact partial
+                partials.append(ops._aggregate_values(call, sliced, size))
+        groups.append((_canonical_key(key), key, idx, size, partials))
+    gather_columns = {
+        i: arg_columns[i] for i, mode in enumerate(modes) if mode == _MODE_GATHER
+    }
+    return groups, gather_columns, morsel.num_rows
+
+
+def fused_filter_aggregate(
+    table: Table,
+    predicate: Expression,
+    group_exprs: Sequence[Expression],
+    aggregates: Sequence[tuple[str, AggregateCall]],
+    group_names: Sequence[str] | None = None,
+    ranges: Sequence[tuple[int, int, bool]] | None = None,
+) -> Table:
+    """Filter + hash aggregate fused per morsel (the FusedAggregate kernel).
+
+    Each morsel evaluates the predicate and its partial aggregation in
+    one pass; the filtered table is never materialised as a whole.
+    ``ranges`` is an optional zone-map classification ``[(start, stop,
+    evaluate)]`` — FAIL zones are simply absent, and ``evaluate=False``
+    marks a PASS zone whose rows are taken without evaluating the
+    predicate.  None means every morsel of the table is evaluated.
+
+    Bit-identical to ``hash_aggregate(filter(table, predicate), ...)``:
+    the per-morsel filter masks concatenate to the serial mask.  On the
+    worker pool the merge is exactly :func:`_merge_partial_aggregates`
+    over the filtered table's own morselization; serially, the surviving
+    filtered morsels concatenate into one aggregation pass — the same
+    rows the unfused filter would materialise, minus the skipped zones
+    and the full-table mask array.
+    """
+    # Type errors are dtype-dependent, not data-dependent: surface them
+    # exactly as the unfused filter would even when every zone is skipped.
+    truth_mask(predicate, table.slice(0, 0))
+    num_rows = table.num_rows
+    if ranges is None:
+        ranges = [(start, stop, True) for start, stop in morsel_ranges(num_rows)]
+    with trace(
+        "op.fused_filter_aggregate",
+        rows=num_rows,
+        keys=len(group_exprs),
+        morsels=len(ranges),
+    ):
+        if not ranges:
+            return ops.hash_aggregate(
+                table.slice(0, 0), group_exprs, aggregates, group_names
+            )
+        if not should_parallelize(num_rows):
+            ctx = current_context()
+            pieces: list[Table] = []
+            for start, stop, evaluate in ranges:
+                if ctx is not None:
+                    ctx.check()
+                morsel = table.slice(start, stop)
+                if evaluate:
+                    morsel = morsel.filter(truth_mask(predicate, morsel))
+                pieces.append(morsel)
+            if len(pieces) == 1:
+                combined = pieces[0]
+            else:
+                combined = Table(
+                    {
+                        name: _concat_columns([p.column(name) for p in pieces])
+                        for name in table.column_names
                     }
-                else:
-                    entry["idx"].append(idx)
-                    entry["size"] += size
-                    for i, partial in enumerate(partials):
-                        entry["partials"][i].append(partial)
-        gather_columns_full: dict[int, Column] = {}
-        for i, parts in gather_parts.items():
-            column = parts[0]
-            for part in parts[1:]:
-                column = column.concat(part)
-            gather_columns_full[i] = column
+                )
+            return ops.hash_aggregate(combined, group_exprs, aggregates, group_names)
+        names = list(group_names) if group_names is not None else [
+            strip_outer_parens(e.to_sql()) for e in group_exprs
+        ]
+        modes = _partial_modes(table, aggregates)
+        results = _run_tasks(
+            _fused_morsel,
+            [
+                (table, start, stop, predicate if evaluate else None,
+                 group_exprs, aggregates, modes)
+                for start, stop, evaluate in ranges
+            ],
+        )
+        # rebase local filtered-row indices onto the concatenation of the
+        # filtered morsels (which the gather columns are slices of)
+        rebased: list[tuple[list[tuple], dict[int, Column]]] = []
+        base = 0
+        for groups, gather_columns, kept in results:
+            rebased.append((
+                [
+                    (ckey, key, idx + base, size, partials)
+                    for ckey, key, idx, size, partials in groups
+                ],
+                gather_columns,
+            ))
+            base += kept
+        return _merge_partial_aggregates(rebased, group_exprs, aggregates, modes, names)
 
-        out_rows: list[tuple[Any, ...]] = []
-        for entry in merged.values():
-            row_values: list[Any] = list(entry["key"])
-            for i, (_, call) in enumerate(aggregates):
-                mode = modes[i]
-                parts = entry["partials"][i]
-                if mode in (_MODE_COUNT_STAR, _MODE_COUNT):
-                    row_values.append(sum(parts))
-                elif mode == _MODE_MINMAX:
-                    row_values.append(_merge_minmax(parts, call.function == "MIN"))
-                elif mode == _MODE_SUM_INT:
-                    row_values.append(_merge_sum(parts))
-                else:  # gather: evaluate over the merged group like serial
-                    idx = np.concatenate(entry["idx"])
-                    sliced = gather_columns_full[i].take(idx)
-                    row_values.append(ops._aggregate_values(call, sliced, entry["size"]))
-            out_rows.append(tuple(row_values))
 
-        if not group_exprs:
-            # a global aggregate always emits exactly one row
-            out_names = [name for name, _ in aggregates]
-            return Table.from_rows(out_rows, out_names)
-        out_names = names + [name for name, _ in aggregates]
-        return Table.from_rows(out_rows, out_names)
+def _concat_columns(columns: list[Column]) -> Column:
+    """Stack same-typed columns in one pass (pairwise concat is quadratic)."""
+    from repro.engine.column import _wrap
+
+    data = np.concatenate([c.data for c in columns])
+    if all(c.validity is None for c in columns):
+        validity = None
+    else:
+        validity = np.concatenate([
+            c.validity if c.validity is not None else np.ones(len(c), bool)
+            for c in columns
+        ])
+    return _wrap(data, columns[0].dtype, validity)
 
 
 # -- sorting -------------------------------------------------------------------------

@@ -79,36 +79,61 @@ class PlanNode:
 @dataclass
 class ScanNode(PlanNode):
     """Scan a base table, optionally through an index probe and a residual
-    filter predicate."""
+    filter predicate.
+
+    The optimizer may additionally set ``columns`` (projection pruning:
+    only the named columns are materialised) and ``empty`` (a provably
+    contradictory predicate: the scan returns no rows, but the predicate
+    is kept and type-checked against an empty slice so dtype errors
+    surface exactly as an unoptimized scan would raise them).
+    """
 
     table: str
     predicate: ex.Expression | None = None
     probe: RangeProbe | None = None
+    columns: list[str] | None = None
+    empty: bool = False
 
     def label(self) -> str:
         parts = [f"Scan({self.table}"]
+        if self.empty:
+            parts.append(", empty")
         if self.probe is not None:
             parts.append(f", index: {self.probe.describe()}")
         if self.predicate is not None:
             parts.append(f", filter: {self.predicate.to_sql()}")
+        if self.columns is not None:
+            parts.append(f", columns: [{', '.join(self.columns)}]")
         return "".join(parts) + ")"
 
 
 @dataclass
 class JoinNode(PlanNode):
-    """Hash equi-join of a child plan with a base table."""
+    """Hash equi-join of a child plan with a base table.
+
+    The optimizer may set ``right_predicate`` (an inner-join filter pushed
+    below the join, phrased in the right table's own column names) and
+    ``right_columns`` (projection pruning of the right input).
+    """
 
     child: PlanNode
     clause: JoinClause
+    right_predicate: ex.Expression | None = None
+    right_columns: list[str] | None = None
 
     def children(self) -> list[PlanNode]:
         return [self.child]
 
     def label(self) -> str:
-        return (
+        parts = [
             f"HashJoin({self.clause.kind}, {self.clause.table}, "
-            f"{self.clause.left_column} = {self.clause.right_column})"
-        )
+            f"{self.clause.left_column} = {self.clause.right_column}"
+        ]
+        if self.right_predicate is not None:
+            parts.append(f", right filter: {self.right_predicate.to_sql()}")
+        if self.right_columns is not None:
+            parts.append(f", right columns: [{', '.join(self.right_columns)}]")
+        return "".join(parts) + ")"
 
 
 @dataclass
@@ -141,6 +166,25 @@ class AggregateNode(PlanNode):
         keys = ", ".join(self.group_names) or "<global>"
         aggs = ", ".join(f"{n}={c.to_sql()}" for n, c in self.aggregates)
         return f"Aggregate(keys: {keys}; aggs: {aggs})"
+
+
+@dataclass
+class FusedAggregateNode(AggregateNode):
+    """Filter+aggregate fused into one per-morsel pipeline.
+
+    Produced by the optimizer from ``Aggregate -> Scan(filter)``: the
+    executor evaluates the scan predicate and the partial aggregation
+    morsel by morsel without materialising the filtered table in between,
+    consulting the zone map to skip FAIL zones and wholesale-accept PASS
+    zones.  Subclasses :class:`AggregateNode` (same fields, ``child`` is
+    the :class:`ScanNode`) so shape-based consumers — graceful
+    degradation in particular — treat it as the aggregate it is.
+    """
+
+    def label(self) -> str:
+        keys = ", ".join(self.group_names) or "<global>"
+        aggs = ", ".join(f"{n}={c.to_sql()}" for n, c in self.aggregates)
+        return f"FusedAggregate(keys: {keys}; aggs: {aggs})"
 
 
 @dataclass
@@ -310,7 +354,7 @@ def _group_output_name(expr: ex.Expression, items: list[SelectItem]) -> str:
     for item in items:
         if item.expression is not None and item.expression.same_as(expr):
             return item.output_name()
-    return expr.to_sql().strip("()")
+    return ex.strip_outer_parens(expr.to_sql())
 
 
 def split_conjuncts(predicate: ex.Expression) -> list[ex.Expression]:
@@ -359,23 +403,7 @@ def extract_probe(
         left = extract_probe(conj.left, allow_strings)
         right = extract_probe(conj.right, allow_strings)
         if left is not None and right is not None and left.column == right.column:
-            merged = RangeProbe(column=left.column)
-            try:
-                for part in (left, right):
-                    if part.low is not None and (
-                        merged.low is None or part.low > merged.low
-                    ):
-                        merged.low = part.low
-                        merged.low_inclusive = part.low_inclusive
-                    if part.high is not None and (
-                        merged.high is None or part.high < merged.high
-                    ):
-                        merged.high = part.high
-                        merged.high_inclusive = part.high_inclusive
-            except TypeError:
-                # mixed str/numeric bounds are not orderable; no probe
-                return None
-            return merged
+            return intersect_probes(left, right)
         return None
     if not isinstance(conj, ex.Comparison):
         return None
@@ -404,6 +432,54 @@ def extract_probe(
     if op == ">=":
         return RangeProbe(column=name, low=value)
     return None
+
+
+def intersect_probes(left: RangeProbe, right: RangeProbe) -> RangeProbe | None:
+    """Intersect two range probes on the same column.
+
+    Bounds are tightened towards the narrower range.  When two bounds are
+    *equal* the exclusive flag wins: ``x >= 5 AND x > 5`` admits 5 only
+    through the inclusive conjunct, but the conjunction as a whole excludes
+    it, so the merged probe must be exclusive at 5 (a strict max/min over
+    the bound values alone would keep whichever inclusivity came first).
+    Returns None when the bounds are not mutually orderable (mixed
+    str/numeric conjuncts prove nothing about a single column).
+    """
+    if left.column != right.column:
+        return None
+    merged = RangeProbe(column=left.column)
+    try:
+        for part in (left, right):
+            if part.low is not None:
+                if merged.low is None or part.low > merged.low:
+                    merged.low = part.low
+                    merged.low_inclusive = part.low_inclusive
+                elif part.low == merged.low and not part.low_inclusive:
+                    merged.low_inclusive = False
+            if part.high is not None:
+                if merged.high is None or part.high < merged.high:
+                    merged.high = part.high
+                    merged.high_inclusive = part.high_inclusive
+                elif part.high == merged.high and not part.high_inclusive:
+                    merged.high_inclusive = False
+    except TypeError:
+        # mixed str/numeric bounds are not orderable; no probe
+        return None
+    return merged
+
+
+def probe_is_empty(probe: RangeProbe) -> bool:
+    """True when no value can satisfy the probe's range."""
+    if probe.low is None or probe.high is None:
+        return False
+    try:
+        if probe.low > probe.high:
+            return True
+        if probe.low == probe.high:
+            return not (probe.low_inclusive and probe.high_inclusive)
+    except TypeError:
+        return False
+    return False
 
 
 # -- binding ----------------------------------------------------------------------------
@@ -508,10 +584,17 @@ class _Binder:
 
         left_side, left_col = side_of(clause.left_column)
         right_side, right_col = side_of(clause.right_column)
-        if left_side == right_side == "right" or left_side == right_side == "left":
-            # Ambiguous/unqualified: keep as written and hope names line up.
-            clause.left_column, clause.right_column = left_col, right_col
-            return
+        if left_side == right_side:
+            side = (
+                f"joined table {clause.table!r}"
+                if left_side == "right"
+                else "left input"
+            )
+            raise BindError(
+                f"ambiguous join condition {clause.to_sql()!r}: both operands "
+                f"resolve to the {side}; qualify each side of the ON clause "
+                f"with its table name"
+            )
         if left_side == "right":
             left_col, right_col = right_col, left_col
         clause.left_column, clause.right_column = left_col, right_col

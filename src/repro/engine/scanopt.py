@@ -13,14 +13,18 @@ acceleration layer:
   accept ranges that provably pass) a range predicate; ``zone_rows=0``
   disables skipping;
 - **plan cache** (``plan_cache``): a catalog-versioned LRU keyed on SQL
-  text that skips parse/bind/plan on repeat queries.
+  text that skips parse/bind/plan on repeat queries;
+- **plan optimizer** (``optimizer``): the rule-based rewrite pass of
+  :mod:`repro.engine.optimizer` (constant folding, predicate pushdown,
+  probe merging, projection pruning, join reordering, filter+aggregate
+  fusion) runs between planning and execution.
 
-All three default to on and are tunable per process via ``PRAGMA
-dict_encode``, ``PRAGMA zone_rows`` and ``PRAGMA plan_cache`` (or the
-``REPRO_DICT_ENCODE`` / ``REPRO_ZONE_ROWS`` / ``REPRO_PLAN_CACHE``
-environment variables).  Every accelerated path is bit-identical to the
-unaccelerated one — the knobs trade build/bookkeeping cost against scan
-latency, never answers.
+All default to on and are tunable per process via ``PRAGMA
+dict_encode``, ``PRAGMA zone_rows``, ``PRAGMA plan_cache`` and ``PRAGMA
+optimizer`` (or the ``REPRO_DICT_ENCODE`` / ``REPRO_ZONE_ROWS`` /
+``REPRO_PLAN_CACHE`` / ``REPRO_OPTIMIZER`` environment variables).
+Every accelerated path is bit-identical to the unaccelerated one — the
+knobs trade build/bookkeeping cost against scan latency, never answers.
 """
 
 from __future__ import annotations
@@ -46,15 +50,17 @@ class ScanAccelConfig:
         zone_rows: rows per zone-map zone; 0 disables zone-map skipping.
         plan_cache: cache bound plans keyed on SQL text.
         plan_cache_size: LRU capacity of the plan cache.
+        optimizer: run the rule-based plan optimizer before execution.
     """
 
-    __slots__ = ("dict_encode", "zone_rows", "plan_cache", "plan_cache_size")
+    __slots__ = ("dict_encode", "zone_rows", "plan_cache", "plan_cache_size", "optimizer")
 
     def __init__(self) -> None:
         self.dict_encode = _env_int("REPRO_DICT_ENCODE", 1) != 0
         self.zone_rows = max(0, _env_int("REPRO_ZONE_ROWS", DEFAULT_ZONE_ROWS))
         self.plan_cache = _env_int("REPRO_PLAN_CACHE", 1) != 0
         self.plan_cache_size = max(1, _env_int("REPRO_PLAN_CACHE_SIZE", DEFAULT_PLAN_CACHE_SIZE))
+        self.optimizer = _env_int("REPRO_OPTIMIZER", 1) != 0
 
 
 _config = ScanAccelConfig()
@@ -70,6 +76,7 @@ def configure(
     zone_rows: int | None = None,
     plan_cache: int | bool | None = None,
     plan_cache_size: int | None = None,
+    optimizer: int | bool | None = None,
 ) -> ScanAccelConfig:
     """Update the scan-acceleration config; omitted fields keep their value."""
     if dict_encode is not None:
@@ -84,4 +91,6 @@ def configure(
         if plan_cache_size < 1:
             raise ValueError("plan_cache_size must be >= 1")
         _config.plan_cache_size = plan_cache_size
+    if optimizer is not None:
+        _config.optimizer = bool(optimizer)
     return _config

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.engine.expressions import Expression
+from repro.engine.expressions import Expression, strip_outer_parens
 
 AGGREGATE_FUNCTIONS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
 
@@ -28,7 +28,7 @@ class AggregateCall:
         """Name used for the output column when no alias is given."""
         if self.argument is None:
             return "count_star"
-        inner = self.argument.to_sql().strip("()").replace(" ", "_")
+        inner = strip_outer_parens(self.argument.to_sql()).replace(" ", "_")
         prefix = f"{self.function.lower()}_distinct" if self.distinct else self.function.lower()
         return f"{prefix}_{inner}"
 
@@ -62,7 +62,7 @@ class SelectItem:
         if self.aggregate is not None:
             return self.aggregate.default_name()
         assert self.expression is not None
-        return self.expression.to_sql().strip("()").replace(" ", "_")
+        return strip_outer_parens(self.expression.to_sql()).replace(" ", "_")
 
     def to_sql(self) -> str:
         """Render back to SQL text."""

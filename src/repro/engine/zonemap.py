@@ -33,7 +33,10 @@ from repro.engine.planner import RangeProbe, extract_probe, split_conjuncts
 from repro.engine.statistics import ColumnZones, ZoneMap
 from repro.resilience import current_context
 
-_FAIL, _MAYBE, _PASS = 0, 1, 2
+#: Zone classifications, ordered so that ``min`` combines conjuncts:
+#: a zone is as good as its worst conjunct.
+FAIL, MAYBE, PASS = 0, 1, 2
+_FAIL, _MAYBE, _PASS = FAIL, MAYBE, PASS
 
 
 def _probe_statuses(probe: RangeProbe, zones: ColumnZones) -> np.ndarray:
@@ -63,6 +66,25 @@ def _probe_statuses(probe: RangeProbe, zones: ColumnZones) -> np.ndarray:
     return status
 
 
+def zone_statuses(predicate: Expression, zone_map: ZoneMap) -> np.ndarray:
+    """Per-zone FAIL/MAYBE/PASS classification of a whole scan predicate.
+
+    Every range conjunct narrows the classification (``min``); conjuncts
+    the probe extractor cannot read degrade PASS to MAYBE but leave FAIL
+    standing — a single disproved conjunct disproves the conjunction.
+    """
+    statuses = np.full(zone_map.num_zones, _PASS, dtype=np.int8)
+    for conj in split_conjuncts(predicate):
+        probe = extract_probe(conj)
+        zones = zone_map.column(probe.column) if probe is not None else None
+        if zones is None:
+            # unprovable conjunct: PASS degrades to MAYBE, FAIL stands
+            np.minimum(statuses, _MAYBE, out=statuses)
+        else:
+            np.minimum(statuses, _probe_statuses(probe, zones), out=statuses)
+    return statuses
+
+
 def pruned_truth_mask(
     predicate: Expression, table, zone_map: ZoneMap
 ) -> tuple[np.ndarray, int, int, int]:
@@ -76,15 +98,7 @@ def pruned_truth_mask(
     truth_mask(predicate, table.slice(0, 0))
 
     num_zones = zone_map.num_zones
-    statuses = np.full(num_zones, _PASS, dtype=np.int8)
-    for conj in split_conjuncts(predicate):
-        probe = extract_probe(conj)
-        zones = zone_map.column(probe.column) if probe is not None else None
-        if zones is None:
-            # unprovable conjunct: PASS degrades to MAYBE, FAIL stands
-            np.minimum(statuses, _MAYBE, out=statuses)
-        else:
-            np.minimum(statuses, _probe_statuses(probe, zones), out=statuses)
+    statuses = zone_statuses(predicate, zone_map)
 
     mask = np.zeros(zone_map.row_count, dtype=bool)
     passed = np.flatnonzero(statuses == _PASS)

@@ -13,6 +13,7 @@ import re
 from typing import Any
 
 from repro.engine import expressions as ex
+from repro.engine.expressions import strip_outer_parens
 from repro.engine.sql.ast import AggregateCall, SelectStatement
 
 Row = dict[str, Any]
@@ -217,7 +218,7 @@ def run_reference(statement: SelectStatement, rows: list[Row]) -> list[tuple]:
         for key in order:
             out: Row = {}
             for expr, value in zip(statement.group_by, key):
-                name = expr.to_sql().strip("()")
+                name = strip_outer_parens(expr.to_sql())
                 for item in statement.items:
                     if (
                         item.expression is not None
