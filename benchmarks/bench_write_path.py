@@ -1,0 +1,309 @@
+"""Write path: delta-store appends vs rebuild-the-world, merge cost, reads.
+
+Measures the batched write path introduced with the delta store against
+the engine's previous behaviour, where every INSERT rebuilt the whole
+table through ``replace_table`` (invalidating statistics, encodings and
+the plan cache each time):
+
+- single-row append throughput: delta-store INSERT vs a faithful
+  simulation of the legacy concat-and-replace path, on a 100k-row table;
+- read latency over main+delta as the pending tail grows (0 / 1k / 8k
+  pending rows), against a fully merged twin — results must match;
+- merge cost: folding an 8k-row delta into the main incrementally vs
+  rebuilding the same table from scratch via ``replace_table``.
+
+Results print as a table and can be dumped as ``BENCH_write_path.json``
+(``--json``); ``--quick`` shrinks the table for CI.  Every delta-path
+result is checked bit-identical to its merged twin before any timing is
+reported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+from common import print_table
+
+from repro.engine import Database, Table, scanopt
+from repro.engine import delta as deltamod
+from repro.engine.column import Column
+
+N = 100_000
+APPENDS = 1_000
+READ_SQL = "SELECT COUNT(*) AS n, SUM(x) AS sx FROM t WHERE x >= 50000 AND s = 'city_0042'"
+
+
+def build_database(n: int = N, seed: int = 0) -> Database:
+    """A 100k-row table shaped like the scan-accel benchmark's: clustered
+    int, low-cardinality string — both accelerator-friendly, so the
+    legacy path pays for re-encoding on every rebuild exactly as it did."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 200, n)
+    strings = [f"city_{int(v):04d}" for v in labels]
+    db = Database()
+    db.create_table("t", {"x": np.arange(n, dtype=np.int64).tolist(), "s": strings})
+    return db
+
+
+def _legacy_insert(db: Database, x: int, s: str) -> None:
+    """What ``INSERT INTO t VALUES (...)`` did before the delta store:
+    concat a one-row tail onto every column and replace the table."""
+    main = db.main_table("t")
+    tail = Table(
+        [
+            ("x", Column(np.array([x], dtype=np.int64))),
+            ("s", Column(np.array([s], dtype=object))),
+        ]
+    )
+    db.replace_table("t", main.concat(tail))
+
+
+def _time(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _best_of(fn, repeats: int = 3) -> tuple[float, object]:
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _identical(a, b) -> bool:
+    if a.column_names != b.column_names or a.num_rows != b.num_rows:
+        return False
+    for name in a.column_names:
+        ca, cb = a.column(name), b.column(name)
+        va = ca.validity if ca.validity is not None else np.ones(len(ca), bool)
+        vb = cb.validity if cb.validity is not None else np.ones(len(cb), bool)
+        if not np.array_equal(va, vb):
+            return False
+        if ca.data.dtype == object:
+            if list(ca.data[va]) != list(cb.data[vb]):
+                return False
+        elif ca.data[va].tobytes() != cb.data[vb].tobytes():
+            return False
+    return True
+
+
+def bench_append_throughput(n: int, appends: int) -> dict:
+    """Single-row INSERTs: the delta path vs the legacy rebuild path."""
+    delta_db = build_database(n)
+    deltamod.configure(delta_rows=deltamod.DEFAULT_DELTA_ROWS)
+
+    def delta_appends() -> None:
+        for i in range(appends):
+            delta_db.execute(f"INSERT INTO t (x, s) VALUES ({n + i}, 'city_0042')")
+
+    delta_s = _time(delta_appends)
+
+    legacy_db = build_database(n)
+
+    def legacy_appends() -> None:
+        for i in range(appends):
+            _legacy_insert(legacy_db, n + i, "city_0042")
+
+    legacy_s = _time(legacy_appends)
+
+    delta_db.flush_deltas("t")
+    assert _identical(delta_db.get_table("t"), legacy_db.get_table("t")), (
+        "delta-path appends diverged from the rebuild path"
+    )
+    return {
+        "appends": appends,
+        "legacy_s": legacy_s,
+        "delta_s": delta_s,
+        "legacy_rows_per_s": appends / legacy_s,
+        "delta_rows_per_s": appends / delta_s,
+        "speedup": legacy_s / delta_s,
+    }
+
+
+def bench_read_latency(n: int) -> dict:
+    """Query latency as the pending delta grows, vs a merged twin."""
+    out: dict[str, dict] = {}
+    for pending in (0, 1_000, 8_000):
+        db = build_database(n)
+        deltamod.configure(delta_rows=max(pending + 1, 1))
+        for start in range(0, pending, 500):
+            count = min(500, pending - start)
+            values = ", ".join(
+                f"({n + start + i}, 'city_0042')" for i in range(count)
+            )
+            db.execute(f"INSERT INTO t (x, s) VALUES {values}")
+        merged = build_database(n)
+        deltamod.configure(delta_rows=1)  # merge-on-write twin
+        for start in range(0, pending, 500):
+            count = min(500, pending - start)
+            values = ", ".join(
+                f"({n + start + i}, 'city_0042')" for i in range(count)
+            )
+            merged.execute(f"INSERT INTO t (x, s) VALUES {values}")
+        assert merged.delta_store_if_dirty("t") is None
+        delta_s, got = _best_of(lambda: db.sql(READ_SQL))
+        merged_s, expected = _best_of(lambda: merged.sql(READ_SQL))
+        assert _identical(got, expected), (
+            f"delta read diverged from merged twin at {pending} pending rows"
+        )
+        out[str(pending)] = {
+            "delta_ms": delta_s * 1e3,
+            "merged_ms": merged_s * 1e3,
+            "overhead": delta_s / merged_s,
+        }
+    return out
+
+
+def bench_merge_cost(n: int, pending: int = 8_000) -> dict:
+    """Incremental merge of a pending delta vs rebuilding from scratch.
+
+    Both sides are timed to the same finish line: a merged table with
+    fresh statistics and zone maps.  The merge maintains dictionary
+    codes, statistics and zones incrementally; the rebuild re-encodes
+    and recomputes them over all ``n + pending`` rows."""
+    db = build_database(n)
+    db.statistics("t")  # warm, as a long-lived table's would be
+    db.zone_map("t")
+    deltamod.configure(delta_rows=pending + 1)
+    for start in range(0, pending, 500):
+        values = ", ".join(f"({n + start + i}, 'city_0042')" for i in range(500))
+        db.execute(f"INSERT INTO t (x, s) VALUES {values}")
+
+    def merge() -> None:
+        db.flush_deltas("t")
+        db.statistics("t")
+        db.zone_map("t")
+
+    merge_s = _time(merge)
+
+    rng = np.random.default_rng(0)
+    labels = rng.integers(0, 200, n)
+    xs = np.arange(n, dtype=np.int64).tolist() + [n + i for i in range(pending)]
+    strings = [f"city_{int(v):04d}" for v in labels] + ["city_0042"] * pending
+    rebuild_db = Database()
+
+    def rebuild() -> None:
+        rebuild_db.create_table("t", {"x": xs, "s": strings})
+        rebuild_db.statistics("t")
+        rebuild_db.zone_map("t")
+
+    rebuild_s = _time(rebuild)
+    assert _identical(db.get_table("t"), rebuild_db.get_table("t"))
+    return {
+        "pending": pending,
+        "merge_ms": merge_s * 1e3,
+        "rebuild_ms": rebuild_s * 1e3,
+        "speedup": rebuild_s / merge_s,
+    }
+
+
+def run_experiment(n: int = N, appends: int = APPENDS) -> dict:
+    saved = deltamod.get_config().delta_rows
+    try:
+        return {
+            "rows": n,
+            "append": bench_append_throughput(n, appends),
+            "read": bench_read_latency(n),
+            "merge": bench_merge_cost(n),
+        }
+    finally:
+        deltamod.configure(delta_rows=saved)
+        scanopt.configure(
+            dict_encode=True,
+            zone_rows=scanopt.DEFAULT_ZONE_ROWS,
+            plan_cache=True,
+        )
+
+
+def result_rows(results: dict) -> list[list]:
+    append = results["append"]
+    merge = results["merge"]
+    rows = [
+        [
+            f"append {append['appends']} rows (legacy)",
+            f"{append['legacy_s'] * 1e3:.1f}",
+            f"{append['legacy_rows_per_s']:,.0f} rows/s",
+            "1.0x",
+        ],
+        [
+            f"append {append['appends']} rows (delta)",
+            f"{append['delta_s'] * 1e3:.1f}",
+            f"{append['delta_rows_per_s']:,.0f} rows/s",
+            f"{append['speedup']:.1f}x",
+        ],
+    ]
+    for pending, r in results["read"].items():
+        rows.append(
+            [
+                f"read with {pending} pending",
+                f"{r['delta_ms']:.3f}",
+                f"merged {r['merged_ms']:.3f} ms",
+                f"{1 / r['overhead']:.2f}x",
+            ]
+        )
+    rows.append(
+        [
+            f"merge {merge['pending']} pending",
+            f"{merge['merge_ms']:.1f}",
+            f"rebuild {merge['rebuild_ms']:.1f} ms",
+            f"{merge['speedup']:.1f}x",
+        ]
+    )
+    return rows
+
+
+def test_bench_write_path(benchmark) -> None:
+    results = run_experiment(n=20_000, appends=200)
+    print_table(
+        "Write path: delta store vs rebuild",
+        ["workload", "ms", "detail", "speedup"],
+        result_rows(results),
+    )
+    # the 10x acceptance number comes from the full 100k-row __main__
+    # run; the CI envelope is deliberately loose
+    assert results["append"]["speedup"] > 3.0
+
+    db = build_database(20_000)
+    saved = deltamod.get_config().delta_rows
+    deltamod.configure(delta_rows=deltamod.DEFAULT_DELTA_ROWS)
+    counter = iter(range(10_000_000))
+
+    def one_insert() -> None:
+        db.execute(f"INSERT INTO t (x, s) VALUES ({next(counter)}, 'city_0001')")
+
+    try:
+        benchmark(one_insert)
+    finally:
+        deltamod.configure(delta_rows=saved)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small table for CI")
+    parser.add_argument("--json", metavar="PATH", help="write results as JSON")
+    args = parser.parse_args()
+    n, appends = (20_000, 200) if args.quick else (N, APPENDS)
+    results = run_experiment(n, appends)
+    print_table(
+        f"Write path: delta store vs rebuild ({n:,} rows)",
+        ["workload", "ms", "detail", "speedup"],
+        result_rows(results),
+    )
+    if args.json:
+        Path(args.json).write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,7 @@ few shell meta-commands:
 ``\\explain q``     show the plan for a SELECT
 ``\\threads [n]``   show or set the parallel worker count (0 = serial)
 ``\\timeout [ms]``  show or set the per-query deadline (0 = off)
+``\\delta [rows]``  show per-table delta-store state; set the merge threshold
 ``\\metrics``       dump the metrics-registry snapshot as JSON
 ``\\help``          this text
 ``\\quit``          exit
@@ -30,6 +31,10 @@ the catalog-versioned plan cache) and ``PRAGMA optimizer=0/1`` toggles
 the rule-based plan optimizer (constant folding, predicate pushdown,
 probe merging, projection pruning, join reordering, filter+aggregate
 fusion) — all on by default and bit-identical to the plain path.
+``PRAGMA delta_rows=N`` tunes the batched write path: INSERT appends to
+a per-table delta store and DELETE marks tombstones, with a merge into
+the columnar main once pending writes reach N (0 = merge on every
+write); ``\\delta`` shows each table's pending state.
 
 ``EXPLAIN ANALYZE SELECT ...`` runs the query under the profiler and
 prints per-plan-node wall time, row counts and bytes touched.
@@ -123,6 +128,27 @@ class Shell:
                     return "usage: \\timeout [ms]   (ms >= 0; 0 = no deadline)"
             timeout_ms = resilience.get_config().timeout_ms
             return f"timeout = {f'{timeout_ms} ms' if timeout_ms else 'off'}"
+        if command == "delta":
+            from repro.engine import delta as deltamod
+
+            db = self.session.db
+            if len(parts) > 1:
+                try:
+                    db.execute(f"PRAGMA delta_rows={int(parts[1])}")
+                except ValueError:
+                    return "usage: \\delta [rows]   (rows >= 0; 0 = merge on every write)"
+            lines = [f"delta_rows = {deltamod.get_config().delta_rows}"]
+            for name in db.table_names():
+                store = db.delta_store_if_dirty(name)
+                if store is None:
+                    continue
+                lines.append(
+                    f"{name}: {store.pending_inserts} pending rows, "
+                    f"{store.main_tombstones + len(store.dead_delta)} tombstones"
+                )
+            if len(lines) == 1:
+                lines.append("(all tables merged)")
+            return "\n".join(lines)
         if command == "metrics":
             from repro.obs import get_registry
 

@@ -13,7 +13,9 @@ from typing import Any, Mapping, Protocol, Sequence
 
 import numpy as np
 
+from repro.engine import delta as deltamod
 from repro.engine import scanopt
+from repro.engine.delta import DeltaStore
 from repro.engine.optimizer import optimize_plan
 from repro.engine.planner import Plan, plan_statement
 from repro.engine.sql.parser import parse
@@ -54,7 +56,14 @@ class Database:
         self._statistics: dict[str, tuple[int, TableStatistics]] = {}
         self._indexes: dict[tuple[str, str], RangeIndex] = {}
         self._catalog_version = 0
+        self._data_counter = 0
         self._table_versions: dict[str, int] = {}
+        # write path: per-table delta stores plus caches keyed on
+        # (table data version, delta version)
+        self._deltas: dict[str, DeltaStore] = {}
+        self._tails: dict[str, tuple[int, Table]] = {}
+        self._effective: dict[str, tuple[tuple[int, int], Table]] = {}
+        self._effective_stats: dict[str, tuple[tuple[int, int], TableStatistics]] = {}
         self._plan_cache: OrderedDict[str, tuple[int, bool, Plan]] = OrderedDict()
         self._plan_cache_lock = threading.Lock()
         self.queries_executed = 0
@@ -63,9 +72,13 @@ class Database:
 
     @property
     def catalog_version(self) -> int:
-        """Monotonic counter bumped by every DDL / table replacement /
-        index (un)registration; cached plans and statistics are valid
-        only for the version they were built under."""
+        """Monotonic counter bumped by every *structural* change — DDL,
+        table replacement, index (un)registration; cached plans are valid
+        only for the version they were planned under.  Delta appends and
+        tombstones deliberately do **not** bump it: an append changes no
+        schema, no index set and no plan shape, so the plan cache
+        survives the write (the per-table data version below keys the
+        data-dependent caches instead)."""
         return self._catalog_version
 
     def _bump_catalog(self, table: str | None = None) -> None:
@@ -74,9 +87,28 @@ class Database:
         no longer exists."""
         self._catalog_version += 1
         if table is not None:
-            self._table_versions[table] = self._catalog_version
+            self._bump_data(table)
         with self._plan_cache_lock:
             self._plan_cache.clear()
+
+    def _bump_data(self, table: str) -> None:
+        """Advance a table's *data* version: its contents changed (merge,
+        UPDATE, replacement) but the catalog shape did not.  Invalidates
+        statistics and effective-table caches without touching cached
+        plans."""
+        self._data_counter += 1
+        self._table_versions[table] = self._data_counter
+
+    def _reset_delta(self, name: str) -> None:
+        """Fresh (empty) delta store tracking the current main table."""
+        main = self._tables.get(name)
+        if main is None:
+            self._deltas.pop(name, None)
+        else:
+            self._deltas[name] = DeltaStore(main.num_rows)
+        self._tails.pop(name, None)
+        self._effective.pop(name, None)
+        self._effective_stats.pop(name, None)
 
     @staticmethod
     def _encode_strings(table: Table) -> None:
@@ -105,6 +137,7 @@ class Database:
             table = Table.from_dict(table)
         self._encode_strings(table)
         self._tables[name] = table
+        self._reset_delta(name)
         self._bump_catalog(name)
         return table
 
@@ -115,6 +148,7 @@ class Database:
         del self._tables[name]
         self._statistics.pop(name, None)
         self._table_versions.pop(name, None)
+        self._reset_delta(name)
         for key in [k for k in self._indexes if k[0] == name]:
             del self._indexes[key]
         self._bump_catalog()
@@ -122,14 +156,15 @@ class Database:
     def replace_table(self, name: str, table: Table) -> None:
         """Swap the contents of an existing table.
 
-        Statistics and indexes attached to the old contents are dropped,
-        since they no longer describe the data.
+        Statistics, indexes and the pending delta attached to the old
+        contents are dropped, since they no longer describe the data.
         """
         if name not in self._tables:
             raise CatalogError(f"unknown table {name!r}")
         self._encode_strings(table)
         self._tables[name] = table
         self._statistics.pop(name, None)
+        self._reset_delta(name)
         for key in [k for k in self._indexes if k[0] == name]:
             del self._indexes[key]
         self._bump_catalog(name)
@@ -143,7 +178,34 @@ class Database:
         return name in self._tables
 
     def get_table(self, name: str) -> Table:
-        """The named table.
+        """The named table, as queries see it.
+
+        While the table has pending writes this is the *effective* table
+        — live main rows followed by live delta rows, cached per (data
+        version, delta version).  With a clean delta it is the columnar
+        main itself, zero-copy.
+
+        Raises:
+            CatalogError: if the table does not exist.
+        """
+        main = self.main_table(name)
+        store = self._deltas.get(name)
+        if store is None or store.is_clean():
+            return main
+        key = (self._table_versions.get(name, 0), store.version)
+        cached = self._effective.get(name)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        effective = deltamod.merged_table(main, self.delta_tail(name), store)
+        self._effective[name] = (key, effective)
+        return effective
+
+    def main_table(self, name: str) -> Table:
+        """The columnar main of a table, ignoring any pending delta.
+
+        The scan fast paths (zone maps, index probes) are aligned to the
+        main's row positions; the executor unions in the delta tail
+        separately.
 
         Raises:
             CatalogError: if the table does not exist.
@@ -153,16 +215,121 @@ class Database:
         except KeyError:
             raise CatalogError(f"unknown table {name!r}") from None
 
+    # -- delta store ---------------------------------------------------------------
+
+    def _delta(self, name: str) -> DeltaStore:
+        """The delta store of an existing table (created lazily)."""
+        store = self._deltas.get(name)
+        if store is None:
+            store = DeltaStore(self.main_table(name).num_rows)
+            self._deltas[name] = store
+        return store
+
+    def delta_store_if_dirty(self, name: str) -> DeltaStore | None:
+        """The table's delta store when it has pending writes, else None.
+
+        The executor's scan hot path calls this first: a None means the
+        columnar main is the whole truth and every fast path applies
+        unchanged.
+        """
+        store = self._deltas.get(name)
+        if store is None or store.is_clean():
+            return None
+        return store
+
+    def delta_tail(self, name: str) -> Table:
+        """All pending delta rows (dead ones included, keeping positions
+        stable) as a columnar table, cached per delta version."""
+        store = self._delta(name)
+        version = store.version
+        cached = self._tails.get(name)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        tail = deltamod.tail_table(store, self.main_table(name))
+        self._tails[name] = (version, tail)
+        return tail
+
+    def delta_pressure(self, name: str) -> int:
+        """Pending inserts + tombstones awaiting the next merge."""
+        store = self._deltas.get(name)
+        return 0 if store is None else store.write_pressure
+
+    def flush_deltas(self, name: str | None = None) -> None:
+        """Merge pending deltas into the columnar main now (all tables,
+        or just one)."""
+        names = [name] if name is not None else list(self._tables)
+        for table_name in names:
+            if table_name not in self._tables:
+                raise CatalogError(f"unknown table {table_name!r}")
+            self._merge_delta(table_name, reason="flush")
+
+    def _maybe_merge(self, name: str) -> None:
+        store = self._deltas.get(name)
+        if store is None:
+            return
+        if store.write_pressure >= deltamod.get_config().delta_rows and not store.is_clean():
+            self._merge_delta(name, reason="threshold")
+
+    def _merge_delta(self, name: str, reason: str) -> None:
+        """Fold a table's delta into its columnar main.
+
+        Pure appends maintain every attached structure incrementally —
+        dictionary codes ride through :func:`~repro.engine.delta.merged_table`,
+        cached zone maps are extended in place of a rebuild, and cached
+        statistics are absorbed with the O(delta) tail summary.  A merge
+        that compacts tombstones shifts row positions, so it drops
+        positional structures (registered indexes, cached stats) instead.
+        """
+        from repro.obs.tracing import trace
+
+        store = self._deltas.get(name)
+        if store is None or store.is_clean():
+            self._reset_delta(name)
+            return
+        registry = get_registry()
+        pending = store.pending_inserts
+        tombstones = store.main_tombstones + len(store.dead_delta)
+        with registry.timer("write.merge_time").time(), trace(
+            "write.merge", table=name, rows=pending, tombstones=tombstones, reason=reason
+        ):
+            main = self._tables[name]
+            pure_append = tombstones == 0
+            new_main = self.get_table(name)  # the effective table IS the merge result
+            self._encode_strings(new_main)  # encodes columns that never had codes
+            seeded: TableStatistics | None = None
+            entry = self._statistics.get(name)
+            if (
+                pure_append
+                and entry is not None
+                and entry[0] == self._table_versions.get(name, 0)
+            ):
+                seeded = deltamod.extend_statistics(entry[1], new_main, main.num_rows)
+            self._tables[name] = new_main
+            if not pure_append:
+                # compaction renumbered rows: positional indexes are stale
+                index_keys = [k for k in self._indexes if k[0] == name]
+                for key in index_keys:
+                    del self._indexes[key]
+                if index_keys:
+                    self._bump_catalog(name)
+                else:
+                    self._bump_data(name)
+            else:
+                self._bump_data(name)
+            self._reset_delta(name)
+            if seeded is not None:
+                self._statistics[name] = (self._table_versions.get(name, 0), seeded)
+            else:
+                self._statistics.pop(name, None)
+        registry.counter("write.merges").inc()
+        registry.counter("write.merge_rows").inc(pending)
+
     # -- statistics ---------------------------------------------------------------
 
-    def statistics(self, name: str) -> TableStatistics:
-        """Statistics for a table, computed lazily and cached.
-
-        The cache entry carries the table version it was computed under;
-        replacing the table (directly or via INSERT/UPDATE/DELETE) bumps
-        the version, so stale statistics can never be served.
-        """
-        table = self.get_table(name)
+    def _main_statistics(self, name: str) -> TableStatistics:
+        """Statistics of the columnar main, lazily computed and cached
+        under the table's data version."""
+        table = self.main_table(name)
         version = self._table_versions.get(name, 0)
         entry = self._statistics.get(name)
         if entry is None or entry[0] != version:
@@ -170,18 +337,49 @@ class Database:
             self._statistics[name] = entry
         return entry[1]
 
+    def statistics(self, name: str) -> TableStatistics:
+        """Statistics for a table as queries see it, lazily cached.
+
+        With a clean delta these are the (exact) main statistics.  While
+        writes are pending, the cached main statistics are *absorbed*
+        with an O(delta) summary of the live delta rows — row/null
+        counts and min/max reflect the pending writes exactly; distinct
+        counts and histograms are approximate until the next merge.
+        """
+        main_stats = self._main_statistics(name)
+        store = self.delta_store_if_dirty(name)
+        if store is None:
+            return main_stats
+        key = (self._table_versions.get(name, 0), store.version)
+        cached = self._effective_stats.get(name)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        tail = self.delta_tail(name)
+        live = store.live_delta_mask()
+        if live is not None:
+            tail = tail.filter(live)
+        effective = deltamod.effective_statistics(main_stats, tail, store.main_tombstones)
+        self._effective_stats[name] = (key, effective)
+        return effective
+
     def invalidate_statistics(self, name: str) -> None:
         """Drop cached statistics (e.g. after the table was replaced)."""
         self._statistics.pop(name, None)
+        self._effective_stats.pop(name, None)
 
     def zone_map(self, name: str) -> ZoneMap:
-        """Zone map of a table at the configured ``zone_rows`` granularity.
+        """Zone map of the columnar *main* at the configured ``zone_rows``
+        granularity.
 
-        Cached inside the (version-checked) statistics entry, so a
-        replaced table always gets fresh zones.
+        Zones are aligned to main row positions — the executor applies
+        them to the main and evaluates the delta tail directly, so the
+        map deliberately ignores pending writes.  (Tombstoned main rows
+        stay summarised: bounds over a superset keep FAIL/PASS sound,
+        and the scan ANDs the live mask afterwards.)  Cached inside the
+        version-checked statistics entry; merges extend it incrementally.
         """
-        return self.statistics(name).zone_map(
-            self.get_table(name), scanopt.get_config().zone_rows
+        return self._main_statistics(name).zone_map(
+            self.main_table(name), scanopt.get_config().zone_rows
         )
 
     # -- indexes -------------------------------------------------------------------
@@ -190,11 +388,16 @@ class Database:
         """Attach a secondary index to ``table.column``.
 
         The planner will route qualifying range predicates through it.
+        Index positions refer to main row positions, so a pending delta
+        is merged first — the index then describes exactly the table the
+        caller just observed via :meth:`get_table`.
         """
         if table not in self._tables:
             raise CatalogError(f"unknown table {table!r}")
-        if column not in self.get_table(table).schema:
+        if column not in self.main_table(table).schema:
             raise CatalogError(f"table {table!r} has no column {column!r}")
+        if self.delta_store_if_dirty(table) is not None:
+            self._merge_delta(table, reason="register_index")
         self._indexes[(table, column)] = index
         self._bump_catalog()  # cached plans may now prefer an index probe
 
@@ -420,7 +623,9 @@ class Database:
         The set form returns 0 (like DDL); the read form returns a
         one-row table with the current setting.  ``PRAGMA faults`` is the
         one string-valued pragma (a fault-injection spec, or ``off``);
-        everything else takes an integer.
+        everything else takes an integer.  ``PRAGMA delta_rows`` tunes
+        the write path's merge threshold (0 = merge on every write) and
+        immediately merges any table already over the new threshold.
         """
         from repro import resilience
         from repro.engine import parallel
@@ -436,6 +641,25 @@ class Database:
             "plan_cache_size",
             "optimizer",
         }
+        if name == "delta_rows":
+            if value:
+                try:
+                    parsed = int(value)
+                except ValueError:
+                    raise CatalogError(
+                        f"PRAGMA {name} expects an integer, got {value!r}"
+                    ) from None
+                try:
+                    deltamod.configure(delta_rows=parsed)
+                except ValueError as exc:
+                    raise CatalogError(str(exc)) from None
+                # a lowered threshold may put tables over it immediately
+                for table_name in list(self._tables):
+                    self._maybe_merge(table_name)
+                return 0
+            return Table.from_rows(
+                [(name, deltamod.get_config().delta_rows)], ["pragma", "value"]
+            )
         if name in scanopt_knobs:
             if value:
                 try:
@@ -484,7 +708,7 @@ class Database:
                 parallel_knobs
                 | scanopt_knobs
                 | self._RESILIENCE_INT_PRAGMAS
-                | {"faults"}
+                | {"faults", "delta_rows"}
             )
             raise CatalogError(f"unknown pragma {name!r}; expected one of {known}")
         if value:
@@ -524,73 +748,232 @@ class Database:
         return Table([("plan", Column(lines, dtype=DataType.STRING))])
 
     def _execute_insert(self, statement) -> int:
-        from repro.engine.column import Column
-        from repro.engine.expressions import Literal
+        """INSERT: constant-fold + type-check each value, append to the
+        table's delta store, feed insert-capable indexes, maybe merge.
 
-        table = self.get_table(statement.table)
+        Values may be any constant expression (``-2``, ``1+1``, ``NULL``)
+        — they are folded through the normal expression kernels.  Lossy
+        coercions (a fractional float into INT64, a number into STRING)
+        raise :class:`~repro.errors.TypeMismatchError` instead of the old
+        silent numpy truncation.
+        """
+        from repro.engine.expressions import fold_constant
+
+        name = statement.table
+        table = self.main_table(name)
         names = statement.columns or list(table.column_names)
         unknown = set(names) - set(table.column_names)
         if unknown:
             raise CatalogError(f"unknown column(s) in INSERT: {sorted(unknown)}")
-        new_rows: list[dict[str, Any]] = []
+        dtypes = {n: table.schema.type_of(n) for n in table.column_names}
+        new_rows: list[tuple[Any, ...]] = []
         for row in statement.rows:
             if len(row) != len(names):
                 raise CatalogError(
                     f"INSERT row width {len(row)} does not match {len(names)} columns"
                 )
             values: dict[str, Any] = {}
-            for name, expr in zip(names, row):
-                if not isinstance(expr, Literal):
-                    raise CatalogError("INSERT VALUES must be literals")
-                values[name] = expr.value
-            new_rows.append(values)
-        columns = []
-        for name in table.column_names:
-            existing = table.column(name)
-            appended = [row.get(name) for row in new_rows]
-            columns.append(
-                (name, existing.concat(Column(appended, dtype=existing.dtype)))
-            )
-        self.replace_table(statement.table, Table(columns))
+            for column_name, expr in zip(names, row):
+                if expr.referenced_columns():
+                    raise CatalogError(
+                        "INSERT VALUES must be constant expressions "
+                        "(no column references)"
+                    )
+                values[column_name] = deltamod.coerce_scalar(
+                    fold_constant(expr), dtypes[column_name], column_name
+                )
+            new_rows.append(tuple(values.get(n) for n in table.column_names))
+        store = self._delta(name)
+        self._feed_indexes_on_insert(name, table, new_rows)
+        store.append(new_rows)
+        registry = get_registry()
+        registry.counter("write.inserts").inc()
+        registry.counter("write.insert_rows").inc(len(new_rows))
+        registry.gauge("write.delta_pressure").set(store.write_pressure)
+        self._maybe_merge(name)
         return len(new_rows)
 
+    def _feed_indexes_on_insert(
+        self, name: str, table: Table, new_rows: list[tuple[Any, ...]]
+    ) -> None:
+        """Keep registered indexes truthful across an append.
+
+        Insert-capable indexes (the ``UpdatableCrackerIndex`` protocol:
+        an O(1) ``insert(value)`` assigning the next logical row id) are
+        fed each new value — logical ids line up with main positions plus
+        delta offsets because registration merges the delta first.  An
+        index without ``insert`` (or facing a value it cannot hold, e.g.
+        NULL) is unregistered: it no longer describes the table.
+        """
+        index_keys = [k for k in self._indexes if k[0] == name]
+        if not index_keys:
+            return
+        positions = {n: i for i, n in enumerate(table.column_names)}
+        for key in index_keys:
+            index = self._indexes[key]
+            insert = getattr(index, "insert", None)
+            column_pos = positions[key[1]]
+            values = [row[column_pos] for row in new_rows]
+            if insert is None or any(
+                v is None or isinstance(v, (str, bool)) for v in values
+            ):
+                del self._indexes[key]
+                self._bump_catalog(name)
+                continue
+            for value in values:
+                insert(value)
+
     def _execute_delete(self, statement) -> int:
+        """DELETE: tombstone matching rows instead of materialising a
+        filtered copy of the table.  Main rows flip a bit in the delta
+        store's dead mask, delta rows land in its dead set; nothing moves
+        until the next merge compacts the table."""
         from repro.engine.expressions import truth_mask
 
-        table = self.get_table(statement.table)
+        name = statement.table
+        main = self.main_table(name)
+        store = self._delta(name)
+        registry = get_registry()
         if statement.where is None:
-            affected = table.num_rows
-            self.replace_table(statement.table, table.slice(0, 0))
+            affected = main.num_rows - store.main_tombstones + store.live_delta_count()
+            # dropping every row is a structural reset, like replace_table
+            self.replace_table(name, main.slice(0, 0))
+            registry.counter("write.deletes").inc()
+            registry.counter("write.delete_rows").inc(affected)
             return affected
-        mask = truth_mask(statement.where, table)
-        affected = int(mask.sum())
-        self.replace_table(statement.table, table.filter(~mask))
+        mask_main = truth_mask(statement.where, main)
+        live_main = store.live_main_mask()
+        if live_main is not None:
+            mask_main &= live_main
+        affected = int(mask_main.sum())
+        dead_delta: list[int] = []
+        if store.rows:
+            tail = self.delta_tail(name)
+            mask_tail = truth_mask(statement.where, tail)
+            live_delta = store.live_delta_mask()
+            if live_delta is not None:
+                mask_tail &= live_delta
+            dead_delta = np.flatnonzero(mask_tail).tolist()
+            affected += len(dead_delta)
+        if affected == 0:
+            return 0
+        self._notify_index_deletes(name, mask_main, dead_delta, main.num_rows)
+        store.mark_main_deleted(mask_main)
+        store.mark_delta_deleted(dead_delta)
+        registry.counter("write.deletes").inc()
+        registry.counter("write.delete_rows").inc(affected)
+        registry.gauge("write.delta_pressure").set(store.write_pressure)
+        self._maybe_merge(name)
         return affected
 
-    def _execute_update(self, statement) -> int:
-        from repro.engine.column import Column
-        from repro.engine.expressions import truth_mask
+    def _notify_index_deletes(
+        self, name: str, mask_main: np.ndarray, dead_delta: list[int], main_rows: int
+    ) -> None:
+        """Forward tombstones to delete-capable indexes.
 
-        table = self.get_table(statement.table)
-        mask = (
-            truth_mask(statement.where, table)
+        Purely an optimisation: the scan filters probe positions through
+        the live masks regardless, so an index without ``delete`` stays
+        registered and correct — it just returns dead positions the scan
+        then drops.
+        """
+        for key in [k for k in self._indexes if k[0] == name]:
+            delete = getattr(self._indexes[key], "delete", None)
+            if delete is None:
+                continue
+            for position in np.flatnonzero(mask_main):
+                delete(int(position))
+            for index in dead_delta:
+                delete(main_rows + index)
+
+    def _execute_update(self, statement) -> int:
+        """UPDATE: vectorised in-place column rewrite.
+
+        Only assigned columns are copied — unassigned columns are shared
+        with the old table — and assignments patch the payload with one
+        masked write under the same typed-coercion contract as INSERT.
+        Pending delta rows are rewritten tuple-wise.  Row order and
+        column order are preserved; indexes on assigned columns are
+        dropped (their values changed in place), others stay valid.
+        """
+        from repro.engine.expressions import fold_constant, truth_mask
+
+        name = statement.table
+        main = self.main_table(name)
+        store = self._delta(name)
+        mask_main = (
+            truth_mask(statement.where, main)
             if statement.where is not None
-            else np.ones(table.num_rows, dtype=bool)
+            else np.ones(main.num_rows, dtype=bool)
         )
-        affected = int(mask.sum())
-        result = table
-        for column_name, expr in statement.assignments:
-            if column_name not in table.schema:
-                raise CatalogError(f"unknown column {column_name!r} in UPDATE")
-            new_values = expr.evaluate(table)
-            old = result.column(column_name)
-            merged = [
-                new_values[i] if mask[i] else old[i] for i in range(table.num_rows)
-            ]
-            result = result.with_column(
-                column_name, Column(merged, dtype=old.dtype)
+        live_main = store.live_main_mask()
+        if live_main is not None:
+            mask_main &= live_main
+        affected = int(mask_main.sum())
+        tail = self.delta_tail(name) if store.rows else None
+        mask_tail = None
+        if tail is not None:
+            mask_tail = (
+                truth_mask(statement.where, tail)
+                if statement.where is not None
+                else np.ones(tail.num_rows, dtype=bool)
             )
-        self.replace_table(statement.table, result)
+            live_delta = store.live_delta_mask()
+            if live_delta is not None:
+                mask_tail &= live_delta
+            affected += int(mask_tail.sum())
+        dict_encode = scanopt.get_config().dict_encode
+        new_columns = {n: main.column(n) for n in main.column_names}
+        new_rows = [list(row) for row in store.rows]
+        positions = {n: i for i, n in enumerate(main.column_names)}
+        assigned: list[str] = []
+        for column_name, expr in statement.assignments:
+            if column_name not in main.schema:
+                raise CatalogError(f"unknown column {column_name!r} in UPDATE")
+            assigned.append(column_name)
+            dtype = main.schema.type_of(column_name)
+            new_values = expr.evaluate(main)
+            updated = deltamod.assign_column(
+                new_columns[column_name], new_values, mask_main
+            )
+            if dtype is DataType.STRING and dict_encode:
+                updated.encode_dictionary()
+            new_columns[column_name] = updated
+            if mask_tail is not None and mask_tail.any():
+                if expr.referenced_columns():
+                    tail_values = expr.evaluate(tail)
+                    folded = None
+                else:
+                    folded = deltamod.coerce_scalar(
+                        fold_constant(expr), dtype, column_name
+                    )
+                    tail_values = None
+                for index in np.flatnonzero(mask_tail):
+                    value = (
+                        folded
+                        if tail_values is None
+                        else deltamod.coerce_scalar(
+                            tail_values[int(index)], dtype, column_name
+                        )
+                    )
+                    new_rows[int(index)][positions[column_name]] = value
+        self._tables[name] = Table(
+            [(n, new_columns[n]) for n in main.column_names]
+        )
+        if new_rows:
+            store.rows = [tuple(row) for row in new_rows]
+        store.touch()
+        index_keys = [
+            k for k in self._indexes if k[0] == name and k[1] in assigned
+        ]
+        for key in index_keys:
+            del self._indexes[key]
+        if index_keys:
+            self._bump_catalog(name)
+        else:
+            self._bump_data(name)
+        registry = get_registry()
+        registry.counter("write.updates").inc()
+        registry.counter("write.update_rows").inc(affected)
         return affected
 
 _TYPE_WORDS = {

@@ -1,0 +1,471 @@
+"""Per-table delta stores: the batched write path.
+
+Writes no longer rebuild the columnar main.  ``INSERT`` appends row
+tuples to a small row-major :class:`DeltaStore`; ``DELETE`` marks
+tombstones (a boolean mask over the main, a set over the delta) without
+moving a single row.  Scans union the columnar main with the live delta
+rows as a trailing morsel — the zone-map and dictionary fast paths keep
+applying to the main, and the delta tail is evaluated directly (it is
+bounded by the merge threshold, so it stays cache-sized).
+
+When the write pressure (pending inserts + tombstones) reaches the
+configured threshold (``PRAGMA delta_rows`` / ``REPRO_DELTA_ROWS``), a
+*merge* folds the delta into a new columnar main.  The merge is
+incremental where the structures allow it:
+
+- **dictionary codes** — the merged STRING column's sorted dictionary is
+  ``unique(old_dict ∪ tail_distinct)``; old codes are remapped with one
+  gather through a ``searchsorted`` translation table and tail codes are
+  assigned by ``searchsorted``, so the O(n log n) re-encode of the main
+  payload never reruns;
+- **zone maps** — on a pure append (no tombstones) only the trailing
+  partial zone and the new zones are recomputed; complete old zones are
+  spliced in unchanged;
+- **statistics** — on a pure append the cached main statistics are
+  *absorbed* with O(delta) tail statistics: row/null counts and min/max
+  stay exact, distinct counts come from the merged dictionary for
+  encoded strings and a max() lower bound otherwise, and numeric
+  histograms keep the old bounds (approximate until the next full
+  rebuild).
+
+A merge with tombstones compacts row positions, so it drops positional
+structures (registered indexes, cached zone maps/statistics) instead of
+maintaining them — deletes are the rare case in an exploration workload.
+
+This is the "Updating a Cracked Database" [30] design promoted from the
+:mod:`repro.indexing.updates` demo into the engine's real update path:
+pending inserts and a pending-deletion set, merged when crossing a
+threshold rather than eagerly per statement.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.engine.column import Column, _wrap
+from repro.engine.statistics import (
+    ColumnStatistics,
+    ColumnZones,
+    TableStatistics,
+    ZoneMap,
+)
+from repro.engine.table import Table
+from repro.engine.types import DataType
+from repro.errors import TypeMismatchError
+
+#: default merge threshold: delta rows + tombstones before folding into the main
+DEFAULT_DELTA_ROWS = 8192
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
+@dataclass
+class DeltaConfig:
+    """Write-path knobs.
+
+    Attributes:
+        delta_rows: merge threshold — a table's delta is folded into the
+            columnar main once pending inserts plus tombstones reach this
+            count.  ``0`` merges on every write (the rebuild-per-statement
+            behaviour, useful for stress tests); it never disables the
+            delta store itself.
+    """
+
+    delta_rows: int = DEFAULT_DELTA_ROWS
+
+
+_config = DeltaConfig(delta_rows=max(0, _env_int("REPRO_DELTA_ROWS", DEFAULT_DELTA_ROWS)))
+_config_lock = threading.Lock()
+
+
+def get_config() -> DeltaConfig:
+    """The process-wide write-path configuration."""
+    return _config
+
+
+def configure(delta_rows: int | None = None) -> DeltaConfig:
+    """Update the write-path configuration (None leaves a knob unchanged)."""
+    global _config
+    with _config_lock:
+        new_delta_rows = _config.delta_rows if delta_rows is None else delta_rows
+        if new_delta_rows < 0:
+            raise ValueError("delta_rows must be >= 0")
+        _config = DeltaConfig(delta_rows=new_delta_rows)
+    return _config
+
+
+class DeltaStore:
+    """Pending writes against one table: inserted rows and tombstones.
+
+    Inserted rows are row-major tuples in the main's column order; delta
+    row ``i`` has the logical position ``main_rows + i``, so positions
+    handed out by secondary indexes stay meaningful across appends.
+    Deleted rows are never moved — main deletes flip a bit in a lazily
+    allocated mask, delta deletes land in a set — so every surviving row
+    keeps its position until the next merge compacts the table.
+    """
+
+    __slots__ = ("main_rows", "rows", "dead_delta", "_dead_main", "version")
+
+    def __init__(self, main_rows: int) -> None:
+        self.main_rows = main_rows
+        self.rows: list[tuple[Any, ...]] = []
+        self.dead_delta: set[int] = set()
+        self._dead_main: np.ndarray | None = None
+        #: bumped on every state change; keys the catalog's caches
+        self.version = 0
+
+    # -- state -----------------------------------------------------------------------
+
+    def is_clean(self) -> bool:
+        """True when the main table alone is the whole truth."""
+        return not self.rows and not self.dead_delta and self._dead_main is None
+
+    @property
+    def pending_inserts(self) -> int:
+        return len(self.rows)
+
+    @property
+    def main_tombstones(self) -> int:
+        return 0 if self._dead_main is None else int(self._dead_main.sum())
+
+    @property
+    def write_pressure(self) -> int:
+        """Pending inserts + tombstones: what the merge threshold compares."""
+        return len(self.rows) + self.main_tombstones + len(self.dead_delta)
+
+    def touch(self) -> None:
+        """Bump the version: any cache keyed on it is now stale."""
+        self.version += 1
+
+    # -- mutation --------------------------------------------------------------------
+
+    def append(self, rows: Sequence[tuple[Any, ...]]) -> None:
+        """Append pre-coerced row tuples (main column order)."""
+        self.rows.extend(rows)
+        self.touch()
+
+    def mark_main_deleted(self, mask: np.ndarray) -> None:
+        """Tombstone main rows where ``mask`` is True."""
+        if not mask.any():
+            return
+        if self._dead_main is None:
+            self._dead_main = np.zeros(self.main_rows, dtype=bool)
+        self._dead_main |= mask
+        self.touch()
+
+    def mark_delta_deleted(self, indices: Sequence[int]) -> None:
+        """Tombstone delta rows by delta-local index."""
+        if not len(indices):
+            return
+        self.dead_delta.update(int(i) for i in indices)
+        self.touch()
+
+    # -- masks -----------------------------------------------------------------------
+
+    def live_main_mask(self) -> np.ndarray | None:
+        """True where a main row survives, or None when nothing was deleted."""
+        if self._dead_main is None:
+            return None
+        return ~self._dead_main
+
+    def live_delta_mask(self) -> np.ndarray | None:
+        """True where a delta row survives, or None when nothing was deleted."""
+        if not self.dead_delta:
+            return None
+        mask = np.ones(len(self.rows), dtype=bool)
+        for i in self.dead_delta:
+            if i < len(mask):
+                mask[i] = False
+        return mask
+
+    def live_delta_count(self) -> int:
+        """Number of pending rows that have not been tombstoned."""
+        return len(self.rows) - len(self.dead_delta)
+
+
+# -- typed coercion ------------------------------------------------------------------
+
+
+def coerce_scalar(value: Any, dtype: DataType, column: str) -> Any:
+    """Check one INSERT value against the target column type.
+
+    Exact widening (int → FLOAT64) is performed; lossy narrowing (a
+    fractional float into INT64, a number into STRING, anything into
+    BOOL but a bool) raises :class:`TypeMismatchError` instead of the
+    silent truncation/stringification ``np.asarray`` would apply.
+    """
+    if value is None:
+        return None
+    if isinstance(value, np.generic):
+        value = value.item()
+    if dtype is DataType.BOOL:
+        if isinstance(value, bool):
+            return value
+    elif dtype is DataType.STRING:
+        if isinstance(value, str):
+            return value
+    elif dtype is DataType.INT64:
+        if isinstance(value, bool):
+            pass  # fall through to the error: TRUE is not an integer here
+        elif isinstance(value, int):
+            return value
+        elif isinstance(value, float):
+            if np.isfinite(value) and value.is_integer():
+                return int(value)
+            raise TypeMismatchError(
+                f"cannot store {value!r} in INT64 column {column!r} "
+                "without losing precision"
+            )
+    elif dtype is DataType.FLOAT64:
+        if isinstance(value, bool):
+            pass
+        elif isinstance(value, (int, float)):
+            return float(value)
+    raise TypeMismatchError(
+        f"cannot store {type(value).__name__} value {value!r} "
+        f"in {dtype.name} column {column!r}"
+    )
+
+
+def assign_column(old: Column, values: Column, mask: np.ndarray) -> Column:
+    """``old`` with ``values`` written into the rows where ``mask`` is True.
+
+    The vectorised UPDATE kernel: payload and validity are copied once
+    and patched in place, with the same typed-coercion contract as
+    :func:`coerce_scalar` — int → float widens, a fractional float into
+    INT64 (or any cross-kind write) raises :class:`TypeMismatchError`.
+    """
+    target, source = old.dtype, values.dtype
+    new_validity = old.validity.copy() if old.validity is not None else np.ones(len(old), bool)
+    values_valid = values.validity if values.validity is not None else np.ones(len(values), bool)
+    new_validity[mask] = values_valid[mask]
+
+    data = old.data.copy()
+    write = mask & values_valid
+    if source == target:
+        data[write] = values.data[write]
+    elif target is DataType.FLOAT64 and source is DataType.INT64:
+        data[write] = values.data[write].astype(np.float64)
+    elif target is DataType.INT64 and source is DataType.FLOAT64:
+        incoming = values.data[write]
+        if len(incoming) and not (
+            np.isfinite(incoming).all() and np.equal(np.floor(incoming), incoming).all()
+        ):
+            raise TypeMismatchError(
+                "UPDATE would store fractional FLOAT64 values in an INT64 "
+                "column; cast explicitly or change the column type"
+            )
+        data[write] = incoming.astype(np.int64)
+    else:
+        raise TypeMismatchError(
+            f"cannot assign {source.name} values to {target.name} column in UPDATE"
+        )
+    # park the null fill in newly nulled slots so the payload stays harmless
+    nulled = mask & ~values_valid
+    if nulled.any():
+        fill: Any = "" if target is DataType.STRING else (False if target is DataType.BOOL else 0)
+        data[nulled] = fill
+    return _wrap(data, target, new_validity)
+
+
+# -- tail materialisation and merge ---------------------------------------------------
+
+
+def tail_table(store: DeltaStore, main: Table) -> Table:
+    """All delta rows (dead ones included, for position stability) as a
+    columnar table with the main's schema."""
+    rows = list(store.rows)  # snapshot: appends may race a reader
+    columns = []
+    for j, name in enumerate(main.column_names):
+        dtype = main.schema.type_of(name)
+        values = [row[j] for row in rows]
+        columns.append((name, Column(values, dtype=dtype)))
+    return Table(columns)
+
+
+def concat_string_encoded(base: Column, tail: Column) -> Column:
+    """Concat a dictionary-encoded STRING column with a small tail,
+    maintaining the encoding incrementally (no full re-unique of the base)."""
+    pair = base.dictionary()
+    if pair is None:
+        return base.concat(tail)
+    codes, dictionary = pair
+    tail_valid = tail.validity if tail.validity is not None else np.ones(len(tail), bool)
+    tail_data = tail.data
+    try:
+        tail_distinct = np.unique(tail_data[tail_valid])
+        new_dict = np.unique(np.concatenate([dictionary, tail_distinct]))
+        if len(new_dict) != len(dictionary):
+            remap = np.searchsorted(new_dict, dictionary).astype(np.int32)
+            base_codes = np.where(codes >= 0, remap[codes], np.int32(-1))
+        else:
+            base_codes = codes
+        tail_codes = np.searchsorted(new_dict, tail_data).astype(np.int32)
+        tail_codes[~tail_valid] = -1
+    except TypeError:  # unsortable payload: fall back to an unencoded concat
+        return base.concat(tail)
+    data = np.concatenate([base.data, tail_data])
+    if base.validity is None and tail.validity is None:
+        validity = None
+    else:
+        left = base.validity if base.validity is not None else np.ones(len(base), bool)
+        validity = np.concatenate([left, tail_valid])
+    return _wrap(
+        data,
+        DataType.STRING,
+        validity,
+        np.concatenate([base_codes, tail_codes]),
+        new_dict,
+    )
+
+
+def merged_table(main: Table, tail: Table, store: DeltaStore) -> Table:
+    """The effective table: live main rows followed by live delta rows.
+
+    Dictionary-encoded STRING columns keep their encoding (maintained
+    incrementally); everything else is a plain concat.  This is both the
+    table scans see while the delta is dirty and the new main a merge
+    installs.
+    """
+    live_main = store.live_main_mask()
+    live_delta = store.live_delta_mask()
+    columns = []
+    for name in main.column_names:
+        base = main.column(name)
+        if live_main is not None:
+            base = base.filter(live_main)
+        t = tail.column(name)
+        if live_delta is not None:
+            t = t.filter(live_delta)
+        if base.dtype is DataType.STRING and base.dictionary() is not None:
+            columns.append((name, concat_string_encoded(base, t)))
+        else:
+            columns.append((name, base.concat(t)))
+    return Table(columns)
+
+
+def extend_zone_map(old: ZoneMap, table: Table) -> ZoneMap:
+    """Zone map of ``table`` given the map of its prefix (pure append only).
+
+    Complete old zones are reused verbatim; only the trailing partial
+    zone and the appended rows are re-summarised.
+    """
+    zone_rows = old.zone_rows
+    n = table.num_rows
+    if zone_rows <= 0 or old.row_count == n:
+        return old
+    keep = old.row_count // zone_rows  # complete zones to splice in unchanged
+    start = keep * zone_rows
+    fresh = ZoneMap.from_table(table.slice(start, n), zone_rows)
+    merged = ZoneMap(zone_rows=zone_rows, row_count=n)
+    for name, zones in old.columns.items():
+        new_zones = fresh.columns.get(name)
+        if new_zones is None:
+            continue
+        merged.columns[name] = ColumnZones(
+            mins=np.concatenate([zones.mins[:keep], new_zones.mins]),
+            maxs=np.concatenate([zones.maxs[:keep], new_zones.maxs]),
+            real_counts=np.concatenate([zones.real_counts[:keep], new_zones.real_counts]),
+            null_counts=np.concatenate([zones.null_counts[:keep], new_zones.null_counts]),
+            nan_counts=np.concatenate([zones.nan_counts[:keep], new_zones.nan_counts]),
+        )
+    return merged
+
+
+def _absorb_column(
+    main: ColumnStatistics,
+    tail: ColumnStatistics,
+    row_count: int,
+    exact_distinct: int | None = None,
+) -> ColumnStatistics:
+    """Main-column statistics absorbed with an O(delta) tail summary.
+
+    Row/null counts and min/max combine exactly (min/max conservatively
+    under tombstones — a superset's bounds stay sound); the distinct
+    count is exact when the merged dictionary size is known and a
+    ``max()`` lower bound otherwise; the histogram keeps the main's
+    bounds (stale for appended out-of-range values, still sound for the
+    clamped estimators).
+    """
+
+    def _combine(a: Any, b: Any, pick: Any) -> Any:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return pick(a, b)
+
+    distinct = exact_distinct if exact_distinct is not None else max(
+        main.distinct_count, tail.distinct_count
+    )
+    return ColumnStatistics(
+        dtype=main.dtype,
+        row_count=row_count,
+        null_count=main.null_count + tail.null_count,
+        distinct_count=distinct,
+        min_value=_combine(main.min_value, tail.min_value, min),
+        max_value=_combine(main.max_value, tail.max_value, max),
+        bucket_bounds=main.bucket_bounds,
+        bucket_counts=main.bucket_counts,
+    )
+
+
+def effective_statistics(
+    main_stats: TableStatistics, live_tail: Table, dead_main: int
+) -> TableStatistics:
+    """Statistics of main + live delta, absorbed without touching the main."""
+    row_count = main_stats.row_count - dead_main + live_tail.num_rows
+    tail_stats = TableStatistics.from_table(live_tail)
+    columns = {}
+    for name, stats in main_stats.columns.items():
+        tail_col = tail_stats.column(name)
+        if tail_col is None:
+            columns[name] = stats
+            continue
+        columns[name] = _absorb_column(stats, tail_col, row_count)
+    return TableStatistics(row_count=row_count, columns=columns)
+
+
+def extend_statistics(
+    main_stats: TableStatistics, merged_main: Table, old_rows: int
+) -> TableStatistics:
+    """Post-merge statistics seeded from the pre-merge main statistics.
+
+    Pure-append only: absorbs the appended slice column-wise, takes the
+    exact distinct count from maintained dictionaries, and extends every
+    cached zone map incrementally.
+    """
+    tail = merged_main.slice(old_rows, merged_main.num_rows)
+    tail_stats = TableStatistics.from_table(tail)
+    row_count = merged_main.num_rows
+    columns = {}
+    for name, stats in main_stats.columns.items():
+        tail_col = tail_stats.column(name)
+        if tail_col is None:
+            columns[name] = stats
+            continue
+        exact_distinct = None
+        merged_column = merged_main.column(name)
+        pair = merged_column.dictionary()
+        if pair is not None:
+            valid_codes = pair[0] if merged_column.validity is None else pair[0][merged_column.validity]
+            exact_distinct = len(np.unique(valid_codes)) if len(valid_codes) else 0
+        columns[name] = _absorb_column(stats, tail_col, row_count, exact_distinct)
+    seeded = TableStatistics(row_count=row_count, columns=columns)
+    for zone_rows, zones in main_stats.zone_maps.items():
+        seeded.zone_maps[zone_rows] = extend_zone_map(zones, merged_main)
+    return seeded

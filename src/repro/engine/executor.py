@@ -151,9 +151,43 @@ def _run_node(
     raise ExecutionError(f"unknown plan node {type(node).__name__}")
 
 
+def _scan_predicate_mask(
+    node: ScanNode, table: Table, database: "Database", profiler: PlanProfiler | None
+) -> np.ndarray:
+    """Truth mask of the scan predicate over ``table`` (the columnar main
+    or a probe result), routed through the zone-map and parallel fast
+    paths under the usual gating."""
+    assert node.predicate is not None
+    config = scanopt.get_config()
+    if (
+        node.probe is None  # index probes re-order rows; zones would misalign
+        and config.zone_rows > 0
+        and table.num_rows > config.zone_rows
+    ):
+        zones = database.zone_map(node.table)
+        mask, pruned, passed, num_zones = zonemap.pruned_truth_mask(
+            node.predicate, table, zones
+        )
+        registry = get_registry()
+        registry.counter("scan.zones_pruned").inc(pruned)
+        registry.counter("scan.zones_passed").inc(passed)
+        if profiler is not None and num_zones:
+            profiler.annotate(
+                f"zones: {pruned} pruned, {passed} passed of {num_zones}"
+            )
+        return mask
+    if parallel.should_parallelize(table.num_rows):
+        _note_fanout(profiler, table.num_rows)
+        return parallel.parallel_truth_mask(node.predicate, table)
+    return truth_mask(node.predicate, table)
+
+
 def _execute_scan(
     node: ScanNode, database: "Database", profiler: PlanProfiler | None
 ) -> Table:
+    store = database.delta_store_if_dirty(node.table)
+    if store is not None:
+        return _scan_with_delta(node, store, database, profiler)
     table = database.get_table(node.table)
     if profiler is not None:
         profiler.note_input(table.num_rows, table_nbytes(table))
@@ -179,30 +213,86 @@ def _execute_scan(
         )
         table = table.take(np.asarray(positions, dtype=np.int64))
     if node.predicate is not None:
-        config = scanopt.get_config()
-        if (
-            node.probe is None  # index probes re-order rows; zones would misalign
-            and config.zone_rows > 0
-            and table.num_rows > config.zone_rows
-        ):
-            zones = database.zone_map(node.table)
-            mask, pruned, passed, num_zones = zonemap.pruned_truth_mask(
-                node.predicate, table, zones
-            )
-            registry = get_registry()
-            registry.counter("scan.zones_pruned").inc(pruned)
-            registry.counter("scan.zones_passed").inc(passed)
-            if profiler is not None and num_zones:
-                profiler.annotate(
-                    f"zones: {pruned} pruned, {passed} passed of {num_zones}"
-                )
-            return table.filter(mask)
-        if parallel.should_parallelize(table.num_rows):
-            _note_fanout(profiler, table.num_rows)
-            table = table.filter(parallel.parallel_truth_mask(node.predicate, table))
-        else:
-            table = table.filter(truth_mask(node.predicate, table))
+        table = table.filter(_scan_predicate_mask(node, table, database, profiler))
     return table
+
+
+def _scan_with_delta(
+    node: ScanNode,
+    store,
+    database: "Database",
+    profiler: PlanProfiler | None,
+) -> Table:
+    """Scan a table with pending writes: the columnar main keeps every
+    fast path (zone maps over main positions, tombstones ANDed in after
+    the predicate), and the live delta rows ride along as a trailing
+    morsel evaluated directly — it is bounded by the merge threshold.
+    """
+    main = database.main_table(node.table)
+    tail = database.delta_tail(node.table)
+    if profiler is not None:
+        profiler.note_input(
+            main.num_rows + store.live_delta_count(),
+            table_nbytes(main) + table_nbytes(tail),
+        )
+        profiler.annotate(
+            f"delta: {store.live_delta_count()} pending rows, "
+            f"{store.main_tombstones} tombstones"
+        )
+    if node.columns is not None:
+        main = main.select(node.columns)
+        tail = tail.select(node.columns)
+    if node.empty:
+        if node.predicate is not None:
+            truth_mask(node.predicate, main.slice(0, 0))
+        return main.slice(0, 0)
+    live_main = store.live_main_mask()
+    live_delta = store.live_delta_mask()
+    if node.probe is not None:
+        index = database.index_for(node.table, node.probe.column)
+        if index is None:
+            raise ExecutionError(
+                f"plan expected an index on {node.table}.{node.probe.column}"
+            )
+        positions = np.asarray(
+            index.lookup_range(
+                node.probe.low,
+                node.probe.high,
+                node.probe.low_inclusive,
+                node.probe.high_inclusive,
+            ),
+            dtype=np.int64,
+        )
+        # logical ids: [0, main rows) in the main, the rest in the delta
+        n_main = main.num_rows
+        in_main = positions < n_main
+        main_positions = positions[in_main]
+        tail_positions = positions[~in_main] - n_main
+        tail_positions = tail_positions[tail_positions < tail.num_rows]
+        if live_main is not None:
+            main_positions = main_positions[live_main[main_positions]]
+        if live_delta is not None:
+            tail_positions = tail_positions[live_delta[tail_positions]]
+        part = main.take(main_positions).concat(tail.take(tail_positions))
+        if node.predicate is not None:
+            if parallel.should_parallelize(part.num_rows):
+                _note_fanout(profiler, part.num_rows)
+                mask = parallel.parallel_truth_mask(node.predicate, part)
+            else:
+                mask = truth_mask(node.predicate, part)
+            part = part.filter(mask)
+        return part
+    if node.predicate is not None:
+        mask = _scan_predicate_mask(node, main, database, profiler)
+        if live_main is not None:
+            mask &= live_main
+        main_part = main.filter(mask)
+    else:
+        main_part = main if live_main is None else main.filter(live_main)
+    tail_part = tail if live_delta is None else tail.filter(live_delta)
+    if node.predicate is not None and tail_part.num_rows:
+        tail_part = tail_part.filter(truth_mask(node.predicate, tail_part))
+    return main_part.concat(tail_part)
 
 
 def _execute_fused_aggregate(
@@ -217,14 +307,33 @@ def _execute_fused_aggregate(
     """
     scan = node.child
     assert isinstance(scan, ScanNode) and scan.predicate is not None
+    store = database.delta_store_if_dirty(scan.table)
+    if store is not None and store.main_tombstones > 0:
+        # tombstones in the main would misalign the fused zone ranges;
+        # fall back to scan-then-aggregate (still delta-aware)
+        filtered = _scan_with_delta(scan, store, database, profiler)
+        if parallel.should_parallelize(filtered.num_rows):
+            _note_fanout(profiler, filtered.num_rows)
+            return parallel.parallel_hash_aggregate(
+                filtered, node.group_exprs, node.aggregates, node.group_names
+            )
+        return ops.hash_aggregate(
+            filtered, node.group_exprs, node.aggregates, node.group_names
+        )
+    # with at most appended rows pending, the effective table is the raw
+    # main plus the live tail — main zone ranges stay aligned and the
+    # tail becomes one always-evaluate trailing range
     table = database.get_table(scan.table)
+    main_rows = database.main_table(scan.table).num_rows if store is not None else table.num_rows
     if profiler is not None:
         profiler.note_input(table.num_rows, table_nbytes(table))
+        if store is not None:
+            profiler.annotate(f"delta: {table.num_rows - main_rows} pending rows")
     if scan.columns is not None:
         table = table.select(scan.columns)
     config = scanopt.get_config()
     ranges = None
-    if config.zone_rows > 0 and table.num_rows > config.zone_rows:
+    if config.zone_rows > 0 and main_rows > config.zone_rows:
         zones = database.zone_map(scan.table)
         statuses = zonemap.zone_statuses(scan.predicate, zones)
         pruned = int((statuses == zonemap.FAIL).sum())
@@ -233,6 +342,8 @@ def _execute_fused_aggregate(
             (*zones.zone_bounds(int(zone)), bool(statuses[zone] != zonemap.PASS))
             for zone in np.flatnonzero(statuses != zonemap.FAIL)
         ]
+        if table.num_rows > main_rows:
+            ranges.append((main_rows, table.num_rows, True))
         registry = get_registry()
         registry.counter("scan.zones_pruned").inc(pruned)
         registry.counter("scan.zones_passed").inc(passed)

@@ -806,3 +806,18 @@ class Case(Expression):
             parts.append(f"ELSE {self.default.to_sql()}")
         parts.append("END")
         return "(" + " ".join(parts) + ")"
+
+
+def fold_constant(expr: Expression) -> Any:
+    """The Python value of a constant expression (no column references).
+
+    Evaluates the expression against a one-row dummy table, so unary
+    minus, arithmetic, comparisons and NULL all fold through the same
+    kernels that would run at query time.  Callers must have checked
+    ``referenced_columns()`` is empty; type errors (``-'a'``) surface as
+    the usual :class:`~repro.errors.TypeMismatchError`.
+    """
+    if isinstance(expr, Literal):
+        return expr.value
+    dummy = Table([("__const__", Column(np.zeros(1, dtype=np.int64)))])
+    return expr.evaluate(dummy)[0]

@@ -364,7 +364,7 @@ def _simulate_chain(
         elif join.right_columns is not None:
             right_names = join.right_columns
         else:
-            right_names = list(database.get_table(join.clause.table).column_names)
+            right_names = list(database.main_table(join.clause.table).column_names)
         mapping: dict[str, str] = {}
         for name in right_names:
             out = name
@@ -409,7 +409,7 @@ def _pushdown_pass(node: PlanNode, ctx: _Context) -> PlanNode:
     if chain is None:
         return node
     joins, scan = chain
-    base_names = list(ctx.database.get_table(scan.table).column_names)
+    base_names = list(ctx.database.main_table(scan.table).column_names)
     producers, maps = _simulate_chain(base_names, joins, ctx.database)
     remaining: list[ex.Expression] = []
     to_scan = 0
@@ -556,7 +556,7 @@ def _prune_pass(node: PlanNode, needed: set[str] | None, ctx: _Context) -> None:
 def _prune_scan(scan: ScanNode, needed: set[str] | None, ctx: _Context) -> None:
     if needed is None or scan.columns is not None:
         return
-    names = list(ctx.database.get_table(scan.table).column_names)
+    names = list(ctx.database.main_table(scan.table).column_names)
     required = set(needed)
     if scan.predicate is not None:
         required |= scan.predicate.referenced_columns()
@@ -583,7 +583,7 @@ def _prune_join_chain(
     if scan.columns is not None or any(j.right_columns is not None for j in joins):
         return
     database = ctx.database
-    base_names = list(database.get_table(scan.table).column_names)
+    base_names = list(database.main_table(scan.table).column_names)
     _, full_maps = _simulate_chain(base_names, joins, database)
 
     # walk the chain top-down, peeling each join's outputs off the
@@ -601,7 +601,7 @@ def _prune_join_chain(
         order = (
             join.right_columns
             if join.right_columns is not None
-            else list(database.get_table(join.clause.table).column_names)
+            else list(database.main_table(join.clause.table).column_names)
         )
         right_keeps[j] = [name for name in order if name in required_orig]
         need = (need - set(mapping.values())) | {join.clause.left_column}
@@ -628,7 +628,7 @@ def _prune_join_chain(
         pruned_sites += 1
     for j, join in enumerate(joins):
         full = (
-            len(database.get_table(join.clause.table).column_names)
+            len(database.main_table(join.clause.table).column_names)
         )
         if len(right_keeps[j]) < full:
             join.right_columns = right_keeps[j]
@@ -670,7 +670,7 @@ def _reorder_pass(plan: Plan, ctx: _Context) -> None:
         return
     joins, scan = chain
     database = ctx.database
-    base_names = set(database.get_table(scan.table).column_names)
+    base_names = set(database.main_table(scan.table).column_names)
     if any(
         join.clause.kind != "inner" or join.clause.left_column not in base_names
         for join in joins

@@ -273,7 +273,7 @@ def plan_statement(statement: SelectStatement, database: "Database") -> Plan:
     statement = binder.bind()
 
     conjuncts = split_conjuncts(statement.where) if statement.where is not None else []
-    base_columns = set(database.get_table(statement.table).column_names)
+    base_columns = set(database.main_table(statement.table).column_names)
 
     pushed: list[ex.Expression] = []
     residual: list[ex.Expression] = []
@@ -491,11 +491,11 @@ class _Binder:
     def __init__(self, statement: SelectStatement, database: "Database") -> None:
         self._statement = statement
         self._database = database
-        base = database.get_table(statement.table)
+        base = database.main_table(statement.table)
         self._base_columns = set(base.column_names)
         self._join_columns: dict[str, set[str]] = {}
         for clause in statement.joins:
-            join_table = database.get_table(clause.table)
+            join_table = database.main_table(clause.table)
             self._join_columns[clause.table] = set(join_table.column_names)
 
     def bind(self) -> SelectStatement:

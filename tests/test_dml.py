@@ -1,0 +1,603 @@
+"""DML and write-path tests (delta store, tombstones, incremental merge).
+
+Covers the PR 7 surface: constant-expression INSERT values (the old
+"must be literals" bug), typed coercion across every dtype pair (the
+silent 4.5→4 / 123→'123' bugs), multi-row and partial-column inserts,
+tombstone deletes, vectorised updates, catalog-version / plan-cache
+semantics of append vs merge, dictionary-code and zone-map maintenance
+across merges, index feeding through the engine's write path, and a
+randomised DML corpus replayed against a rebuild-from-scratch oracle —
+bit-identical under threads and fault injection, at merge-per-write and
+delta-heavy thresholds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import resilience
+from repro.engine import Database, Table
+from repro.engine import delta as deltamod
+from repro.engine import parallel, scanopt
+from repro.engine.types import DataType
+from repro.errors import CatalogError, TypeMismatchError
+from repro.indexing import CrackerIndex
+from repro.indexing.updates import UpdatableCrackerIndex
+from repro.obs.metrics import MetricsRegistry, set_registry
+from tests.test_parallel import tables_bit_identical
+from tests.test_sql_differential import random_query, random_table
+
+
+@pytest.fixture(autouse=True)
+def _reset_write_path():
+    """Pin a deterministic write-path/accel config, restore the ambient one."""
+    saved_delta = deltamod.get_config().delta_rows
+    accel = scanopt.get_config()
+    par = parallel.get_config()
+    gov = resilience.get_config()
+    saved = (
+        accel.dict_encode, accel.zone_rows, accel.plan_cache, accel.plan_cache_size,
+        par.threads, par.morsel_rows, par.min_parallel_rows,
+        gov.faults, gov.fault_seed,
+    )
+    deltamod.configure(delta_rows=deltamod.DEFAULT_DELTA_ROWS)
+    scanopt.configure(
+        dict_encode=True,
+        zone_rows=scanopt.DEFAULT_ZONE_ROWS,
+        plan_cache=True,
+        plan_cache_size=scanopt.DEFAULT_PLAN_CACHE_SIZE,
+    )
+    yield
+    deltamod.configure(delta_rows=saved_delta)
+    scanopt.configure(
+        dict_encode=saved[0], zone_rows=saved[1],
+        plan_cache=saved[2], plan_cache_size=saved[3],
+    )
+    parallel.configure(
+        threads=saved[4], morsel_rows=saved[5], min_parallel_rows=saved[6]
+    )
+    resilience.configure(faults=saved[7] or "off", fault_seed=saved[8])
+
+
+def _db(**tables) -> Database:
+    db = Database()
+    for name, data in tables.items():
+        db.create_table(name, data)
+    return db
+
+
+# -- INSERT accepts constant expressions (regression) ---------------------------------
+
+
+class TestInsertConstantExpressions:
+    @pytest.mark.parametrize(
+        "value_sql, expected",
+        [
+            ("-2", -2),
+            ("(1+1)", 2),
+            ("2 * 3 + 1", 7),
+            ("-(2 + 3)", -5),
+            ("NULL", None),
+        ],
+    )
+    def test_int_expressions(self, value_sql, expected):
+        db = _db(t={"x": [1]})
+        assert db.execute(f"INSERT INTO t (x) VALUES ({value_sql})") == 1
+        assert db.get_table("t").column("x").to_list() == [1, expected]
+
+    @pytest.mark.parametrize(
+        "value_sql, expected",
+        [("-1.5", -1.5), ("(0.5 + 0.25)", 0.75), ("-0.0", 0.0)],
+    )
+    def test_float_expressions(self, value_sql, expected):
+        db = _db(t={"y": [1.0]})
+        db.execute(f"INSERT INTO t (y) VALUES ({value_sql})")
+        assert expected in db.get_table("t").column("y").to_list()
+
+    def test_column_reference_rejected(self):
+        db = _db(t={"x": [1]})
+        with pytest.raises(CatalogError, match="constant"):
+            db.execute("INSERT INTO t (x) VALUES (x + 1)")
+
+
+# -- typed coercion (regression: silent truncation / stringification) -----------------
+
+
+class TestInsertCoercion:
+    def test_fractional_float_into_int_raises(self):
+        db = _db(t={"x": [1]})
+        with pytest.raises(TypeMismatchError):
+            db.execute("INSERT INTO t (x) VALUES (4.5)")
+        assert db.get_table("t").column("x").to_list() == [1]
+
+    def test_integral_float_into_int_ok(self):
+        db = _db(t={"x": [1]})
+        db.execute("INSERT INTO t (x) VALUES (4.0)")
+        assert db.get_table("t").column("x").to_list() == [1, 4]
+        assert db.get_table("t").column("x").dtype is DataType.INT64
+
+    def test_int_into_float_widens(self):
+        db = _db(t={"y": [1.5]})
+        db.execute("INSERT INTO t (y) VALUES (3)")
+        assert db.get_table("t").column("y").to_list() == [1.5, 3.0]
+        assert db.get_table("t").column("y").dtype is DataType.FLOAT64
+
+    def test_number_into_string_raises(self):
+        db = _db(u={"s": ["a"]})
+        with pytest.raises(TypeMismatchError):
+            db.execute("INSERT INTO u (s) VALUES (123)")
+        assert db.get_table("u").column("s").to_list() == ["a"]
+
+    def test_string_into_numeric_raises(self):
+        db = _db(t={"x": [1], "y": [1.0]})
+        with pytest.raises(TypeMismatchError):
+            db.execute("INSERT INTO t (x, y) VALUES ('7', 1.0)")
+        with pytest.raises(TypeMismatchError):
+            db.execute("INSERT INTO t (x, y) VALUES (7, '1.0')")
+
+    def test_bool_column_accepts_only_bools(self):
+        db = _db(t={"f": [True]})
+        db.execute("INSERT INTO t (f) VALUES (FALSE)")
+        assert db.get_table("t").column("f").to_list() == [True, False]
+        with pytest.raises(TypeMismatchError):
+            db.execute("INSERT INTO t (f) VALUES (1)")
+
+    def test_bool_into_int_raises(self):
+        db = _db(t={"x": [1]})
+        with pytest.raises(TypeMismatchError):
+            db.execute("INSERT INTO t (x) VALUES (TRUE)")
+
+    def test_null_accepted_everywhere(self):
+        db = _db(t={"x": [1], "y": [1.0], "s": ["a"], "f": [True]})
+        db.execute("INSERT INTO t (x, y, s, f) VALUES (NULL, NULL, NULL, NULL)")
+        assert db.get_table("t").row(1) == (None, None, None, None)
+
+
+class TestUpdateCoercion:
+    def test_fractional_float_into_int_raises(self):
+        db = _db(t={"x": [1, 2]})
+        with pytest.raises(TypeMismatchError):
+            db.execute("UPDATE t SET x = 2.5")
+        assert db.get_table("t").column("x").to_list() == [1, 2]
+
+    def test_int_into_float_widens(self):
+        db = _db(t={"y": [1.5, 2.5]})
+        db.execute("UPDATE t SET y = 7 WHERE y > 2")
+        assert db.get_table("t").column("y").to_list() == [1.5, 7.0]
+
+    def test_cross_kind_raises(self):
+        db = _db(t={"x": [1], "s": ["a"]})
+        with pytest.raises(TypeMismatchError):
+            db.execute("UPDATE t SET s = 5")
+        with pytest.raises(TypeMismatchError):
+            db.execute("UPDATE t SET x = 'seven'")
+
+    def test_update_preserves_column_and_row_order(self):
+        db = _db(t={"a": [1, 2, 3], "b": [10.0, 20.0, 30.0], "c": ["x", "y", "z"]})
+        db.execute("UPDATE t SET b = b + 1 WHERE a >= 2")
+        table = db.get_table("t")
+        assert table.column_names == ("a", "b", "c")
+        assert table.column("b").to_list() == [10.0, 21.0, 31.0]
+
+
+# -- multi-row / partial-column / NULL-fill inserts -----------------------------------
+
+
+class TestInsertShapes:
+    def test_multi_row_values(self):
+        db = _db(t={"x": [0], "s": ["z"]})
+        assert db.execute(
+            "INSERT INTO t (x, s) VALUES (1, 'a'), (2, 'b'), (3, NULL)"
+        ) == 3
+        assert db.sql("SELECT COUNT(*) AS n FROM t").to_dicts() == [{"n": 4}]
+        assert db.get_table("t").column("s").to_list() == ["z", "a", "b", None]
+
+    def test_partial_columns_fill_nulls(self):
+        db = _db(t={"x": [1], "y": [1.0], "s": ["a"]})
+        db.execute("INSERT INTO t (s) VALUES ('b')")
+        assert db.get_table("t").row(1) == (None, None, "b")
+
+    def test_width_mismatch_and_unknown_column(self):
+        db = _db(t={"x": [1], "y": [2.0]})
+        with pytest.raises(CatalogError, match="width"):
+            db.execute("INSERT INTO t (x, y) VALUES (1)")
+        with pytest.raises(CatalogError, match="unknown column"):
+            db.execute("INSERT INTO t (x, z) VALUES (1, 2)")
+
+    def test_insert_into_empty_created_table(self):
+        db = Database()
+        db.execute("CREATE TABLE t (x INT, s TEXT)")
+        db.execute("INSERT INTO t VALUES (5, 'five'), (6, 'six')")
+        assert db.get_table("t").to_dicts() == [
+            {"x": 5, "s": "five"},
+            {"x": 6, "s": "six"},
+        ]
+
+
+# -- delta-store mechanics ------------------------------------------------------------
+
+
+class TestDeltaMechanics:
+    def test_append_stays_pending_below_threshold(self):
+        db = _db(t={"x": [1, 2, 3]})
+        db.execute("PRAGMA delta_rows=10")
+        main = db.main_table("t")
+        db.execute("INSERT INTO t (x) VALUES (4), (5)")
+        assert db.main_table("t") is main  # the columnar main did not move
+        store = db.delta_store_if_dirty("t")
+        assert store is not None and store.pending_inserts == 2
+        assert db.sql("SELECT SUM(x) AS s FROM t").to_dicts() == [{"s": 15}]
+
+    def test_threshold_triggers_merge(self):
+        db = _db(t={"x": [1, 2, 3]})
+        db.execute("PRAGMA delta_rows=3")
+        db.execute("INSERT INTO t (x) VALUES (4), (5)")
+        assert db.delta_store_if_dirty("t") is not None
+        db.execute("INSERT INTO t (x) VALUES (6)")  # pressure reaches 3
+        assert db.delta_store_if_dirty("t") is None
+        assert db.main_table("t").column("x").to_list() == [1, 2, 3, 4, 5, 6]
+
+    def test_pragma_zero_merges_immediately(self):
+        db = _db(t={"x": [1]})
+        db.execute("PRAGMA delta_rows=1000")
+        db.execute("INSERT INTO t (x) VALUES (2)")
+        assert db.delta_store_if_dirty("t") is not None
+        db.execute("PRAGMA delta_rows=0")  # lowering the threshold flushes
+        assert db.delta_store_if_dirty("t") is None
+        read = db.execute("PRAGMA delta_rows")
+        assert isinstance(read, Table) and read.column("value").to_list() == [0]
+
+    def test_delete_marks_tombstones_without_copying(self):
+        db = _db(t={"x": list(range(10))})
+        db.execute("PRAGMA delta_rows=100")
+        main = db.main_table("t")
+        assert db.execute("DELETE FROM t WHERE x >= 7") == 3
+        assert db.main_table("t") is main  # no filtered copy was built
+        store = db.delta_store_if_dirty("t")
+        assert store is not None and store.main_tombstones == 3
+        assert db.sql("SELECT COUNT(*) AS n FROM t").to_dicts() == [{"n": 7}]
+        # deleting already-dead rows affects nothing
+        assert db.execute("DELETE FROM t WHERE x >= 7") == 0
+
+    def test_delete_pending_delta_rows(self):
+        db = _db(t={"x": [1, 2]})
+        db.execute("PRAGMA delta_rows=100")
+        db.execute("INSERT INTO t (x) VALUES (10), (11)")
+        assert db.execute("DELETE FROM t WHERE x = 10") == 1
+        assert db.sql("SELECT x FROM t ORDER BY x").column("x").to_list() == [1, 2, 11]
+        db.flush_deltas("t")
+        assert db.main_table("t").column("x").to_list() == [1, 2, 11]
+
+    def test_delete_all_resets(self):
+        db = _db(t={"x": [1, 2, 3]})
+        db.execute("PRAGMA delta_rows=100")
+        db.execute("INSERT INTO t (x) VALUES (4)")
+        assert db.execute("DELETE FROM t") == 4
+        assert db.get_table("t").num_rows == 0
+        assert db.delta_store_if_dirty("t") is None
+
+    def test_update_applies_to_pending_rows(self):
+        db = _db(t={"x": [1, 2], "s": ["a", "b"]})
+        db.execute("PRAGMA delta_rows=100")
+        db.execute("INSERT INTO t (x, s) VALUES (3, 'c')")
+        db.execute("UPDATE t SET x = x * 10 WHERE x >= 2")
+        assert db.sql("SELECT x FROM t ORDER BY x").column("x").to_list() == [
+            1, 20, 30,
+        ]
+
+    def test_catalog_version_append_vs_structural(self):
+        db = _db(t={"x": [1, 2, 3]})
+        db.execute("PRAGMA delta_rows=100")
+        sql = "SELECT COUNT(*) AS n FROM t WHERE x > 0"
+        cached = db.plan(sql)
+        version = db.catalog_version
+        db.execute("INSERT INTO t (x) VALUES (4)")     # append: no bump
+        db.execute("DELETE FROM t WHERE x = 1")        # tombstone: no bump
+        db.flush_deltas("t")                           # pure data change: no bump
+        assert db.catalog_version == version
+        assert db.plan(sql) is cached                  # plan cache survived it all
+        assert db.sql(sql).to_dicts() == [{"n": 3}]
+        db.replace_table("t", Table.from_dict({"x": [9]}))  # structural
+        assert db.catalog_version > version
+        assert db.plan(sql) is not cached
+
+    def test_statistics_absorb_pending_writes(self):
+        db = _db(t={"x": [1, 2, 3]})
+        db.execute("PRAGMA delta_rows=100")
+        assert db.statistics("t").row_count == 3
+        db.execute("INSERT INTO t (x) VALUES (10), (NULL)")
+        stats = db.statistics("t")
+        assert stats.row_count == 5
+        assert stats.column("x").max_value == 10
+        assert stats.column("x").null_count == 1
+        db.execute("DELETE FROM t WHERE x = 2")
+        assert db.statistics("t").row_count == 4
+        db.flush_deltas("t")
+        exact = db.statistics("t")
+        assert exact.row_count == 4 and exact.column("x").max_value == 10
+
+    def test_zone_map_extended_across_merge(self):
+        scanopt.configure(zone_rows=8)
+        n = 64
+        db = _db(t={"x": list(range(n))})
+        db.execute("PRAGMA delta_rows=1000")
+        before = db.zone_map("t")
+        assert before.row_count == n
+        db.execute("INSERT INTO t (x) VALUES " + ", ".join(
+            f"({v})" for v in range(n, n + 20)
+        ))
+        db.flush_deltas("t")
+        after = db.zone_map("t")
+        assert after.row_count == n + 20
+        # complete old zones were spliced through unchanged
+        zones = after.column("x")
+        assert zones is not None
+        assert int(zones.mins[0]) == 0 and int(zones.maxs[0]) == 7
+        assert int(zones.maxs[-1]) == n + 19
+        assert db.sql(
+            "SELECT COUNT(*) AS n FROM t WHERE x >= 60 AND x < 70"
+        ).to_dicts() == [{"n": 10}]
+
+    def test_merge_metrics_and_span(self):
+        fresh = MetricsRegistry()
+        old = set_registry(fresh)
+        try:
+            db = _db(t={"x": [1]})
+            db.execute("PRAGMA delta_rows=100")
+            db.execute("INSERT INTO t (x) VALUES (2), (3)")
+            db.flush_deltas("t")
+            assert fresh.counter("write.inserts").value == 1
+            assert fresh.counter("write.insert_rows").value == 2
+            assert fresh.counter("write.merges").value == 1
+            assert fresh.counter("write.merge_rows").value == 2
+        finally:
+            set_registry(old)
+
+
+# -- dictionary-encoded STRING columns across DML -------------------------------------
+
+
+class TestDictEncodedDML:
+    def test_insert_maintains_codes_across_merge(self):
+        db = _db(t={"s": ["b", "a", "b"], "x": [1, 2, 3]})
+        assert db.main_table("t").column("s").dictionary() is not None
+        db.execute("PRAGMA delta_rows=100")
+        db.execute("INSERT INTO t (s, x) VALUES ('c', 4), ('a', 5), (NULL, 6)")
+        # pre-merge: scans union the delta tail
+        assert db.sql("SELECT COUNT(*) AS n FROM t WHERE s = 'a'").to_dicts() == [
+            {"n": 2}
+        ]
+        db.flush_deltas("t")
+        column = db.main_table("t").column("s")
+        pair = column.dictionary()
+        assert pair is not None  # the merge maintained codes incrementally
+        codes, dictionary = pair
+        assert list(dictionary) == ["a", "b", "c"]
+        assert column.to_list() == ["b", "a", "b", "c", "a", None]
+        assert codes[-1] == -1  # null slot
+        assert db.sql("SELECT COUNT(*) AS n FROM t WHERE s = 'a'").to_dicts() == [
+            {"n": 2}
+        ]
+
+    def test_merge_reuses_dictionary_when_no_new_values(self):
+        db = _db(t={"s": ["a", "b"]})
+        db.execute("PRAGMA delta_rows=100")
+        db.execute("INSERT INTO t (s) VALUES ('a')")
+        db.flush_deltas("t")
+        pair = db.main_table("t").column("s").dictionary()
+        assert pair is not None and list(pair[1]) == ["a", "b"]
+
+    def test_delete_and_update_on_encoded_column(self):
+        db = _db(t={"s": ["a", "b", "c", "a"], "x": [1, 2, 3, 4]})
+        db.execute("PRAGMA delta_rows=100")
+        db.execute("DELETE FROM t WHERE s = 'b'")
+        assert db.sql("SELECT s FROM t ORDER BY x").column("s").to_list() == [
+            "a", "c", "a",
+        ]
+        db.execute("UPDATE t SET s = 'z' WHERE x >= 3")
+        assert db.sql("SELECT s FROM t ORDER BY x").column("s").to_list() == [
+            "a", "z", "z",
+        ]
+        db.flush_deltas("t")
+        # post-compaction the column is re-encoded by the catalog's policy
+        assert db.sql("SELECT COUNT(*) AS n FROM t WHERE s = 'z'").to_dicts() == [
+            {"n": 2}
+        ]
+
+
+# -- index maintenance through the write path -----------------------------------------
+
+
+class TestIndexWritePath:
+    def test_updatable_index_absorbs_engine_inserts(self):
+        db = _db(t={"x": [3.0, 1.0, 2.0, 5.0]})
+        db.execute("PRAGMA delta_rows=100")
+        db.register_index("t", "x", UpdatableCrackerIndex(np.array([3.0, 1.0, 2.0, 5.0])))
+        db.execute("INSERT INTO t (x) VALUES (4.0), (0.5)")
+        assert db.index_for("t", "x") is not None  # stayed registered
+        plan = db.plan("SELECT x FROM t WHERE x > 2.0")
+        assert "index" in plan.explain()
+        got = sorted(db.sql("SELECT x FROM t WHERE x > 2.0").column("x").to_list())
+        assert got == [3.0, 4.0, 5.0]
+
+    def test_updatable_index_sees_engine_deletes(self):
+        db = _db(t={"x": [1.0, 2.0, 3.0, 4.0]})
+        db.execute("PRAGMA delta_rows=100")
+        db.register_index("t", "x", UpdatableCrackerIndex(np.array([1.0, 2.0, 3.0, 4.0])))
+        db.execute("DELETE FROM t WHERE x = 3.0")
+        got = sorted(db.sql("SELECT x FROM t WHERE x >= 2.0").column("x").to_list())
+        assert got == [2.0, 4.0]
+
+    def test_plain_index_dropped_on_insert(self):
+        db = _db(t={"x": [1.0, 2.0, 3.0]})
+        db.execute("PRAGMA delta_rows=100")
+        db.register_index("t", "x", CrackerIndex(np.array([1.0, 2.0, 3.0])))
+        db.execute("INSERT INTO t (x) VALUES (4.0)")
+        assert db.index_for("t", "x") is None  # cannot absorb inserts
+        got = sorted(db.sql("SELECT x FROM t WHERE x > 1.5").column("x").to_list())
+        assert got == [2.0, 3.0, 4.0]
+
+    def test_register_index_flushes_pending_delta(self):
+        db = _db(t={"x": [2.0, 1.0]})
+        db.execute("PRAGMA delta_rows=100")
+        db.execute("INSERT INTO t (x) VALUES (3.0)")
+        assert db.delta_store_if_dirty("t") is not None
+        values = np.asarray(db.get_table("t").column("x").data, dtype=float)
+        db.register_index("t", "x", CrackerIndex(values))
+        assert db.delta_store_if_dirty("t") is None  # merged before registration
+        got = sorted(db.sql("SELECT x FROM t WHERE x >= 2.0").column("x").to_list())
+        assert got == [2.0, 3.0]
+
+    def test_update_drops_index_on_assigned_column_only(self):
+        db = _db(t={"x": [1.0, 2.0], "y": [5.0, 6.0]})
+        db.register_index("t", "x", CrackerIndex(np.array([1.0, 2.0])))
+        db.register_index("t", "y", CrackerIndex(np.array([5.0, 6.0])))
+        db.execute("UPDATE t SET x = x + 1")
+        assert db.index_for("t", "x") is None
+        assert db.index_for("t", "y") is not None
+        assert sorted(db.sql("SELECT x FROM t WHERE x > 0").column("x").to_list()) == [
+            2.0, 3.0,
+        ]
+
+
+# -- rebuild-oracle corpus: bit identity under threads + faults -----------------------
+
+
+def _python_matches(row: dict, column: str, op: str, value) -> bool:
+    current = row[column]
+    if current is None:
+        return False
+    if op == "=":
+        return current == value
+    if op == "<":
+        return current < value
+    return current >= value  # ">="
+
+
+def _apply_dml(db: Database, rows: list[dict], op: tuple) -> None:
+    """Run one DML op on the engine and mirror it on plain Python rows."""
+    kind = op[0]
+    if kind == "insert":
+        values = op[1]  # list of (id, a, b, s) tuples
+        parts = []
+        for row in values:
+            rendered = []
+            for v in row:
+                if v is None:
+                    rendered.append("NULL")
+                elif isinstance(v, str):
+                    rendered.append(f"'{v}'")
+                else:
+                    rendered.append(repr(v))
+            parts.append("(" + ", ".join(rendered) + ")")
+        db.execute(f"INSERT INTO t (id, a, b, s) VALUES {', '.join(parts)}")
+        rows.extend(
+            {"id": r[0], "a": r[1], "b": r[2], "s": r[3]} for r in values
+        )
+    elif kind == "delete":
+        _, column, cmp_op, value = op
+        literal = f"'{value}'" if isinstance(value, str) else repr(value)
+        db.execute(f"DELETE FROM t WHERE {column} {cmp_op} {literal}")
+        rows[:] = [r for r in rows if not _python_matches(r, column, cmp_op, value)]
+    else:  # update: SET a = a + k WHERE <col> <op> <val>
+        _, k, column, cmp_op, value = op
+        literal = f"'{value}'" if isinstance(value, str) else repr(value)
+        db.execute(f"UPDATE t SET a = a + {k} WHERE {column} {cmp_op} {literal}")
+        for row in rows:
+            if _python_matches(row, column, cmp_op, value) and row["a"] is not None:
+                row["a"] = row["a"] + k
+
+
+def _random_dml(rng: np.random.Generator, next_id: int) -> tuple[tuple, int]:
+    kind = rng.random()
+    columns = [("id", int(rng.integers(0, next_id + 5))), ("a", int(rng.integers(-20, 20)))]
+    column, value = columns[int(rng.integers(0, len(columns)))]
+    cmp_op = str(rng.choice(["=", "<", ">="]))
+    if kind < 0.5:
+        count = int(rng.integers(1, 4))
+        values = []
+        for _ in range(count):
+            values.append(
+                (
+                    next_id,
+                    int(rng.integers(-20, 20)) if rng.random() > 0.15 else None,
+                    round(float(rng.uniform(-5, 5)), 3) if rng.random() > 0.15 else None,
+                    str(rng.choice(["ash", "birch", "cedar", "oak"]))
+                    if rng.random() > 0.15
+                    else None,
+                )
+            )
+            next_id += 1
+        return ("insert", values), next_id
+    if kind < 0.75:
+        return ("delete", column, cmp_op, value), next_id
+    return ("update", int(rng.integers(-3, 4)), column, cmp_op, value), next_id
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("delta_rows", [1, 1_000_000])
+def test_dml_corpus_matches_rebuild_oracle(seed: int, delta_rows: int) -> None:
+    """Replay a random DML script through the delta-store write path —
+    accelerators on, morsel pool with worker-crash injection — checking
+    after every step against a database rebuilt from scratch off a plain
+    Python mirror of the rows.  ``delta_rows=1`` merges on every write;
+    the large threshold keeps everything pending in the delta."""
+    rng = np.random.default_rng(4000 + seed)
+    table, rows = random_table(rng, n=int(rng.integers(10, 40)))
+    queries = [random_query(rng) for _ in range(6)]
+    script = []
+    next_id = len(rows)
+    for _ in range(8):
+        op, next_id = _random_dml(rng, next_id)
+        script.append(op)
+
+    try:
+        deltamod.configure(delta_rows=delta_rows)
+        scanopt.configure(dict_encode=True, zone_rows=8, plan_cache=True)
+        parallel.configure(threads=4, morsel_rows=7, min_parallel_rows=1)
+        resilience.configure(faults="worker_crash:0.1", fault_seed=seed)
+        db = Database()
+        db.create_table("t", table)
+        for step, op in enumerate(script):
+            _apply_dml(db, rows, op)
+            if step % 2 and step != len(script) - 1:
+                continue  # query every other step and at the end
+            oracle_db = _rebuild_oracle(rows)
+            for sql in queries:
+                got = db.sql(sql)
+                parallel.configure(threads=0)
+                resilience.configure(faults="off")
+                scanopt.configure(dict_encode=False, zone_rows=0, plan_cache=False)
+                try:
+                    expected = oracle_db.sql(sql)
+                finally:
+                    scanopt.configure(dict_encode=True, zone_rows=8, plan_cache=True)
+                    parallel.configure(threads=4, morsel_rows=7, min_parallel_rows=1)
+                    resilience.configure(faults="worker_crash:0.1", fault_seed=seed)
+                try:
+                    tables_bit_identical(got, expected)
+                except AssertionError as exc:
+                    raise AssertionError(
+                        f"write path diverged after step {step} ({op[0]}) on: {sql}"
+                    ) from exc
+    finally:
+        parallel.configure(threads=0, morsel_rows=parallel.DEFAULT_MORSEL_ROWS)
+        resilience.configure(faults="off")
+
+
+def _rebuild_oracle(rows: list[dict]) -> Database:
+    """A fresh database holding exactly ``rows`` — never touched by DML."""
+    oracle = Database()
+    oracle.create_table(
+        "t",
+        Table.from_dict(
+            {
+                "id": [r["id"] for r in rows],
+                "a": [r["a"] for r in rows],
+                "b": [r["b"] for r in rows],
+                "s": [r["s"] for r in rows],
+            }
+        ),
+    )
+    return oracle

@@ -480,8 +480,11 @@ class TestPoolFallback:
             raise BrokenProcessPool("worker died")
 
         # no fallback available in thread mode: the failure surfaces as
-        # an ExecutionError naming the offending morsel
-        with pytest.raises(ExecutionError, match=r"on morsel \d+:0"):
+        # an ExecutionError naming the offending morsel.  (Under ambient
+        # REPRO_FAULTS an injected crash may land on this morsel first
+        # and route it through the serial-retry path instead — the
+        # kernel still fails, with the same morsel id in the message.)
+        with pytest.raises(ExecutionError, match=r"morsel \d+:0"):
             parallel._run_tasks(kernel, [(0, 4)])
 
 

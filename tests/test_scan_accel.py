@@ -387,7 +387,6 @@ class TestPlanCache:
             lambda db: db.register_index(
                 "t", "x", CrackerIndex(np.array([1.0, 2.0, 3.0]))
             ),
-            lambda db: db.execute("INSERT INTO t (x) VALUES (4)"),
         ],
     )
     def test_invalidated_by_catalog_changes(self, ddl):
@@ -400,6 +399,20 @@ class TestPlanCache:
         assert db.catalog_version > version  # monotonic bump
         if db.has_table("t"):
             assert db.plan(sql) is not cached
+
+    def test_survives_delta_append(self):
+        # an INSERT is not a structural change: it appends to the delta
+        # store (or merges it, with REPRO_DELTA_ROWS=0/1), and the cached
+        # plan keeps describing the table correctly either way
+        db = Database()
+        db.create_table("t", {"x": [1, 2, 3]})
+        sql = "SELECT COUNT(*) AS n FROM t"
+        cached = db.plan(sql)
+        version = db.catalog_version
+        db.execute("INSERT INTO t (x) VALUES (4)")
+        assert db.catalog_version == version
+        assert db.plan(sql) is cached
+        assert db.sql(sql).to_dicts() == [{"n": 4}]
 
     def test_unregister_index_invalidates(self):
         db = Database()
