@@ -1,0 +1,238 @@
+"""Durability: WAL append cost per sync policy, recovery time vs log length.
+
+Measures what the write-ahead log charges the write path and what crash
+recovery costs on reopen:
+
+- single-row durable INSERT throughput under each sync policy
+  (``off`` / ``batch`` / ``commit``) on a 100k-row table, against the
+  same workload with the WAL disabled — the fsync-per-commit price and
+  how far batching recovers it;
+- recovery time as a function of WAL length: reopen a database whose
+  log holds 100 / 1k / 5k records, versus reopening right after a
+  checkpoint (replay of zero records, pure snapshot load).
+
+Results print as a table and can be dumped as ``BENCH_durability.json``
+(``--json``); ``--quick`` shrinks the table and the workloads for CI.
+Every run is verified: the reopened database must hold exactly the rows
+that were durably written.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+from common import print_table
+
+from repro.engine import Database
+from repro.engine import wal as walmod
+from repro.obs import get_registry
+
+N = 100_000
+APPENDS = 1_000
+WAL_LENGTHS = (100, 1_000, 5_000)
+
+
+def build_database(root: Path | None, n: int = N, seed: int = 0) -> Database:
+    """A durable (or, with ``root=None``, in-memory) 100k-row table."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 200, n)
+    strings = [f"city_{int(v):04d}" for v in labels]
+    db = Database(path=root) if root is not None else Database()
+    db.create_table("t", {"x": np.arange(n, dtype=np.int64).tolist(), "s": strings})
+    return db
+
+
+def _time(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def bench_append_sync_policies(root: Path, n: int, appends: int) -> dict:
+    """Durable single-row INSERT throughput per sync policy vs no WAL."""
+    out: dict[str, dict] = {}
+    fsyncs = get_registry().counter("wal.fsyncs")
+    for policy in ("nowal", "off", "batch", "commit"):
+        if policy == "nowal":
+            walmod.configure(wal=False, wal_sync="commit")
+        else:
+            walmod.configure(wal=True, wal_sync=policy)
+        db = build_database(root / policy, n)
+
+        def run() -> None:
+            for i in range(appends):
+                db.execute(f"INSERT INTO t (x, s) VALUES ({n + i}, 'city_0042')")
+
+        fsyncs_before = fsyncs.value
+        seconds = _time(run)
+        db.close()
+        walmod.configure(wal=True, wal_sync="commit")
+        with Database(path=root / policy) as recovered:
+            # with the WAL disabled nothing was logged — not even CREATE
+            has_table = recovered.has_table("t")
+            durable = recovered.get_table("t").num_rows - n if has_table else 0
+        expected = 0 if policy == "nowal" else appends
+        assert durable == expected, (
+            f"{policy}: expected {expected} durable appends, recovered {durable}"
+        )
+        out[policy] = {
+            "seconds": seconds,
+            "rows_per_s": appends / seconds,
+            "fsyncs": fsyncs.value - fsyncs_before,
+            "recovered_rows": durable,
+        }
+    baseline = out["nowal"]["seconds"]
+    for r in out.values():
+        r["overhead"] = r["seconds"] / baseline
+    return out
+
+
+def bench_recovery_time(root: Path, n: int, lengths: tuple[int, ...]) -> dict:
+    """Reopen cost vs WAL length, and vs a freshly checkpointed snapshot."""
+    out: dict[str, dict] = {}
+    # building the log is not the measurement: sync lazily, close flushes
+    walmod.configure(wal=True, wal_sync="off")
+    for records in lengths:
+        directory = root / f"replay_{records}"
+        db = build_database(directory, n)
+        for i in range(records):
+            db.execute(f"INSERT INTO t (x, s) VALUES ({n + i}, 'city_0042')")
+        db.close()
+        seconds = _time(lambda: Database(path=directory).close())
+        with Database(path=directory) as recovered:
+            assert recovered.get_table("t").num_rows == n + records
+            replayed = recovered.durability.last_recovery["records_replayed"]
+        out[str(records)] = {
+            "recovery_s": seconds,
+            "records_replayed": replayed,
+            "ms_per_record": seconds * 1e3 / max(1, replayed),
+        }
+    directory = root / "checkpointed"
+    db = build_database(directory, n)
+    for i in range(lengths[-1]):
+        db.execute(f"INSERT INTO t (x, s) VALUES ({n + i}, 'city_0042')")
+    db.checkpoint()
+    db.close()
+    seconds = _time(lambda: Database(path=directory).close())
+    with Database(path=directory) as recovered:
+        assert recovered.get_table("t").num_rows == n + lengths[-1]
+        assert recovered.durability.last_recovery["records_replayed"] == 0
+    out["checkpointed"] = {
+        "recovery_s": seconds,
+        "records_replayed": 0,
+        "ms_per_record": 0.0,
+    }
+    return out
+
+
+def run_experiment(
+    n: int = N, appends: int = APPENDS, lengths: tuple[int, ...] = WAL_LENGTHS
+) -> dict:
+    """Both experiments under a throwaway directory; restores the config."""
+    config = walmod.get_config()
+    saved = (config.wal, config.wal_sync, config.wal_batch)
+    tmp = Path(tempfile.mkdtemp(prefix="bench_durability_"))
+    try:
+        return {
+            "rows": n,
+            "append": bench_append_sync_policies(tmp / "append", n, appends),
+            "recovery": bench_recovery_time(tmp / "recovery", n, lengths),
+        }
+    finally:
+        walmod.configure(wal=saved[0], wal_sync=saved[1], wal_batch=saved[2])
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def result_rows(results: dict) -> list[list]:
+    """Flatten the result dict into printable table rows."""
+    rows = []
+    for policy, r in results["append"].items():
+        label = "no WAL" if policy == "nowal" else f"wal_sync={policy}"
+        rows.append(
+            [
+                f"append ({label})",
+                f"{r['seconds'] * 1e3:.1f}",
+                f"{r['rows_per_s']:,.0f} rows/s, {r['fsyncs']} fsyncs",
+                f"{r['overhead']:.2f}x",
+            ]
+        )
+    for key, r in results["recovery"].items():
+        label = "after checkpoint" if key == "checkpointed" else f"{key}-record WAL"
+        rows.append(
+            [
+                f"recover ({label})",
+                f"{r['recovery_s'] * 1e3:.1f}",
+                f"{r['records_replayed']} replayed, "
+                f"{r['ms_per_record']:.3f} ms/record",
+                "",
+            ]
+        )
+    return rows
+
+
+def test_bench_durability(benchmark) -> None:
+    """CI leg: small-scale run, correctness asserts, one timed durable INSERT."""
+    results = run_experiment(n=20_000, appends=200, lengths=(50, 200))
+    print_table(
+        "Durability: WAL cost and recovery",
+        ["workload", "ms", "detail", "vs no WAL"],
+        result_rows(results),
+    )
+    append = results["append"]
+    assert append["commit"]["recovered_rows"] == 200
+    # commit fsyncs every record; batch amortises; off only syncs on close
+    assert append["commit"]["fsyncs"] >= 200
+    assert append["off"]["fsyncs"] <= append["batch"]["fsyncs"] <= append["commit"]["fsyncs"]
+    assert results["recovery"]["200"]["records_replayed"] == 201  # + the CREATE
+
+    config = walmod.get_config()
+    saved = (config.wal, config.wal_sync, config.wal_batch)
+    tmp = Path(tempfile.mkdtemp(prefix="bench_durability_"))
+    walmod.configure(wal=True, wal_sync="batch")
+    db = build_database(tmp, 20_000)
+    counter = iter(range(10_000_000))
+
+    def one_durable_insert() -> None:
+        db.execute(f"INSERT INTO t (x, s) VALUES ({next(counter)}, 'city_0001')")
+
+    try:
+        benchmark(one_durable_insert)
+    finally:
+        db.close()
+        walmod.configure(wal=saved[0], wal_sync=saved[1], wal_batch=saved[2])
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def main() -> int:
+    """Entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small table for CI")
+    parser.add_argument("--json", metavar="PATH", help="write results as JSON")
+    args = parser.parse_args()
+    if args.quick:
+        n, appends, lengths = 20_000, 300, (50, 200, 800)
+    else:
+        n, appends, lengths = N, APPENDS, WAL_LENGTHS
+    results = run_experiment(n, appends, lengths)
+    print_table(
+        f"Durability: WAL cost and recovery ({n:,} rows)",
+        ["workload", "ms", "detail", "vs no WAL"],
+        result_rows(results),
+    )
+    if args.json:
+        Path(args.json).write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,9 @@ few shell meta-commands:
 ``\\timeout [ms]``  show or set the per-query deadline (0 = off)
 ``\\delta [rows]``  show per-table delta-store state; set the merge threshold
 ``\\metrics``       dump the metrics-registry snapshot as JSON
+``\\pragma``        list every setting with its source (default/env/pragma)
+``\\wal``           show durability status (WAL file, records, sync policy)
+``\\checkpoint``    write an atomic checkpoint and retire the WAL
 ``\\help``          this text
 ``\\quit``          exit
 =================  ===================================================
@@ -39,8 +42,16 @@ write); ``\\delta`` shows each table's pending state.
 ``EXPLAIN ANALYZE SELECT ...`` runs the query under the profiler and
 prints per-plan-node wall time, row counts and bytes touched.
 
+``python -m repro --db <dir>`` opens a *durable* session: every write
+goes through a CRC-checksummed write-ahead log under ``<dir>`` and the
+session's tables are recovered on the next open — kill the process at
+any point and committed statements survive.  ``\\checkpoint`` compacts
+the log into an atomic snapshot; ``PRAGMA wal_sync=off|commit|batch``
+trades fsync cost against the size of the window a crash can lose.  The
+database is closed cleanly (WAL flushed) on exit and on interrupt.
+
 Non-interactive use: pipe commands on stdin, or pass a single command
-with ``python -m repro -c "<command>"``.
+with ``python -m repro -c "<command>"`` (combinable with ``--db``).
 """
 
 from __future__ import annotations
@@ -62,9 +73,18 @@ _SQL_HEADS = (
 class Shell:
     """The REPL state: one session plus the command dispatcher."""
 
-    def __init__(self) -> None:
-        self.session = ExplorationSession()
+    def __init__(self, db_path: str | None = None) -> None:
+        db = None
+        if db_path is not None:
+            from repro.engine.catalog import Database
+
+            db = Database(path=db_path)
+        self.session = ExplorationSession(db)
         self.language = ExplorationLanguage(self.session)
+
+    def close(self) -> None:
+        """Close the underlying database (flushes the WAL); idempotent."""
+        self.session.db.close()
 
     # -- meta commands ---------------------------------------------------------------
 
@@ -153,6 +173,29 @@ class Shell:
             from repro.obs import get_registry
 
             return get_registry().to_json(indent=2)
+        if command == "pragma":
+            table = self.session.db.execute("PRAGMA")
+            assert isinstance(table, Table)
+            return table.pretty(limit=table.num_rows)
+        if command == "wal":
+            manager = self.session.db.durability
+            if manager is None:
+                return "in-memory session (restart with --db <dir> for durability)"
+            status = manager.status()
+            return (
+                f"root = {status['root']}\n"
+                f"wal file = {status['wal_file']} "
+                f"({status['records_logged']} records this session, "
+                f"{status['durable_records']} durable; "
+                f"{status['wal_bytes']} bytes, {status['durable_bytes']} synced)\n"
+                f"checkpoint = {status['checkpoint_id']}, "
+                f"sync policy = {status['sync_policy']}, "
+                f"logging = {'on' if status['logging'] else 'off'}"
+            )
+        if command == "checkpoint":
+            if self.session.db.durability is None:
+                return "in-memory session (restart with --db <dir> for durability)"
+            return f"checkpoint written: {self.session.db.checkpoint()}"
         if command in ("quit", "exit", "q"):
             raise EOFError
         return __doc__ or ""
@@ -228,19 +271,39 @@ class Shell:
 def main(argv: list[str] | None = None) -> int:
     """Entry point."""
     argv = list(sys.argv[1:] if argv is None else argv)
-    shell = Shell()
-    if argv[:1] == ["-c"]:
-        if len(argv) < 2:
-            print("usage: python -m repro -c '<command>'", file=sys.stderr)
+    db_path: str | None = None
+    if "--db" in argv:
+        position = argv.index("--db")
+        if position + 1 >= len(argv):
+            print("usage: python -m repro [--db <dir>] [-c '<command>']", file=sys.stderr)
             return 2
+        db_path = argv[position + 1]
+        del argv[position : position + 2]
+    try:
+        shell = Shell(db_path=db_path)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    # close on every exit path — including Ctrl-C at the prompt — so a
+    # durable session's WAL tail is always flushed
+    try:
+        if argv[:1] == ["-c"]:
+            if len(argv) < 2:
+                print("usage: python -m repro -c '<command>'", file=sys.stderr)
+                return 2
+            try:
+                print(shell.execute(argv[1]))
+            except ReproError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            return 0
         try:
-            print(shell.execute(argv[1]))
-        except ReproError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 1
+            shell.run(sys.stdin, interactive=sys.stdin.isatty())
+        except KeyboardInterrupt:
+            print("(interrupted)")
         return 0
-    shell.run(sys.stdin, interactive=sys.stdin.isatty())
-    return 0
+    finally:
+        shell.close()
 
 
 if __name__ == "__main__":

@@ -7,6 +7,7 @@ adaptive cracker indexes of the paper's Database Layer), and executes SQL.
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from typing import Any, Mapping, Protocol, Sequence
@@ -48,9 +49,14 @@ class RangeIndex(Protocol):
 
 
 class Database:
-    """An in-memory database: tables, statistics, indexes, SQL execution."""
+    """A database: tables, statistics, indexes, SQL execution.
 
-    def __init__(self, name: str = "db") -> None:
+    In-memory by default; pass ``path=`` to open (or create) a *durable*
+    database rooted at a directory — writes go through a write-ahead log
+    and survive process death (see :mod:`repro.engine.wal`).
+    """
+
+    def __init__(self, name: str = "db", path: str | os.PathLike | None = None) -> None:
         self.name = name
         self._tables: dict[str, Table] = {}
         self._statistics: dict[str, tuple[int, TableStatistics]] = {}
@@ -67,6 +73,123 @@ class Database:
         self._plan_cache: OrderedDict[str, tuple[int, bool, Plan]] = OrderedDict()
         self._plan_cache_lock = threading.Lock()
         self.queries_executed = 0
+        # durability: None for in-memory databases; recovery replays the
+        # WAL with _replaying set so replayed writes are not re-logged
+        self._closed = False
+        self._replaying = False
+        self._pragma_set: set[str] = set()
+        self._durability = None
+        if path is not None:
+            from repro.engine import wal as walmod
+
+            self._durability = walmod.DurabilityManager(path)
+            self._durability.open_into(self)
+
+    # -- durability ----------------------------------------------------------------
+
+    @property
+    def durability(self):
+        """The :class:`~repro.engine.wal.DurabilityManager`, or None."""
+        return self._durability
+
+    @property
+    def is_durable(self) -> bool:
+        return self._durability is not None
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise CatalogError("database is closed")
+
+    def _wal_active(self) -> bool:
+        """True when writes must be logged (durable, logging on, not replaying)."""
+        if self._durability is None or self._replaying:
+            return False
+        from repro.engine import wal as walmod
+
+        return walmod.get_config().wal and self._durability.wal is not None
+
+    def _log_record(self, meta: dict[str, Any], blob: bytes | None = None) -> None:
+        if self._wal_active():
+            self._durability.wal.append(meta, blob)
+
+    def _log_snapshot(self, op: str, name: str, table: Table) -> None:
+        """Log a DDL operation as a full-table snapshot record."""
+        if not self._wal_active():
+            return
+        from repro.storage import layouts
+
+        self._durability.wal.append(
+            {"op": op, "table": name}, layouts.table_to_bytes(table)
+        )
+
+    def _install_recovered(
+        self, name: str, table: Table, stats: TableStatistics | None
+    ) -> None:
+        """Register a checkpoint-restored table without logging anything."""
+        self._encode_strings(table)  # no-op for columns whose codes came from disk
+        self._tables[name] = table
+        self._reset_delta(name)
+        self._bump_catalog(name)
+        if stats is not None:
+            self._statistics[name] = (self._table_versions.get(name, 0), stats)
+
+    def cached_statistics(self, name: str) -> TableStatistics | None:
+        """Cached statistics for a table's main iff still current, else None.
+
+        The checkpoint writer persists exactly what is cached — nothing
+        is computed at checkpoint time; missing statistics are recomputed
+        lazily after recovery.
+        """
+        entry = self._statistics.get(name)
+        if entry is None or entry[0] != self._table_versions.get(name, 0):
+            return None
+        return entry[1]
+
+    def checkpoint(self) -> str:
+        """Merge pending deltas, then atomically persist the whole catalog.
+
+        Returns the checkpoint directory path.  The old WAL is retired —
+        recovery afterwards starts from this snapshot.
+
+        Raises:
+            CatalogError: for an in-memory database.
+        """
+        from repro.obs.tracing import trace
+
+        self._check_open()
+        if self._durability is None:
+            raise CatalogError(
+                "checkpoint requires a durable database (open with Database(path=...))"
+            )
+        registry = get_registry()
+        with registry.timer("write.checkpoint_time").time(), trace(
+            "write.checkpoint", tables=len(self._tables)
+        ):
+            self.flush_deltas()
+            directory = self._durability.checkpoint(self)
+        return str(directory)
+
+    def close(self) -> None:
+        """Flush and close the database; idempotent.
+
+        Durable databases fsync any unsynced WAL tail; the shared worker
+        pool is shut down deterministically (it restarts lazily if some
+        other database issues a parallel query later).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._durability is not None:
+            self._durability.close()
+        from repro.engine import parallel
+
+        parallel.shutdown_pool()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- versioning ----------------------------------------------------------------
 
@@ -135,6 +258,7 @@ class Database:
             raise CatalogError(f"table {name!r} already exists")
         if not isinstance(table, Table):
             table = Table.from_dict(table)
+        self._log_snapshot("create", name, table)
         self._encode_strings(table)
         self._tables[name] = table
         self._reset_delta(name)
@@ -145,6 +269,7 @@ class Database:
         """Remove a table and everything attached to it."""
         if name not in self._tables:
             raise CatalogError(f"unknown table {name!r}")
+        self._log_record({"op": "drop", "table": name})
         del self._tables[name]
         self._statistics.pop(name, None)
         self._table_versions.pop(name, None)
@@ -161,6 +286,7 @@ class Database:
         """
         if name not in self._tables:
             raise CatalogError(f"unknown table {name!r}")
+        self._log_snapshot("replace", name, table)
         self._encode_strings(table)
         self._tables[name] = table
         self._statistics.pop(name, None)
@@ -264,6 +390,10 @@ class Database:
             self._merge_delta(table_name, reason="flush")
 
     def _maybe_merge(self, name: str) -> None:
+        if self._replaying:
+            # replay must not race ahead of history: merges happen exactly
+            # where the log's merge markers say they happened
+            return
         store = self._deltas.get(name)
         if store is None:
             return
@@ -286,6 +416,14 @@ class Database:
         if store is None or store.is_clean():
             self._reset_delta(name)
             return
+        # a merge changes physical state only, but it is still logged: the
+        # marker keeps replayed merge timing (and hence physical layout)
+        # faithful, and arms the crash_mid_merge injection point
+        self._log_record({"op": "merge", "table": name, "reason": reason})
+        if self._durability is not None and not self._replaying:
+            self._durability.crash_point(
+                "crash_mid_merge", self._durability.wal.records_logged
+            )
         registry = get_registry()
         pending = store.pending_inserts
         tombstones = store.main_tombstones + len(store.dead_delta)
@@ -471,6 +609,7 @@ class Database:
         degrade=1`` a degradable aggregate that blows its budget returns
         an approximate answer with confidence bounds instead of failing.
         """
+        self._check_open()
         plan = self.plan(query)
         self.queries_executed += 1
         registry = get_registry()
@@ -583,6 +722,7 @@ class Database:
         )
         from repro.engine.sql.parser import parse_statement
 
+        self._check_open()
         stripped = statement_sql.strip().rstrip(";").strip()
         if stripped[:6].upper() == "PRAGMA":
             return self._execute_pragma(stripped[6:].strip())
@@ -598,11 +738,11 @@ class Database:
             self.drop_table(statement.table)
             return 0
         if isinstance(statement, InsertStatement):
-            return self._execute_insert(statement)
+            return self._execute_insert(statement, stripped)
         if isinstance(statement, DeleteStatement):
-            return self._execute_delete(statement)
+            return self._execute_delete(statement, stripped)
         if isinstance(statement, UpdateStatement):
-            return self._execute_update(statement)
+            return self._execute_update(statement, stripped)
         raise CatalogError(f"unsupported statement {type(statement).__name__}")
 
     #: integer-valued governor pragmas routed to ``repro.resilience.configure``
@@ -626,13 +766,46 @@ class Database:
         everything else takes an integer.  ``PRAGMA delta_rows`` tunes
         the write path's merge threshold (0 = merge on every write) and
         immediately merges any table already over the new threshold.
+        ``PRAGMA wal`` / ``wal_sync`` / ``wal_batch`` tune the durability
+        layer.  A bare ``PRAGMA`` lists every setting with its source.
         """
         from repro import resilience
         from repro.engine import parallel
+        from repro.engine import wal as walmod
 
+        if not body.strip():
+            return self.settings_table()
         name, _, value = body.partition("=")
         name = name.strip().lower()
         value = value.strip()
+        wal_knobs = {"wal", "wal_batch"}
+        if name in wal_knobs:
+            if value:
+                try:
+                    parsed = int(value)
+                except ValueError:
+                    raise CatalogError(
+                        f"PRAGMA {name} expects an integer, got {value!r}"
+                    ) from None
+                try:
+                    walmod.configure(**{name: parsed})
+                except walmod.WalError as exc:
+                    raise CatalogError(str(exc)) from None
+                self._pragma_set.add(name)
+                return 0
+            current = getattr(walmod.get_config(), name)
+            return Table.from_rows([(name, int(current))], ["pragma", "value"])
+        if name == "wal_sync":
+            if value:
+                try:
+                    walmod.configure(wal_sync=value.strip("'\"").strip())
+                except walmod.WalError as exc:
+                    raise CatalogError(str(exc)) from None
+                self._pragma_set.add(name)
+                return 0
+            return Table.from_rows(
+                [(name, walmod.get_config().wal_sync)], ["pragma", "value"]
+            )
         parallel_knobs = {"threads", "morsel_rows", "min_parallel_rows"}
         scanopt_knobs = {
             "dict_encode",
@@ -653,6 +826,7 @@ class Database:
                     deltamod.configure(delta_rows=parsed)
                 except ValueError as exc:
                     raise CatalogError(str(exc)) from None
+                self._pragma_set.add(name)
                 # a lowered threshold may put tables over it immediately
                 for table_name in list(self._tables):
                     self._maybe_merge(table_name)
@@ -672,6 +846,7 @@ class Database:
                     scanopt.configure(**{name: parsed})
                 except ValueError as exc:
                     raise CatalogError(str(exc)) from None
+                self._pragma_set.add(name)
                 if name == "dict_encode" and parsed:
                     # encode tables registered while the knob was off
                     for table in self._tables.values():
@@ -685,6 +860,7 @@ class Database:
                     resilience.configure(faults=value.strip("'\"").strip())
                 except ValueError as exc:
                     raise CatalogError(str(exc)) from None
+                self._pragma_set.add(name)
                 return 0
             current = resilience.get_config().faults or "off"
             return Table.from_rows([(name, current)], ["pragma", "value"])
@@ -700,6 +876,7 @@ class Database:
                     resilience.configure(**{name: parsed})
                 except ValueError as exc:
                     raise CatalogError(str(exc)) from None
+                self._pragma_set.add(name)
                 return 0
             current = getattr(resilience.get_config(), name)
             return Table.from_rows([(name, int(current))], ["pragma", "value"])
@@ -720,9 +897,59 @@ class Database:
                 parallel.configure(**{name: parsed})
             except ValueError as exc:
                 raise CatalogError(str(exc)) from None
+            self._pragma_set.add(name)
             return 0
         config = parallel.get_config()
         return Table.from_rows([(name, getattr(config, name))], ["pragma", "value"])
+
+    def settings_table(self) -> Table:
+        """Every tunable with its current value and provenance.
+
+        This is what a bare ``PRAGMA`` (or the shell's ``\\pragma``)
+        returns.  The source column distinguishes the built-in default,
+        an environment variable, and a ``PRAGMA`` issued through this
+        database — recovery-relevant configuration is thereby inspectable
+        before trusting a durable session.
+        """
+        from repro import resilience
+        from repro.engine import parallel
+        from repro.engine import wal as walmod
+
+        par = parallel.get_config()
+        acc = scanopt.get_config()
+        gov = resilience.get_config()
+        wcfg = walmod.get_config()
+        entries: list[tuple[str, Any, str]] = [
+            ("threads", par.threads, "REPRO_THREADS"),
+            ("morsel_rows", par.morsel_rows, "REPRO_MORSEL_ROWS"),
+            ("min_parallel_rows", par.min_parallel_rows, "REPRO_PARALLEL_MIN_ROWS"),
+            ("delta_rows", deltamod.get_config().delta_rows, "REPRO_DELTA_ROWS"),
+            ("dict_encode", int(acc.dict_encode), "REPRO_DICT_ENCODE"),
+            ("zone_rows", acc.zone_rows, "REPRO_ZONE_ROWS"),
+            ("plan_cache", int(acc.plan_cache), "REPRO_PLAN_CACHE"),
+            ("plan_cache_size", acc.plan_cache_size, "REPRO_PLAN_CACHE_SIZE"),
+            ("optimizer", int(acc.optimizer), "REPRO_OPTIMIZER"),
+            ("timeout_ms", gov.timeout_ms, "REPRO_TIMEOUT_MS"),
+            ("memory_budget_kb", gov.memory_budget_kb, "REPRO_MEMORY_BUDGET_KB"),
+            ("degrade", int(gov.degrade), "REPRO_DEGRADE"),
+            ("degrade_rows", gov.degrade_rows, "REPRO_DEGRADE_ROWS"),
+            ("max_retries", gov.max_retries, "REPRO_MAX_RETRIES"),
+            ("faults", gov.faults or "off", "REPRO_FAULTS"),
+            ("fault_seed", gov.fault_seed, "REPRO_FAULT_SEED"),
+            ("wal", int(wcfg.wal), "REPRO_WAL"),
+            ("wal_sync", wcfg.wal_sync, "REPRO_WAL_SYNC"),
+            ("wal_batch", wcfg.wal_batch, "REPRO_WAL_BATCH"),
+        ]
+        rows = []
+        for pragma, current, env in entries:
+            if pragma in self._pragma_set:
+                source = "pragma"
+            elif (os.environ.get(env) or "").strip():
+                source = f"env:{env}"
+            else:
+                source = "default"
+            rows.append((pragma, str(current), source))
+        return Table.from_rows(rows, ["pragma", "value", "source"])
 
     def _execute_explain(self, statement, statement_sql: str) -> Table:
         """EXPLAIN [ANALYZE]: the plan (and measurements) as a one-column
@@ -747,9 +974,13 @@ class Database:
             lines.extend(f"note: {note}" for note in plan.notes)
         return Table([("plan", Column(lines, dtype=DataType.STRING))])
 
-    def _execute_insert(self, statement) -> int:
+    def _execute_insert(self, statement, sql: str | None = None) -> int:
         """INSERT: constant-fold + type-check each value, append to the
         table's delta store, feed insert-capable indexes, maybe merge.
+
+        The statement text is WAL-logged *after* validation and coercion
+        succeed (a rejected statement changed nothing, so it must not be
+        replayed) and *before* any in-memory state changes.
 
         Values may be any constant expression (``-2``, ``1+1``, ``NULL``)
         — they are folded through the normal expression kernels.  Lossy
@@ -783,6 +1014,8 @@ class Database:
                     fold_constant(expr), dtypes[column_name], column_name
                 )
             new_rows.append(tuple(values.get(n) for n in table.column_names))
+        if sql is not None:
+            self._log_record({"op": "sql", "stmt": sql})
         store = self._delta(name)
         self._feed_indexes_on_insert(name, table, new_rows)
         store.append(new_rows)
@@ -823,11 +1056,16 @@ class Database:
             for value in values:
                 insert(value)
 
-    def _execute_delete(self, statement) -> int:
+    def _execute_delete(self, statement, sql: str | None = None) -> int:
         """DELETE: tombstone matching rows instead of materialising a
         filtered copy of the table.  Main rows flip a bit in the delta
         store's dead mask, delta rows land in its dead set; nothing moves
-        until the next merge compacts the table."""
+        until the next merge compacts the table.
+
+        WAL logging: the unfiltered form goes through
+        :meth:`replace_table`, which logs an (empty) snapshot record; the
+        WHERE form logs the statement text once matches are computed and
+        at least one row is affected."""
         from repro.engine.expressions import truth_mask
 
         name = statement.table
@@ -857,6 +1095,8 @@ class Database:
             affected += len(dead_delta)
         if affected == 0:
             return 0
+        if sql is not None:
+            self._log_record({"op": "sql", "stmt": sql})
         self._notify_index_deletes(name, mask_main, dead_delta, main.num_rows)
         store.mark_main_deleted(mask_main)
         store.mark_delta_deleted(dead_delta)
@@ -885,8 +1125,12 @@ class Database:
             for index in dead_delta:
                 delete(main_rows + index)
 
-    def _execute_update(self, statement) -> int:
+    def _execute_update(self, statement, sql: str | None = None) -> int:
         """UPDATE: vectorised in-place column rewrite.
+
+        The statement text is WAL-logged after every assignment has been
+        evaluated and coerced, immediately before the new table is
+        installed — a type error mid-statement therefore logs nothing.
 
         Only assigned columns are copied — unassigned columns are shared
         with the old table — and assignments patch the payload with one
@@ -956,6 +1200,8 @@ class Database:
                         )
                     )
                     new_rows[int(index)][positions[column_name]] = value
+        if sql is not None:
+            self._log_record({"op": "sql", "stmt": sql})
         self._tables[name] = Table(
             [(n, new_columns[n]) for n in main.column_names]
         )

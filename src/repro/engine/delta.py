@@ -36,6 +36,14 @@ This is the "Updating a Cracked Database" [30] design promoted from the
 :mod:`repro.indexing.updates` demo into the engine's real update path:
 pending inserts and a pending-deletion set, merged when crossing a
 threshold rather than eagerly per statement.
+
+Durability (:mod:`repro.engine.wal`) treats the delta store as volatile:
+what is logged is the *statement* that fed it, not the delta contents,
+and each merge writes a marker record before folding.  Replay therefore
+re-executes statements into a fresh delta store and merges exactly where
+the markers say — merges change physical state only, so the recovered
+logical contents are bit-identical whatever threshold was configured
+when the log was written.
 """
 
 from __future__ import annotations

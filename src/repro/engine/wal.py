@@ -1,0 +1,790 @@
+"""Durability: write-ahead log, atomic checkpoints, crash recovery.
+
+The write path of :mod:`repro.engine.catalog` becomes durable when a
+database is opened with ``Database(path=...)``.  Three cooperating
+pieces live here:
+
+**Write-ahead log.**  An append-only file of length-prefixed,
+CRC32-checksummed records.  Every INSERT/DELETE/UPDATE statement, every
+DDL operation (as a full-table snapshot, so replay needs no SQL round
+trip for programmatic writes) and every delta merge is logged *before*
+it mutates in-memory state.  The frame is::
+
+    file   := MAGIC record*
+    record := u32 payload_len | u32 crc32(payload) | payload
+    payload:= u8 kind | body            (kind 1: JSON; kind 2: JSON+blob)
+
+``wal_sync`` picks the fsync policy: ``commit`` (fsync every record —
+the default), ``batch`` (fsync every ``wal_batch`` records) or ``off``
+(leave it to the OS).  What survives a crash is exactly the prefix up
+to the last fsync, plus whatever the OS happened to flush.
+
+**Checkpoints.**  :func:`write_checkpoint` serialises every table's
+columnar main (one ``.npz`` per column through the
+:mod:`repro.storage.layouts` seam, dictionary codes included), cached
+statistics and zone maps into a numbered ``checkpoint-NNNNNN``
+directory.  The manifest is written last via write-temp-then-
+``os.replace``, so a directory with a readable manifest is complete by
+construction; the ``CURRENT`` pointer file is swapped the same way.
+Each checkpoint owns its own log file ``wal-NNNNNN.log`` — switching
+log files instead of truncating in place means there is no instant at
+which a crash could pair the *new* checkpoint with the *old* (already
+replayed) log and double-apply records.
+
+**Recovery.**  Opening a durable database loads the newest *valid*
+checkpoint (``CURRENT`` first, then any complete numbered directory,
+newest first — a completed-but-unswapped directory left by a crash
+mid-checkpoint is a correct recovery source) and replays its WAL.
+Every record is CRC-verified: a torn **tail** — an incomplete frame, or
+a CRC-invalid record that ends exactly at end-of-file, the signature of
+a crash during the final append — is silently discarded and truncated
+away.  A CRC failure with further bytes *after* the bad record is
+mid-log corruption and raises :class:`~repro.errors.RecoveryError`.
+
+Crash points (``wal_pre_fsync``, ``wal_post_append``,
+``wal_torn_write``, ``crash_mid_checkpoint``, ``crash_mid_merge``) hook
+into the PR-3 fault injector; when one fires the log is truncated to
+what a power loss would have left durable and
+:class:`~repro.resilience.SimulatedCrashError` is raised.  The metrics
+family is ``wal.*`` / ``recovery.*`` / ``write.checkpoint*``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import struct
+import zipfile
+import zlib
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.engine.statistics import (
+    ColumnStatistics,
+    ColumnZones,
+    TableStatistics,
+    ZoneMap,
+)
+from repro.engine.types import DataType, python_value
+from repro.errors import RecoveryError, ReproError, WalError
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import trace
+from repro.resilience import SimulatedCrashError, get_injector
+from repro.storage import layouts
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.engine.catalog import Database
+    from repro.engine.table import Table
+
+MAGIC = b"RPWAL001"
+_FRAME = struct.Struct("<II")
+_JLEN = struct.Struct("<I")
+_KIND_JSON = 1
+_KIND_BLOB = 2
+#: frames claiming more than this are treated as garbage length fields
+_MAX_RECORD = 1 << 31
+
+SYNC_POLICIES = ("off", "commit", "batch")
+DEFAULT_WAL_BATCH = 64
+_FORMAT_VERSION = 1
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, "") or default)
+    except ValueError:
+        return default
+
+
+class WalConfig:
+    """Durability tunables (one process-wide instance).
+
+    Attributes:
+        wal: whether durable databases log writes at all.  With the WAL
+            off a ``Database(path=...)`` is checkpoint-only durable:
+            writes since the last :meth:`~Database.checkpoint` die with
+            the process.
+        wal_sync: fsync policy — ``"commit"``, ``"batch"`` or ``"off"``.
+        wal_batch: records between fsyncs under the ``batch`` policy.
+    """
+
+    __slots__ = ("wal", "wal_sync", "wal_batch")
+
+    def __init__(self) -> None:
+        self.wal = _env_int("REPRO_WAL", 1) != 0
+        sync = os.environ.get("REPRO_WAL_SYNC", "commit").strip().lower()
+        self.wal_sync = sync if sync in SYNC_POLICIES else "commit"
+        self.wal_batch = max(1, _env_int("REPRO_WAL_BATCH", DEFAULT_WAL_BATCH))
+
+
+_config = WalConfig()
+
+
+def get_config() -> WalConfig:
+    """The process-wide durability configuration."""
+    return _config
+
+
+def configure(
+    wal: bool | int | None = None,
+    wal_sync: str | None = None,
+    wal_batch: int | None = None,
+) -> WalConfig:
+    """Update the durability configuration; omitted fields keep their value."""
+    if wal is not None:
+        _config.wal = bool(wal)
+    if wal_sync is not None:
+        policy = wal_sync.strip().lower()
+        if policy not in SYNC_POLICIES:
+            raise WalError(
+                f"unknown wal_sync policy {wal_sync!r}; expected one of {list(SYNC_POLICIES)}"
+            )
+        _config.wal_sync = policy
+    if wal_batch is not None:
+        if wal_batch < 1:
+            raise WalError("wal_batch must be >= 1")
+        _config.wal_batch = wal_batch
+    return _config
+
+
+# -- record framing ----------------------------------------------------------------
+
+
+def encode_record(meta: dict[str, Any], blob: bytes | None = None) -> bytes:
+    """One framed WAL record: length, CRC, kind byte, JSON (+ blob)."""
+    body = json.dumps(meta, separators=(",", ":")).encode("utf-8")
+    if blob is None:
+        payload = bytes([_KIND_JSON]) + body
+    else:
+        payload = bytes([_KIND_BLOB]) + _JLEN.pack(len(body)) + body + blob
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> tuple[dict[str, Any], bytes | None]:
+    """Invert :func:`encode_record`'s payload (the CRC already passed)."""
+    kind = payload[0]
+    if kind == _KIND_JSON:
+        return json.loads(payload[1:].decode("utf-8")), None
+    if kind == _KIND_BLOB:
+        (jlen,) = _JLEN.unpack_from(payload, 1)
+        meta = json.loads(payload[5 : 5 + jlen].decode("utf-8"))
+        return meta, payload[5 + jlen :]
+    raise RecoveryError(f"unknown WAL record kind {kind}")
+
+
+def read_wal(path: str | os.PathLike) -> tuple[list[tuple[dict[str, Any], bytes | None]], int]:
+    """Every intact record of a WAL file, plus the byte length of that prefix.
+
+    A torn tail (incomplete frame, or a CRC-bad record ending exactly at
+    EOF) terminates the scan cleanly; the returned ``valid_bytes`` lets
+    the writer truncate it away before appending.  A CRC-bad record
+    *followed by further bytes* raises :class:`RecoveryError` — that is
+    corruption in the middle of the durable history, not a crash
+    artefact, and silently skipping it would replay a wrong state.
+    """
+    path = Path(path)
+    if not path.exists():
+        return [], 0
+    data = path.read_bytes()
+    size = len(data)
+    if size < len(MAGIC):
+        return [], 0
+    if data[: len(MAGIC)] != MAGIC:
+        raise RecoveryError(f"{path.name}: bad WAL magic header")
+    records: list[tuple[dict[str, Any], bytes | None]] = []
+    offset = len(MAGIC)
+    while offset < size:
+        if offset + _FRAME.size > size:
+            break  # torn tail: incomplete frame header
+        length, crc = _FRAME.unpack_from(data, offset)
+        start = offset + _FRAME.size
+        end = start + length
+        if length > _MAX_RECORD or end > size:
+            break  # torn tail: payload runs past EOF (or garbage length)
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            if end == size:
+                break  # torn tail: final record half-written
+            raise RecoveryError(
+                f"{path.name}: CRC mismatch at byte {offset} with "
+                f"{size - end} bytes following (mid-log corruption)"
+            )
+        try:
+            meta, blob = decode_payload(payload)
+        except RecoveryError:
+            raise
+        except Exception as exc:
+            raise RecoveryError(
+                f"{path.name}: undecodable record at byte {offset}: {exc}"
+            ) from exc
+        records.append((meta, blob))
+        offset = end
+    return records, offset
+
+
+# -- the log writer ----------------------------------------------------------------
+
+
+class WriteAheadLog:
+    """Appender for one WAL file, with power-loss emulation for tests.
+
+    ``records_logged``/``durable_records`` count appends *of this
+    session*; ``durable_records`` trails until the next fsync.  An
+    injected crash truncates the file to the bytes known durable (last
+    fsync) before raising, so the on-disk state is exactly what a real
+    power loss at that instant could leave behind.
+    """
+
+    def __init__(self, path: str | os.PathLike, valid_bytes: int | None = None) -> None:
+        self.path = Path(path)
+        existed = self.path.exists()
+        try:
+            self._file = open(self.path, "r+b" if existed else "w+b")
+        except OSError as exc:
+            raise WalError(f"cannot open WAL file {self.path}: {exc}") from exc
+        self._file.seek(0, os.SEEK_END)
+        size = self._file.tell()
+        if valid_bytes is not None and valid_bytes < size:
+            # discard a torn tail left by a crash mid-append
+            self._file.truncate(valid_bytes)
+            size = valid_bytes
+        if size < len(MAGIC):
+            self._file.seek(0)
+            self._file.truncate(0)
+            self._file.write(MAGIC)
+            size = len(MAGIC)
+        self._file.seek(size)
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._size = size
+        self._durable_bytes = size
+        self._appends_since_sync = 0
+        self._closed = False
+        self.records_logged = 0
+        self.durable_records = 0
+
+    @property
+    def size(self) -> int:
+        """Bytes written (durable or not) including the magic header."""
+        return self._size
+
+    @property
+    def durable_bytes(self) -> int:
+        """Bytes guaranteed on disk as of the last fsync."""
+        return self._durable_bytes
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def append(self, meta: dict[str, Any], blob: bytes | None = None) -> int:
+        """Append one record (returns its index within this session).
+
+        Honours the configured sync policy and the ``wal_*`` crash
+        points; the record index keys the injector's deterministic draw.
+        """
+        if self._closed:
+            raise WalError("write-ahead log is closed")
+        frame = encode_record(meta, blob)
+        lsn = self.records_logged
+        registry = get_registry()
+        injector = get_injector()
+        if injector is not None and injector.fires("wal_torn_write", ("wal", lsn)):
+            torn = 1 + zlib.crc32(frame) % max(1, len(frame) - 1)
+            self._file.write(frame[:torn])
+            self._sync()  # the torn fragment did reach the platter
+            self._die(f"torn write: {torn} of {len(frame)} bytes persisted")
+        self._file.write(frame)
+        self._file.flush()
+        self._size += len(frame)
+        self.records_logged += 1
+        self._appends_since_sync += 1
+        registry.counter("wal.appends").inc()
+        registry.counter("wal.bytes").inc(len(frame))
+        if injector is not None and injector.fires("wal_pre_fsync", ("wal", lsn)):
+            self._die("crash after append, before fsync")
+        config = get_config()
+        if config.wal_sync == "commit" or (
+            config.wal_sync == "batch" and self._appends_since_sync >= config.wal_batch
+        ):
+            self._sync()
+        if injector is not None and injector.fires("wal_post_append", ("wal", lsn)):
+            self._die("crash after append (and any policy fsync)")
+        return lsn
+
+    def _sync(self) -> None:
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._durable_bytes = self._file.tell()
+        self.durable_records = self.records_logged
+        self._appends_since_sync = 0
+        get_registry().counter("wal.fsyncs").inc()
+
+    def _die(self, reason: str) -> None:
+        # power-loss emulation: everything after the last fsync is gone
+        self._file.flush()
+        self._file.truncate(self._durable_bytes)
+        self._file.close()
+        self._closed = True
+        raise SimulatedCrashError(f"injected crash in {self.path.name}: {reason}")
+
+    def simulate_crash(self, reason: str) -> None:
+        """Kill this log as an injected crash site outside :meth:`append`."""
+        self._die(reason)
+
+    def flush(self) -> None:
+        """Force everything appended so far to disk (any sync policy)."""
+        if self._closed:
+            return
+        if self._durable_bytes < self._size or self.durable_records < self.records_logged:
+            self._sync()
+
+    def close(self) -> None:
+        """Flush (per :meth:`flush`) and close the file; idempotent."""
+        if self._closed:
+            return
+        self.flush()
+        self._file.close()
+        self._closed = True
+
+
+# -- atomic file helpers -----------------------------------------------------------
+
+
+def _fsync_dir(path: Path) -> None:
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # platforms that cannot open directories
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_write(path: Path, write) -> None:
+    with open(path, "wb") as handle:
+        write(handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    """Write-temp-then-``os.replace``: readers see old bytes or new, never torn."""
+    tmp = path.with_name(path.name + ".tmp")
+    _fsync_write(tmp, lambda handle: handle.write(data))
+    os.replace(tmp, path)
+    _fsync_dir(path.parent)
+
+
+# -- checkpoint serialisation ------------------------------------------------------
+
+
+def _json_scalar(value: Any) -> Any:
+    value = python_value(value)
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+def _stats_to_manifest(
+    table: "Table", stats: TableStatistics | None
+) -> tuple[dict[str, Any] | None, dict[str, np.ndarray]]:
+    """Split cached statistics into JSON metadata and dense npz arrays.
+
+    Histogram and zone-map arrays are keyed by *column index* (manifest
+    column order), which keeps npz key parsing unambiguous for column
+    names containing separators.
+    """
+    if stats is None:
+        return None, {}
+    meta: dict[str, Any] = {"row_count": stats.row_count, "columns": {}, "zone_maps": {}}
+    arrays: dict[str, np.ndarray] = {}
+    order = {name: i for i, name in enumerate(table.column_names)}
+    for name, cs in stats.columns.items():
+        if name not in order:
+            continue
+        ci = order[name]
+        meta["columns"][name] = {
+            "dtype": cs.dtype.name,
+            "row_count": cs.row_count,
+            "null_count": cs.null_count,
+            "distinct_count": cs.distinct_count,
+            "min": _json_scalar(cs.min_value),
+            "max": _json_scalar(cs.max_value),
+            "hist": cs.bucket_bounds is not None,
+        }
+        if cs.bucket_bounds is not None:
+            arrays[f"h{ci}b"] = cs.bucket_bounds
+            arrays[f"h{ci}c"] = cs.bucket_counts
+    for zone_rows, zone_map in stats.zone_maps.items():
+        meta["zone_maps"][str(zone_rows)] = {
+            "row_count": zone_map.row_count,
+            "columns": [name for name in zone_map.columns if name in order],
+        }
+        for name, zones in zone_map.columns.items():
+            if name not in order:
+                continue
+            prefix = f"z{zone_rows}_{order[name]}_"
+            arrays[prefix + "min"] = zones.mins
+            arrays[prefix + "max"] = zones.maxs
+            arrays[prefix + "real"] = zones.real_counts
+            arrays[prefix + "null"] = zones.null_counts
+            arrays[prefix + "nan"] = zones.nan_counts
+    return meta, arrays
+
+
+def _stats_from_manifest(
+    meta: dict[str, Any],
+    arrays: dict[str, np.ndarray],
+    column_order: list[str],
+) -> TableStatistics:
+    order = {name: i for i, name in enumerate(column_order)}
+    columns: dict[str, ColumnStatistics] = {}
+    for name, entry in meta.get("columns", {}).items():
+        ci = order[name]
+        bounds = arrays.get(f"h{ci}b") if entry.get("hist") else None
+        counts = arrays.get(f"h{ci}c") if entry.get("hist") else None
+        columns[name] = ColumnStatistics(
+            dtype=DataType[entry["dtype"]],
+            row_count=int(entry["row_count"]),
+            null_count=int(entry["null_count"]),
+            distinct_count=int(entry["distinct_count"]),
+            min_value=entry.get("min"),
+            max_value=entry.get("max"),
+            bucket_bounds=bounds,
+            bucket_counts=counts,
+        )
+    zone_maps: dict[int, ZoneMap] = {}
+    for zone_key, zone_meta in meta.get("zone_maps", {}).items():
+        zone_rows = int(zone_key)
+        zone_columns: dict[str, ColumnZones] = {}
+        for name in zone_meta.get("columns", []):
+            prefix = f"z{zone_rows}_{order[name]}_"
+            zone_columns[name] = ColumnZones(
+                mins=arrays[prefix + "min"],
+                maxs=arrays[prefix + "max"],
+                real_counts=arrays[prefix + "real"],
+                null_counts=arrays[prefix + "null"],
+                nan_counts=arrays[prefix + "nan"],
+            )
+        zone_maps[zone_rows] = ZoneMap(
+            zone_rows=zone_rows,
+            row_count=int(zone_meta["row_count"]),
+            columns=zone_columns,
+        )
+    return TableStatistics(
+        row_count=int(meta["row_count"]), columns=columns, zone_maps=zone_maps
+    )
+
+
+def checkpoint_dir_name(checkpoint_id: int) -> str:
+    """The on-disk directory name of a numbered checkpoint."""
+    return f"checkpoint-{checkpoint_id:06d}"
+
+
+def wal_file_name(checkpoint_id: int) -> str:
+    """The log file paired with a checkpoint (``wal-NNNNNN.log``)."""
+    return f"wal-{checkpoint_id:06d}.log"
+
+
+def write_checkpoint(db: "Database", root: Path, checkpoint_id: int) -> Path:
+    """Serialise every table (deltas already flushed) into a numbered dir.
+
+    The manifest goes in last, atomically — its presence marks the
+    directory complete.  The ``CURRENT`` swap is the *caller's* job, so
+    a crash here leaves at worst an orphan directory.
+    """
+    directory = root / checkpoint_dir_name(checkpoint_id)
+    if directory.exists():  # leftovers of a crashed earlier attempt
+        shutil.rmtree(directory)
+    directory.mkdir(parents=True)
+    tables_meta = []
+    for ti, name in enumerate(db.table_names()):
+        table = db.main_table(name)
+        columns_meta = []
+        for ci, column_name in enumerate(table.column_names):
+            file_name = f"t{ti}_c{ci}.npz"
+            _fsync_write(
+                directory / file_name,
+                lambda handle, _c=table.column(column_name): layouts.save_column(handle, _c),
+            )
+            columns_meta.append(
+                {
+                    "name": column_name,
+                    "dtype": table.schema.type_of(column_name).name,
+                    "file": file_name,
+                }
+            )
+        stats_meta, stats_arrays = _stats_to_manifest(table, db.cached_statistics(name))
+        stats_file = None
+        if stats_arrays or stats_meta:
+            stats_file = f"t{ti}_stats.npz"
+            _fsync_write(
+                directory / stats_file,
+                lambda handle, _a=stats_arrays: np.savez(handle, **_a),
+            )
+        tables_meta.append(
+            {
+                "name": name,
+                "row_count": table.num_rows,
+                "columns": columns_meta,
+                "stats": stats_meta,
+                "stats_file": stats_file,
+            }
+        )
+    manifest = {"format": _FORMAT_VERSION, "id": checkpoint_id, "tables": tables_meta}
+    _atomic_write(directory / "MANIFEST.json", json.dumps(manifest, indent=1).encode())
+    _fsync_dir(directory)
+    return directory
+
+
+def _load_checkpoint_dir(
+    directory: Path,
+) -> list[tuple[str, "Table", TableStatistics | None]]:
+    from repro.engine.table import Table
+
+    manifest = json.loads((directory / "MANIFEST.json").read_text())
+    if manifest.get("format") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported checkpoint format {manifest.get('format')!r}")
+    tables: list[tuple[str, Table, TableStatistics | None]] = []
+    for table_meta in manifest["tables"]:
+        columns = []
+        for column_meta in table_meta["columns"]:
+            dtype = DataType[column_meta["dtype"]]
+            column = layouts.load_column(str(directory / column_meta["file"]), dtype)
+            columns.append((column_meta["name"], column))
+        table = Table(columns)
+        stats = None
+        if table_meta.get("stats") is not None:
+            arrays: dict[str, np.ndarray] = {}
+            if table_meta.get("stats_file"):
+                with np.load(
+                    str(directory / table_meta["stats_file"]), allow_pickle=False
+                ) as npz:
+                    arrays = {key: npz[key] for key in npz.files}
+            stats = _stats_from_manifest(
+                table_meta["stats"], arrays, [n for n, _ in columns]
+            )
+        tables.append((table_meta["name"], table, stats))
+    return tables
+
+
+def _checkpoint_id_of(name: str) -> int | None:
+    prefix = "checkpoint-"
+    if not name.startswith(prefix):
+        return None
+    try:
+        return int(name[len(prefix) :])
+    except ValueError:
+        return None
+
+
+def load_checkpoint(
+    root: Path,
+) -> tuple[int, list[tuple[str, "Table", TableStatistics | None]]] | None:
+    """The newest *valid* checkpoint under ``root``, or None.
+
+    ``CURRENT`` is tried first; if it is missing or names a broken
+    directory, every numbered directory is tried newest-first.  An
+    orphan left by a crash between manifest write and ``CURRENT`` swap
+    is a complete, correct recovery source (it already contains every
+    record of the log it was meant to supersede).
+    """
+    candidates: list[str] = []
+    current = root / "CURRENT"
+    if current.exists():
+        name = current.read_text().strip()
+        if _checkpoint_id_of(name) is not None:
+            candidates.append(name)
+    numbered = sorted(
+        (
+            entry.name
+            for entry in root.iterdir()
+            if entry.is_dir() and _checkpoint_id_of(entry.name) is not None
+        ),
+        key=_checkpoint_id_of,
+        reverse=True,
+    )
+    candidates.extend(name for name in numbered if name not in candidates)
+    for name in candidates:
+        directory = root / name
+        try:
+            tables = _load_checkpoint_dir(directory)
+        except (OSError, ValueError, KeyError, TypeError, zipfile.BadZipFile):
+            continue  # incomplete or damaged: fall back to an older one
+        return _checkpoint_id_of(name), tables
+    return None
+
+
+# -- the durability manager --------------------------------------------------------
+
+_REPLAY_OPS = frozenset({"sql", "create", "replace", "drop", "merge"})
+
+
+class DurabilityManager:
+    """One database's durable root: checkpoints, the live WAL, recovery."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise WalError(f"cannot create durability root {self.root}: {exc}") from exc
+        self.checkpoint_id = 0
+        self.wal: WriteAheadLog | None = None
+        self.last_recovery: dict[str, Any] = {}
+
+    def wal_path(self, checkpoint_id: int | None = None) -> Path:
+        """Path of the log paired with a checkpoint (default: the live one)."""
+        if checkpoint_id is None:
+            checkpoint_id = self.checkpoint_id
+        return self.root / wal_file_name(checkpoint_id)
+
+    # -- recovery -------------------------------------------------------------------
+
+    def open_into(self, db: "Database") -> dict[str, Any]:
+        """Load checkpoint + WAL into ``db`` and arm the log for appends."""
+        loaded = load_checkpoint(self.root)
+        tables: list[tuple[str, Any, TableStatistics | None]] = []
+        if loaded is not None:
+            self.checkpoint_id, tables = loaded
+        for name, table, stats in tables:
+            db._install_recovered(name, table, stats)
+        records, valid_bytes = read_wal(self.wal_path())
+        # arm the writer first: it truncates any torn tail away
+        self.wal = WriteAheadLog(self.wal_path(), valid_bytes=valid_bytes)
+        with trace(
+            "recovery.replay", records=len(records), checkpoint=self.checkpoint_id
+        ):
+            replayed, failed = self.replay_into(db, records)
+        self._cleanup()
+        self.last_recovery = {
+            "checkpoint": self.checkpoint_id if loaded is not None else None,
+            "tables_restored": len(tables),
+            "records_replayed": replayed,
+            "records_failed": failed,
+        }
+        return self.last_recovery
+
+    def replay_into(self, db: "Database", records) -> tuple[int, int]:
+        """Re-apply recovered records; returns (replayed, failed) counts.
+
+        Records are logged after statement validation, so a replay
+        failure means the environment diverged (e.g. a config-dependent
+        limit); it is counted and skipped rather than aborting recovery.
+        """
+        registry = get_registry()
+        replayed = failed = 0
+        db._replaying = True
+        try:
+            for meta, blob in records:
+                op = meta.get("op")
+                if op not in _REPLAY_OPS:
+                    raise RecoveryError(f"unknown WAL operation {op!r}")
+                try:
+                    if op == "sql":
+                        db.execute(meta["stmt"])
+                    elif op == "create":
+                        db.create_table(meta["table"], layouts.table_from_bytes(blob))
+                    elif op == "replace":
+                        db.replace_table(meta["table"], layouts.table_from_bytes(blob))
+                    elif op == "drop":
+                        db.drop_table(meta["table"])
+                    elif op == "merge":
+                        if db.has_table(meta["table"]):
+                            db.flush_deltas(meta["table"])
+                except ReproError:
+                    failed += 1
+                    continue
+                replayed += 1
+        finally:
+            db._replaying = False
+        registry.counter("recovery.records_replayed").inc(replayed)
+        if failed:
+            registry.counter("recovery.records_failed").inc(failed)
+        return replayed, failed
+
+    # -- checkpointing --------------------------------------------------------------
+
+    def checkpoint(self, db: "Database") -> Path:
+        """Write checkpoint ``id+1``, swap ``CURRENT``, retire the old log."""
+        if self.wal is None:
+            raise WalError("durability manager is not open")
+        self.wal.flush()
+        next_id = self.checkpoint_id + 1
+        directory = write_checkpoint(db, self.root, next_id)
+        new_wal_path = self.wal_path(next_id)
+        if new_wal_path.exists():
+            new_wal_path.unlink()
+        new_wal = WriteAheadLog(new_wal_path)
+        injector = get_injector()
+        if injector is not None and injector.fires(
+            "crash_mid_checkpoint", ("checkpoint", next_id)
+        ):
+            new_wal.close()
+            # dir + new log exist, CURRENT still points at the old pair
+            self.wal.simulate_crash(f"crash mid-checkpoint {next_id}")
+        _atomic_write(self.root / "CURRENT", (directory.name + "\n").encode())
+        old_wal, old_id = self.wal, self.checkpoint_id
+        self.wal, self.checkpoint_id = new_wal, next_id
+        old_wal.close()
+        self._remove_pair(old_id)
+        get_registry().counter("write.checkpoints").inc()
+        return directory
+
+    def crash_point(self, point: str, key: Any) -> None:
+        """Fire an injected crash at a named durability site, if configured."""
+        injector = get_injector()
+        if injector is None or self.wal is None or self.wal.closed:
+            return
+        if injector.fires(point, (point, key)):
+            self.wal.simulate_crash(point)
+
+    # -- housekeeping ---------------------------------------------------------------
+
+    def _remove_pair(self, checkpoint_id: int) -> None:
+        try:
+            shutil.rmtree(self.root / checkpoint_dir_name(checkpoint_id), ignore_errors=True)
+            path = self.wal_path(checkpoint_id)
+            if path.exists():
+                path.unlink()
+        except OSError:
+            pass  # cleanup is best-effort; recovery tolerates leftovers
+
+    def _cleanup(self) -> None:
+        """Drop orphan checkpoint dirs / logs from crashed checkpoints."""
+        for entry in list(self.root.iterdir()):
+            if entry.is_dir():
+                orphan = _checkpoint_id_of(entry.name)
+                if orphan is not None and orphan != self.checkpoint_id:
+                    shutil.rmtree(entry, ignore_errors=True)
+            elif entry.name.startswith("wal-") and entry.name.endswith(".log"):
+                if entry.name != wal_file_name(self.checkpoint_id):
+                    try:
+                        entry.unlink()
+                    except OSError:
+                        pass
+
+    def status(self) -> dict[str, Any]:
+        """Introspection for the shell's ``\\wal`` command and tests."""
+        wal = self.wal
+        return {
+            "root": str(self.root),
+            "checkpoint_id": self.checkpoint_id,
+            "wal_file": wal_file_name(self.checkpoint_id),
+            "wal_bytes": wal.size if wal is not None else 0,
+            "durable_bytes": wal.durable_bytes if wal is not None else 0,
+            "records_logged": wal.records_logged if wal is not None else 0,
+            "durable_records": wal.durable_records if wal is not None else 0,
+            "sync_policy": get_config().wal_sync,
+            "logging": get_config().wal,
+        }
+
+    def close(self) -> None:
+        """Flush and close the live WAL; idempotent."""
+        if self.wal is not None:
+            self.wal.close()

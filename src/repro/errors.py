@@ -76,6 +76,19 @@ class MemoryBudgetError(ResourceError):
     """Raised when a query's estimated allocations exceed its memory budget."""
 
 
+class WalError(ReproError):
+    """Raised by the durability layer for write-ahead-log misuse (writing
+    to a closed log, invalid sync policy, unusable log directory)."""
+
+
+class RecoveryError(ReproError):
+    """Raised when crash recovery finds *mid-log* corruption: a record
+    whose CRC fails (or whose frame is malformed) with further bytes
+    after it.  A torn **tail** — an incomplete or CRC-invalid final
+    record, the signature of a crash during the last append — is never
+    an error; recovery discards it and keeps the durable prefix."""
+
+
 class LoadingError(ReproError):
     """Raised by the adaptive (raw-file) loading layer for malformed input."""
 

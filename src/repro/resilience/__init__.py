@@ -34,15 +34,18 @@ from repro.resilience.context import (
     get_config,
 )
 from repro.resilience.faults import (
+    CRASH_POINTS,
     FAULT_POINTS,
     FaultInjector,
     FaultSpec,
     InjectedFault,
+    SimulatedCrashError,
     get_injector,
     parse_faults,
 )
 
 __all__ = [
+    "CRASH_POINTS",
     "CancellationToken",
     "FAULT_POINTS",
     "FaultInjector",
@@ -50,6 +53,7 @@ __all__ = [
     "InjectedFault",
     "QueryContext",
     "ResilienceConfig",
+    "SimulatedCrashError",
     "activate",
     "configure",
     "context_from_config",

@@ -6,14 +6,27 @@ firing probability and an optional numeric parameter::
 
     worker_crash:0.05,slow_morsel:0.1:20
 
-==================  ==============================================  =========
-Point               Effect                                          Parameter
-==================  ==============================================  =========
-``worker_crash``    a morsel task raises :class:`InjectedFault`     —
-``slow_morsel``     a morsel task sleeps before running             sleep ms
-``malformed_row``   a CSV row is treated as unparseable             —
-``alloc_spike``     a memory charge is inflated                     multiplier
-==================  ==============================================  =========
+=======================  ==============================================  =========
+Point                    Effect                                          Parameter
+=======================  ==============================================  =========
+``worker_crash``         a morsel task raises :class:`InjectedFault`     —
+``slow_morsel``          a morsel task sleeps before running             sleep ms
+``malformed_row``        a CSV row is treated as unparseable             —
+``alloc_spike``          a memory charge is inflated                     multiplier
+``wal_pre_fsync``        process dies after append, before fsync         —
+``wal_post_append``      process dies after append (and policy fsync)    —
+``wal_torn_write``       process dies mid-append, half a record on disk  —
+``crash_mid_checkpoint`` process dies between checkpoint dir and swap    —
+``crash_mid_merge``      process dies after the merge marker is logged   —
+=======================  ==============================================  =========
+
+The five ``wal_*``/``crash_*`` points simulate *process death* for the
+durability layer (:mod:`repro.engine.wal`): the site raises
+:class:`SimulatedCrashError` after emulating what a power loss leaves on
+disk (everything past the last fsync is gone; a torn write persists a
+prefix of the final record).  They only ever fire inside a durable
+(``Database(path=...)``) session — an in-memory database never reaches
+these sites, so enabling them process-wide is safe for ordinary tests.
 
 Whether a given site fires is decided by hashing ``(seed, point, key)``
 into a uniform value and comparing against the probability — the same
@@ -31,7 +44,26 @@ import time
 from dataclasses import dataclass
 from typing import Any, Mapping
 
-FAULT_POINTS = ("worker_crash", "slow_morsel", "malformed_row", "alloc_spike")
+FAULT_POINTS = (
+    "worker_crash",
+    "slow_morsel",
+    "malformed_row",
+    "alloc_spike",
+    "wal_pre_fsync",
+    "wal_post_append",
+    "wal_torn_write",
+    "crash_mid_checkpoint",
+    "crash_mid_merge",
+)
+
+#: the fault points that simulate process death for the durability layer
+CRASH_POINTS = (
+    "wal_pre_fsync",
+    "wal_post_append",
+    "wal_torn_write",
+    "crash_mid_checkpoint",
+    "crash_mid_merge",
+)
 
 _DEFAULT_SLOW_MS = 20.0
 _DEFAULT_ALLOC_MULTIPLIER = 8.0
@@ -42,6 +74,18 @@ class InjectedFault(RuntimeError):
 
     Deliberately **not** a :class:`~repro.errors.ReproError`: to the
     retry machinery it must look exactly like an unexpected worker crash.
+    """
+
+
+class SimulatedCrashError(RuntimeError):
+    """Raised by an injected durability crash point, standing in for the
+    process dying at that instant.
+
+    Not a :class:`~repro.errors.ReproError` on purpose: nothing in the
+    engine may catch and recover from it — the test harness abandons the
+    database object (the "dead process") and re-opens from disk.  By the
+    time it is raised the WAL has already been truncated to exactly what
+    a power loss would have left durable.
     """
 
 
@@ -116,6 +160,11 @@ class FaultInjector:
         digest = hashlib.sha256(f"{self.seed}|{point}|{key}".encode()).digest()
         draw = int.from_bytes(digest[:8], "big") / 2**64
         return spec if draw < spec.probability else None
+
+    def fires(self, point: str, key: Any) -> bool:
+        """True when the fault at ``(point, key)`` fires (durability
+        crash points and other sites that act on the decision inline)."""
+        return self.decide(point, key) is not None
 
     # -- per-point helpers, named after their effect --------------------------------
 

@@ -1,4 +1,4 @@
-"""Storage layouts and their access-cost model.
+"""Storage layouts, their access-cost model, and column serialization.
 
 Costs are measured in *cells touched* — the machine-independent unit the
 adaptive-storage literature reasons in.  The model captures the three
@@ -11,13 +11,24 @@ classical effects:
   back together;
 - column groups interpolate: columns co-accessed by the workload share a
   group and are read together.
+
+This module is also the engine's physical (de)serialization seam: the
+durability layer (:mod:`repro.engine.wal`) persists every column through
+:func:`save_column`/:func:`load_column` — one ``.npz`` per column holding
+the dense npy payload, the validity mask and any dictionary encoding —
+so a future out-of-core backend can swap the representation in one
+place.  No pickle anywhere: STRING payloads round-trip through NumPy
+unicode arrays, which keeps checkpoint files inert data.
 """
 
 from __future__ import annotations
 
 import abc
+import io
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import IO, Iterable, Sequence
+
+import numpy as np
 
 #: Random-access penalty for stitching a tuple together across storage
 #: units (relative to a sequential cell read).
@@ -148,3 +159,127 @@ class ColumnGroupLayout(Layout):
     def describe(self) -> str:
         rendered = "; ".join("{" + ", ".join(g) + "}" for g in self.groups)
         return f"groups({rendered})"
+
+
+# -- column serialization (the durability layer's physical seam) ----------------------
+#
+# One ``.npz`` per column: ``data`` (STRING payloads as NumPy unicode, so
+# nothing needs pickle), optional ``validity``, and the optional
+# ``codes``/``dictionary`` pair of a dictionary-encoded STRING column.
+# The logical dtype travels out of band (checkpoint manifest / WAL record
+# metadata) — the arrays alone do not distinguish INT64 from a sequence
+# of integers that happens to back a FLOAT64 column.
+
+
+def _strings_to_unicode(data: np.ndarray, validity: np.ndarray | None) -> np.ndarray:
+    """An object payload of ``str`` as a dense NumPy unicode array.
+
+    Null slots may hold ``None``; they are parked as ``""`` (the validity
+    mask, stored alongside, is what distinguishes a null from an actual
+    empty string).
+    """
+    if validity is not None:
+        data = data.copy()
+        data[~validity] = ""
+    if len(data) == 0:
+        return np.empty(0, dtype="U1")
+    return np.asarray(data, dtype=np.str_)
+
+
+def column_to_arrays(column: "Column") -> dict[str, np.ndarray]:
+    """The dense arrays that fully describe ``column`` (pickle-free)."""
+    from repro.engine.types import DataType
+
+    validity = column.validity
+    if column.dtype is DataType.STRING:
+        arrays = {"data": _strings_to_unicode(column.data, validity)}
+        pair = column.dictionary()
+        if pair is not None:
+            codes, dictionary = pair
+            arrays["codes"] = codes
+            arrays["dictionary"] = _strings_to_unicode(dictionary, None)
+    else:
+        arrays = {"data": column.data}
+    if validity is not None:
+        arrays["validity"] = validity
+    return arrays
+
+
+def column_from_arrays(arrays: dict[str, np.ndarray], dtype: "DataType") -> "Column":
+    """Rebuild a column from :func:`column_to_arrays` output."""
+    from repro.engine.column import column_from_parts
+    from repro.engine.types import DataType
+
+    data = arrays["data"]
+    validity = arrays.get("validity")
+    if validity is not None:
+        validity = validity.astype(bool)
+    if dtype is DataType.STRING:
+        data = data.astype(object)
+        if validity is not None:
+            data = data.copy()
+            data[~validity] = None
+    column = column_from_parts(np.ascontiguousarray(data) if data.dtype != object else data,
+                               dtype, validity)
+    codes = arrays.get("codes")
+    dictionary = arrays.get("dictionary")
+    if codes is not None and dictionary is not None:
+        column._codes = codes.astype(np.int32)
+        column._dict = dictionary.astype(object)
+    return column
+
+
+def save_column(target: str | IO[bytes], column: "Column") -> None:
+    """Serialise one column as an uncompressed ``.npz`` (path or stream)."""
+    np.savez(target, **column_to_arrays(column))
+
+
+def load_column(source: str | IO[bytes], dtype: "DataType") -> "Column":
+    """Load a column written by :func:`save_column` (``allow_pickle=False``)."""
+    with np.load(source, allow_pickle=False) as npz:
+        arrays = {key: npz[key] for key in npz.files}
+    return column_from_arrays(arrays, dtype)
+
+
+def table_to_bytes(table: "Table") -> bytes:
+    """A whole table as one self-describing ``.npz`` blob.
+
+    Used for WAL snapshot records (programmatic ``create_table`` /
+    ``replace_table`` payloads); checkpoints store one file per column
+    instead, via :func:`save_column`.
+    """
+    payload: dict[str, np.ndarray] = {
+        "__names": np.asarray(list(table.column_names), dtype=np.str_)
+        if table.num_columns
+        else np.empty(0, dtype="U1"),
+        "__dtypes": np.asarray(
+            [table.schema.type_of(n).name for n in table.column_names], dtype=np.str_
+        ),
+    }
+    for i, name in enumerate(table.column_names):
+        for key, array in column_to_arrays(table.column(name)).items():
+            payload[f"c{i}.{key}"] = array
+    buffer = io.BytesIO()
+    np.savez(buffer, **payload)
+    return buffer.getvalue()
+
+
+def table_from_bytes(blob: bytes) -> "Table":
+    """Rebuild a table from :func:`table_to_bytes` output."""
+    from repro.engine.table import Table
+    from repro.engine.types import DataType
+
+    with np.load(io.BytesIO(blob), allow_pickle=False) as npz:
+        arrays = {key: npz[key] for key in npz.files}
+    names = [str(n) for n in arrays.pop("__names")]
+    dtypes = [DataType[str(d)] for d in arrays.pop("__dtypes")]
+    columns = []
+    for i, (name, dtype) in enumerate(zip(names, dtypes)):
+        prefix = f"c{i}."
+        parts = {
+            key[len(prefix):]: array
+            for key, array in arrays.items()
+            if key.startswith(prefix)
+        }
+        columns.append((name, column_from_arrays(parts, dtype)))
+    return Table(columns)

@@ -1,0 +1,533 @@
+"""Durability tests: WAL framing, checkpoints, crash recovery.
+
+Covers the PR 8 surface: record encode/decode round trips, the
+torn-tail vs mid-log-corruption distinction (a byte-offset truncation
+sweep over the final record must never raise; a corrupt record with
+bytes after it must), sync policies and their fsync counts, atomic
+checkpoints (including recovery from an orphan directory left by a
+crash mid-checkpoint), recovery edge cases (empty WAL, checkpoint-only,
+WAL-only, double recovery, merge-on-every-write), `close()` semantics,
+the PRAGMA settings listing, and the kill–replay property test: a
+randomized DML workload crashed at a random injection point must
+recover exactly the durable prefix, bit-identical to a Python-mirror
+oracle.
+"""
+
+from __future__ import annotations
+
+import shutil
+import struct
+
+import numpy as np
+import pytest
+
+from repro import resilience
+from repro.engine import Database, Table
+from repro.engine import delta as deltamod
+from repro.engine import scanopt
+from repro.engine import wal as walmod
+from repro.errors import CatalogError, RecoveryError, WalError
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.resilience import SimulatedCrashError
+from tests.test_dml import _apply_dml, _python_matches, _random_dml, _rebuild_oracle
+from tests.test_parallel import tables_bit_identical
+from tests.test_sql_differential import random_table
+
+
+@pytest.fixture(autouse=True)
+def _pin_durability_config():
+    """Deterministic durability/write-path config; restore the ambient one."""
+    saved_wal = walmod.get_config()
+    saved = (saved_wal.wal, saved_wal.wal_sync, saved_wal.wal_batch)
+    saved_delta = deltamod.get_config().delta_rows
+    gov = resilience.get_config()
+    saved_gov = (gov.faults, gov.fault_seed)
+    walmod.configure(wal=True, wal_sync="commit", wal_batch=walmod.DEFAULT_WAL_BATCH)
+    deltamod.configure(delta_rows=deltamod.DEFAULT_DELTA_ROWS)
+    resilience.configure(faults="off", fault_seed=0)
+    registry = MetricsRegistry()
+    set_registry(registry)
+    yield registry
+    walmod.configure(wal=saved[0], wal_sync=saved[1], wal_batch=saved[2])
+    deltamod.configure(delta_rows=saved_delta)
+    resilience.configure(faults=saved_gov[0] or "off", fault_seed=saved_gov[1])
+
+
+# -- record framing -------------------------------------------------------------------
+
+
+class TestRecordFraming:
+    def test_json_roundtrip(self):
+        meta = {"op": "sql", "stmt": "INSERT INTO t VALUES (1, 'déjà')"}
+        frame = walmod.encode_record(meta)
+        length, crc = struct.unpack_from("<II", frame)
+        assert length == len(frame) - 8
+        decoded, blob = walmod.decode_payload(frame[8:])
+        assert decoded == meta and blob is None
+
+    def test_blob_roundtrip(self):
+        blob = bytes(range(256)) * 3
+        frame = walmod.encode_record({"op": "create", "table": "t"}, blob)
+        decoded, got = walmod.decode_payload(frame[8:])
+        assert decoded == {"op": "create", "table": "t"}
+        assert got == blob
+
+    def test_reader_roundtrip_and_valid_bytes(self, tmp_path):
+        path = tmp_path / "wal.log"
+        frames = [walmod.encode_record({"i": i}, b"x" * i) for i in range(5)]
+        path.write_bytes(walmod.MAGIC + b"".join(frames))
+        records, valid = walmod.read_wal(path)
+        assert [m["i"] for m, _ in records] == list(range(5))
+        assert valid == path.stat().st_size
+
+    def test_missing_and_short_files(self, tmp_path):
+        assert walmod.read_wal(tmp_path / "absent.log") == ([], 0)
+        short = tmp_path / "short.log"
+        short.write_bytes(walmod.MAGIC[:3])
+        assert walmod.read_wal(short) == ([], 0)
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_bytes(b"NOTAWAL!" + walmod.encode_record({"i": 0}))
+        with pytest.raises(RecoveryError, match="magic"):
+            walmod.read_wal(path)
+
+    def test_torn_tail_discarded_midlog_raises(self, tmp_path):
+        first = walmod.encode_record({"i": 0})
+        second = walmod.encode_record({"i": 1})
+        path = tmp_path / "wal.log"
+        # CRC-bad *final* record: torn tail, cleanly discarded
+        broken = bytearray(second)
+        broken[-1] ^= 0xFF
+        path.write_bytes(walmod.MAGIC + first + bytes(broken))
+        records, valid = walmod.read_wal(path)
+        assert [m["i"] for m, _ in records] == [0]
+        assert valid == len(walmod.MAGIC) + len(first)
+        # the same bad record with bytes after it: mid-log corruption
+        path.write_bytes(walmod.MAGIC + bytes(broken) + first)
+        with pytest.raises(RecoveryError, match="mid-log"):
+            walmod.read_wal(path)
+
+
+# -- persist / reopen -----------------------------------------------------------------
+
+
+class TestPersistReopen:
+    def test_wal_only_open(self, tmp_path):
+        with Database(path=tmp_path) as db:
+            db.execute("CREATE TABLE t (a INT, s TEXT)")
+            db.execute("INSERT INTO t VALUES (1, 'x'), (2, NULL)")
+            db.execute("UPDATE t SET a = a + 10 WHERE s = 'x'")
+            expected = list(db.sql("SELECT * FROM t ORDER BY a").rows())
+        assert not (tmp_path / "CURRENT").exists()  # no checkpoint was taken
+        with Database(path=tmp_path) as db2:
+            assert list(db2.sql("SELECT * FROM t ORDER BY a").rows()) == expected
+            # one record each for CREATE, the (multi-row) INSERT, and UPDATE
+            assert db2.durability.last_recovery["records_replayed"] == 3
+            assert db2.durability.last_recovery["checkpoint"] is None
+
+    def test_empty_wal_open(self, tmp_path):
+        with Database(path=tmp_path) as db:
+            assert db.table_names() == []
+        with Database(path=tmp_path) as db2:
+            assert db2.table_names() == []
+            assert db2.durability.last_recovery["records_replayed"] == 0
+
+    def test_programmatic_ddl_snapshots(self, tmp_path):
+        with Database(path=tmp_path) as db:
+            db.create_table("t", {"a": [1, 2, None], "s": ["x", None, "y"]})
+            db.create_table("gone", {"z": [1]})
+            db.drop_table("gone")
+            db.replace_table("t", Table.from_dict({"a": [7], "s": [None]}))
+        with Database(path=tmp_path) as db2:
+            assert db2.table_names() == ["t"]
+            assert list(db2.get_table("t").rows()) == [(7, None)]
+
+    def test_delete_without_where_replays_as_snapshot(self, tmp_path):
+        with Database(path=tmp_path) as db:
+            db.create_table("t", {"a": [1, 2, 3]})
+            assert db.execute("DELETE FROM t") == 3
+        with Database(path=tmp_path) as db2:
+            assert db2.get_table("t").num_rows == 0
+            assert db2.get_table("t").column_names == ("a",)
+
+    def test_checkpoint_then_reopen_replays_nothing(self, tmp_path):
+        with Database(path=tmp_path) as db:
+            db.create_table("t", {"a": list(range(20)), "s": ["w"] * 20})
+            db.sql("SELECT max(a) FROM t")  # populate cached statistics
+            path = db.checkpoint()
+            assert "checkpoint-000001" in path
+        with Database(path=tmp_path) as db2:
+            recovery = db2.durability.last_recovery
+            assert recovery["checkpoint"] == 1
+            assert recovery["records_replayed"] == 0
+            assert list(db2.get_table("t").column("a").to_list()) == list(range(20))
+
+    def test_checkpoint_preserves_statistics_and_dictionary(self, tmp_path):
+        scanopt.configure(zone_rows=8)
+        try:
+            with Database(path=tmp_path) as db:
+                db.create_table(
+                    "t", {"a": list(range(40)), "s": ["ash", "oak"] * 20}
+                )
+                stats = db.statistics("t")
+                zones = db.zone_map("t")
+                db.checkpoint()
+            with Database(path=tmp_path) as db2:
+                restored = db2.cached_statistics("t")
+                assert restored is not None  # loaded from disk, not recomputed
+                assert restored.row_count == stats.row_count
+                cs, rs = stats.columns["a"], restored.columns["a"]
+                assert (rs.min_value, rs.max_value) == (cs.min_value, cs.max_value)
+                assert rs.distinct_count == cs.distinct_count
+                restored_zones = db2.zone_map("t")
+                assert np.array_equal(restored_zones.columns["a"].mins, zones.columns["a"].mins)
+                pair = db2.get_table("t").column("s").dictionary()
+                assert pair is not None  # codes came off disk, not re-encoded
+        finally:
+            scanopt.configure(zone_rows=scanopt.DEFAULT_ZONE_ROWS)
+
+    def test_post_checkpoint_writes_replay_on_top(self, tmp_path):
+        with Database(path=tmp_path) as db:
+            db.create_table("t", {"a": [1]})
+            db.checkpoint()
+            db.execute("INSERT INTO t VALUES (2)")
+        with Database(path=tmp_path) as db2:
+            assert sorted(db2.sql("SELECT * FROM t").rows()) == [(1,), (2,)]
+            assert db2.durability.last_recovery["records_replayed"] == 1
+
+    def test_double_recovery(self, tmp_path):
+        with Database(path=tmp_path) as db:
+            db.create_table("t", {"a": [1]})
+        db2 = Database(path=tmp_path)
+        db2.execute("INSERT INTO t VALUES (2)")
+        resilience.configure(faults="wal_post_append:1.0")
+        with pytest.raises(SimulatedCrashError):
+            db2.execute("INSERT INTO t VALUES (3)")
+        resilience.configure(faults="off")
+        # post_append under the commit policy: the record was fsynced
+        with Database(path=tmp_path) as db3:
+            assert sorted(db3.sql("SELECT * FROM t").rows()) == [(1,), (2,), (3,)]
+
+    def test_merge_on_every_write_recovery(self, tmp_path):
+        deltamod.configure(delta_rows=1)
+        with Database(path=tmp_path) as db:
+            db.create_table("t", {"a": [0], "s": ["x"]})
+            for i in range(1, 6):
+                db.execute(f"INSERT INTO t VALUES ({i}, 'v{i}')")
+            db.execute("DELETE FROM t WHERE a = 3")
+            expected = list(db.sql("SELECT * FROM t ORDER BY a").rows())
+        with Database(path=tmp_path) as db2:
+            assert list(db2.sql("SELECT * FROM t ORDER BY a").rows()) == expected
+            # merge markers replayed the merges: nothing left pending
+            assert db2.delta_store_if_dirty("t") is None
+
+    def test_failed_statements_are_not_logged(self, tmp_path):
+        with Database(path=tmp_path) as db:
+            db.create_table("t", {"a": [1]})
+            with pytest.raises(CatalogError):
+                db.execute("INSERT INTO t (nope) VALUES (2)")
+            db.execute("INSERT INTO t VALUES (5)")
+        with Database(path=tmp_path) as db2:
+            assert db2.durability.last_recovery["records_failed"] == 0
+            assert sorted(db2.sql("SELECT * FROM t").rows()) == [(1,), (5,)]
+
+
+# -- close() / context manager --------------------------------------------------------
+
+
+class TestClose:
+    def test_close_is_idempotent_and_blocks_use(self, tmp_path):
+        db = Database(path=tmp_path)
+        db.execute("CREATE TABLE t (a INT)")
+        db.close()
+        db.close()
+        with pytest.raises(CatalogError, match="closed"):
+            db.execute("INSERT INTO t VALUES (1)")
+        with pytest.raises(CatalogError, match="closed"):
+            db.sql("SELECT 1")
+
+    def test_in_memory_close(self):
+        with Database() as db:
+            db.create_table("t", {"a": [1]})
+        with pytest.raises(CatalogError, match="closed"):
+            db.sql("SELECT * FROM t")
+
+    def test_close_flushes_unsynced_tail(self, tmp_path):
+        walmod.configure(wal_sync="off")
+        db = Database(path=tmp_path)
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1)")
+        assert db.durability.wal.durable_records == 0
+        db.close()
+        with Database(path=tmp_path) as db2:
+            assert list(db2.sql("SELECT * FROM t").rows()) == [(1,)]
+
+
+# -- sync policies --------------------------------------------------------------------
+
+
+class TestSyncPolicies:
+    def test_commit_fsyncs_every_record(self, tmp_path, _pin_durability_config):
+        db = Database(path=tmp_path)
+        base = _pin_durability_config.counter("wal.fsyncs").value
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1)")
+        assert _pin_durability_config.counter("wal.fsyncs").value - base == 2
+        assert db.durability.wal.durable_records == db.durability.wal.records_logged == 2
+        db.close()
+
+    def test_batch_fsyncs_every_n(self, tmp_path):
+        walmod.configure(wal_sync="batch", wal_batch=3)
+        db = Database(path=tmp_path)
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1)")
+        assert db.durability.wal.durable_records == 0
+        db.execute("INSERT INTO t VALUES (2)")  # third record: batch boundary
+        assert db.durability.wal.durable_records == 3
+        db.close()
+
+    def test_sync_off_loses_unsynced_records_on_crash(self, tmp_path):
+        db = Database(path=tmp_path)
+        db.execute("CREATE TABLE t (a INT)")  # commit policy: durable
+        walmod.configure(wal_sync="off")
+        db.execute("INSERT INTO t VALUES (1)")
+        with pytest.raises(SimulatedCrashError):
+            db.durability.wal.simulate_crash("test power loss")
+        with Database(path=tmp_path) as db2:
+            assert db2.get_table("t").num_rows == 0  # table survived, row did not
+
+    def test_wal_off_is_checkpoint_only(self, tmp_path):
+        walmod.configure(wal=False)
+        db = Database(path=tmp_path)
+        db.create_table("t", {"a": [1]})
+        db.checkpoint()
+        db.execute("INSERT INTO t VALUES (2)")
+        assert db.durability.wal.records_logged == 0
+        db.close()
+        with Database(path=tmp_path) as db2:
+            assert list(db2.sql("SELECT * FROM t").rows()) == [(1,)]
+
+    def test_wal_pragmas(self, tmp_path):
+        with Database(path=tmp_path) as db:
+            db.execute("PRAGMA wal_sync=batch")
+            db.execute("PRAGMA wal_batch=7")
+            config = walmod.get_config()
+            assert (config.wal_sync, config.wal_batch) == ("batch", 7)
+            with pytest.raises(CatalogError, match="wal_sync"):
+                db.execute("PRAGMA wal_sync=sometimes")
+            rows = dict()
+            for pragma, value, source in db.execute("PRAGMA").rows():
+                rows[pragma] = (value, source)
+            assert rows["wal_sync"] == ("batch", "pragma")
+            assert rows["wal_batch"] == ("7", "pragma")
+            assert rows["threads"][1].startswith(("default", "env:"))
+
+
+# -- torn-write sweep (acceptance criterion) ------------------------------------------
+
+
+def _frame_offsets(data: bytes) -> list[int]:
+    """Byte offset of every record frame in a WAL image."""
+    offsets, offset = [], len(walmod.MAGIC)
+    while offset + 8 <= len(data):
+        (length,) = struct.unpack_from("<I", data, offset)
+        offsets.append(offset)
+        offset += 8 + length
+    return offsets
+
+
+def test_torn_write_sweep_never_raises(tmp_path):
+    """Truncate the WAL at *every* byte offset of the final record: recovery
+    must never raise and must restore exactly the statements whose records
+    survived intact."""
+    source = tmp_path / "db"
+    with Database(path=source) as db:
+        db.execute("CREATE TABLE t (a INT)")
+        for i in range(3):
+            db.execute(f"INSERT INTO t VALUES ({i})")
+    wal_path = source / walmod.wal_file_name(0)
+    image = wal_path.read_bytes()
+    last_start = _frame_offsets(image)[-1]
+    for cut in range(last_start, len(image) + 1):
+        target = tmp_path / f"cut{cut}"
+        shutil.copytree(source, target)
+        (target / walmod.wal_file_name(0)).write_bytes(image[:cut])
+        with Database(path=target) as recovered:
+            rows = sorted(recovered.sql("SELECT * FROM t").rows())
+            expected = 3 if cut == len(image) else 2
+            assert rows == [(i,) for i in range(expected)], f"cut at byte {cut}"
+
+
+def test_midlog_corruption_raises_recovery_error(tmp_path):
+    with Database(path=tmp_path) as db:
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1)")
+        db.execute("INSERT INTO t VALUES (2)")
+    wal_path = tmp_path / walmod.wal_file_name(0)
+    image = bytearray(wal_path.read_bytes())
+    second_start = _frame_offsets(bytes(image))[1]
+    image[second_start + 10] ^= 0xFF  # payload byte of a non-final record
+    wal_path.write_bytes(bytes(image))
+    with pytest.raises(RecoveryError, match="mid-log"):
+        Database(path=tmp_path)
+
+
+# -- crash injection points -----------------------------------------------------------
+
+
+class TestCrashPoints:
+    def test_pre_fsync_loses_the_record(self, tmp_path):
+        db = Database(path=tmp_path)
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1)")
+        resilience.configure(faults="wal_pre_fsync:1.0")
+        with pytest.raises(SimulatedCrashError):
+            db.execute("INSERT INTO t VALUES (2)")
+        with pytest.raises(WalError, match="closed"):
+            db.durability.wal.append({"op": "merge", "table": "t", "reason": "x"})
+        resilience.configure(faults="off")
+        with Database(path=tmp_path) as db2:
+            assert sorted(db2.sql("SELECT * FROM t").rows()) == [(1,)]
+
+    def test_torn_write_leaves_recoverable_prefix(self, tmp_path):
+        db = Database(path=tmp_path)
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1)")
+        resilience.configure(faults="wal_torn_write:1.0")
+        with pytest.raises(SimulatedCrashError, match="torn"):
+            db.execute("INSERT INTO t VALUES (2)")
+        resilience.configure(faults="off")
+        wal_path = tmp_path / walmod.wal_file_name(0)
+        records, valid = walmod.read_wal(wal_path)
+        assert len(records) == 2 and valid < wal_path.stat().st_size
+        with Database(path=tmp_path) as db2:
+            assert sorted(db2.sql("SELECT * FROM t").rows()) == [(1,)]
+            # recovery truncated the torn fragment away
+            assert wal_path.stat().st_size == valid
+
+    def test_crash_mid_checkpoint_recovers(self, tmp_path):
+        db = Database(path=tmp_path)
+        db.create_table("t", {"a": [1, 2]})
+        resilience.configure(faults="crash_mid_checkpoint:1.0")
+        with pytest.raises(SimulatedCrashError):
+            db.checkpoint()
+        resilience.configure(faults="off")
+        with Database(path=tmp_path) as db2:
+            assert sorted(db2.sql("SELECT * FROM t").rows()) == [(1,), (2,)]
+            db2.execute("INSERT INTO t VALUES (3)")
+        with Database(path=tmp_path) as db3:
+            assert sorted(db3.sql("SELECT * FROM t").rows()) == [(1,), (2,), (3,)]
+
+    def test_crash_mid_merge_recovers(self, tmp_path):
+        deltamod.configure(delta_rows=1)
+        db = Database(path=tmp_path)
+        db.execute("CREATE TABLE t (a INT)")
+        resilience.configure(faults="crash_mid_merge:1.0")
+        with pytest.raises(SimulatedCrashError):
+            db.execute("INSERT INTO t VALUES (7)")
+        resilience.configure(faults="off")
+        with Database(path=tmp_path) as db2:
+            # the DML record and merge marker were durable (commit policy)
+            assert list(db2.sql("SELECT * FROM t").rows()) == [(7,)]
+
+
+# -- kill–replay property test (acceptance criterion) ---------------------------------
+
+
+_CRASH_SPECS = [
+    "wal_pre_fsync:0.2",
+    "wal_post_append:0.2",
+    "wal_torn_write:0.2",
+    "crash_mid_merge:0.3",
+    "crash_mid_checkpoint:0.8",
+    "wal_pre_fsync:0.1,wal_post_append:0.1,wal_torn_write:0.1,"
+    "crash_mid_merge:0.15,crash_mid_checkpoint:0.5",
+]
+
+
+def _mirror_only(rows: list[dict], op: tuple) -> None:
+    """Apply one DML op to the Python mirror alone (no engine call)."""
+    kind = op[0]
+    if kind == "insert":
+        rows.extend({"id": r[0], "a": r[1], "b": r[2], "s": r[3]} for r in op[1])
+    elif kind == "delete":
+        _, column, cmp_op, value = op
+        rows[:] = [r for r in rows if not _python_matches(r, column, cmp_op, value)]
+    else:
+        _, k, column, cmp_op, value = op
+        for row in rows:
+            if _python_matches(row, column, cmp_op, value) and row["a"] is not None:
+                row["a"] += k
+
+
+def _assert_matches_mirror(db: Database, mirror: list[dict]) -> None:
+    got = db.get_table("t")
+    if not mirror:
+        assert got.num_rows == 0
+        return
+    tables_bit_identical(got, _rebuild_oracle(mirror).get_table("t"))
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_kill_replay_property(tmp_path, seed):
+    """Crash a randomized DML workload at a random injection point; recovery
+    must restore exactly the durable prefix, bit-identical to the oracle.
+
+    Bookkeeping: under the ``commit`` sync policy a statement is durable
+    iff its WAL record index (sampled before execution) is below the dead
+    log's ``durable_records``; statements persisted by a successful
+    checkpoint are durable regardless of the log that followed.
+    """
+    rng = np.random.default_rng(9000 + seed)
+    table, rows = random_table(rng, n=int(rng.integers(10, 30)))
+    script = []
+    next_id = len(rows)
+    for _ in range(20):
+        op, next_id = _random_dml(rng, next_id)
+        script.append(op)
+    crash_spec = _CRASH_SPECS[seed % len(_CRASH_SPECS)]
+    deltamod.configure(delta_rows=int(rng.choice([1, 4, 1_000_000])))
+
+    db = Database(path=tmp_path)
+    db.create_table("t", table)
+    mirror = [dict(r) for r in rows]
+    snaps = [[dict(r) for r in mirror]]  # snaps[k] = state after k statements
+    checkpointed = 0  # statements baked into the last successful checkpoint
+    records_before: list[int] = []  # per post-checkpoint statement, on the live log
+    resilience.configure(faults=crash_spec, fault_seed=seed)
+    crashed = False
+    expected: list[dict] | None = None
+    try:
+        for j, op in enumerate(script):
+            if rng.random() < 0.2:
+                try:
+                    db.checkpoint()
+                    checkpointed = j
+                    records_before = []
+                except SimulatedCrashError:
+                    crashed = True
+                    expected = snaps[j]  # no statement was in flight
+                    break
+            records_before.append(db.durability.wal.records_logged)
+            try:
+                _apply_dml(db, mirror, op)
+            except SimulatedCrashError:
+                crashed = True
+                durable = db.durability.wal.durable_records
+                extra = sum(1 for r in records_before if r < durable)
+                k = checkpointed + extra
+                expected = [dict(r) for r in snaps[min(k, j)]]
+                if k == j + 1:  # the crashing statement itself was durable
+                    _mirror_only(expected, op)
+                break
+            snaps.append([dict(r) for r in mirror])
+    finally:
+        resilience.configure(faults="off")
+    if not crashed:
+        db.close()
+        expected = mirror
+    with Database(path=tmp_path) as recovered:
+        _assert_matches_mirror(recovered, expected)
+        recovered.flush_deltas()  # merge invariance: logical state unchanged
+        _assert_matches_mirror(recovered, expected)
