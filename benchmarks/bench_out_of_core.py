@@ -1,0 +1,267 @@
+"""Out-of-core execution: mmap-backed scans, I/O-level zone-map pruning.
+
+Measures what the mmap storage tier buys on a zone-clustered table that
+never materialises in RAM:
+
+- bytes read vs selectivity: the same predicate family (``k < K``) swept
+  from a full scan down to a single zone, in ``storage=memory`` vs
+  ``storage=mmap``; in mmap mode the executor consults the zone map
+  *before* slicing each morsel, so FAIL zones are never faulted in and
+  ``io.bytes_read`` falls with selectivity instead of staying flat;
+- scan latency vs dataset/RAM ratio: the selective scan corpus run under
+  a per-query memory budget of the dataset size over 1x / 4x / 10x —
+  out-of-core scans must complete (and stay fast) even when the table is
+  10x larger than the budget, because only the zones a predicate touches
+  ever produce resident pages.
+
+Results print as a table and can be dumped as ``BENCH_out_of_core.json``
+(``--json``); ``--quick`` shrinks the table for CI.  Every run is
+verified: each mmap-mode query must return bit-identical rows to the
+same query in memory mode.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import print_table
+
+from repro import resilience
+from repro.engine import Database
+from repro.obs import get_registry
+from repro.storage import layouts
+
+ROWS = 262_144
+ZONE_ROWS = 2_048  # 128 zones; one zone = 0.78% of the table
+RATIOS = (1, 4, 10)
+
+
+def build_clustered(root: Path, rows: int, zone_rows: int) -> None:
+    """A durable, checkpointed table whose key is clustered by zone.
+
+    ``k = row // zone_rows`` so every zone holds exactly one key value:
+    the zone map turns ``k = 7`` into a single surviving zone and
+    ``k < K`` into a prefix of zones.
+    """
+    db = Database(path=root)
+    db.execute("CREATE TABLE t (k INT, v DOUBLE, s TEXT)")
+    batch = 8_192
+    for start in range(0, rows, batch):
+        values = ", ".join(
+            f"({i // zone_rows}, {float(i % 97)}, 'city_{i % 199:04d}')"
+            for i in range(start, min(start + batch, rows))
+        )
+        db.execute(f"INSERT INTO t (k, v, s) VALUES {values}")
+    db.checkpoint()
+    db.close()
+
+
+def open_db(root: Path, storage: str, zone_rows: int) -> Database:
+    """Reopen the durable table under one storage mode."""
+    layouts.configure(storage=storage)
+    db = Database(path=root)
+    db.execute(f"PRAGMA zone_rows={zone_rows}")
+    return db
+
+
+def _fingerprint(table) -> tuple:
+    """Order-insensitive content digest for cross-mode verification."""
+    rows = sorted(
+        tuple(table.column(name)[i] for name in table.column_names)
+        for i in range(table.num_rows)
+    )
+    return (table.num_rows, tuple(rows[:100]), tuple(rows[-100:]))
+
+
+def bench_selectivity(root: Path, rows: int, zone_rows: int) -> dict:
+    """Bytes read and latency vs selectivity, memory vs mmap."""
+    num_zones = (rows + zone_rows - 1) // zone_rows
+    sweep = [
+        ("100% of zones", num_zones),
+        ("25% of zones", max(1, num_zones // 4)),
+        ("5% of zones", max(1, num_zones // 20)),
+        ("1 zone", 1),
+    ]
+    bytes_read = get_registry().counter("io.bytes_read")
+    zones_skipped = get_registry().counter("io.zones_skipped_io")
+    out: dict[str, dict] = {}
+    baselines: dict[str, tuple] = {}
+    with open_db(root, "memory", zone_rows) as db:
+        for label, k in sweep:
+            sql = f"SELECT k, v, s FROM t WHERE k < {k}"
+            start = time.perf_counter()
+            result = db.execute(sql)
+            seconds = time.perf_counter() - start
+            baselines[label] = _fingerprint(result)
+            out[label] = {"selected_zones": k, "memory_s": seconds}
+    with open_db(root, "mmap", zone_rows) as db:
+        assert db.get_table("t").is_mapped, "recovery did not map the table"
+        for label, k in sweep:
+            sql = f"SELECT k, v, s FROM t WHERE k < {k}"
+            before, skipped_before = bytes_read.value, zones_skipped.value
+            start = time.perf_counter()
+            result = db.execute(sql)
+            seconds = time.perf_counter() - start
+            assert _fingerprint(result) == baselines[label], (
+                f"mmap result diverged from memory mode at {label}"
+            )
+            out[label].update(
+                mmap_s=seconds,
+                bytes_read=bytes_read.value - before,
+                zones_skipped=zones_skipped.value - skipped_before,
+            )
+    total = out["100% of zones"]["bytes_read"]
+    for r in out.values():
+        r["read_fraction"] = r["bytes_read"] / total if total else 0.0
+    return {"rows": rows, "zones": num_zones, "table_bytes": total, "sweep": out}
+
+
+def bench_ram_ratio(
+    root: Path, rows: int, zone_rows: int, table_bytes: int, ratios: tuple[int, ...]
+) -> dict:
+    """Selective-scan corpus latency with the dataset 1x/4x/10x the budget."""
+    num_zones = (rows + zone_rows - 1) // zone_rows
+    corpus = [
+        f"SELECT k, v, s FROM t WHERE k < {max(1, num_zones // 20)}",
+        f"SELECT k, v, s FROM t WHERE k = {num_zones // 2}",
+        f"SELECT SUM(v) AS sv FROM t WHERE k = {num_zones // 3}",
+    ]
+    out: dict[str, dict] = {}
+    with open_db(root, "mmap", zone_rows) as db:
+        for ratio in ratios:
+            budget_kb = max(1, table_bytes // 1024 // ratio)
+            resilience.configure(memory_budget_kb=budget_kb)
+            start = time.perf_counter()
+            result_rows_total = 0
+            for sql in corpus:
+                result_rows_total += db.execute(sql).num_rows
+            seconds = time.perf_counter() - start
+            out[f"{ratio}x"] = {
+                "budget_kb": budget_kb,
+                "corpus_s": seconds,
+                "result_rows": result_rows_total,
+            }
+    expected = out[f"{ratios[0]}x"]["result_rows"]
+    assert all(r["result_rows"] == expected for r in out.values())
+    return out
+
+
+def run_experiment(
+    rows: int = ROWS, zone_rows: int = ZONE_ROWS, ratios: tuple[int, ...] = RATIOS
+) -> dict:
+    """Both experiments under a throwaway directory; restores the config."""
+    saved_storage = layouts.get_config().storage
+    saved_budget = resilience.get_config().memory_budget_kb
+    tmp = Path(tempfile.mkdtemp(prefix="bench_out_of_core_"))
+    try:
+        build_clustered(tmp / "db", rows, zone_rows)
+        selectivity = bench_selectivity(tmp / "db", rows, zone_rows)
+        ratio = bench_ram_ratio(
+            tmp / "db", rows, zone_rows, selectivity["table_bytes"], ratios
+        )
+        return {
+            "rows": rows,
+            "zone_rows": zone_rows,
+            "table_bytes": selectivity["table_bytes"],
+            "selectivity": selectivity,
+            "ram_ratio": ratio,
+        }
+    finally:
+        layouts.configure(storage=saved_storage)
+        resilience.configure(memory_budget_kb=saved_budget)
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def result_rows(results: dict) -> list[list]:
+    """Flatten the result dict into printable table rows."""
+    rows = []
+    for label, r in results["selectivity"]["sweep"].items():
+        rows.append(
+            [
+                f"scan ({label})",
+                f"{r['mmap_s'] * 1e3:.1f}",
+                f"{r['bytes_read']:,} B read ({r['read_fraction']:.1%}), "
+                f"{r['zones_skipped']} zones skipped",
+                f"{r['memory_s'] / r['mmap_s']:.2f}x",
+            ]
+        )
+    for label, r in results["ram_ratio"].items():
+        rows.append(
+            [
+                f"corpus (dataset {label} of budget)",
+                f"{r['corpus_s'] * 1e3:.1f}",
+                f"budget {r['budget_kb']:,} KB, {r['result_rows']:,} rows out",
+                "",
+            ]
+        )
+    return rows
+
+
+def test_bench_out_of_core(benchmark) -> None:
+    """CI leg: small-scale run, pruning asserts, one timed mmap scan."""
+    results = run_experiment(rows=65_536, zone_rows=512, ratios=(1, 4))
+    print_table(
+        "Out-of-core: mmap scans and I/O pruning",
+        ["workload", "ms", "detail", "vs memory"],
+        result_rows(results),
+    )
+    sweep = results["selectivity"]["sweep"]
+    # one zone of 128 is 0.78% selectivity: must read < 10% of the table
+    assert sweep["1 zone"]["read_fraction"] < 0.10
+    assert sweep["1 zone"]["bytes_read"] > 0
+    # bytes read must fall monotonically with selectivity
+    assert (
+        sweep["100% of zones"]["bytes_read"]
+        > sweep["25% of zones"]["bytes_read"]
+        > sweep["1 zone"]["bytes_read"]
+    )
+
+    saved_storage = layouts.get_config().storage
+    tmp = Path(tempfile.mkdtemp(prefix="bench_out_of_core_"))
+    build_clustered(tmp / "db", 65_536, 512)
+    db = open_db(tmp / "db", "mmap", 512)
+
+    def one_selective_scan() -> None:
+        db.execute("SELECT k, v, s FROM t WHERE k = 7")
+
+    try:
+        benchmark(one_selective_scan)
+    finally:
+        db.close()
+        layouts.configure(storage=saved_storage)
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def main() -> int:
+    """Entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small table for CI")
+    parser.add_argument("--json", metavar="PATH", help="write results as JSON")
+    args = parser.parse_args()
+    if args.quick:
+        rows, zone_rows, ratios = 65_536, 512, (1, 4)
+    else:
+        rows, zone_rows, ratios = ROWS, ZONE_ROWS, RATIOS
+    results = run_experiment(rows, zone_rows, ratios)
+    print_table(
+        f"Out-of-core: mmap scans and I/O pruning ({rows:,} rows, "
+        f"{results['selectivity']['zones']} zones)",
+        ["workload", "ms", "detail", "vs memory"],
+        result_rows(results),
+    )
+    if args.json:
+        Path(args.json).write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,6 +38,13 @@ fusion) — all on by default and bit-identical to the plain path.
 a per-table delta store and DELETE marks tombstones, with a merge into
 the columnar main once pending writes reach N (0 = merge on every
 write); ``\\delta`` shows each table's pending state.
+``PRAGMA storage=memory|mmap`` (env ``REPRO_STORAGE``) selects how
+durable databases open checkpointed columns: ``mmap`` maps them as
+read-only views so cold tables never materialise in RAM, zone-map
+pruning skips the disk read itself (watch ``io.bytes_read``,
+``io.zones_skipped_io`` and ``io.morsels_streamed`` in ``\\metrics`` or
+``EXPLAIN ANALYZE``), and a checkpoint re-homes the session onto the
+new files.
 
 ``EXPLAIN ANALYZE SELECT ...`` runs the query under the profiler and
 prints per-plan-node wall time, row counts and bytes touched.

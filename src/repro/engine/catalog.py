@@ -10,6 +10,7 @@ from __future__ import annotations
 import os
 import threading
 from collections import OrderedDict
+from pathlib import Path
 from typing import Any, Mapping, Protocol, Sequence
 
 import numpy as np
@@ -26,6 +27,7 @@ from repro.engine.types import DataType
 from repro.errors import CatalogError
 from repro.obs.metrics import get_registry
 from repro.obs.profile import ExplainAnalyzeReport, PlanProfiler
+from repro.storage import layouts
 
 
 class RangeIndex(Protocol):
@@ -167,7 +169,44 @@ class Database:
         ):
             self.flush_deltas()
             directory = self._durability.checkpoint(self)
+            if layouts.get_config().storage == "mmap":
+                self._adopt_checkpoint(directory)
+                self._durability.release_live_dirs()
         return str(directory)
+
+    def _adopt_checkpoint(self, directory: str | os.PathLike) -> None:
+        """Re-home every main onto the just-written checkpoint's files.
+
+        In mmap mode the freshly written part files are byte-for-byte
+        the current mains (deltas were flushed first), so the catalog
+        swaps its in-RAM or live-dir-backed columns for read-only maps
+        of the checkpoint — this is also how a running session goes out
+        of core (``PRAGMA storage=mmap`` followed by a checkpoint).  No
+        version bumps: content is identical by construction, so cached
+        plans, statistics, zone maps and indexes all stay valid.
+        """
+        import json
+
+        directory = Path(directory)
+        manifest = json.loads((directory / "MANIFEST.json").read_text())
+        for table_meta in manifest["tables"]:
+            name = table_meta["name"]
+            if name not in self._tables:
+                continue
+            columns = []
+            for column_meta in table_meta["columns"]:
+                dtype = DataType[column_meta["dtype"]]
+                columns.append((
+                    column_meta["name"],
+                    layouts.open_column_files(
+                        directory, column_meta["files"], dtype, mode="mmap"
+                    ),
+                ))
+            remapped = Table(columns)
+            self._encode_strings(remapped)  # codes come back from disk
+            self._tables[name] = remapped
+            self._tails.pop(name, None)
+            self._effective.pop(name, None)
 
     def close(self) -> None:
         """Flush and close the database; idempotent.
@@ -181,9 +220,50 @@ class Database:
         self._closed = True
         if self._durability is not None:
             self._durability.close()
+            self._release_mmaps()
+            self._durability.release_live_dirs()
         from repro.engine import parallel
 
         parallel.shutdown_pool()
+
+    def _release_mmaps(self) -> None:
+        """Close every memory map held by this database's tables.
+
+        Without this, checkpoint directories stay undeletable on
+        platforms with strict open-file semantics (Windows) for as long
+        as the process lives.  Best-effort: maps still pinned by
+        user-held column references are left to the garbage collector.
+        """
+        import gc
+
+        backings = []
+        for table in self._tables.values():
+            for column_name in table.column_names:
+                backing = table.column(column_name).backing
+                if backing is not None:
+                    backings.append(backing)
+        if not backings:
+            return
+        handles = []
+        for backing in backings:
+            handles.extend(backing.mmap_handles())
+            backing.release()
+        # drop every internal reference that may pin a mapped array
+        self._tables.clear()
+        self._statistics.clear()
+        self._effective.clear()
+        self._effective_stats.clear()
+        self._tails.clear()
+        self._deltas.clear()
+        self._indexes.clear()
+        with self._plan_cache_lock:
+            self._plan_cache.clear()
+        gc.collect()
+        for handle in handles:
+            try:
+                handle.close()
+            except BufferError:  # a caller still holds a view
+                pass
 
     def __enter__(self) -> "Database":
         return self
@@ -434,6 +514,23 @@ class Database:
             pure_append = tombstones == 0
             new_main = self.get_table(name)  # the effective table IS the merge result
             self._encode_strings(new_main)  # encodes columns that never had codes
+            if (
+                self._durability is not None
+                and main.is_mapped
+                and layouts.get_config().storage == "mmap"
+            ):
+                # never rewrite the checkpoint files a mapped main points
+                # at — they are the recovery source until the next
+                # checkpoint.  The merged image is spilled to a live
+                # scratch dir (write-temp-then-rename) and remapped.
+                new_main = self._durability.spill_table(
+                    name,
+                    new_main,
+                    {
+                        column: new_main.schema.type_of(column)
+                        for column in new_main.column_names
+                    },
+                )
             seeded: TableStatistics | None = None
             entry = self._statistics.get(name)
             if (
@@ -806,6 +903,17 @@ class Database:
             return Table.from_rows(
                 [(name, walmod.get_config().wal_sync)], ["pragma", "value"]
             )
+        if name == "storage":
+            if value:
+                try:
+                    layouts.configure(storage=value.strip("'\"").strip())
+                except ValueError as exc:
+                    raise CatalogError(str(exc)) from None
+                self._pragma_set.add(name)
+                return 0
+            return Table.from_rows(
+                [(name, layouts.get_config().storage)], ["pragma", "value"]
+            )
         parallel_knobs = {"threads", "morsel_rows", "min_parallel_rows"}
         scanopt_knobs = {
             "dict_encode",
@@ -885,7 +993,7 @@ class Database:
                 parallel_knobs
                 | scanopt_knobs
                 | self._RESILIENCE_INT_PRAGMAS
-                | {"faults", "delta_rows"}
+                | {"faults", "delta_rows", "storage"}
             )
             raise CatalogError(f"unknown pragma {name!r}; expected one of {known}")
         if value:
@@ -939,6 +1047,7 @@ class Database:
             ("wal", int(wcfg.wal), "REPRO_WAL"),
             ("wal_sync", wcfg.wal_sync, "REPRO_WAL_SYNC"),
             ("wal_batch", wcfg.wal_batch, "REPRO_WAL_BATCH"),
+            ("storage", layouts.get_config().storage, "REPRO_STORAGE"),
         ]
         rows = []
         for pragma, current, env in entries:

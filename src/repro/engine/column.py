@@ -33,7 +33,7 @@ class Column:
             it is derived from ``None`` entries in ``values``.
     """
 
-    __slots__ = ("_data", "_validity", "_dtype", "_codes", "_dict")
+    __slots__ = ("_data", "_validity", "_dtype", "_codes", "_dict", "_backing")
 
     def __init__(
         self,
@@ -105,6 +105,7 @@ class Column:
         self._dtype = dtype
         self._codes = None
         self._dict = None
+        self._backing = None
 
     # -- dictionary encoding ---------------------------------------------------
 
@@ -176,6 +177,22 @@ class Column:
     def validity(self) -> np.ndarray | None:
         """Boolean validity mask, or None when every value is valid."""
         return self._validity
+
+    @property
+    def backing(self):
+        """The on-disk :class:`~repro.storage.layouts.ColumnBacking`, or None.
+
+        Only set by the storage layer when this exact column was opened
+        as memory-mapped part files; derived columns (slices, filters,
+        concats) never carry a backing, so a non-None backing guarantees
+        the column's logical content equals the file bytes.
+        """
+        return self._backing
+
+    @property
+    def is_mapped(self) -> bool:
+        """True when the column is an mmap view over checkpoint files."""
+        return self._backing is not None
 
     @property
     def has_nulls(self) -> bool:
@@ -279,6 +296,10 @@ class Column:
         valid = self.valid_data()
         if len(valid) == 0:
             return None
+        if valid.dtype.kind == "U":
+            # numpy's minimum ufunc has no loop for fixed-width unicode
+            # (mapped string payloads); builtin min compares identically.
+            return python_value(min(valid.tolist()))
         return python_value(valid.min())
 
     def max(self) -> Any:
@@ -286,6 +307,8 @@ class Column:
         valid = self.valid_data()
         if len(valid) == 0:
             return None
+        if valid.dtype.kind == "U":
+            return python_value(max(valid.tolist()))
         return python_value(valid.max())
 
     def distinct_count(self) -> int:
@@ -326,6 +349,7 @@ def _wrap(
     col._dtype = dtype
     col._codes = codes
     col._dict = dictionary
+    col._backing = None
     return col
 
 

@@ -44,6 +44,16 @@ re-executes statements into a fresh delta store and merges exactly where
 the markers say — merges change physical state only, so the recovered
 logical contents are bit-identical whatever threshold was configured
 when the log was written.
+
+Out-of-core interaction (``PRAGMA storage=mmap``): the delta store
+itself always stays in RAM — it is bounded by the merge threshold — but
+the main it shadows may be a read-only memory map of checkpoint files.
+Every write path here is already copy-on-write against the main
+(:func:`assign_column` copies payload and validity before masked writes,
+:func:`concat_string_encoded` and :func:`merged_table` build fresh
+arrays), so a mapped main is never mutated in place; the catalog spills
+the merged image to a fresh live directory (write-temp-then-rename) and
+remaps it instead of overwriting the checkpoint bytes.
 """
 
 from __future__ import annotations

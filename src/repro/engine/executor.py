@@ -182,6 +182,83 @@ def _scan_predicate_mask(
     return truth_mask(node.predicate, table)
 
 
+def _ranges_nbytes(table: Table, ranges) -> int:
+    """Upper bound on bytes the streamed ranges can fault in from disk.
+
+    Counts the per-row footprint of the *mapped* columns only (payload +
+    validity + dictionary codes; the dictionary itself is RAM-resident)
+    times the rows inside non-FAIL ranges — the pages a streamed scan
+    may touch.  Skipped zones contribute nothing, which is the point.
+    """
+    rows = sum(stop - start for start, stop, _evaluate in ranges)
+    per_row = 0
+    for name in table.column_names:
+        column = table.column(name)
+        if not column.is_mapped:
+            continue
+        per_row += column.data.dtype.itemsize
+        if column.validity is not None:
+            per_row += column.validity.dtype.itemsize
+        if column.dictionary() is not None:
+            per_row += 4  # int32 codes
+    return rows * per_row
+
+
+def _streamed_scan(
+    node: ScanNode,
+    table: Table,
+    database: "Database",
+    profiler: PlanProfiler | None,
+    live_mask: np.ndarray | None = None,
+) -> Table | None:
+    """I/O-level pruned scan over a memory-mapped table, or None.
+
+    When the scan qualifies for zone pruning *and* the table is backed
+    by mapped checkpoint files, the zone map is consulted before any
+    morsel is sliced: FAIL zones are never read at all (their pages are
+    never faulted in) and the surviving zone-aligned ranges stream
+    through :func:`parallel.streamed_filter`.  Returns None when the
+    usual mask path should run instead.
+    """
+    assert node.predicate is not None
+    config = scanopt.get_config()
+    if (
+        node.probe is not None  # index probes re-order rows; zones would misalign
+        or config.zone_rows <= 0
+        or table.num_rows <= config.zone_rows
+        or not table.is_mapped
+    ):
+        return None
+    zones = database.zone_map(node.table)
+    if zones.row_count != table.num_rows:
+        return None
+    # Type errors are dtype-dependent, not data-dependent: surface them
+    # exactly as the unpruned path would even when every zone is skipped.
+    truth_mask(node.predicate, table.slice(0, 0))
+    ranges, pruned, passed, num_zones = zonemap.classify_ranges(node.predicate, zones)
+    read = _ranges_nbytes(table, ranges)
+    registry = get_registry()
+    registry.counter("scan.zones_pruned").inc(pruned)
+    registry.counter("scan.zones_passed").inc(passed)
+    registry.counter("io.zones_skipped_io").inc(pruned)
+    registry.counter("io.morsels_streamed").inc(len(ranges))
+    registry.counter("io.bytes_read").inc(read)
+    if profiler is not None and num_zones:
+        profiler.annotate(
+            f"zones: {pruned} pruned, {passed} passed of {num_zones}"
+        )
+        profiler.annotate(
+            f"io: {read} bytes read, {pruned} zones skipped, "
+            f"{len(ranges)} morsels streamed"
+        )
+    eval_rows = sum(stop - start for start, stop, evaluate in ranges if evaluate)
+    if len(ranges) > 1 and parallel.should_parallelize(eval_rows):
+        _note_fanout(profiler, eval_rows)
+    return parallel.streamed_filter(
+        table, node.predicate, ranges, extra_mask=live_mask
+    )
+
+
 def _execute_scan(
     node: ScanNode, database: "Database", profiler: PlanProfiler | None
 ) -> Table:
@@ -213,6 +290,9 @@ def _execute_scan(
         )
         table = table.take(np.asarray(positions, dtype=np.int64))
     if node.predicate is not None:
+        streamed = _streamed_scan(node, table, database, profiler)
+        if streamed is not None:
+            return streamed
         table = table.filter(_scan_predicate_mask(node, table, database, profiler))
     return table
 
@@ -283,10 +363,12 @@ def _scan_with_delta(
             part = part.filter(mask)
         return part
     if node.predicate is not None:
-        mask = _scan_predicate_mask(node, main, database, profiler)
-        if live_main is not None:
-            mask &= live_main
-        main_part = main.filter(mask)
+        main_part = _streamed_scan(node, main, database, profiler, live_mask=live_main)
+        if main_part is None:
+            mask = _scan_predicate_mask(node, main, database, profiler)
+            if live_main is not None:
+                mask &= live_main
+            main_part = main.filter(mask)
     else:
         main_part = main if live_main is None else main.filter(live_main)
     tail_part = tail if live_delta is None else tail.filter(live_delta)
@@ -335,21 +417,29 @@ def _execute_fused_aggregate(
     ranges = None
     if config.zone_rows > 0 and main_rows > config.zone_rows:
         zones = database.zone_map(scan.table)
-        statuses = zonemap.zone_statuses(scan.predicate, zones)
-        pruned = int((statuses == zonemap.FAIL).sum())
-        passed = int((statuses == zonemap.PASS).sum())
-        ranges = [
-            (*zones.zone_bounds(int(zone)), bool(statuses[zone] != zonemap.PASS))
-            for zone in np.flatnonzero(statuses != zonemap.FAIL)
-        ]
+        ranges, pruned, passed, num_zones = zonemap.classify_ranges(
+            scan.predicate, zones
+        )
         if table.num_rows > main_rows:
             ranges.append((main_rows, table.num_rows, True))
         registry = get_registry()
         registry.counter("scan.zones_pruned").inc(pruned)
         registry.counter("scan.zones_passed").inc(passed)
-        if profiler is not None and zones.num_zones:
+        if table.is_mapped:
+            # the fused kernel only slices the listed ranges, so on a
+            # mapped table the pruning is an I/O-level skip too
+            read = _ranges_nbytes(table, ranges)
+            registry.counter("io.zones_skipped_io").inc(pruned)
+            registry.counter("io.morsels_streamed").inc(len(ranges))
+            registry.counter("io.bytes_read").inc(read)
+            if profiler is not None and num_zones:
+                profiler.annotate(
+                    f"io: {read} bytes read, {pruned} zones skipped, "
+                    f"{len(ranges)} morsels streamed"
+                )
+        if profiler is not None and num_zones:
             profiler.annotate(
-                f"zones: {pruned} pruned, {passed} passed of {zones.num_zones}"
+                f"zones: {pruned} pruned, {passed} passed of {num_zones}"
             )
     if profiler is not None:
         profiler.annotate("fused: filter + partial aggregate per morsel")

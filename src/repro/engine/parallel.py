@@ -413,6 +413,84 @@ def parallel_filter(table: Table, predicate: Expression) -> Table:
         return table.filter(parallel_truth_mask(predicate, table))
 
 
+def streamed_filter(
+    table: Table,
+    predicate: Expression,
+    ranges: Sequence[tuple[int, int, bool]],
+    extra_mask: np.ndarray | None = None,
+) -> Table:
+    """Filter by streaming zone-aligned ranges — skipped rows are never read.
+
+    ``ranges`` is a zone-map classification ``[(start, stop, evaluate)]``
+    as produced by :func:`repro.engine.zonemap.classify_ranges`: FAIL
+    zones are absent, ``evaluate=False`` marks a PASS zone taken without
+    predicate evaluation.  Unlike the mask path, rows outside the listed
+    ranges are never sliced — on a memory-mapped table their pages are
+    never faulted in.  ``extra_mask`` (full-table length) is ANDed in per
+    range, used by the delta store to drop main-side tombstones.
+
+    Bit-identical to ``table.filter(truth_mask & extra_mask)``: the
+    ranges partition the surviving rows in ascending order and the MAYBE
+    masks come from the same row-local kernel (serially or on the pool).
+    """
+    if not ranges:
+        return table.slice(0, 0)
+    eval_ranges = [(start, stop) for start, stop, evaluate in ranges if evaluate]
+    rows_to_eval = sum(stop - start for start, stop in eval_ranges)
+    if len(eval_ranges) > 1 and should_parallelize(rows_to_eval):
+        masks = dict(zip(eval_ranges, mask_ranges(predicate, table, eval_ranges)))
+    else:
+        ctx = current_context()
+        masks = {}
+        for start, stop in eval_ranges:
+            if ctx is not None:
+                ctx.check()
+            masks[(start, stop)] = truth_mask(predicate, table.slice(start, stop))
+    pieces: list[Table] = []
+    for start, stop, evaluate in ranges:
+        piece = table.slice(start, stop)
+        mask = masks[(start, stop)] if evaluate else None
+        if extra_mask is not None:
+            live = extra_mask[start:stop]
+            mask = live if mask is None else mask & live
+        if mask is not None:
+            piece = piece.filter(mask)
+        pieces.append(piece)
+    if len(pieces) == 1:
+        return pieces[0]
+    return Table(
+        {
+            name: _concat_stream_columns([p.column(name) for p in pieces])
+            for name in table.column_names
+        }
+    )
+
+
+def _concat_stream_columns(columns: list[Column]) -> Column:
+    """Like :func:`_concat_columns`, but keeps a shared dictionary encoding.
+
+    Streamed pieces all derive from one base column via slice/filter, so
+    when every piece still carries the *same* dictionary object their
+    codes are directly concatenable — the result stays encoded, matching
+    what ``filter`` on the whole column would have produced.
+    """
+    from repro.engine.column import _wrap
+
+    data = np.concatenate([c.data for c in columns])
+    if all(c.validity is None for c in columns):
+        validity = None
+    else:
+        validity = np.concatenate([
+            c.validity if c.validity is not None else np.ones(len(c), bool)
+            for c in columns
+        ])
+    dictionary = columns[0]._dict
+    if dictionary is not None and all(c._dict is dictionary for c in columns):
+        codes = np.concatenate([c._codes for c in columns])
+        return _wrap(data, columns[0].dtype, validity, codes, dictionary)
+    return _wrap(data, columns[0].dtype, validity)
+
+
 # -- aggregation ---------------------------------------------------------------------
 
 #: Partial-state modes; see module docstring for the recombination rules.

@@ -125,6 +125,11 @@ class Table:
         """Column names in schema order."""
         return self._schema.names
 
+    @property
+    def is_mapped(self) -> bool:
+        """True when any column is an mmap view over checkpoint files."""
+        return any(col.is_mapped for col in self._columns.values())
+
     def column(self, name: str) -> Column:
         """The named column.
 

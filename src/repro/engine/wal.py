@@ -89,7 +89,11 @@ _MAX_RECORD = 1 << 31
 
 SYNC_POLICIES = ("off", "commit", "batch")
 DEFAULT_WAL_BATCH = 64
-_FORMAT_VERSION = 1
+#: Checkpoint format: v1 stored one ``.npz`` per column; v2 stores raw
+#: per-part ``.npy`` files so columns can be reopened as read-only
+#: ``np.memmap`` views (``PRAGMA storage=mmap``).  v1 dirs stay readable.
+_FORMAT_VERSION = 2
+_READABLE_FORMATS = (1, 2)
 
 
 def _env_int(name: str, default: int) -> int:
@@ -380,6 +384,13 @@ def _atomic_write(path: Path, data: bytes) -> None:
     _fsync_dir(path.parent)
 
 
+def _copy_fsync(source: Path, target: Path) -> None:
+    """Copy a file and flush the copy to disk before returning."""
+    shutil.copyfile(source, target)
+    with open(target, "rb+") as handle:
+        os.fsync(handle.fileno())
+
+
 # -- checkpoint serialisation ------------------------------------------------------
 
 
@@ -507,16 +518,29 @@ def write_checkpoint(db: "Database", root: Path, checkpoint_id: int) -> Path:
         table = db.main_table(name)
         columns_meta = []
         for ci, column_name in enumerate(table.column_names):
-            file_name = f"t{ti}_c{ci}.npz"
-            _fsync_write(
-                directory / file_name,
-                lambda handle, _c=table.column(column_name): layouts.save_column(handle, _c),
-            )
+            column = table.column(column_name)
+            stem = f"t{ti}_c{ci}"
+            backing = column.backing
+            if (
+                backing is not None
+                and ("dictionary" in backing.files or column.dictionary() is None)
+                and all(path.exists() for path in backing.paths().values())
+            ):
+                # a mapped column IS its file bytes (copy-on-write keeps
+                # it immutable), so checkpointing is a file copy — cold
+                # data is never re-serialised, or even read
+                files = {}
+                for part, source in backing.paths().items():
+                    file_name = f"{stem}.{part}.npy"
+                    _copy_fsync(source, directory / file_name)
+                    files[part] = file_name
+            else:
+                files = layouts.save_column_files(directory, stem, column)
             columns_meta.append(
                 {
                     "name": column_name,
                     "dtype": table.schema.type_of(column_name).name,
-                    "file": file_name,
+                    "files": files,
                 }
             )
         stats_meta, stats_arrays = _stats_to_manifest(table, db.cached_statistics(name))
@@ -543,19 +567,24 @@ def write_checkpoint(db: "Database", root: Path, checkpoint_id: int) -> Path:
 
 
 def _load_checkpoint_dir(
-    directory: Path,
+    directory: Path, storage: str = "memory"
 ) -> list[tuple[str, "Table", TableStatistics | None]]:
     from repro.engine.table import Table
 
     manifest = json.loads((directory / "MANIFEST.json").read_text())
-    if manifest.get("format") != _FORMAT_VERSION:
+    if manifest.get("format") not in _READABLE_FORMATS:
         raise ValueError(f"unsupported checkpoint format {manifest.get('format')!r}")
     tables: list[tuple[str, Table, TableStatistics | None]] = []
     for table_meta in manifest["tables"]:
         columns = []
         for column_meta in table_meta["columns"]:
             dtype = DataType[column_meta["dtype"]]
-            column = layouts.load_column(str(directory / column_meta["file"]), dtype)
+            if "files" in column_meta:  # v2: raw per-part files, mmap-able
+                column = layouts.open_column_files(
+                    directory, column_meta["files"], dtype, mode=storage
+                )
+            else:  # v1: one .npz per column, always materialised
+                column = layouts.load_column(str(directory / column_meta["file"]), dtype)
             columns.append((column_meta["name"], column))
         table = Table(columns)
         stats = None
@@ -584,7 +613,7 @@ def _checkpoint_id_of(name: str) -> int | None:
 
 
 def load_checkpoint(
-    root: Path,
+    root: Path, storage: str = "memory"
 ) -> tuple[int, list[tuple[str, "Table", TableStatistics | None]]] | None:
     """The newest *valid* checkpoint under ``root``, or None.
 
@@ -613,7 +642,7 @@ def load_checkpoint(
     for name in candidates:
         directory = root / name
         try:
-            tables = _load_checkpoint_dir(directory)
+            tables = _load_checkpoint_dir(directory, storage)
         except (OSError, ValueError, KeyError, TypeError, zipfile.BadZipFile):
             continue  # incomplete or damaged: fall back to an older one
         return _checkpoint_id_of(name), tables
@@ -637,6 +666,10 @@ class DurabilityManager:
         self.checkpoint_id = 0
         self.wal: WriteAheadLog | None = None
         self.last_recovery: dict[str, Any] = {}
+        # merge scratch dirs holding remapped mains (mmap mode only);
+        # retired by the next checkpoint, rebuilt by replay on recovery
+        self._live_counter = 0
+        self._live_dirs: dict[str, Path] = {}
 
     def wal_path(self, checkpoint_id: int | None = None) -> Path:
         """Path of the log paired with a checkpoint (default: the live one)."""
@@ -648,7 +681,7 @@ class DurabilityManager:
 
     def open_into(self, db: "Database") -> dict[str, Any]:
         """Load checkpoint + WAL into ``db`` and arm the log for appends."""
-        loaded = load_checkpoint(self.root)
+        loaded = load_checkpoint(self.root, layouts.get_config().storage)
         tables: list[tuple[str, Any, TableStatistics | None]] = []
         if loaded is not None:
             self.checkpoint_id, tables = loaded
@@ -736,6 +769,57 @@ class DurabilityManager:
         get_registry().counter("write.checkpoints").inc()
         return directory
 
+    def spill_table(self, name: str, table, schema_types) -> "Table":
+        """Persist a rewritten main to a live scratch dir; reopen it mapped.
+
+        When a memory-mapped main is rewritten by a delta merge, the
+        checkpoint files backing the old main must stay untouched — they
+        are the recovery source until the next checkpoint.  The merged
+        table is therefore written to a ``live-NNNNNN`` directory
+        (write-temp-then-``os.replace``) and reopened as read-only mmap
+        views.  Live dirs are scratch: recovery rebuilds them by
+        replaying the WAL's merge markers, and the next checkpoint (which
+        re-homes the data into its own directory) retires them.
+        """
+        from repro.engine.table import Table
+
+        self._live_counter += 1
+        final = self.root / f"live-{self._live_counter:06d}"
+        tmp = self.root / f"live-{self._live_counter:06d}.tmp"
+        for leftover in (tmp, final):  # stale dirs from a crashed session
+            if leftover.exists():
+                shutil.rmtree(leftover)
+        tmp.mkdir(parents=True)
+        files_by_column: dict[str, dict[str, str]] = {}
+        for ci, column_name in enumerate(table.column_names):
+            files_by_column[column_name] = layouts.save_column_files(
+                tmp, f"c{ci}", table.column(column_name)
+            )
+        os.replace(tmp, final)
+        _fsync_dir(self.root)
+        columns = []
+        for column_name in table.column_names:
+            columns.append((
+                column_name,
+                layouts.open_column_files(
+                    final,
+                    files_by_column[column_name],
+                    schema_types[column_name],
+                    mode="mmap",
+                ),
+            ))
+        old = self._live_dirs.pop(name, None)
+        self._live_dirs[name] = final
+        if old is not None:
+            shutil.rmtree(old, ignore_errors=True)
+        return Table(columns)
+
+    def release_live_dirs(self) -> None:
+        """Drop merge scratch dirs (after a checkpoint re-homed the data)."""
+        for path in self._live_dirs.values():
+            shutil.rmtree(path, ignore_errors=True)
+        self._live_dirs.clear()
+
     def crash_point(self, point: str, key: Any) -> None:
         """Fire an injected crash at a named durability site, if configured."""
         injector = get_injector()
@@ -757,10 +841,15 @@ class DurabilityManager:
 
     def _cleanup(self) -> None:
         """Drop orphan checkpoint dirs / logs from crashed checkpoints."""
+        live = set(self._live_dirs.values())
         for entry in list(self.root.iterdir()):
             if entry.is_dir():
                 orphan = _checkpoint_id_of(entry.name)
                 if orphan is not None and orphan != self.checkpoint_id:
+                    shutil.rmtree(entry, ignore_errors=True)
+                elif entry.name.startswith("live-") and entry not in live:
+                    # merge scratch from a previous session; replay has
+                    # already rebuilt any dirs still needed
                     shutil.rmtree(entry, ignore_errors=True)
             elif entry.name.startswith("wal-") and entry.name.endswith(".log"):
                 if entry.name != wal_file_name(self.checkpoint_id):

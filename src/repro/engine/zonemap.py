@@ -85,6 +85,29 @@ def zone_statuses(predicate: Expression, zone_map: ZoneMap) -> np.ndarray:
     return statuses
 
 
+def classify_ranges(
+    predicate: Expression, zone_map: ZoneMap
+) -> tuple[list[tuple[int, int, bool]], int, int, int]:
+    """Zone-aligned row ranges that survive pruning, FAIL zones omitted.
+
+    Returns ``(ranges, zones_pruned, zones_passed, num_zones)``.  Each
+    range is ``(start, stop, evaluate)`` where ``evaluate`` is False for
+    PASS zones (every row qualifies — no predicate evaluation needed)
+    and True for MAYBE zones.  Because FAIL zones are never emitted, a
+    consumer that only slices the returned ranges never reads the
+    skipped rows at all — on a memory-mapped table the pruned pages are
+    never faulted in, which is where zone pruning pays at the I/O level.
+    """
+    statuses = zone_statuses(predicate, zone_map)
+    ranges = [
+        (*zone_map.zone_bounds(int(zone)), bool(statuses[zone] != _PASS))
+        for zone in np.flatnonzero(statuses != _FAIL)
+    ]
+    pruned = int((statuses == _FAIL).sum())
+    passed = int((statuses == _PASS).sum())
+    return ranges, pruned, passed, zone_map.num_zones
+
+
 def pruned_truth_mask(
     predicate: Expression, table, zone_map: ZoneMap
 ) -> tuple[np.ndarray, int, int, int]:

@@ -14,19 +14,26 @@ classical effects:
 
 This module is also the engine's physical (de)serialization seam: the
 durability layer (:mod:`repro.engine.wal`) persists every column through
-:func:`save_column`/:func:`load_column` — one ``.npz`` per column holding
-the dense npy payload, the validity mask and any dictionary encoding —
-so a future out-of-core backend can swap the representation in one
-place.  No pickle anywhere: STRING payloads round-trip through NumPy
-unicode arrays, which keeps checkpoint files inert data.
+:func:`save_column_files`/:func:`open_column_files` — raw per-part
+``.npy`` files (the dense payload, the validity mask and any dictionary
+encoding) that the out-of-core tier can reopen as read-only
+``np.memmap`` views instead of materialised arrays.  ``PRAGMA
+storage=memory|mmap`` / ``REPRO_STORAGE`` selects the mode through
+:func:`get_config`/:func:`configure`.  The older one-``.npz``-per-column
+form (:func:`save_column`/:func:`load_column`) remains for WAL snapshot
+blobs and v1 checkpoints.  No pickle anywhere: STRING payloads
+round-trip through NumPy unicode arrays, which keeps checkpoint files
+inert data.
 """
 
 from __future__ import annotations
 
 import abc
 import io
+import os
 from dataclasses import dataclass, field
-from typing import IO, Iterable, Sequence
+from pathlib import Path
+from typing import IO, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -283,3 +290,166 @@ def table_from_bytes(blob: bytes) -> "Table":
         }
         columns.append((name, column_from_arrays(parts, dtype)))
     return Table(columns)
+
+
+# -- out-of-core storage tier ---------------------------------------------------------
+#
+# Checkpoint v2 stores each column as raw per-part ``.npy`` files
+# (``{stem}.data.npy`` plus optional ``validity``/``codes``/
+# ``dictionary`` parts).  Unlike the ``.npz`` zip container, a raw
+# ``.npy`` can be reopened as a read-only ``np.memmap`` view, so cold
+# tables never have to be materialised: the scan path faults in only the
+# pages it actually slices, and zone-map pruning skips the read itself.
+# The dictionary part is always loaded into RAM — it is tiny (distinct
+# values only) and every comparison kernel touches it.
+
+#: Valid values for ``PRAGMA storage`` / ``REPRO_STORAGE``.
+STORAGE_MODES = ("memory", "mmap")
+
+
+@dataclass
+class StorageConfig:
+    """How checkpointed columns are (re)opened.
+
+    ``memory`` materialises every column as a dense in-RAM array (the
+    historical behaviour); ``mmap`` opens checkpoint part files as
+    read-only ``np.memmap`` views so cold data stays on disk until a
+    scan actually touches it.
+    """
+
+    storage: str = "memory"
+
+    @classmethod
+    def from_env(cls) -> "StorageConfig":
+        mode = os.environ.get("REPRO_STORAGE", "memory").strip().lower()
+        if mode not in STORAGE_MODES:
+            mode = "memory"
+        return cls(storage=mode)
+
+
+_config = StorageConfig.from_env()
+
+
+def get_config() -> StorageConfig:
+    """The process-wide storage configuration."""
+    return _config
+
+
+def configure(*, storage: str | None = None) -> StorageConfig:
+    """Update the storage configuration (``PRAGMA storage`` backend)."""
+    if storage is not None:
+        mode = str(storage).strip().lower()
+        if mode not in STORAGE_MODES:
+            raise ValueError(
+                f"unknown storage mode {storage!r}; expected one of "
+                + ", ".join(STORAGE_MODES)
+            )
+        _config.storage = mode
+    return _config
+
+
+def _fsync_save(path: Path, array: np.ndarray) -> None:
+    """``np.save`` with the bytes flushed to disk before returning."""
+    with open(path, "wb") as handle:
+        np.save(handle, array)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def save_column_files(directory: Path, stem: str, column: "Column") -> dict[str, str]:
+    """Write ``column`` as raw per-part ``.npy`` files under ``directory``.
+
+    Returns a mapping from part name (``data``/``validity``/``codes``/
+    ``dictionary``) to the file name written, suitable for a checkpoint
+    manifest and for :func:`open_column_files`.
+    """
+    files: dict[str, str] = {}
+    for part, array in column_to_arrays(column).items():
+        filename = f"{stem}.{part}.npy"
+        _fsync_save(Path(directory) / filename, array)
+        files[part] = filename
+    return files
+
+
+class ColumnBacking:
+    """Handle onto the on-disk part files backing a mapped column.
+
+    Keeps the memmap'd arrays (and through them the OS-level ``mmap``
+    objects) reachable so :meth:`release` can drop them explicitly —
+    required for checkpoint directories to be deletable on platforms
+    with strict open-file semantics.
+    """
+
+    __slots__ = ("directory", "files", "arrays")
+
+    def __init__(
+        self,
+        directory: Path,
+        files: Mapping[str, str],
+        arrays: Sequence[np.ndarray],
+    ) -> None:
+        self.directory = Path(directory)
+        self.files = dict(files)
+        self.arrays = list(arrays)
+
+    def paths(self) -> dict[str, Path]:
+        """Part name -> absolute path of the backing file."""
+        return {part: self.directory / name for part, name in self.files.items()}
+
+    def mmap_handles(self) -> list:
+        """The OS-level mmap objects still held by the backing arrays."""
+        return [
+            array._mmap
+            for array in self.arrays
+            if hasattr(array, "_mmap") and array._mmap is not None
+        ]
+
+    def release(self) -> None:
+        """Drop the array references so the underlying maps can close."""
+        self.arrays = []
+
+
+def open_column_files(
+    directory: Path,
+    files: Mapping[str, str],
+    dtype: "DataType",
+    mode: str = "memory",
+) -> "Column":
+    """Open a column written by :func:`save_column_files`.
+
+    ``mode="memory"`` materialises every part (bit-identical to loading
+    the old ``.npz`` form).  ``mode="mmap"`` opens the data/validity/
+    codes parts as read-only ``np.memmap`` views and records a
+    :class:`ColumnBacking` on the column; the dictionary part (if any)
+    is small and always loaded into RAM.
+    """
+    from repro.engine.column import column_from_parts
+    from repro.engine.types import DataType
+
+    directory = Path(directory)
+    if mode not in STORAGE_MODES:
+        raise ValueError(f"unknown storage mode {mode!r}")
+    if mode == "memory":
+        arrays = {
+            part: np.load(directory / name, allow_pickle=False)
+            for part, name in files.items()
+        }
+        return column_from_arrays(arrays, dtype)
+
+    mapped: list[np.ndarray] = []
+
+    def _map(part: str) -> np.ndarray:
+        array = np.load(directory / files[part], mmap_mode="r", allow_pickle=False)
+        mapped.append(array)
+        return array
+
+    data = _map("data")
+    validity = _map("validity").astype(bool, copy=False) if "validity" in files else None
+    column = column_from_parts(data, dtype, validity)
+    if dtype is DataType.STRING and "codes" in files and "dictionary" in files:
+        column._codes = _map("codes")
+        column._dict = np.load(
+            directory / files["dictionary"], allow_pickle=False
+        ).astype(object)
+    column._backing = ColumnBacking(directory, files, mapped)
+    return column
