@@ -15,6 +15,7 @@ few shell meta-commands:
 ``\\delta [rows]``  show per-table delta-store state; set the merge threshold
 ``\\metrics``       dump the metrics-registry snapshot as JSON
 ``\\pragma``        list every setting with its source (default/env/pragma)
+``\\shards``        show per-table shard layout, rows per shard and skew
 ``\\wal``           show durability status (WAL file, records, sync policy)
 ``\\checkpoint``    write an atomic checkpoint and retire the WAL
 ``\\help``          this text
@@ -184,6 +185,32 @@ class Shell:
             table = self.session.db.execute("PRAGMA")
             assert isinstance(table, Table)
             return table.pretty(limit=table.num_rows)
+        if command == "shards":
+            from repro.engine import shards as shardsmod
+
+            db = self.session.db
+            config = shardsmod.get_config()
+            lines = [
+                f"shards = {config.shards}, shard_by = {config.shard_by}, "
+                f"shard_min_rows = {config.shard_min_rows}, "
+                f"shard_index = {int(config.shard_index)}"
+            ]
+            for name in db.table_names():
+                layout = db.shard_layout(name)
+                if layout is None:
+                    lines.append(f"{name}: unsharded")
+                    continue
+                rows = [layout.shard_rows(s) for s in range(layout.num_shards)]
+                avg = layout.total_rows / layout.num_shards if layout.num_shards else 0
+                skew = (max(rows) / avg) if avg else 0.0
+                lines.append(
+                    f"{name}: {layout.num_shards} shards by "
+                    f"{layout.mode}({layout.key}), rows {rows} "
+                    f"(skew {skew:.2f})"
+                )
+            if len(lines) == 1:
+                lines.append("(no tables)")
+            return "\n".join(lines)
         if command == "wal":
             manager = self.session.db.durability
             if manager is None:

@@ -74,6 +74,8 @@ class Database:
         self._effective_stats: dict[str, tuple[tuple[int, int], TableStatistics]] = {}
         self._plan_cache: OrderedDict[str, tuple[int, bool, Plan]] = OrderedDict()
         self._plan_cache_lock = threading.Lock()
+        # sharding: per-table partition layout (see repro.engine.shards)
+        self._shard_layouts: dict[str, Any] = {}
         self.queries_executed = 0
         # durability: None for in-memory databases; recovery replays the
         # WAL with _replaying set so replayed writes are not re-logged
@@ -125,7 +127,11 @@ class Database:
         )
 
     def _install_recovered(
-        self, name: str, table: Table, stats: TableStatistics | None
+        self,
+        name: str,
+        table: Table,
+        stats: TableStatistics | None,
+        sharding: dict | None = None,
     ) -> None:
         """Register a checkpoint-restored table without logging anything."""
         self._encode_strings(table)  # no-op for columns whose codes came from disk
@@ -134,6 +140,13 @@ class Database:
         self._bump_catalog(name)
         if stats is not None:
             self._statistics[name] = (self._table_versions.get(name, 0), stats)
+        if sharding is not None:
+            from repro.engine import shards as shardsmod
+
+            self._shard_layouts[name] = shardsmod.ShardLayout.from_manifest(sharding)
+            self._register_shard_index(name)
+        else:
+            self._shard_layouts.pop(name, None)
 
     def cached_statistics(self, name: str) -> TableStatistics | None:
         """Cached statistics for a table's main iff still current, else None.
@@ -343,6 +356,7 @@ class Database:
         self._tables[name] = table
         self._reset_delta(name)
         self._bump_catalog(name)
+        self._maybe_auto_shard(name)
         return table
 
     def drop_table(self, name: str) -> None:
@@ -353,6 +367,7 @@ class Database:
         del self._tables[name]
         self._statistics.pop(name, None)
         self._table_versions.pop(name, None)
+        self._shard_layouts.pop(name, None)
         self._reset_delta(name)
         for key in [k for k in self._indexes if k[0] == name]:
             del self._indexes[key]
@@ -370,10 +385,12 @@ class Database:
         self._encode_strings(table)
         self._tables[name] = table
         self._statistics.pop(name, None)
+        self._shard_layouts.pop(name, None)
         self._reset_delta(name)
         for key in [k for k in self._indexes if k[0] == name]:
             del self._indexes[key]
         self._bump_catalog(name)
+        self._maybe_auto_shard(name)
 
     def table_names(self) -> list[str]:
         """Registered table names, sorted."""
@@ -514,6 +531,20 @@ class Database:
             pure_append = tombstones == 0
             new_main = self.get_table(name)  # the effective table IS the merge result
             self._encode_strings(new_main)  # encodes columns that never had codes
+            # a sharded table re-applies its layout: appended rows route
+            # to their shards by key, range bounds track the new value
+            # distribution, and the extents stay contiguous
+            layout = self._shard_layouts.get(name)
+            re_clustered = False
+            if layout is not None:
+                from repro.engine import shards as shardsmod
+
+                new_main, layout, layout_identity = shardsmod.apply_layout(
+                    new_main, layout.mode, layout.key, layout.num_shards,
+                    uid=layout.uid,
+                )
+                self._shard_layouts[name] = layout
+                re_clustered = not layout_identity
             if (
                 self._durability is not None
                 and main.is_mapped
@@ -535,13 +566,15 @@ class Database:
             entry = self._statistics.get(name)
             if (
                 pure_append
+                and not re_clustered
                 and entry is not None
                 and entry[0] == self._table_versions.get(name, 0)
             ):
                 seeded = deltamod.extend_statistics(entry[1], new_main, main.num_rows)
             self._tables[name] = new_main
-            if not pure_append:
-                # compaction renumbered rows: positional indexes are stale
+            if not pure_append or re_clustered:
+                # compaction/re-clustering renumbered rows: positional
+                # indexes are stale
                 index_keys = [k for k in self._indexes if k[0] == name]
                 for key in index_keys:
                     del self._indexes[key]
@@ -556,8 +589,15 @@ class Database:
                 self._statistics[name] = (self._table_versions.get(name, 0), seeded)
             else:
                 self._statistics.pop(name, None)
+            if layout is not None:
+                from repro.engine import shards as shardsmod
+
+                self._register_shard_index(name)
+                shardsmod.record_layout_metrics(layout)
         registry.counter("write.merges").inc()
         registry.counter("write.merge_rows").inc(pending)
+        if not self._replaying and name not in self._shard_layouts:
+            self._maybe_auto_shard(name)
 
     # -- statistics ---------------------------------------------------------------
 
@@ -626,6 +666,13 @@ class Database:
         Index positions refer to main row positions, so a pending delta
         is merged first — the index then describes exactly the table the
         caller just observed via :meth:`get_table`.
+
+        On a sharded table the main was re-clustered when its layout was
+        applied, so positions in a caller-built index refer to a row
+        order that no longer exists.  The registration is honoured by
+        rebuilding the index partition-local from the live column (the
+        same form the automatic shard-key index takes) — probes then
+        prune shards and return current row positions.
         """
         if table not in self._tables:
             raise CatalogError(f"unknown table {table!r}")
@@ -633,6 +680,25 @@ class Database:
             raise CatalogError(f"table {table!r} has no column {column!r}")
         if self.delta_store_if_dirty(table) is not None:
             self._merge_delta(table, reason="register_index")
+        layout = self._shard_layouts.get(table)
+        if layout is not None:
+            from repro.engine import shards as shardsmod
+
+            main = self.main_table(table)
+            if main.schema.type_of(column) not in (DataType.INT64, DataType.FLOAT64):
+                raise CatalogError(
+                    f"cannot index {table}.{column}: a sharded table needs a "
+                    "numeric column to back a partition-local cracker"
+                )
+            data = main.column(column)
+            if data.validity is not None or (
+                data.data.dtype.kind == "f" and bool(np.isnan(data.data).any())
+            ):
+                raise CatalogError(
+                    f"cannot index {table}.{column}: NULLs/NaNs cannot back a "
+                    "partition-local cracker on a sharded table"
+                )
+            index = shardsmod.ShardedCrackerIndex(data, layout)
         self._indexes[(table, column)] = index
         self._bump_catalog()  # cached plans may now prefer an index probe
 
@@ -644,6 +710,183 @@ class Database:
     def index_for(self, table: str, column: str) -> RangeIndex | None:
         """The registered index on ``table.column``, or None."""
         return self._indexes.get((table, column))
+
+    # -- sharding ------------------------------------------------------------------
+
+    def shard_layout(self, name: str):
+        """The table's :class:`~repro.engine.shards.ShardLayout`, or None."""
+        return self._shard_layouts.get(name)
+
+    def _effective_rows(self, name: str) -> int:
+        """Main rows plus pending delta inserts (the post-merge size)."""
+        store = self._deltas.get(name)
+        pending = 0 if store is None else store.pending_inserts
+        return self.main_table(name).num_rows + pending
+
+    def table_version(self, name: str) -> int:
+        """The table's monotonic data version (keys the shard ship cache)."""
+        return self._table_versions.get(name, 0)
+
+    def apply_sharding(
+        self,
+        name: str,
+        num_shards: int,
+        shard_by: str | None = None,
+        log: bool = True,
+    ) -> None:
+        """(Re)partition a table into ``num_shards`` extents, or unshard.
+
+        ``shard_by`` is a ``hash``/``hash(col)``/``range(col)`` spec; the
+        default is a hash of the table's first column.  The arguments are
+        explicit — never read from the live config — so a replayed WAL
+        ``shard`` record reproduces exactly the layout that was logged.
+        A pending delta is merged first; rows are then stably reordered
+        into shard order (a no-op when they already are, e.g. range
+        partitioning of a monotone key).  ``num_shards`` of 0 or 1 drops
+        the layout without touching the data.
+        """
+        from repro.engine import shards as shardsmod
+
+        if name not in self._tables:
+            raise CatalogError(f"unknown table {name!r}")
+        if num_shards <= 1:
+            if self._shard_layouts.pop(name, None) is not None:
+                self._drop_shard_indexes(name)
+                if log:
+                    self._log_record({"op": "shard", "table": name, "shards": 0})
+                self._bump_catalog(name)
+            return
+        mode, key = "hash", None
+        if shard_by is not None:
+            try:
+                mode, key = shardsmod.parse_shard_by(shard_by)
+            except ValueError as exc:
+                raise CatalogError(str(exc)) from None
+        if key is None:
+            key = self.main_table(name).column_names[0]
+        if key not in self.main_table(name).schema:
+            raise CatalogError(f"table {name!r} has no column {key!r}")
+        if self.delta_store_if_dirty(name) is not None:
+            self._merge_delta(name, reason="shard")
+        main = self._tables[name]
+        try:
+            new_main, layout, identity = shardsmod.apply_layout(
+                main, mode, key, num_shards
+            )
+        except ValueError as exc:
+            raise CatalogError(str(exc)) from None
+        if log:
+            self._log_record(
+                {
+                    "op": "shard",
+                    "table": name,
+                    "shards": num_shards,
+                    "mode": mode,
+                    "key": key,
+                }
+            )
+        self._drop_shard_indexes(name)
+        if identity:
+            # same rows in the same order: stats, zone maps and mapped
+            # backings stay valid; only cached plans must re-bind
+            self._shard_layouts[name] = layout
+            self._bump_catalog()
+        else:
+            if (
+                self._durability is not None
+                and main.is_mapped
+                and layouts.get_config().storage == "mmap"
+            ):
+                new_main = self._durability.spill_table(
+                    name,
+                    new_main,
+                    {
+                        column: new_main.schema.type_of(column)
+                        for column in new_main.column_names
+                    },
+                )
+            self._encode_strings(new_main)
+            self._tables[name] = new_main
+            self._shard_layouts[name] = layout
+            self._statistics.pop(name, None)
+            for index_key in [k for k in self._indexes if k[0] == name]:
+                del self._indexes[index_key]
+            self._reset_delta(name)
+            self._bump_catalog(name)
+        self._register_shard_index(name)
+        shardsmod.record_layout_metrics(layout)
+
+    def _drop_shard_indexes(self, name: str) -> None:
+        """Remove partition-local cracker indexes of a retired layout."""
+        from repro.engine.shards import ShardedCrackerIndex
+
+        for key in [
+            k
+            for k, index in self._indexes.items()
+            if k[0] == name and isinstance(index, ShardedCrackerIndex)
+        ]:
+            del self._indexes[key]
+
+    def _register_shard_index(self, name: str) -> None:
+        """Attach a partition-local cracker index on the shard key.
+
+        Installed directly (not via :meth:`register_index`, which would
+        re-enter the merge path) and only when the key column can back a
+        cracker exactly: numeric, no NULLs, no NaNs.  Skipped when an
+        index on the key already exists — after an identity (pure
+        append) merge the surviving index is still truthful.  Also
+        skipped for mapped tables: building the cracker (and its NaN
+        scan) would fault in every page, and out-of-core scans must stay
+        on the streamed path where pruning skips reads and ``io.*`` is
+        accounted.
+        """
+        from repro.engine import shards as shardsmod
+
+        layout = self._shard_layouts.get(name)
+        if layout is None or not shardsmod.get_config().shard_index:
+            return
+        main = self.main_table(name)
+        if main.is_mapped:
+            return
+        if layout.key not in main.schema:
+            return
+        if (name, layout.key) in self._indexes:
+            return
+        if main.schema.type_of(layout.key) not in (DataType.INT64, DataType.FLOAT64):
+            return
+        column = main.column(layout.key)
+        if column.validity is not None:
+            return
+        if column.data.dtype.kind == "f" and bool(np.isnan(column.data).any()):
+            return
+        self._indexes[(name, layout.key)] = shardsmod.ShardedCrackerIndex(
+            column, layout
+        )
+        self._bump_catalog()  # cached plans may now prefer an index probe
+
+    def _maybe_auto_shard(self, name: str) -> None:
+        """Shard a table per the live config when it crosses the row floor.
+
+        Live-path only: replay reproduces sharding from the WAL's own
+        ``shard`` records instead, so a changed environment config can
+        never fork recovery away from history.
+        """
+        if self._replaying or name in self._shard_layouts:
+            return
+        from repro.engine import shards as shardsmod
+
+        config = shardsmod.get_config()
+        if config.shards < 2:
+            return
+        if self._effective_rows(name) < config.shard_min_rows:
+            return
+        try:
+            self.apply_sharding(name, config.shards, shard_by=config.shard_by)
+        except CatalogError:
+            # the configured default does not fit this table (e.g. range
+            # on a text first column): leave it unsharded rather than
+            # failing DML that never mentioned sharding
+            pass
 
     # -- query execution --------------------------------------------------------------
 
@@ -914,6 +1157,62 @@ class Database:
             return Table.from_rows(
                 [(name, layouts.get_config().storage)], ["pragma", "value"]
             )
+        if name == "shard_by":
+            from repro.engine import shards as shardsmod
+
+            if value:
+                spec = value.strip("'\"").strip()
+                try:
+                    shardsmod.configure(shard_by=spec)
+                except ValueError as exc:
+                    raise CatalogError(str(exc)) from None
+                self._pragma_set.add(name)
+                return 0
+            return Table.from_rows(
+                [(name, shardsmod.get_config().shard_by)], ["pragma", "value"]
+            )
+        shard_knobs = {"shards", "shard_min_rows", "shard_index"}
+        if name in shard_knobs:
+            from repro.engine import shards as shardsmod
+
+            if value:
+                try:
+                    parsed = int(value)
+                except ValueError:
+                    raise CatalogError(
+                        f"PRAGMA {name} expects an integer, got {value!r}"
+                    ) from None
+                try:
+                    shardsmod.configure(**{name: parsed})
+                except ValueError as exc:
+                    raise CatalogError(str(exc)) from None
+                self._pragma_set.add(name)
+                if name == "shards":
+                    config = shardsmod.get_config()
+                    for table_name in list(self._tables):
+                        existing = self._shard_layouts.get(table_name)
+                        if parsed <= 1:
+                            self.apply_sharding(table_name, 0)
+                        elif existing is not None:
+                            if existing.num_shards != parsed:
+                                # re-shard in place, keeping the table's spec
+                                self.apply_sharding(
+                                    table_name,
+                                    parsed,
+                                    shard_by=f"{existing.mode}({existing.key})",
+                                )
+                        elif self._effective_rows(table_name) >= config.shard_min_rows:
+                            try:
+                                self.apply_sharding(
+                                    table_name, parsed, shard_by=config.shard_by
+                                )
+                            except CatalogError:
+                                # bulk action: skip tables the default
+                                # spec cannot partition (range on text)
+                                continue
+                return 0
+            current = getattr(shardsmod.get_config(), name)
+            return Table.from_rows([(name, int(current))], ["pragma", "value"])
         parallel_knobs = {"threads", "morsel_rows", "min_parallel_rows"}
         scanopt_knobs = {
             "dict_encode",
@@ -993,7 +1292,15 @@ class Database:
                 parallel_knobs
                 | scanopt_knobs
                 | self._RESILIENCE_INT_PRAGMAS
-                | {"faults", "delta_rows", "storage"}
+                | {
+                    "faults",
+                    "delta_rows",
+                    "storage",
+                    "shards",
+                    "shard_by",
+                    "shard_min_rows",
+                    "shard_index",
+                }
             )
             raise CatalogError(f"unknown pragma {name!r}; expected one of {known}")
         if value:
@@ -1021,8 +1328,10 @@ class Database:
         """
         from repro import resilience
         from repro.engine import parallel
+        from repro.engine import shards as shardsmod
         from repro.engine import wal as walmod
 
+        shard_cfg = shardsmod.get_config()
         par = parallel.get_config()
         acc = scanopt.get_config()
         gov = resilience.get_config()
@@ -1048,6 +1357,10 @@ class Database:
             ("wal_sync", wcfg.wal_sync, "REPRO_WAL_SYNC"),
             ("wal_batch", wcfg.wal_batch, "REPRO_WAL_BATCH"),
             ("storage", layouts.get_config().storage, "REPRO_STORAGE"),
+            ("shards", shard_cfg.shards, "REPRO_SHARDS"),
+            ("shard_by", shard_cfg.shard_by, "REPRO_SHARD_BY"),
+            ("shard_min_rows", shard_cfg.shard_min_rows, "REPRO_SHARD_MIN_ROWS"),
+            ("shard_index", int(shard_cfg.shard_index), "REPRO_SHARD_INDEX"),
         ]
         rows = []
         for pragma, current, env in entries:

@@ -25,7 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.engine import operators as ops
-from repro.engine import parallel, scanopt, zonemap
+from repro.engine import parallel, scanopt, shards, zonemap
 from repro.engine.expressions import truth_mask
 from repro.engine.planner import (
     AggregateNode,
@@ -142,6 +142,21 @@ def _run_node(
         return ops.distinct(_execute(node.child, database, profiler))
     if isinstance(node, SortNode):
         child = _execute(node.child, database, profiler)
+        scan = node.child
+        if (
+            isinstance(scan, ScanNode)
+            and scan.predicate is None
+            and scan.probe is None
+            and not scan.empty
+            and database.delta_store_if_dirty(scan.table) is None
+        ):
+            layout = database.shard_layout(scan.table)
+            if layout is not None:
+                scattered = shards.scatter_sort(
+                    scan.table, child, node.order_by, layout, database, profiler
+                )
+                if scattered is not None:
+                    return scattered
         if parallel.should_parallelize(child.num_rows):
             _note_fanout(profiler, child.num_rows)
             return parallel.parallel_sort(child, node.order_by)
@@ -290,6 +305,14 @@ def _execute_scan(
         )
         table = table.take(np.asarray(positions, dtype=np.int64))
     if node.predicate is not None:
+        if node.probe is None:
+            layout = database.shard_layout(node.table)
+            if layout is not None:
+                scattered = shards.scatter_filter(
+                    node.table, table, node.predicate, layout, database, profiler
+                )
+                if scattered is not None:
+                    return scattered
         streamed = _streamed_scan(node, table, database, profiler)
         if streamed is not None:
             return streamed
@@ -441,6 +464,28 @@ def _execute_fused_aggregate(
             profiler.annotate(
                 f"zones: {pruned} pruned, {passed} passed of {num_zones}"
             )
+    if store is None and scan.probe is None:
+        layout = database.shard_layout(scan.table)
+        if layout is not None:
+            scattered = shards.scatter_fused_aggregate(
+                scan.table,
+                table,
+                scan.predicate,
+                node.group_exprs,
+                node.aggregates,
+                node.group_names,
+                ranges,
+                layout,
+                database,
+                profiler,
+            )
+            if scattered is not None:
+                # same kernel shape, scattered one task per shard
+                if profiler is not None:
+                    profiler.annotate(
+                        "fused: filter + partial aggregate per morsel"
+                    )
+                return scattered
     if profiler is not None:
         profiler.annotate("fused: filter + partial aggregate per morsel")
     if parallel.should_parallelize(table.num_rows):

@@ -287,11 +287,14 @@ def _run_batch(fn: Callable[..., Any], arg_tuples: Sequence[tuple]) -> list[Any]
     ctx = current_context()
     injector = get_injector()
     if _config.pool_kind == "process":
-        # thread-locals, events and injector state don't cross the
-        # process boundary; the collection loop below still enforces
-        # the governor between morsels.
+        # the query context holds thread-locals and events that cannot
+        # cross the process boundary; the collection loop below still
+        # enforces the governor between morsels.  The injector is pure
+        # value state (spec + seed; decisions hash the morsel key), so
+        # it ships with each task and faults fire in the workers exactly
+        # as they would on the thread pool.
         task_ctx: QueryContext | None = None
-        task_injector: FaultInjector | None = None
+        task_injector: FaultInjector | None = injector
     else:
         task_ctx, task_injector = ctx, injector
     batch = next(_batch_counter)

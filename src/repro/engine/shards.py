@@ -1,0 +1,897 @@
+"""Sharded execution: partitioned tables with scatter-gather operators.
+
+A *shard layout* splits a table's rows into N contiguous extents of one
+re-clustered columnar main: rows are routed to a shard by a hash or
+range function of a key column, stably reordered so shard ``s`` owns the
+row range ``[offsets[s], offsets[s+1])``, and the layout (mode, key,
+offsets, range bounds) persists through checkpoints and WAL replay.
+Because shards are extents of the ordinary format-2 part files, mmap
+mode maps the one file and slices shards lazily — a shard that is never
+scheduled never faults its pages in.
+
+Execution is scatter-gather: filter, fused filter+aggregate and sort
+fan out one task per shard over the existing morsel pool and recombine
+with the exact partial-merge rules from the parallel module, so results
+are bit-identical to serial execution over the same (re-clustered)
+table by construction.  Zone-map pruning runs before scheduling: the
+global FAIL/MAYBE/PASS ranges are intersected with shard extents, and a
+shard left with no surviving span is never scheduled at all.
+
+In process-pool mode shards are shipped to workers **once per catalog
+epoch**: the parent serialises each scheduled shard to a scratch file
+keyed by ``(layout uid, shard, table version, columns)``, tasks carry
+the small ``("shardref", key, path)`` handle instead of the columns,
+and each worker caches the materialised shard until the version moves.
+``parallel.bytes_shipped`` counts the bytes actually serialised, so
+repeated queries against an unchanged table ship nothing.
+
+Each shard may also own a partition-local
+:class:`~repro.indexing.updates.UpdatableCrackerIndex`
+(:class:`ShardedCrackerIndex`): range probes crack each shard
+independently, prune shards by their actual key min/max, and rebase the
+local row ids onto the global extent.
+"""
+
+from __future__ import annotations
+
+import atexit
+import bisect
+import itertools
+import math
+import os
+import shutil
+import tempfile
+import zlib
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.engine import operators as ops
+from repro.engine import parallel, scanopt, zonemap
+from repro.engine.expressions import strip_outer_parens, truth_mask
+from repro.engine.table import Table
+from repro.indexing.updates import UpdatableCrackerIndex
+from repro.obs.metrics import get_registry
+from repro.resilience import current_context
+from repro.storage import layouts
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, "") or default)
+    except ValueError:
+        return default
+
+
+def parse_shard_by(text: str) -> tuple[str, str | None]:
+    """Parse a ``hash``/``hash(col)``/``range(col)`` spec into (mode, key)."""
+    spec = str(text).strip().strip("'\"").strip()
+    head, paren, tail = spec.partition("(")
+    mode = head.strip().lower()
+    key: str | None = None
+    if paren:
+        if not tail.endswith(")"):
+            raise ValueError(f"malformed shard_by spec: {text!r}")
+        key = tail[:-1].strip() or None
+    if mode not in ("hash", "range"):
+        raise ValueError(
+            f"shard_by must be hash[(col)] or range(col), got {text!r}"
+        )
+    return mode, key
+
+
+class ShardConfig:
+    """Tunables of the sharding layer (one process-wide instance).
+
+    Attributes:
+        shards: default shard count for new/merged tables; 0 disables
+            automatic sharding (tables can still be sharded via PRAGMA).
+        shard_by: default partitioning spec, ``"hash"``/``"hash(col)"``
+            or ``"range(col)"``; without a column the table's first
+            column is the key.
+        shard_min_rows: tables smaller than this are not auto-sharded.
+        shard_index: build a partition-local cracker index on the shard
+            key (1, default) or not (0).
+    """
+
+    __slots__ = ("shards", "shard_by", "shard_min_rows", "shard_index")
+
+    def __init__(self) -> None:
+        self.shards = max(0, _env_int("REPRO_SHARDS", 0))
+        raw = os.environ.get("REPRO_SHARD_BY", "hash")
+        try:
+            parse_shard_by(raw)
+            self.shard_by = raw
+        except ValueError:
+            self.shard_by = "hash"
+        self.shard_min_rows = max(1, _env_int("REPRO_SHARD_MIN_ROWS", 65_536))
+        self.shard_index = _env_int("REPRO_SHARD_INDEX", 1) != 0
+
+
+_config = ShardConfig()
+
+
+def get_config() -> ShardConfig:
+    """The process-wide sharding configuration."""
+    return _config
+
+
+def configure(
+    shards: int | None = None,
+    shard_by: str | None = None,
+    shard_min_rows: int | None = None,
+    shard_index: bool | None = None,
+) -> ShardConfig:
+    """Update the sharding configuration; omitted fields keep their value."""
+    if shards is not None:
+        if shards < 0:
+            raise ValueError("shards must be >= 0")
+        _config.shards = shards
+    if shard_by is not None:
+        parse_shard_by(shard_by)  # validates
+        _config.shard_by = shard_by
+    if shard_min_rows is not None:
+        if shard_min_rows < 1:
+            raise ValueError("shard_min_rows must be >= 1")
+        _config.shard_min_rows = shard_min_rows
+    if shard_index is not None:
+        _config.shard_index = bool(shard_index)
+    return _config
+
+
+# -- layouts -------------------------------------------------------------------------
+
+_layout_counter = itertools.count(1)
+
+
+class ShardLayout:
+    """Immutable description of one table's shard partitioning.
+
+    ``offsets`` has N+1 entries; shard ``s`` is the row extent
+    ``[offsets[s], offsets[s+1])`` of the re-clustered main.  ``bounds``
+    (range mode) has N−1 ascending split points: shard 0 takes values
+    ``<= bounds[0]``, shard s the values in ``(bounds[s-1], bounds[s]]``.
+    ``uid`` identifies this layout instance process-wide (ship-cache key).
+    """
+
+    __slots__ = ("mode", "key", "offsets", "bounds", "uid")
+
+    def __init__(
+        self,
+        mode: str,
+        key: str,
+        offsets: Sequence[int],
+        bounds: Sequence[float] | None,
+        uid: int | None = None,
+    ) -> None:
+        self.mode = mode
+        self.key = key
+        self.offsets = [int(o) for o in offsets]
+        self.bounds = [float(b) for b in bounds] if bounds is not None else None
+        self.uid = uid if uid is not None else next(_layout_counter)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def total_rows(self) -> int:
+        return self.offsets[-1]
+
+    def shard_rows(self, shard: int) -> int:
+        """Row count of one shard's extent."""
+        return self.offsets[shard + 1] - self.offsets[shard]
+
+    def to_manifest(self) -> dict:
+        """JSON-safe form persisted inside checkpoint manifests."""
+        return {
+            "mode": self.mode,
+            "key": self.key,
+            "offsets": list(self.offsets),
+            "bounds": list(self.bounds) if self.bounds is not None else None,
+        }
+
+    @classmethod
+    def from_manifest(cls, meta: dict) -> "ShardLayout":
+        return cls(meta["mode"], meta["key"], meta["offsets"], meta.get("bounds"))
+
+
+# -- partitioning --------------------------------------------------------------------
+
+
+def _splitmix(x: np.ndarray) -> np.ndarray:
+    """Vectorised splitmix64 finaliser over a uint64 array."""
+    x = x.copy()
+    with np.errstate(over="ignore"):
+        x += np.uint64(0x9E3779B97F4B7C15)
+        x ^= x >> np.uint64(30)
+        x *= np.uint64(0xBF58476D1CE4E5B9)
+        x ^= x >> np.uint64(27)
+        x *= np.uint64(0x94D049BB133111EB)
+        x ^= x >> np.uint64(31)
+    return x
+
+
+def _hash_ids(column, n: int) -> np.ndarray:
+    """Deterministic shard id per row of a column under hash partitioning.
+
+    Numeric payloads hash their 64-bit patterns through splitmix64;
+    strings hash per distinct value via crc32 (through the dictionary
+    codes when encoded).  NULL and NaN rows route to shard 0.
+    """
+    data = column.data
+    if data.dtype.kind in "iufb":
+        if data.dtype.kind == "f":
+            bits = np.ascontiguousarray(data, dtype=np.float64).view(np.uint64)
+        else:
+            bits = np.ascontiguousarray(data.astype(np.int64)).view(np.uint64)
+        ids = (_splitmix(bits) % np.uint64(n)).astype(np.int64)
+        if data.dtype.kind == "f":
+            ids = np.where(np.isnan(data), 0, ids)
+    else:
+        encoding = column.dictionary()
+        if encoding is not None:
+            codes, values = encoding
+            per_value = np.asarray(
+                [zlib.crc32(str(v).encode("utf-8")) % n for v in values],
+                dtype=np.int64,
+            )
+            ids = np.where(codes >= 0, per_value[np.maximum(codes, 0)], 0)
+        else:
+            ids = np.asarray(
+                [zlib.crc32(str(v).encode("utf-8")) % n for v in data],
+                dtype=np.int64,
+            )
+    if column.validity is not None:
+        ids = np.where(column.validity, ids, 0)
+    return ids
+
+
+def compute_bounds(column, n: int) -> list[float]:
+    """N−1 ascending range split points from the column's value quantiles."""
+    values = column.valid_data()
+    if values.dtype.kind == "f":
+        values = values[~np.isnan(values)]
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) == 0:
+        return [0.0] * (n - 1)
+    return [float(np.quantile(values, i / n)) for i in range(1, n)]
+
+
+def _range_ids(column, bounds: Sequence[float]) -> np.ndarray:
+    """Shard id per row under range partitioning; NULL/NaN route to 0."""
+    data = np.asarray(column.data, dtype=np.float64)
+    ids = np.searchsorted(
+        np.asarray(bounds, dtype=np.float64), data, side="left"
+    ).astype(np.int64)
+    ids = np.where(np.isnan(data), 0, ids)
+    if column.validity is not None:
+        ids = np.where(column.validity, ids, 0)
+    return ids
+
+
+def apply_layout(
+    table: Table, mode: str, key: str, num_shards: int, uid: int | None = None
+) -> tuple[Table, ShardLayout, bool]:
+    """Partition ``table`` by ``key`` into ``num_shards`` extents.
+
+    Returns ``(table, layout, identity)``.  The table is stably
+    reordered so each shard is contiguous; when the rows already sit in
+    shard order (``identity`` True — e.g. range partitioning of a
+    monotone key) the input table is returned untouched, so zone maps,
+    statistics and mapped backings stay valid.
+    """
+    column = table.column(key)
+    bounds: list[float] | None = None
+    if mode == "range":
+        if column.data.dtype.kind not in "iufb":
+            raise ValueError(
+                f"range sharding requires a numeric key column, got {key!r}"
+            )
+        bounds = compute_bounds(column, num_shards)
+        ids = _range_ids(column, bounds)
+    else:
+        ids = _hash_ids(column, num_shards)
+    counts = np.bincount(ids, minlength=num_shards)
+    offsets = np.zeros(num_shards + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    layout = ShardLayout(mode, key, offsets.tolist(), bounds, uid=uid)
+    identity = table.num_rows == 0 or bool(np.all(ids[1:] >= ids[:-1]))
+    if identity:
+        return table, layout, True
+    order = np.argsort(ids, kind="stable")
+    return table.take(order), layout, False
+
+
+def route_ids(layout: ShardLayout, column) -> np.ndarray:
+    """Shard id per row of ``column`` under an existing layout's function."""
+    if layout.mode == "range":
+        return _range_ids(column, layout.bounds or [])
+    return _hash_ids(column, layout.num_shards)
+
+
+# -- scheduling ----------------------------------------------------------------------
+
+
+def plan_spans(
+    layout: ShardLayout, ranges: Sequence[tuple[int, int, bool]] | None
+) -> list[list[tuple[int, int, bool]]]:
+    """Surviving global row spans per shard.
+
+    ``ranges`` is a zone-map classification (FAIL zones absent) over the
+    whole table, or None for an unpruned scan.  Each global range is
+    split at shard boundaries; a shard with no surviving span is pruned
+    from scheduling entirely.
+    """
+    n = layout.num_shards
+    spans: list[list[tuple[int, int, bool]]] = [[] for _ in range(n)]
+    if ranges is None:
+        for s in range(n):
+            start, stop = layout.offsets[s], layout.offsets[s + 1]
+            if stop > start:
+                spans[s].append((start, stop, True))
+        return spans
+    offsets = layout.offsets
+    for start, stop, evaluate in ranges:
+        s = max(0, min(bisect.bisect_right(offsets, start) - 1, n - 1))
+        while start < stop and s < n:
+            piece_stop = min(stop, offsets[s + 1])
+            if piece_stop > start:
+                spans[s].append((start, piece_stop, evaluate))
+            start = max(start, offsets[s + 1])
+            s += 1
+    return spans
+
+
+# -- epoch shipping (process pool) ---------------------------------------------------
+
+_SCRATCH: str | None = None
+_CACHE: dict[tuple, Table] = {}
+_SHIPPED: dict[tuple, str] = {}
+_ship_counter = itertools.count()
+
+
+def _scratch_dir() -> str:
+    global _SCRATCH
+    if _SCRATCH is None:
+        _SCRATCH = tempfile.mkdtemp(prefix="repro-shards-")
+        atexit.register(shutil.rmtree, _SCRATCH, ignore_errors=True)
+    return _SCRATCH
+
+
+def _evict_stale(key: tuple, shipped: dict, cache: dict) -> None:
+    """Drop entries for the same (layout, shard, columns) at other versions."""
+    uid, shard, _version, cols = key
+    for old in [k for k in shipped if (k[0], k[1], k[3]) == (uid, shard, cols) and k != key]:
+        path = shipped.pop(old)
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+    for old in [k for k in cache if (k[0], k[1], k[3]) == (uid, shard, cols) and k != key]:
+        cache.pop(old, None)
+
+
+def _ship_shard(table: Table, layout: ShardLayout, shard: int, version: int):
+    """Serialise one shard to the scratch dir once per epoch; return a ref.
+
+    The ref ``("shardref", key, path)`` is what crosses the process
+    boundary.  ``parallel.bytes_shipped`` counts only actual
+    serialisations: repeated queries at an unchanged table version reuse
+    the file (and the workers' caches) and ship nothing.
+    """
+    key = (layout.uid, shard, version, tuple(table.column_names))
+    if key not in _SHIPPED:
+        start, stop = layout.offsets[shard], layout.offsets[shard + 1]
+        blob = layouts.table_to_bytes(table.slice(start, stop))
+        path = os.path.join(_scratch_dir(), f"shard-{next(_ship_counter):06d}.bin")
+        with open(path, "wb") as handle:
+            handle.write(blob)
+        _evict_stale(key, _SHIPPED, _CACHE)
+        _SHIPPED[key] = path
+        _CACHE[key] = table.slice(start, stop)
+        get_registry().counter("parallel.bytes_shipped").inc(len(blob))
+    return ("shardref", key, _SHIPPED[key])
+
+
+def _resolve(source) -> Table:
+    """Materialise a task's table: a Table passes through, a shardref
+    loads from the worker-side epoch cache (or the scratch file once)."""
+    if isinstance(source, Table):
+        return source
+    _tag, key, path = source
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    with open(path, "rb") as handle:
+        table = layouts.table_from_bytes(handle.read())
+    _evict_stale(key, {}, _CACHE)
+    _CACHE[key] = table
+    return table
+
+
+# -- scatter kernels (module level: picklable for the process pool) ------------------
+
+
+def _coalesce(
+    spans: Sequence[tuple[int, int, bool]],
+) -> list[tuple[int, int, bool]]:
+    """Merge adjacent spans with the same evaluate flag.
+
+    Partial-aggregate merging and row-local filter masks are invariant
+    to chunk boundaries, so fewer, larger pieces mean fewer kernel
+    launches and smaller result payloads.  Gaps between spans (pruned
+    zones) are never bridged — in mmap mode they stay unread.
+    """
+    out: list[tuple[int, int, bool]] = []
+    for start, stop, evaluate in spans:
+        if out and out[-1][1] == start and out[-1][2] == evaluate:
+            out[-1] = (out[-1][0], stop, evaluate)
+        else:
+            out.append((start, stop, evaluate))
+    return out
+
+
+_EMPTY_IDX = np.empty(0, dtype=np.int64)
+
+
+def _filter_shard_task(source, spans, predicate) -> list[Table]:
+    """Filter one shard's surviving local spans; one piece per span."""
+    table = _resolve(source)
+    pieces: list[Table] = []
+    for start, stop, evaluate in _coalesce(spans):
+        piece = table.slice(start, stop)
+        if evaluate:
+            piece = piece.filter(truth_mask(predicate, piece))
+        pieces.append(piece)
+    return pieces
+
+
+def _fused_shard_task(
+    source, spans, predicate, group_exprs, aggregates, modes
+) -> list[tuple]:
+    """Fused filter+partial-aggregate over one shard's local spans.
+
+    Group row indices only feed gather-mode merges; without one they are
+    dropped before the result crosses the process boundary (they are as
+    large as the filtered shard itself).
+    """
+    table = _resolve(source)
+    trim = parallel._MODE_GATHER not in modes
+    results: list[tuple] = []
+    for start, stop, evaluate in _coalesce(spans):
+        groups, gather_columns, kept = parallel._fused_morsel(
+            table, start, stop, predicate if evaluate else None,
+            group_exprs, aggregates, modes,
+        )
+        if trim:
+            groups = [
+                (ckey, key, _EMPTY_IDX, size, partials)
+                for ckey, key, _idx, size, partials in groups
+            ]
+        results.append((groups, gather_columns, kept))
+    return results
+
+
+def _sort_shard_task(source, order_by) -> tuple:
+    """Sort one whole shard; returns (order keys, local sorted positions)."""
+    table = _resolve(source)
+    keys = ops.order_keys(table, order_by)
+    local = ops.sort_positions(keys, np.arange(table.num_rows, dtype=np.int64))
+    return keys, local
+
+
+def _run(fn, tasks: list[tuple], pooled: bool) -> list:
+    """One task per shard, on the morsel pool or a governed serial loop."""
+    if pooled:
+        return parallel._run_tasks(fn, tasks)
+    ctx = current_context()
+    results = []
+    for args in tasks:
+        if ctx is not None:
+            ctx.check()
+        results.append(fn(*args))
+    return results
+
+
+def _local_spans(
+    layout: ShardLayout, shard: int, spans: Sequence[tuple[int, int, bool]]
+) -> list[tuple[int, int, bool]]:
+    base = layout.offsets[shard]
+    return [(start - base, stop - base, evaluate) for start, stop, evaluate in spans]
+
+
+def _classify(name, table, predicate, database, profiler):
+    """Zone-map classification for a scatter: ``(ranges, zones_pruned)``.
+
+    ``ranges`` is None when the scan is ungated (no zone map, or the
+    map does not cover the table)."""
+    config = scanopt.get_config()
+    if config.zone_rows <= 0 or table.num_rows <= config.zone_rows:
+        return None, 0
+    zones = database.zone_map(name)
+    if zones.row_count != table.num_rows:
+        return None, 0
+    ranges, pruned, passed, num_zones = zonemap.classify_ranges(predicate, zones)
+    registry = get_registry()
+    registry.counter("scan.zones_pruned").inc(pruned)
+    registry.counter("scan.zones_passed").inc(passed)
+    if profiler is not None and num_zones:
+        profiler.annotate(f"zones: {pruned} pruned, {passed} passed of {num_zones}")
+    return ranges, pruned
+
+
+def _schedule(layout, ranges, profiler):
+    """Span plan + shard.* accounting; returns (spans, scheduled shards)."""
+    spans = plan_spans(layout, ranges)
+    scheduled = [s for s in range(layout.num_shards) if spans[s]]
+    pruned = layout.num_shards - len(scheduled)
+    registry = get_registry()
+    registry.counter("shard.tasks").inc(len(scheduled))
+    registry.counter("shard.shards_pruned").inc(pruned)
+    registry.counter("shard.rows").inc(
+        sum(stop - start for s in scheduled for start, stop, _ in spans[s])
+    )
+    if profiler is not None:
+        profiler.annotate(
+            f"shards: {len(scheduled)} of {layout.num_shards} scheduled, "
+            f"{pruned} pruned"
+        )
+    return spans, scheduled
+
+
+def _account_io(
+    table, spans, scheduled, zones_skipped, pruned_shards, profiler
+) -> None:
+    """I/O accounting for a scatter over a mapped table (pruned zones —
+    and with them whole shards — are never sliced, so their pages are
+    never read).  ``io.zones_skipped_io`` counts FAIL *zones*, same
+    unit as the unsharded streamed path."""
+    from repro.engine.executor import _ranges_nbytes
+
+    flat = [span for s in scheduled for span in spans[s]]
+    read = _ranges_nbytes(table, flat)
+    registry = get_registry()
+    registry.counter("io.zones_skipped_io").inc(zones_skipped)
+    registry.counter("io.morsels_streamed").inc(len(flat))
+    registry.counter("io.bytes_read").inc(read)
+    if profiler is not None:
+        profiler.annotate(
+            f"io: {read} bytes read, {zones_skipped} zones skipped, "
+            f"{pruned_shards} shards skipped, {len(flat)} morsels streamed"
+        )
+
+
+def _sources(name, table, layout, scheduled, database, pooled):
+    """Per-shard task sources: slices, or epoch-cached refs in process mode."""
+    use_refs = pooled and parallel.get_config().pool_kind == "process"
+    sources = []
+    for s in scheduled:
+        if use_refs:
+            sources.append(
+                _ship_shard(table, layout, s, database.table_version(name))
+            )
+        else:
+            sources.append(table.slice(layout.offsets[s], layout.offsets[s + 1]))
+    return sources
+
+
+def _note_shard_fanout(profiler, tasks: int) -> None:
+    if profiler is not None:
+        profiler.annotate(
+            f"parallel: {tasks} shard tasks x {parallel.get_threads()} threads"
+        )
+
+
+def scatter_filter(
+    name: str, table: Table, predicate, layout: ShardLayout, database, profiler
+) -> Table | None:
+    """Scatter a filtered scan across shards; gather by concatenation.
+
+    Bit-identical to ``table.filter(truth_mask(...))`` over the same
+    re-clustered table: spans partition the surviving rows in ascending
+    global order and each span's mask comes from the same row-local
+    kernel.  Returns None when the layout does not cover this table
+    (row-count drift — the caller falls back to the unsharded path).
+    """
+    if layout.total_rows != table.num_rows:
+        return None
+    # Type errors are dtype-dependent, not data-dependent: surface them
+    # exactly as the unsharded filter would even when every shard prunes.
+    truth_mask(predicate, table.slice(0, 0))
+    ranges, zones_pruned = _classify(name, table, predicate, database, profiler)
+    spans, scheduled = _schedule(layout, ranges, profiler)
+    if table.is_mapped and ranges is not None:
+        _account_io(
+            table, spans, scheduled, zones_pruned,
+            layout.num_shards - len(scheduled), profiler,
+        )
+    if not scheduled:
+        return table.slice(0, 0)
+    pooled = parallel.should_parallelize(table.num_rows)
+    sources = _sources(name, table, layout, scheduled, database, pooled)
+    tasks = [
+        (source, _local_spans(layout, s, spans[s]), predicate)
+        for source, s in zip(sources, scheduled)
+    ]
+    if pooled:
+        _note_shard_fanout(profiler, len(tasks))
+    results = _run(_filter_shard_task, tasks, pooled)
+    pieces = [piece for shard_pieces in results for piece in shard_pieces]
+    if not pieces:
+        return table.slice(0, 0)
+    if len(pieces) == 1:
+        return pieces[0]
+    return Table(
+        {
+            column: parallel._concat_stream_columns([p.column(column) for p in pieces])
+            for column in table.column_names
+        }
+    )
+
+
+def scatter_fused_aggregate(
+    name: str,
+    table: Table,
+    predicate,
+    group_exprs,
+    aggregates,
+    group_names,
+    ranges,
+    layout: ShardLayout,
+    database,
+    profiler,
+) -> Table | None:
+    """Scatter the fused filter+aggregate across shards; merge partials.
+
+    Per-shard tasks produce the same per-morsel partial states as the
+    parallel fused kernel; the gather step rebases the local row ids in
+    shard-span order and recombines with the exact partial-merge rules,
+    so the output equals serial execution over the same table.
+    ``ranges`` is the caller's zone classification (the executor already
+    recorded the zone/io counters for it), or None for an unpruned scan.
+    """
+    if layout.total_rows != table.num_rows:
+        return None
+    truth_mask(predicate, table.slice(0, 0))
+    spans, scheduled = _schedule(layout, ranges, profiler)
+    names = list(group_names) if group_names is not None else [
+        strip_outer_parens(e.to_sql()) for e in group_exprs
+    ]
+    if not scheduled:
+        return ops.hash_aggregate(table.slice(0, 0), group_exprs, aggregates, names)
+    modes = parallel._partial_modes(table, aggregates)
+    pooled = parallel.should_parallelize(table.num_rows)
+    sources = _sources(name, table, layout, scheduled, database, pooled)
+    tasks = [
+        (source, _local_spans(layout, s, spans[s]), predicate,
+         group_exprs, aggregates, modes)
+        for source, s in zip(sources, scheduled)
+    ]
+    if pooled:
+        _note_shard_fanout(profiler, len(tasks))
+    results = _run(_fused_shard_task, tasks, pooled)
+    # rebase local filtered-row indices onto the concatenation of all
+    # filtered spans in shard order (= ascending global row order)
+    rebased = []
+    base = 0
+    for shard_results in results:
+        for groups, gather_columns, kept in shard_results:
+            rebased.append((
+                [
+                    (ckey, key, idx + base, size, partials)
+                    for ckey, key, idx, size, partials in groups
+                ],
+                gather_columns,
+            ))
+            base += kept
+    return parallel._merge_partial_aggregates(
+        rebased, group_exprs, aggregates, modes, names
+    )
+
+
+def scatter_sort(
+    name: str, table: Table, order_by, layout: ShardLayout, database, profiler
+) -> Table | None:
+    """Scatter an ORDER BY across shards; gather by stable k-way merge.
+
+    Each shard sorts its extent with the serial multi-key routine; the
+    merge comparator mirrors the serial NULL/ASC/DESC ordering and ties
+    fall back to shard (= global row) order, reproducing the serial
+    stable sort.  Returns None to decline (layout drift, NaN sort keys,
+    or a degenerate layout) — the caller falls back.
+    """
+    if not order_by or layout.total_rows != table.num_rows or table.num_rows == 0:
+        return None
+    nonempty = [s for s in range(layout.num_shards) if layout.shard_rows(s) > 0]
+    if len(nonempty) < 2:
+        return None
+    pooled = parallel.should_parallelize(table.num_rows)
+    sources = _sources(name, table, layout, nonempty, database, pooled)
+    tasks = [(source, order_by) for source in sources]
+    get_registry().counter("shard.tasks").inc(len(tasks))
+    if profiler is not None:
+        profiler.annotate(
+            f"shards: {len(tasks)} of {layout.num_shards} scheduled, 0 pruned"
+        )
+    if pooled:
+        _note_shard_fanout(profiler, len(tasks))
+    results = _run(_sort_shard_task, tasks, pooled)
+    keys = []
+    for item_index in range(len(order_by)):
+        key_arr = np.concatenate([keys_part[item_index][0] for keys_part, _ in results])
+        nulls = np.concatenate([keys_part[item_index][1] for keys_part, _ in results])
+        keys.append((key_arr, nulls, results[0][0][item_index][2]))
+    for key_arr, nulls, _ in keys:
+        if key_arr.dtype.kind == "f" and bool(np.isnan(key_arr[~nulls]).any()):
+            return None  # stable merge can't reproduce serial NaN ordering
+    # key arrays concatenate only the nonempty shards, in shard order —
+    # rebase each run onto that concatenation, not the global row space
+    runs = []
+    base = 0
+    gather = np.empty(table.num_rows, dtype=np.int64)
+    for s, (_, local) in zip(nonempty, results):
+        runs.append(local + base)
+        rows = layout.shard_rows(s)
+        gather[base : base + rows] = np.arange(
+            layout.offsets[s], layout.offsets[s + 1], dtype=np.int64
+        )
+        base += rows
+    order = parallel._merge_sorted_runs(runs, keys)
+    return table.take(gather[order])
+
+
+# -- partition-local cracking --------------------------------------------------------
+
+
+class ShardedCrackerIndex:
+    """One lazy :class:`UpdatableCrackerIndex` per shard of a key column.
+
+    Range lookups prune shards by the actual key min/max of each extent
+    (computed lazily and NaN-safe: a NaN bound never proves exclusion),
+    crack only the shards the range touches, and rebase the local row
+    ids onto the shard's global offset.  Delta appends land in a linear
+    tail buffer addressed at ``total_rows + i`` — matching the logical
+    row ids the delta scan path expects — until the next merge rebuilds
+    the index over the re-clustered main.
+    """
+
+    def __init__(
+        self, column, layout: ShardLayout, variant: str = "standard", seed: int = 0
+    ) -> None:
+        self._column = column
+        self._layout = layout
+        self._variant = variant
+        self._seed = seed
+        self._crackers: dict[int, UpdatableCrackerIndex] = {}
+        self._pending_deletes: dict[int, set[int]] = {}
+        self._minmax: dict[int, tuple[float, float]] = {}
+        self._tail_values: list[float] = []
+        self._tail_dead: set[int] = set()
+        self._next_id = layout.total_rows
+
+    @property
+    def shards_built(self) -> int:
+        """Number of shards whose cracker has been materialised."""
+        return len(self._crackers)
+
+    def insert(self, value: Any) -> int:
+        """Queue one appended row; returns its logical row id.  O(1)."""
+        row_id = self._next_id
+        self._next_id += 1
+        self._tail_values.append(float(value))
+        return row_id
+
+    def delete(self, row_id: int) -> None:
+        """Queue a delete by logical row id.  O(1)."""
+        layout = self._layout
+        if row_id >= layout.total_rows:
+            self._tail_dead.add(row_id - layout.total_rows)
+            return
+        shard = bisect.bisect_right(layout.offsets, row_id) - 1
+        local = row_id - layout.offsets[shard]
+        cracker = self._crackers.get(shard)
+        if cracker is not None:
+            cracker.delete(local)
+        else:
+            self._pending_deletes.setdefault(shard, set()).add(local)
+
+    def lookup_range(
+        self,
+        low: Any,
+        high: Any,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> np.ndarray:
+        """Global row ids whose key falls in the range, shard by shard."""
+        layout = self._layout
+        parts: list[np.ndarray] = []
+        pruned = 0
+        for shard in range(layout.num_shards):
+            if layout.shard_rows(shard) == 0:
+                continue
+            if self._pruned(shard, low, high, low_inclusive, high_inclusive):
+                pruned += 1
+                continue
+            local = self._cracker_for(shard).lookup_range(
+                low, high, low_inclusive, high_inclusive
+            )
+            # sorted per shard -> globally ascending (extents ascend), so a
+            # probe returns rows in physical order, bit-identical to a scan
+            # regardless of this index's crack history
+            parts.append(
+                np.sort(np.asarray(local, dtype=np.int64)) + layout.offsets[shard]
+            )
+        if pruned:
+            get_registry().counter("shard.shards_pruned").inc(pruned)
+        for i, value in enumerate(self._tail_values):
+            if i not in self._tail_dead and _value_in_range(
+                value, low, high, low_inclusive, high_inclusive
+            ):
+                parts.append(
+                    np.asarray([layout.total_rows + i], dtype=np.int64)
+                )
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    # -- internals -------------------------------------------------------------------
+
+    def _shard_minmax(self, shard: int) -> tuple[float, float]:
+        cached = self._minmax.get(shard)
+        if cached is None:
+            start, stop = self._layout.offsets[shard], self._layout.offsets[shard + 1]
+            data = np.asarray(self._column.data[start:stop], dtype=np.float64)
+            if len(data) == 0:
+                cached = (math.inf, -math.inf)
+            else:
+                cached = (float(np.min(data)), float(np.max(data)))
+            self._minmax[shard] = cached
+        return cached
+
+    def _pruned(self, shard, low, high, low_inc, high_inc) -> bool:
+        mn, mx = self._shard_minmax(shard)
+        # NaN bounds make every comparison False: the shard stays scheduled
+        if low is not None and (mx < low or (mx == low and not low_inc)):
+            return True
+        if high is not None and (mn > high or (mn == high and not high_inc)):
+            return True
+        return False
+
+    def _cracker_for(self, shard: int) -> UpdatableCrackerIndex:
+        cracker = self._crackers.get(shard)
+        if cracker is None:
+            start, stop = self._layout.offsets[shard], self._layout.offsets[shard + 1]
+            values = np.asarray(self._column.data[start:stop], dtype=np.float64)
+            cracker = UpdatableCrackerIndex(
+                values, variant=self._variant, seed=self._seed + shard
+            )
+            for local in self._pending_deletes.pop(shard, ()):
+                cracker.delete(local)
+            self._crackers[shard] = cracker
+        return cracker
+
+
+def _value_in_range(value: float, low, high, low_inc: bool, high_inc: bool) -> bool:
+    if math.isnan(value):
+        return False
+    if low is not None and (value < low or (value == low and not low_inc)):
+        return False
+    if high is not None and (value > high or (value == high and not high_inc)):
+        return False
+    return True
+
+
+# -- observability -------------------------------------------------------------------
+
+
+def record_layout_metrics(layout: ShardLayout) -> None:
+    """Publish the shard.* gauges describing one layout's row balance."""
+    registry = get_registry()
+    rows = [layout.shard_rows(s) for s in range(layout.num_shards)]
+    biggest = max(rows) if rows else 0
+    average = (sum(rows) / len(rows)) if rows else 0.0
+    registry.gauge("shard.count").set(layout.num_shards)
+    registry.gauge("shard.rows_max").set(biggest)
+    registry.gauge("shard.rows_avg").set(average)
+    registry.gauge("shard.skew_ratio").set(biggest / average if average else 0.0)

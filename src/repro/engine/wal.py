@@ -93,7 +93,10 @@ DEFAULT_WAL_BATCH = 64
 #: per-part ``.npy`` files so columns can be reopened as read-only
 #: ``np.memmap`` views (``PRAGMA storage=mmap``).  v1 dirs stay readable.
 _FORMAT_VERSION = 2
-_READABLE_FORMATS = (1, 2)
+#: format 3 adds a per-table "sharding" manifest entry (mode, key,
+#: offsets, bounds); readers without sharding support must not open it
+_SHARDED_FORMAT_VERSION = 3
+_READABLE_FORMATS = (1, 2, 3)
 
 
 def _env_int(name: str, default: int) -> int:
@@ -551,6 +554,7 @@ def write_checkpoint(db: "Database", root: Path, checkpoint_id: int) -> Path:
                 directory / stats_file,
                 lambda handle, _a=stats_arrays: np.savez(handle, **_a),
             )
+        layout = db.shard_layout(name)
         tables_meta.append(
             {
                 "name": name,
@@ -558,9 +562,15 @@ def write_checkpoint(db: "Database", root: Path, checkpoint_id: int) -> Path:
                 "columns": columns_meta,
                 "stats": stats_meta,
                 "stats_file": stats_file,
+                "sharding": layout.to_manifest() if layout is not None else None,
             }
         )
-    manifest = {"format": _FORMAT_VERSION, "id": checkpoint_id, "tables": tables_meta}
+    version = (
+        _SHARDED_FORMAT_VERSION
+        if any(meta["sharding"] is not None for meta in tables_meta)
+        else _FORMAT_VERSION
+    )
+    manifest = {"format": version, "id": checkpoint_id, "tables": tables_meta}
     _atomic_write(directory / "MANIFEST.json", json.dumps(manifest, indent=1).encode())
     _fsync_dir(directory)
     return directory
@@ -568,13 +578,13 @@ def write_checkpoint(db: "Database", root: Path, checkpoint_id: int) -> Path:
 
 def _load_checkpoint_dir(
     directory: Path, storage: str = "memory"
-) -> list[tuple[str, "Table", TableStatistics | None]]:
+) -> list[tuple[str, "Table", TableStatistics | None, dict | None]]:
     from repro.engine.table import Table
 
     manifest = json.loads((directory / "MANIFEST.json").read_text())
     if manifest.get("format") not in _READABLE_FORMATS:
         raise ValueError(f"unsupported checkpoint format {manifest.get('format')!r}")
-    tables: list[tuple[str, Table, TableStatistics | None]] = []
+    tables: list[tuple[str, Table, TableStatistics | None, dict | None]] = []
     for table_meta in manifest["tables"]:
         columns = []
         for column_meta in table_meta["columns"]:
@@ -598,7 +608,7 @@ def _load_checkpoint_dir(
             stats = _stats_from_manifest(
                 table_meta["stats"], arrays, [n for n, _ in columns]
             )
-        tables.append((table_meta["name"], table, stats))
+        tables.append((table_meta["name"], table, stats, table_meta.get("sharding")))
     return tables
 
 
@@ -614,7 +624,7 @@ def _checkpoint_id_of(name: str) -> int | None:
 
 def load_checkpoint(
     root: Path, storage: str = "memory"
-) -> tuple[int, list[tuple[str, "Table", TableStatistics | None]]] | None:
+) -> tuple[int, list[tuple[str, "Table", TableStatistics | None, dict | None]]] | None:
     """The newest *valid* checkpoint under ``root``, or None.
 
     ``CURRENT`` is tried first; if it is missing or names a broken
@@ -651,7 +661,7 @@ def load_checkpoint(
 
 # -- the durability manager --------------------------------------------------------
 
-_REPLAY_OPS = frozenset({"sql", "create", "replace", "drop", "merge"})
+_REPLAY_OPS = frozenset({"sql", "create", "replace", "drop", "merge", "shard"})
 
 
 class DurabilityManager:
@@ -682,11 +692,11 @@ class DurabilityManager:
     def open_into(self, db: "Database") -> dict[str, Any]:
         """Load checkpoint + WAL into ``db`` and arm the log for appends."""
         loaded = load_checkpoint(self.root, layouts.get_config().storage)
-        tables: list[tuple[str, Any, TableStatistics | None]] = []
+        tables: list[tuple[str, Any, TableStatistics | None, dict | None]] = []
         if loaded is not None:
             self.checkpoint_id, tables = loaded
-        for name, table, stats in tables:
-            db._install_recovered(name, table, stats)
+        for name, table, stats, sharding in tables:
+            db._install_recovered(name, table, stats, sharding=sharding)
         records, valid_bytes = read_wal(self.wal_path())
         # arm the writer first: it truncates any torn tail away
         self.wal = WriteAheadLog(self.wal_path(), valid_bytes=valid_bytes)
@@ -730,6 +740,16 @@ class DurabilityManager:
                     elif op == "merge":
                         if db.has_table(meta["table"]):
                             db.flush_deltas(meta["table"])
+                    elif op == "shard":
+                        if db.has_table(meta["table"]):
+                            mode = meta.get("mode")
+                            db.apply_sharding(
+                                meta["table"],
+                                int(meta.get("shards", 0)),
+                                shard_by=(
+                                    f"{mode}({meta['key']})" if mode else None
+                                ),
+                            )
                 except ReproError:
                     failed += 1
                     continue

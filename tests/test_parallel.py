@@ -240,6 +240,10 @@ class TestObservability:
         assert any(node.annotations for node in _walk_profiles(report.root))
 
     def test_per_worker_spans_collected(self, parallel_mode) -> None:
+        # per-worker spans live in the parent's tracer, which only the
+        # thread pool shares; process workers trace into their own
+        saved_pool = parallel.get_config().pool_kind
+        parallel.configure(pool_kind="thread")
         tracer = get_tracer()
         tracer.clear()
         tracer.enable()
@@ -249,6 +253,7 @@ class TestObservability:
             db.sql("SELECT x FROM t WHERE x > 3")
         finally:
             tracer.disable()
+            parallel.configure(pool_kind=saved_pool)
         names = [s.name for s in tracer.all_spans()]
         assert "parallel.morsel" in names
         workers = {

@@ -23,6 +23,7 @@ import pytest
 from repro import resilience
 from repro.engine import Database, DataType
 from repro.engine import parallel
+from repro.engine import shards
 from repro.engine.csv_io import read_csv
 from repro.errors import (
     ApproximationError,
@@ -300,7 +301,16 @@ class TestMemoryBudget:
 
 class TestDegradation:
     def _exact_and_degraded(self, n: int = 20_000):
-        db = _demo_db(n=n)
+        # the degraded answer samples fixed row positions (seed 0), so
+        # the CI-containment guarantee is calibrated against the insert
+        # order; keep env-driven auto-sharding from re-clustering the
+        # demo table under that sample
+        saved_shards = shards.get_config().shards
+        shards.configure(shards=0)
+        try:
+            db = _demo_db(n=n)
+        finally:
+            shards.configure(shards=saved_shards)
         exact = db.sql(AGG_QUERY)
         resilience.configure(memory_budget_kb=4, degrade=1, degrade_rows=2_000)
         degraded = db.sql(AGG_QUERY)

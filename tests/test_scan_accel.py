@@ -16,7 +16,7 @@ import pytest
 
 from repro import resilience
 from repro.engine import Database, Table
-from repro.engine import parallel, scanopt, zonemap
+from repro.engine import parallel, scanopt, shards, zonemap
 from repro.engine.column import Column
 from repro.engine.expressions import col, lit, truth_mask
 from repro.engine.planner import extract_probe
@@ -36,6 +36,7 @@ def _reset_accel():
     accel = scanopt.get_config()
     par = parallel.get_config()
     gov = resilience.get_config()
+    shard_index_saved = shards.get_config().shard_index
     saved = (
         accel.dict_encode, accel.zone_rows, accel.plan_cache, accel.plan_cache_size,
         par.threads, par.morsel_rows, par.min_parallel_rows,
@@ -56,6 +57,7 @@ def _reset_accel():
         threads=saved[4], morsel_rows=saved[5], min_parallel_rows=saved[6]
     )
     resilience.configure(faults=saved[7] or "off", fault_seed=saved[8])
+    shards.configure(shard_index=shard_index_saved)
 
 
 @pytest.fixture()
@@ -316,6 +318,10 @@ class TestZoneMapPruning:
 
     def test_scan_uses_zones_and_counts_metric(self, registry):
         scanopt.configure(zone_rows=64)
+        # under env-driven auto-sharding the shard-key cracker index
+        # would answer this scan and the zone map (the thing under
+        # test) would legitimately never be consulted
+        shards.configure(shard_index=False)
         db = Database()
         db.create_table("t", _clustered_table(1000))
         result = db.sql("SELECT COUNT(*) AS n FROM t WHERE x >= 900")
@@ -324,6 +330,7 @@ class TestZoneMapPruning:
 
     def test_explain_analyze_annotates_zones(self):
         scanopt.configure(zone_rows=64)
+        shards.configure(shard_index=False)  # keep the scan on the zone-map path
         db = Database()
         db.create_table("t", _clustered_table(1000))
         report = db.explain_analyze("SELECT * FROM t WHERE x < 10")

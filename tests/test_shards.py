@@ -1,0 +1,743 @@
+"""Sharded execution tests: partitioning, scatter-gather, shipping, durability.
+
+Covers the PR 10 surface: deterministic hash/range partitioning (NaN
+and NULL keys route to shard 0, identity layouts skip the re-cluster),
+`PRAGMA shards` / `shard_by` / `shard_min_rows` / `shard_index` wiring
+and the settings listing, scatter-gather execution that stays
+bit-identical to the unsharded path over the same re-clustered main
+(filter, fused aggregate, sort; serial and threaded), the epoch-keyed
+process-pool shard cache (`parallel.bytes_shipped` must not grow with
+query count), shard-local pruning (`shard.shards_pruned` = N−1 on a
+one-shard predicate; `io.bytes_read` bounded by one shard in mmap
+mode), the partition-local `ShardedCrackerIndex` (physical-order
+results, inserts, deletes, min/max pruning), layout persistence through
+checkpoints and WAL-only replay, the delta write path re-applying the
+layout at merge, the shell `\\shards` command, and the differential
+corpus: sharded must be bit-identical to unsharded under threads,
+worker-crash fault injection, mmap storage, and a kill–recover cycle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import resilience
+from repro.engine import Database, Table
+from repro.engine import delta as deltamod
+from repro.engine import parallel, scanopt
+from repro.engine import shards as shardsmod
+from repro.engine import wal as walmod
+from repro.engine.column import Column
+from repro.errors import CatalogError
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.storage import layouts
+from tests.test_parallel import tables_bit_identical
+from tests.test_sql_differential import random_query, random_table
+
+
+@pytest.fixture(autouse=True)
+def _pin_shard_config():
+    """Deterministic shard/parallel/storage config; restore the ambient one."""
+    saved_shards = shardsmod.get_config()
+    saved = (
+        saved_shards.shards,
+        saved_shards.shard_by,
+        saved_shards.shard_min_rows,
+        saved_shards.shard_index,
+    )
+    saved_storage = layouts.get_config().storage
+    saved_delta = deltamod.get_config().delta_rows
+    saved_zone = scanopt.get_config().zone_rows
+    saved_pool = parallel.get_config().pool_kind
+    gov = resilience.get_config()
+    saved_gov = (gov.faults, gov.fault_seed)
+    shardsmod.configure(shards=0, shard_by="hash", shard_min_rows=64, shard_index=True)
+    layouts.configure(storage="memory")
+    deltamod.configure(delta_rows=deltamod.DEFAULT_DELTA_ROWS)
+    resilience.configure(faults="off", fault_seed=0)
+    registry = MetricsRegistry()
+    set_registry(registry)
+    yield registry
+    shardsmod.configure(
+        shards=saved[0],
+        shard_by=saved[1],
+        shard_min_rows=saved[2],
+        shard_index=saved[3],
+    )
+    layouts.configure(storage=saved_storage)
+    deltamod.configure(delta_rows=saved_delta)
+    scanopt.configure(zone_rows=saved_zone)
+    resilience.configure(faults="off", fault_seed=saved_gov[1])
+    resilience.configure(faults=saved_gov[0] or "off")
+    parallel.configure(
+        threads=0, morsel_rows=parallel.DEFAULT_MORSEL_ROWS, pool_kind=saved_pool
+    )
+
+
+def _filled_db(rows: int = 2000, modulus: int = 13) -> Database:
+    """An in-memory db with one merged table t(k INT, v FLOAT, s TEXT)."""
+    db = Database()
+    db.create_table(
+        "t",
+        Table.from_dict(
+            {
+                "k": [i % modulus for i in range(rows)],
+                "v": [float((i * 7) % 101) - 50.0 for i in range(rows)],
+                "s": [("ant", "bee", "cat", "dog")[i % 4] for i in range(rows)],
+            }
+        ),
+    )
+    return db
+
+
+# -- partitioning ---------------------------------------------------------------------
+
+
+class TestPartitioning:
+    def test_hash_ids_deterministic(self):
+        column = Column(list(range(100)))
+        first = shardsmod._hash_ids(column, 4)
+        second = shardsmod._hash_ids(column, 4)
+        assert np.array_equal(first, second)
+        assert set(np.unique(first)) <= {0, 1, 2, 3}
+
+    def test_hash_null_and_nan_route_to_shard_zero(self):
+        ints = Column([1, None, 3])
+        assert shardsmod._hash_ids(ints, 4)[1] == 0
+        floats = Column([1.0, float("nan"), 3.0])
+        assert shardsmod._hash_ids(floats, 4)[1] == 0
+
+    def test_hash_strings_per_value(self):
+        plain = Column(["ant", "bee", "ant", None])
+        ids = shardsmod._hash_ids(plain, 8)
+        assert ids[0] == ids[2]  # equal values land together
+        assert ids[3] == 0
+        encoded = Column(["ant", "bee", "ant", None])
+        assert encoded.encode_dictionary()
+        assert np.array_equal(shardsmod._hash_ids(encoded, 8), ids)
+
+    def test_range_bounds_and_ids(self):
+        column = Column([float(i) for i in range(100)])
+        bounds = shardsmod.compute_bounds(column, 4)
+        assert len(bounds) == 3 and bounds == sorted(bounds)
+        ids = shardsmod._range_ids(column, bounds)
+        counts = np.bincount(ids, minlength=4)
+        assert counts.sum() == 100
+        assert all(count > 0 for count in counts)
+        # boundary values go left (shard s takes (bounds[s-1], bounds[s]])
+        assert shardsmod._range_ids(Column([bounds[0]]), bounds)[0] == 0
+
+    def test_range_rejects_non_numeric(self):
+        table = Table.from_dict({"s": ["a", "b"]})
+        with pytest.raises(ValueError):
+            shardsmod.apply_layout(table, "range", "s", 2)
+
+    def test_identity_layout_skips_recluster(self):
+        table = Table.from_dict({"k": [0.0, 1.0, 2.0, 3.0]})
+        new, layout, identity = shardsmod.apply_layout(table, "range", "k", 2)
+        assert identity
+        assert new is table  # monotone key: rows already in shard order
+        assert layout.total_rows == 4
+
+    def test_recluster_is_stable(self):
+        table = Table.from_dict({"k": [1, 0, 1, 0], "pos": [0, 1, 2, 3]})
+        new, layout, identity = shardsmod.apply_layout(table, "range", "k", 2)
+        assert not identity
+        by_shard = new.column("pos").to_list()
+        assert by_shard == [1, 3, 0, 2]  # original order kept within shards
+
+    def test_parse_shard_by(self):
+        assert shardsmod.parse_shard_by("hash") == ("hash", None)
+        assert shardsmod.parse_shard_by("hash(k)") == ("hash", "k")
+        assert shardsmod.parse_shard_by("'range( v )'") == ("range", "v")
+        for bad in ("turbo", "range(", "range)x("):
+            with pytest.raises(ValueError):
+                shardsmod.parse_shard_by(bad)
+
+
+# -- configuration wiring -------------------------------------------------------------
+
+
+class TestShardConfig:
+    def test_pragma_set_and_read(self):
+        db = _filled_db()
+        db.execute("PRAGMA shard_min_rows=100")
+        db.execute("PRAGMA shard_by='range(k)'")
+        db.execute("PRAGMA shards=4")
+        assert shardsmod.get_config().shards == 4
+        assert db.execute("PRAGMA shards").column("value")[0] == 4
+        assert db.execute("PRAGMA shard_by").column("value")[0] == "range(k)"
+        layout = db.shard_layout("t")
+        assert layout is not None and layout.mode == "range" and layout.key == "k"
+        db.execute("PRAGMA shards=0")
+        assert db.shard_layout("t") is None
+
+    def test_pragma_rejects_bad_spec(self):
+        db = Database()
+        with pytest.raises(CatalogError):
+            db.execute("PRAGMA shard_by='turbo(k)'")
+        with pytest.raises(CatalogError):
+            db.execute("PRAGMA shards=-1")
+
+    def test_reshard_preserves_table_spec(self):
+        db = _filled_db()
+        db.apply_sharding("t", 2, shard_by="range(v)")
+        db.execute("PRAGMA shards=4")  # config default is hash
+        layout = db.shard_layout("t")
+        assert layout.num_shards == 4
+        assert (layout.mode, layout.key) == ("range", "v")
+
+    def test_small_tables_not_auto_sharded(self):
+        shardsmod.configure(shards=4, shard_min_rows=10_000)
+        db = _filled_db(rows=100)
+        assert db.shard_layout("t") is None
+
+    def test_auto_shard_on_create(self):
+        shardsmod.configure(shards=4, shard_by="hash(k)", shard_min_rows=64)
+        db = _filled_db()
+        layout = db.shard_layout("t")
+        assert layout is not None and layout.num_shards == 4
+
+    def test_settings_listing_includes_shards(self):
+        db = Database()
+        rows = {row[0]: (row[1], row[2]) for row in db.execute("PRAGMA").rows()}
+        for name in ("shards", "shard_by", "shard_min_rows", "shard_index"):
+            assert name in rows
+        db.execute("PRAGMA shards=2")
+        rows = {row[0]: (row[1], row[2]) for row in db.execute("PRAGMA").rows()}
+        assert rows["shards"] == ("2", "pragma")
+
+    def test_unknown_pragma_lists_shard_knobs(self):
+        db = Database()
+        with pytest.raises(CatalogError, match="shard_by"):
+            db.execute("PRAGMA shard_bee=1")
+
+
+# -- apply_sharding -------------------------------------------------------------------
+
+
+class TestApplySharding:
+    def test_layout_covers_every_row(self):
+        db = _filled_db()
+        db.apply_sharding("t", 4, shard_by="hash(k)")
+        layout = db.shard_layout("t")
+        assert layout.offsets[0] == 0 and layout.offsets[-1] == 2000
+        assert list(layout.offsets) == sorted(layout.offsets)
+
+    def test_unknown_table_and_column_rejected(self):
+        db = _filled_db()
+        with pytest.raises(CatalogError):
+            db.apply_sharding("nope", 2)
+        with pytest.raises(CatalogError):
+            db.apply_sharding("t", 2, shard_by="hash(zz)")
+
+    def test_range_on_text_rejected(self):
+        db = _filled_db()
+        with pytest.raises(CatalogError):
+            db.apply_sharding("t", 2, shard_by="range(s)")
+
+    def test_unshard_keeps_rows(self):
+        db = _filled_db()
+        before = db.sql("SELECT SUM(v) AS s, COUNT(*) AS c FROM t").rows()
+        db.apply_sharding("t", 4, shard_by="hash(k)")
+        db.apply_sharding("t", 0)
+        assert db.shard_layout("t") is None
+        assert list(db.sql("SELECT SUM(v) AS s, COUNT(*) AS c FROM t").rows()) == list(
+            before
+        )
+
+    def test_pending_delta_merged_before_sharding(self):
+        db = _filled_db()
+        db.execute("INSERT INTO t VALUES (99, 1.5, 'elk')")
+        assert db.delta_store_if_dirty("t") is not None
+        db.apply_sharding("t", 4, shard_by="hash(k)")
+        assert db.delta_store_if_dirty("t") is None
+        assert db.shard_layout("t").total_rows == 2001
+
+    def test_merge_reapplies_layout(self):
+        db = _filled_db()
+        db.apply_sharding("t", 4, shard_by="hash(k)")
+        db.execute("INSERT INTO t VALUES (5, 1.0, 'elk'), (6, 2.0, 'fox')")
+        db.flush_deltas("t")
+        layout = db.shard_layout("t")
+        assert layout.total_rows == 2002
+        # every row sits in the shard its key hashes to
+        ids = shardsmod.route_ids(layout, db.main_table("t").column("k"))
+        for shard in range(layout.num_shards):
+            start, stop = layout.offsets[shard], layout.offsets[shard + 1]
+            assert np.all(ids[start:stop] == shard)
+
+    def test_merge_recomputes_range_bounds(self):
+        db = Database()
+        db.create_table("t", Table.from_dict({"k": list(range(100))}))
+        db.apply_sharding("t", 2, shard_by="range(k)")
+        old_bounds = db.shard_layout("t").bounds
+        rows = ", ".join(f"({i})" for i in range(1000, 1100))
+        db.execute(f"INSERT INTO t VALUES {rows}")
+        db.flush_deltas("t")
+        new_bounds = db.shard_layout("t").bounds
+        assert new_bounds != old_bounds
+        assert db.shard_layout("t").total_rows == 200
+
+    def test_update_and_delete_survive_sharding(self):
+        db = _filled_db()
+        db.apply_sharding("t", 4, shard_by="hash(k)")
+        db.execute("UPDATE t SET v = 0.0 WHERE k = 3")
+        db.execute("DELETE FROM t WHERE k = 5")
+        got = db.sql("SELECT COUNT(*) AS c FROM t WHERE k = 3 AND v = 0.0")
+        assert got.column("c")[0] > 0
+        assert db.sql("SELECT COUNT(*) AS c FROM t WHERE k = 5").column("c")[0] == 0
+
+    def test_drop_table_forgets_layout(self):
+        db = _filled_db()
+        db.apply_sharding("t", 2)
+        db.execute("DROP TABLE t")
+        assert "t" not in db.table_names()
+
+
+# -- scatter-gather execution ---------------------------------------------------------
+
+
+SCATTER_QUERIES = [
+    "SELECT k, COUNT(*) AS c, SUM(v) AS s, AVG(v) AS a FROM t WHERE v > 0 GROUP BY k",
+    "SELECT s, MIN(v) AS lo, MAX(v) AS hi FROM t WHERE k < 7 GROUP BY s",
+    "SELECT * FROM t WHERE k = 3",
+    "SELECT k, v FROM t WHERE v > 25.0 AND k < 5",
+    "SELECT * FROM t ORDER BY v",
+    "SELECT COUNT(*) AS c FROM t WHERE s = 'bee'",
+    "SELECT k FROM t WHERE k = 999",
+]
+
+
+class TestScatterExecution:
+    @pytest.mark.parametrize("spec", ["hash(k)", "range(v)", "hash(s)"])
+    @pytest.mark.parametrize("threads", [0, 4])
+    def test_bit_identical_to_unsharded(self, spec, threads):
+        db = _filled_db()
+        db.apply_sharding("t", 4, shard_by=spec)
+        # baseline: the same re-clustered rows with scatter disabled
+        db.apply_sharding("t", 0)
+        parallel.configure(threads=0)
+        expected = [db.sql(sql) for sql in SCATTER_QUERIES]
+        db.apply_sharding("t", 4, shard_by=spec)  # identity: row order kept
+        parallel.configure(threads=threads, morsel_rows=257, min_parallel_rows=1)
+        for sql, want in zip(SCATTER_QUERIES, expected):
+            try:
+                tables_bit_identical(db.sql(sql), want)
+            except AssertionError as exc:
+                raise AssertionError(f"sharded engine diverged on: {sql}") from exc
+
+    def test_scatter_skipped_while_delta_dirty(self):
+        db = _filled_db()
+        db.apply_sharding("t", 4, shard_by="hash(k)")
+        db.execute("INSERT INTO t VALUES (3, 1.0, 'elk')")
+        got = db.sql("SELECT COUNT(*) AS c FROM t WHERE k = 3")
+        want = 1 + sum(1 for i in range(2000) if i % 13 == 3)
+        assert got.column("c")[0] == want
+
+    def test_fanout_metrics_and_annotations(self, _pin_shard_config):
+        registry = _pin_shard_config
+        db = _filled_db()
+        db.apply_sharding("t", 4, shard_by="hash(k)")
+        parallel.configure(threads=4, morsel_rows=257, min_parallel_rows=1)
+        report = db.explain_analyze("SELECT COUNT(*) AS c FROM t WHERE v > 0").render()
+        assert "shards:" in report
+        assert registry.counter("shard.tasks").value > 0
+        assert registry.gauge("shard.count").value == 4
+        assert registry.gauge("shard.skew_ratio").value >= 1.0
+
+    def test_worker_crash_fault_injection(self):
+        db = _filled_db()
+        # cluster first, then unshard: the baseline must see the same row
+        # order the sharded run does (hash re-clustering permutes rows)
+        db.apply_sharding("t", 4, shard_by="hash(k)")
+        db.apply_sharding("t", 0)
+        parallel.configure(threads=0)
+        expected = [db.sql(sql) for sql in SCATTER_QUERIES]
+        db.apply_sharding("t", 4, shard_by="hash(k)")
+        parallel.configure(threads=4, morsel_rows=257, min_parallel_rows=1)
+        resilience.configure(faults="worker_crash:0.2", fault_seed=11)
+        try:
+            for sql, want in zip(SCATTER_QUERIES, expected):
+                tables_bit_identical(db.sql(sql), want)
+        finally:
+            resilience.configure(faults="off")
+
+
+# -- epoch shipping over the process pool ---------------------------------------------
+
+
+class TestEpochShipping:
+    def test_bytes_shipped_flat_across_queries(self, _pin_shard_config):
+        registry = _pin_shard_config
+        db = _filled_db(rows=4000)
+        db.apply_sharding("t", 4, shard_by="hash(k)")
+        parallel.configure(threads=0)
+        sql = "SELECT k, COUNT(*) AS c, SUM(v) AS s FROM t WHERE v > -10 GROUP BY k"
+        expected = db.sql(sql)
+        parallel.configure(
+            threads=2, morsel_rows=1024, min_parallel_rows=1, pool_kind="process"
+        )
+        shipped = []
+        for _ in range(4):
+            tables_bit_identical(db.sql(sql), expected)
+            shipped.append(registry.counter("parallel.bytes_shipped").value)
+        assert shipped[0] > 0, "first query must ship shard payloads"
+        assert shipped[3] == shipped[0], (
+            "bytes shipped grew with query count — the epoch cache is not reused: "
+            f"{shipped}"
+        )
+
+    def test_new_epoch_reships_once(self, _pin_shard_config):
+        registry = _pin_shard_config
+        db = _filled_db(rows=4000)
+        db.apply_sharding("t", 4, shard_by="hash(k)")
+        sql = "SELECT COUNT(*) AS c FROM t WHERE v > -10"
+        parallel.configure(
+            threads=2, morsel_rows=1024, min_parallel_rows=1, pool_kind="process"
+        )
+        db.sql(sql)
+        first = registry.counter("parallel.bytes_shipped").value
+        db.execute("INSERT INTO t VALUES (1, 1.0, 'elk')")
+        db.flush_deltas("t")  # new table version -> one reship
+        db.sql(sql)
+        second = registry.counter("parallel.bytes_shipped").value
+        assert second > first
+        db.sql(sql)
+        assert registry.counter("parallel.bytes_shipped").value == second
+
+
+# -- shard pruning --------------------------------------------------------------------
+
+
+class TestShardPruning:
+    def _clustered(self, root, rows=8192, zone_rows=256) -> Database:
+        scanopt.configure(zone_rows=zone_rows)
+        with Database(path=root) as db:
+            db.create_table(
+                "t",
+                Table.from_dict(
+                    {
+                        "k": list(range(rows)),
+                        "v": [float(i % 97) for i in range(rows)],
+                    }
+                ),
+            )
+            db.apply_sharding("t", 4, shard_by="range(k)")
+            db.checkpoint()
+        layouts.configure(storage="mmap")
+        return Database(path=root)
+
+    def test_one_shard_predicate_prunes_rest(self, tmp_path, _pin_shard_config):
+        registry = _pin_shard_config
+        shardsmod.configure(shard_index=False)  # exercise the scatter path
+        db = self._clustered(tmp_path / "db")
+        try:
+            layout = db.shard_layout("t")
+            got = db.sql("SELECT COUNT(*) AS c FROM t WHERE k >= 4200 AND k < 4400")
+            assert got.column("c")[0] == 200
+            assert registry.counter("shard.shards_pruned").value == 3
+            read = registry.counter("io.bytes_read").value
+            shard_bytes = 16 * max(
+                layout.shard_rows(s) for s in range(layout.num_shards)
+            )
+            assert 0 < read <= shard_bytes, (read, shard_bytes)
+        finally:
+            db.close()
+
+    def test_index_probe_prunes_shards(self, _pin_shard_config):
+        # in-memory: mapped tables never get the shard index (they stay
+        # on the streamed path), so probe pruning is tested unmapped
+        registry = _pin_shard_config
+        db = Database()
+        db.create_table(
+            "t",
+            Table.from_dict(
+                {
+                    "k": list(range(8192)),
+                    "v": [float(i % 97) for i in range(8192)],
+                }
+            ),
+        )
+        db.apply_sharding("t", 4, shard_by="range(k)")
+        assert db.index_for("t", "k") is not None
+        got = db.sql("SELECT COUNT(*) AS c FROM t WHERE k >= 4200 AND k < 4400")
+        assert got.column("c")[0] == 200
+        assert registry.counter("shard.shards_pruned").value == 3
+
+    def test_mapped_table_gets_no_shard_index(self, tmp_path, _pin_shard_config):
+        db = self._clustered(tmp_path / "db")
+        try:
+            assert db.get_table("t").is_mapped
+            assert db.index_for("t", "k") is None
+        finally:
+            db.close()
+
+    def test_all_fail_schedules_nothing(self, tmp_path, _pin_shard_config):
+        registry = _pin_shard_config
+        shardsmod.configure(shard_index=False)
+        db = self._clustered(tmp_path / "db")
+        try:
+            got = db.sql("SELECT k FROM t WHERE k = 99999")
+            assert got.num_rows == 0
+            assert registry.counter("io.bytes_read").value == 0
+        finally:
+            db.close()
+
+
+# -- the partition-local cracker index ------------------------------------------------
+
+
+class TestShardedCrackerIndex:
+    def _index(self, values, num_shards=4):
+        table = Table.from_dict({"k": [float(v) for v in values]})
+        table, layout, _ = shardsmod.apply_layout(table, "range", "k", num_shards)
+        return shardsmod.ShardedCrackerIndex(table.column("k"), layout), table
+
+    def test_lookup_matches_naive_filter(self):
+        rng = np.random.default_rng(5)
+        values = [float(v) for v in rng.integers(0, 500, size=400)]
+        index, table = self._index(values)
+        data = np.asarray(table.column("k").data)
+        for low, high in ((10, 90), (0, 499), (250, 250), (495, 600)):
+            got = index.lookup_range(low, high, True, True)
+            want = np.flatnonzero((data >= low) & (data <= high))
+            assert np.array_equal(np.sort(got), want)
+            # physical order: probes are bit-identical to scans
+            assert np.array_equal(got, np.sort(got))
+
+    def test_pruning_counts_skipped_shards(self, _pin_shard_config):
+        registry = _pin_shard_config
+        index, _table = self._index(list(range(400)))
+        index.lookup_range(10.0, 20.0, True, True)
+        assert registry.counter("shard.shards_pruned").value == 3
+
+    def test_insert_and_delete(self):
+        index, table = self._index(list(range(100)))
+        new_id = index.insert(42.5)
+        assert new_id == 100
+        got = index.lookup_range(42, 43, True, True)
+        assert set(got.tolist()) == {42, 43, 100}
+        index.delete(42)  # main row, lands in a shard cracker
+        index.delete(100)  # tail row
+        got = index.lookup_range(42, 43, True, True)
+        assert set(got.tolist()) == {43}
+
+    def test_delete_before_cracker_built(self):
+        index, _table = self._index(list(range(100)))
+        index.delete(7)  # stashes: shard cracker not built yet
+        got = index.lookup_range(0.0, 10.0, True, True)
+        assert 7 not in set(got.tolist())
+
+    def test_nan_insert_never_matches(self):
+        index, _table = self._index(list(range(10)))
+        index.insert(float("nan"))
+        got = index.lookup_range(-1e18, 1e18, True, True)
+        assert 10 not in set(got.tolist())
+
+    def test_auto_registered_on_shard(self):
+        db = _filled_db()
+        db.apply_sharding("t", 4, shard_by="hash(k)")
+        assert isinstance(
+            db.index_for("t", "k"), shardsmod.ShardedCrackerIndex
+        )
+        db.apply_sharding("t", 0)
+        assert db.index_for("t", "k") is None
+
+    def test_not_registered_on_null_or_text_keys(self):
+        db = Database()
+        db.create_table(
+            "n", Table.from_dict({"k": [1, None] * 50, "s": ["a", "b"] * 50})
+        )
+        db.apply_sharding("n", 2, shard_by="hash(k)")
+        assert db.index_for("n", "k") is None
+        db.apply_sharding("n", 2, shard_by="hash(s)")
+        assert db.index_for("n", "s") is None
+
+
+# -- durability -----------------------------------------------------------------------
+
+
+class TestShardDurability:
+    def test_checkpoint_roundtrip(self, tmp_path):
+        root = tmp_path / "db"
+        with Database(path=root) as db:
+            db.create_table("t", Table.from_dict({"k": list(range(500))}))
+            db.apply_sharding("t", 4, shard_by="range(k)")
+            saved = db.shard_layout("t")
+            db.checkpoint()
+        with Database(path=root) as db:
+            layout = db.shard_layout("t")
+            assert layout is not None
+            assert (layout.mode, layout.key) == ("range", "k")
+            assert list(layout.offsets) == list(saved.offsets)
+            assert layout.bounds == saved.bounds
+
+    def test_manifest_version_gates_on_sharding(self, tmp_path):
+        import json
+
+        root = tmp_path / "db"
+        with Database(path=root) as db:
+            db.create_table("plain", Table.from_dict({"k": [1, 2]}))
+            db.checkpoint()
+            manifest = json.loads(
+                (root / walmod.checkpoint_dir_name(1) / "MANIFEST.json").read_text()
+            )
+            assert manifest["format"] == 2  # unsharded stays readable by PR 9
+            db.apply_sharding("plain", 2, shard_by="hash(k)")
+            db.checkpoint()
+            manifest = json.loads(
+                (root / walmod.checkpoint_dir_name(2) / "MANIFEST.json").read_text()
+            )
+            assert manifest["format"] == 3
+
+    def test_wal_only_replay(self, tmp_path):
+        root = tmp_path / "db"
+        db = Database(path=root)
+        db.create_table("t", Table.from_dict({"k": list(range(500))}))
+        db.checkpoint()
+        db.apply_sharding("t", 2, shard_by="hash(k)")
+        saved = db.shard_layout("t")
+        del db  # kill without close: the shard record lives in the WAL only
+        with Database(path=root) as db:
+            layout = db.shard_layout("t")
+            assert layout is not None and layout.num_shards == 2
+            assert list(layout.offsets) == list(saved.offsets)
+
+    def test_unshard_replays(self, tmp_path):
+        root = tmp_path / "db"
+        with Database(path=root) as db:
+            db.create_table("t", Table.from_dict({"k": list(range(500))}))
+            db.apply_sharding("t", 2, shard_by="hash(k)")
+            db.checkpoint()
+            db.apply_sharding("t", 0)
+        with Database(path=root) as db:
+            assert db.shard_layout("t") is None
+
+    def test_replay_ignores_live_config(self, tmp_path):
+        """Recovery must reproduce the logged layout, not the current env."""
+        root = tmp_path / "db"
+        with Database(path=root) as db:
+            db.create_table("t", Table.from_dict({"k": list(range(500))}))
+            db.apply_sharding("t", 2, shard_by="range(k)")
+            saved = db.shard_layout("t")
+        shardsmod.configure(shards=8, shard_by="hash", shard_min_rows=1)
+        with Database(path=root) as db:
+            layout = db.shard_layout("t")
+            assert layout.num_shards == 2
+            assert (layout.mode, layout.key) == ("range", "k")
+            assert list(layout.offsets) == list(saved.offsets)
+
+    def test_mmap_recovery_scatter(self, tmp_path):
+        root = tmp_path / "db"
+        scanopt.configure(zone_rows=64)
+        with Database(path=root) as db:
+            db.create_table(
+                "t",
+                Table.from_dict(
+                    {"k": list(range(2000)), "v": [float(i % 7) for i in range(2000)]}
+                ),
+            )
+            db.apply_sharding("t", 4, shard_by="range(k)")
+            db.checkpoint()
+            expected = db.sql("SELECT k, v FROM t WHERE k >= 600 AND k < 700")
+        layouts.configure(storage="mmap")
+        parallel.configure(threads=4, morsel_rows=128, min_parallel_rows=1)
+        with Database(path=root) as db:
+            assert db.main_table("t").is_mapped
+            tables_bit_identical(
+                db.sql("SELECT k, v FROM t WHERE k >= 600 AND k < 700"), expected
+            )
+
+
+# -- the shell ------------------------------------------------------------------------
+
+
+class TestShell:
+    def test_shards_command(self):
+        from repro.__main__ import Shell
+
+        shell = Shell()
+        shell.execute("CREATE TABLE t (k INT, v FLOAT)")
+        rows = ", ".join(f"({i % 5}, {float(i)})" for i in range(500))
+        shell.execute(f"INSERT INTO t VALUES {rows}")
+        out = shell.execute("\\shards")
+        assert "t: unsharded" in out
+        shell.execute("PRAGMA shard_min_rows=100")
+        shell.execute("PRAGMA shards=3")
+        out = shell.execute("\\shards")
+        assert "3 shards by hash(k)" in out and "skew" in out
+
+    def test_help_mentions_shards(self):
+        from repro import __main__ as shell_module
+
+        assert "\\shards" in (shell_module.__doc__ or "")
+
+
+# -- the differential corpus ----------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_corpus_bit_identity_sharded_vs_unsharded(seed: int, tmp_path) -> None:
+    """Replay the differential corpus against a durable sharded database —
+    serial/unsharded as the baseline, then sharded under the morsel pool
+    with worker-crash injection, mmap storage, and a kill–recover cycle
+    in between.  Payloads must match byte for byte.  The cracker index
+    is disabled so both sides plan identically; it has its own tests."""
+    rng = np.random.default_rng(7000 + seed)
+    table, rows = random_table(rng, n=int(rng.integers(60, 160)))
+    queries = [random_query(rng) for _ in range(10)]
+    root = tmp_path / "db"
+    shardsmod.configure(shard_index=False)
+
+    with Database(path=root) as db:
+        db.create_table(
+            "t",
+            Table.from_dict(
+                {name: [r[name] for r in rows] for name in ("id", "a", "b", "s")}
+            ),
+        )
+        db.apply_sharding("t", 4, shard_by=("hash(id)" if seed % 2 else "range(id)"))
+        db.checkpoint()
+        # a WAL tail past the checkpoint, so recovery replays DML over the
+        # sharded table (inserts re-route at the next merge)
+        db.execute("INSERT INTO t VALUES (900, 1, 1.0, 'elk')")
+        db.execute("DELETE FROM t WHERE id = 0")
+
+    saved_zone = scanopt.get_config().zone_rows
+    try:
+        scanopt.configure(zone_rows=8)
+        deltamod.configure(delta_rows=1)  # replay merges the tail immediately
+        baseline_db = Database(path=root)
+        assert baseline_db.shard_layout("t") is not None
+        # scatter off for the baseline only; the data keeps its shard order
+        baseline_db.apply_sharding("t", 0, log=False)
+        parallel.configure(threads=0)
+        baseline = [baseline_db.sql(sql) for sql in queries]
+        baseline_db.close()
+
+        layouts.configure(storage="mmap")
+        parallel.configure(threads=4, morsel_rows=7, min_parallel_rows=1)
+        resilience.configure(faults="worker_crash:0.1", fault_seed=seed)
+        sharded_db = Database(path=root)
+        assert sharded_db.shard_layout("t") is not None
+        sharded = [sharded_db.sql(sql) for sql in queries]
+        # kill (no close) and recover mid-session: the layout replays
+        del sharded_db
+        recovered_db = Database(path=root)
+        assert recovered_db.shard_layout("t") is not None
+        recovered = [recovered_db.sql(sql) for sql in queries]
+        recovered_db.close()
+    finally:
+        parallel.configure(threads=0, morsel_rows=parallel.DEFAULT_MORSEL_ROWS)
+        resilience.configure(faults="off")
+        scanopt.configure(zone_rows=saved_zone)
+        layouts.configure(storage="memory")
+
+    for sql, expected, got, again in zip(queries, baseline, sharded, recovered):
+        try:
+            tables_bit_identical(got, expected)
+            tables_bit_identical(again, expected)
+        except AssertionError as exc:
+            raise AssertionError(f"sharded engine diverged on: {sql}") from exc
